@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 13: capacity sensitivity.
+ *  (a) 12K-STE AP for the low-resource group (paper: 1.9x / 2.2x
+ *      geomean at 0.1% / 1% profiling);
+ *  (b) 49K-STE AP for the high-resource group (paper: 1.9x / 2.1x).
+ */
+
+#include <iostream>
+
+#include "core/sparseap.h"
+
+using namespace sparseap;
+
+namespace {
+
+void
+runPanel(ExperimentRunner &runner, const char *title,
+         const std::string &groups, size_t capacity)
+{
+    printSection(title);
+    Table table({"App", "SpAP@0.1%", "SpAP@1%", "Savings@1%"});
+    std::vector<double> s01, s1;
+
+    for (const std::string &abbr : runner.selectApps(groups)) {
+        const LoadedApp &app = runner.load(abbr);
+        std::vector<std::string> cells = {abbr};
+        double savings1 = 0.0;
+        for (double frac : {0.001, 0.01}) {
+            SpapRunStats stats = runAppConfig(app, frac, capacity);
+            cells.push_back(Table::fmt(stats.speedup, 2));
+            (frac == 0.001 ? s01 : s1).push_back(stats.speedup);
+            if (frac == 0.01)
+                savings1 = stats.resourceSavings;
+        }
+        cells.push_back(Table::pct(savings1));
+        table.addRow(cells);
+        runner.unload(abbr);
+    }
+    table.addRow({"GEOMEAN", Table::fmt(geomean(s01), 2),
+                  Table::fmt(geomean(s1), 2), "-"});
+    runner.printTable(table);
+}
+
+} // namespace
+
+int
+main()
+{
+    ExperimentRunner runner;
+    runPanel(runner,
+             "Figure 13(a): low group at 12K capacity "
+             "(paper: 1.9x / 2.2x geomean)",
+             "L", ApConfig::kQuarterCore);
+    runPanel(runner,
+             "Figure 13(b): high group at 49K capacity "
+             "(paper: 1.9x / 2.1x geomean)",
+             "H", ApConfig::kFullChip);
+    return 0;
+}

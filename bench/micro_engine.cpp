@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the substrate hot paths: the
+ * functional engine's symbols/second on representative workloads, the
+ * regex compiler, topology analysis, and partition construction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/sparseap.h"
+
+using namespace sparseap;
+
+namespace {
+
+/** Shared small-scale workload so every benchmark reuses generation. */
+const LoadedApp &
+sharedApp(const char *abbr)
+{
+    static ExperimentRunner runner;
+    return runner.load(abbr);
+}
+
+void
+BM_EngineThroughput(benchmark::State &state, const char *abbr)
+{
+    const LoadedApp &app = sharedApp(abbr);
+    FlatAutomaton fa(app.workload.app);
+    Engine engine(fa);
+    const std::span<const uint8_t> input(app.input.data(),
+                                         std::min<size_t>(
+                                             app.input.size(), 65536));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(input).reports.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(input.size()));
+}
+
+void
+BM_RegexCompile(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            compileRegex("a(bc|de)*f.{0,8}[g-k]+end", "bench").size());
+    }
+}
+
+void
+BM_Topology(benchmark::State &state, const char *abbr)
+{
+    const LoadedApp &app = sharedApp(abbr);
+    for (auto _ : state) {
+        AppTopology topo(app.workload.app);
+        benchmark::DoNotOptimize(topo.maxOrder());
+    }
+}
+
+void
+BM_Partition(benchmark::State &state, const char *abbr)
+{
+    const LoadedApp &app = sharedApp(abbr);
+    const AppTopology &topo = app.topology();
+    const FlatAutomaton fa(app.workload.app);
+    const HotColdProfile prof = profileApplication(
+        fa, std::span<const uint8_t>(app.input.data(),
+                                     app.input.size() / 100));
+    const PartitionLayers layers = chooseLayers(topo, prof);
+    for (auto _ : state) {
+        PartitionedApp part = partitionApplication(topo, layers);
+        benchmark::DoNotOptimize(part.hot.totalStates());
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_EngineThroughput, bro217, "Bro217");
+BENCHMARK_CAPTURE(BM_EngineThroughput, em, "EM");
+BENCHMARK_CAPTURE(BM_EngineThroughput, lv, "LV");
+BENCHMARK_CAPTURE(BM_EngineThroughput, tcp, "TCP");
+BENCHMARK(BM_RegexCompile);
+BENCHMARK_CAPTURE(BM_Topology, tcp, "TCP");
+BENCHMARK_CAPTURE(BM_Partition, tcp, "TCP");
+
+BENCHMARK_MAIN();

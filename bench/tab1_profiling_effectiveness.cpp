@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table I: effectiveness of profile-based hot/cold prediction.
+ *
+ * The input is split in half; profiling prefixes of 0.2%, 2%, 20% and
+ * 100% of the first half (= 0.1%, 1%, 10%, 50% of the whole input)
+ * predict the hot set, evaluated against the hot set of the second half
+ * (the testing input). Hot = positive. Fermi and SPM are excluded, as in
+ * the paper (their start-of-data anchoring makes prefix profiles
+ * meaningless).
+ */
+
+#include <iostream>
+
+#include "core/sparseap.h"
+
+using namespace sparseap;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    printSection("Table I: effectiveness of profile-based prediction");
+
+    const double kPrefixes[] = {0.002, 0.02, 0.2, 1.0}; // of first half
+    const char *const kLabels[] = {"0.1%", "1%", "10%", "50%"};
+
+    std::vector<double> accuracy[4], recall[4], precision[4];
+
+    for (const std::string &abbr : runner.selectApps("HML")) {
+        if (abbr == "Fermi" || abbr == "SPM")
+            continue;
+        const LoadedApp &app = runner.load(abbr);
+        const FlatAutomaton fa(app.workload.app);
+        const size_t half = app.input.size() / 2;
+
+        const HotColdProfile reference = profileApplication(
+            fa, std::span<const uint8_t>(app.input.data() + half, half));
+
+        for (int p = 0; p < 4; ++p) {
+            const size_t n = std::max<size_t>(
+                1, static_cast<size_t>(static_cast<double>(half) *
+                                       kPrefixes[p]));
+            const HotColdProfile prof = profileApplication(
+                fa, std::span<const uint8_t>(app.input.data(), n));
+            const PredictionMetrics m =
+                comparePrediction(prof.hot, reference.hot);
+            accuracy[p].push_back(m.accuracy());
+            recall[p].push_back(m.recall());
+            precision[p].push_back(m.precision());
+        }
+        runner.unload(abbr);
+    }
+
+    Table table({"% of entire input", "0.1%", "1%", "10%", "50%"});
+    auto row = [&](const char *name, std::vector<double> *vals) {
+        std::vector<std::string> cells = {name};
+        for (int p = 0; p < 4; ++p)
+            cells.push_back(Table::pct(mean(vals[p]), 0));
+        table.addRow(cells);
+    };
+    row("Accuracy", accuracy);
+    row("Recall", recall);
+    row("Precision", precision);
+    runner.printTable(table);
+
+    (void)kLabels;
+    std::cout << "\npaper: accuracy 87/90/93/97%, recall 64/76/87/97%, "
+                 "precision 94/92/90/92%\n";
+    return 0;
+}

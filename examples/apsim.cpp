@@ -1,0 +1,257 @@
+/**
+ * @file
+ * apsim — command-line driver for the SparseAP library.
+ *
+ *   apsim info <app.nfa | @ABBR>
+ *       Structure summary: states, NFAs, depth, SCCs, groups.
+ *
+ *   apsim run <app.nfa | @ABBR> <input-file | %SIZE_KB> [--capacity N]
+ *       Functional execution; prints the report stream summary.
+ *
+ *   apsim partition <app.nfa | @ABBR> <input | %KB> [--capacity N]
+ *                   [--profile F] [--no-fill] [--dedupe]
+ *       Full SparseAP pipeline; prints Table-IV-style statistics.
+ *
+ *   apsim generate @ABBR <out.nfa> [--scale P] [--seed S]
+ *       Write a generated workload in the text format.
+ *
+ * `@ABBR` names a catalog application (e.g., @CAV4k, @Snort). `%SIZE_KB`
+ * synthesizes that much input from the workload's input model (catalog
+ * apps only).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sparseap.h"
+
+using namespace sparseap;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  apsim info <app.nfa|@ABBR>\n"
+        << "  apsim run <app.nfa|@ABBR> <input|%KB> [--capacity N]\n"
+        << "  apsim partition <app.nfa|@ABBR> <input|%KB> [--capacity N]"
+           " [--profile F] [--no-fill] [--dedupe]\n"
+        << "  apsim generate @ABBR <out.nfa> [--scale P] [--seed S]\n";
+    std::exit(2);
+}
+
+/** A loaded application plus (for catalog apps) its input model. */
+struct LoadedSpec
+{
+    Workload workload;
+    bool fromCatalog = false;
+};
+
+LoadedSpec
+loadSpec(const std::string &spec, uint64_t seed, unsigned scale)
+{
+    LoadedSpec out;
+    if (!spec.empty() && spec[0] == '@') {
+        out.workload = generateWorkload(spec.substr(1), seed, scale);
+        out.fromCatalog = true;
+        return out;
+    }
+    std::ifstream in(spec);
+    if (!in)
+        fatal("cannot open application file '", spec, "'");
+    out.workload.app = readApplication(in);
+    return out;
+}
+
+std::vector<uint8_t>
+loadInput(const std::string &spec, const LoadedSpec &app, uint64_t seed)
+{
+    if (!spec.empty() && spec[0] == '%') {
+        if (!app.fromCatalog) {
+            fatal("synthetic input (%KB) requires a catalog application "
+                  "(@ABBR) whose input model is known");
+        }
+        const long kb = std::atol(spec.c_str() + 1);
+        if (kb <= 0)
+            fatal("bad synthetic input size '", spec, "'");
+        Rng rng(seed ^ 0xabcdef);
+        return synthesizeInput(app.workload.input,
+                               static_cast<size_t>(kb) * 1024, rng);
+    }
+    std::ifstream in(spec, std::ios::binary);
+    if (!in)
+        fatal("cannot open input file '", spec, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string data = ss.str();
+    return {data.begin(), data.end()};
+}
+
+int
+cmdInfo(const LoadedSpec &spec)
+{
+    const Application &app = spec.workload.app;
+    AppTopology topo(app);
+    std::cout << "application: " << app.name() << " (" << app.abbr()
+              << ")\n";
+    std::cout << "  states:            " << app.totalStates() << "\n";
+    std::cout << "  NFAs:              " << app.nfaCount() << "\n";
+    std::cout << "  reporting states:  " << app.reportingStates() << "\n";
+    std::cout << "  max topo order:    " << topo.maxOrder() << "\n";
+    std::cout << "  largest SCC:       " << topo.largestScc() << "\n";
+    std::cout << "  start-of-data app: "
+              << (app.startOfDataOnly() ? "yes" : "no") << "\n";
+    const OptimizeStats merge = measurePrefixMerging(app);
+    std::cout << "  prefix-merge potential: "
+              << Table::pct(merge.reduction()) << " of states\n";
+    for (size_t cap :
+         {ApConfig::kQuarterCore, ApConfig::kHalfCore,
+          ApConfig::kFullChip}) {
+        std::cout << "  batches at " << cap << " STEs: "
+                  << packWholeNfas(app, cap).batchCount() << "\n";
+    }
+    return 0;
+}
+
+int
+cmdRun(const LoadedSpec &spec, const std::vector<uint8_t> &input,
+       size_t capacity)
+{
+    const Application &app = spec.workload.app;
+    ApConfig config;
+    config.capacity = capacity;
+    BaselineResult r = runBaseline(app, config, input, true);
+    std::cout << "input symbols:   " << input.size() << "\n";
+    std::cout << "batches:         " << r.batches << "\n";
+    std::cout << "cycles:          " << r.cycles << "\n";
+    std::cout << "modelled time:   "
+              << Table::fmt(config.cyclesToSeconds(
+                                static_cast<double>(r.cycles)) *
+                                1e3,
+                            3)
+              << " ms\n";
+    std::cout << "reports:         " << r.reports.size() << "\n";
+    for (size_t i = 0; i < std::min<size_t>(10, r.reports.size()); ++i) {
+        const GlobalStateRef ref = app.resolve(r.reports[i].state);
+        std::cout << "  @" << r.reports[i].position << "  "
+                  << app.nfa(ref.nfa).name() << "\n";
+    }
+    if (r.reports.size() > 10)
+        std::cout << "  ... " << r.reports.size() - 10 << " more\n";
+    return 0;
+}
+
+int
+cmdPartition(const LoadedSpec &spec, const std::vector<uint8_t> &input,
+             const ExecutionOptions &opts)
+{
+    AppTopology topo(spec.workload.app);
+    PreparedPartition prep = preparePartition(topo, opts, input);
+    SpapRunStats stats = runBaseApSpap(topo, opts, prep);
+
+    std::cout << "profile window:      " << prep.profileInput.size()
+              << " symbols\n";
+    std::cout << "test stream:         " << stats.testLength
+              << " symbols\n";
+    std::cout << "baseline batches:    " << stats.baselineBatches << "\n";
+    std::cout << "BaseAP batches:      " << stats.baseApBatches << " ("
+              << stats.baseApStates << " states, "
+              << stats.intermediateStates << " intermediate)\n";
+    std::cout << "SpAP executions:     " << stats.spApBatches << " of "
+              << stats.spApConfiguredBatches << " configured\n";
+    std::cout << "intermediate reports:" << stats.intermediateReports
+              << "  (stalls " << stats.enableStalls << ")\n";
+    if (stats.jumpRatio >= 0)
+        std::cout << "jump ratio:          "
+                  << Table::pct(stats.jumpRatio) << "\n";
+    std::cout << "resource savings:    "
+              << Table::pct(stats.resourceSavings) << "\n";
+    std::cout << "speedup:             "
+              << Table::fmt(stats.speedup, 2) << "x\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        usage();
+    const std::string cmd = args[0];
+
+    // Shared flag parsing.
+    size_t capacity = ApConfig::kHalfCore;
+    double profile = 0.01;
+    bool fill = true;
+    bool dedupe = false;
+    uint64_t seed = 20181020;
+    unsigned scale = 100;
+    std::vector<std::string> positional;
+    for (size_t i = 1; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&]() -> const std::string & {
+            if (++i >= args.size())
+                usage();
+            return args[i];
+        };
+        if (a == "--capacity")
+            capacity = std::strtoull(next().c_str(), nullptr, 10);
+        else if (a == "--profile")
+            profile = std::atof(next().c_str());
+        else if (a == "--seed")
+            seed = std::strtoull(next().c_str(), nullptr, 10);
+        else if (a == "--scale")
+            scale = static_cast<unsigned>(std::atol(next().c_str()));
+        else if (a == "--no-fill")
+            fill = false;
+        else if (a == "--dedupe")
+            dedupe = true;
+        else if (!a.empty() && a[0] == '-')
+            usage();
+        else
+            positional.push_back(a);
+    }
+
+    if (cmd == "info" && positional.size() == 1) {
+        return cmdInfo(loadSpec(positional[0], seed, scale));
+    }
+    if (cmd == "run" && positional.size() == 2) {
+        LoadedSpec spec = loadSpec(positional[0], seed, scale);
+        return cmdRun(spec, loadInput(positional[1], spec, seed),
+                      capacity);
+    }
+    if (cmd == "partition" && positional.size() == 2) {
+        LoadedSpec spec = loadSpec(positional[0], seed, scale);
+        ExecutionOptions opts;
+        opts.ap.capacity = capacity;
+        opts.profileFraction = profile;
+        opts.fillOptimization = fill;
+        opts.partition.dedupeIntermediates = dedupe;
+        opts.fullInputAsTest = spec.workload.fullInputAsTest;
+        return cmdPartition(spec, loadInput(positional[1], spec, seed),
+                            opts);
+    }
+    if (cmd == "generate" && positional.size() == 2) {
+        if (positional[0].empty() || positional[0][0] != '@')
+            usage();
+        Workload w =
+            generateWorkload(positional[0].substr(1), seed, scale);
+        std::ofstream out(positional[1]);
+        if (!out)
+            fatal("cannot write '", positional[1], "'");
+        writeApplication(out, w.app);
+        std::cout << "wrote " << w.app.totalStates() << " states in "
+                  << w.app.nfaCount() << " NFAs to " << positional[1]
+                  << "\n";
+        return 0;
+    }
+    usage();
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Network intrusion detection example: Snort-style PCRE rules compiled
+ * through the regex front end and matched against synthetic traffic,
+ * reporting which rules fired where — then accelerated with SparseAP.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/sparseap.h"
+
+using namespace sparseap;
+
+int
+main()
+{
+    // A small hand-written rule set exercising the regex dialect.
+    const std::vector<std::pair<std::string, std::string>> rules = {
+        {"sql_injection", "UNION +SELECT"},
+        {"path_traversal", "\\.\\./\\.\\./"},
+        {"shellcode_nop", "\\x90{8,}"},
+        {"php_eval", "eval\\((base64_decode|gzinflate)"},
+        {"cmd_exe", "cmd\\.exe.{0,20}/c"},
+        {"xss_script", "<script>[^<]*</script>"},
+        {"ssh_scan", "SSH-[12]\\.[0-9]+-scanner"},
+    };
+
+    Application app("network_ids", "IDS");
+    for (const auto &[name, pattern] : rules)
+        app.addNfa(compileRegex(pattern, name));
+
+    std::cout << "ruleset: " << app.nfaCount() << " rules, "
+              << app.totalStates() << " states\n";
+
+    // Synthetic traffic with attacks spliced in.
+    std::string traffic;
+    Rng rng(31);
+    const std::string attacks[] = {
+        "GET /a?q=1 UNION  SELECT pass FROM users",
+        "GET /../../../etc/passwd",
+        "\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90",
+        "eval(base64_decode($_POST['x']))",
+        "cmd.exe  /c  del",
+        "<script>alert(1)</script>",
+        "SSH-2.0-scanner",
+    };
+    for (int i = 0; i < 3000; ++i) {
+        for (int j = 0; j < 60; ++j)
+            traffic += static_cast<char>(' ' + rng.uniform(1, 90));
+        if (i % 400 == 7)
+            traffic += attacks[static_cast<size_t>(i / 400) % 7];
+    }
+    const std::span<const uint8_t> input(
+        reinterpret_cast<const uint8_t *>(traffic.data()), traffic.size());
+
+    // Reference detection pass: which rules fired?
+    FlatAutomaton fa(app);
+    Engine engine(fa);
+    SimResult run = engine.run(input);
+    std::vector<size_t> hits(app.nfaCount(), 0);
+    for (const Report &r : run.reports)
+        ++hits[app.resolve(r.state).nfa];
+    for (uint32_t i = 0; i < app.nfaCount(); ++i) {
+        std::cout << "  " << app.nfa(i).name() << ": " << hits[i]
+                  << " hits\n";
+    }
+
+    // SparseAP on a tiny AP (each batch holds roughly half the rules).
+    AppTopology topo(app);
+    ExecutionOptions opts;
+    opts.ap.capacity = app.totalStates() / 2 + 8;
+    opts.profileFraction = 0.01;
+    SpapRunStats stats =
+        runBaseApSpap(topo, opts, input, /*collect_reports=*/true);
+    std::cout << "SparseAP: " << stats.baselineBatches
+              << " baseline batches -> " << stats.baseApBatches
+              << " hot + " << stats.spApBatches
+              << " sparse; speedup " << Table::fmt(stats.speedup, 2)
+              << "x, savings " << Table::pct(stats.resourceSavings)
+              << "\n";
+    return 0;
+}

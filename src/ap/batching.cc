@@ -1,0 +1,77 @@
+#include "ap/batching.h"
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+double
+BatchPlan::utilization(size_t capacity) const
+{
+    if (batches.empty() || capacity == 0)
+        return 0.0;
+    double occupied = 0.0;
+    for (const auto &b : batches)
+        occupied += static_cast<double>(b.states);
+    return occupied /
+           (static_cast<double>(capacity) *
+            static_cast<double>(batches.size()));
+}
+
+BatchPlan
+packSizes(const std::vector<size_t> &sizes, size_t capacity)
+{
+    SPARSEAP_ASSERT(capacity > 0, "packSizes with zero capacity");
+    BatchPlan plan;
+    Batch current;
+    auto flush = [&] {
+        if (!current.items.empty()) {
+            plan.batches.push_back(std::move(current));
+            current = Batch{};
+        }
+    };
+    for (uint32_t i = 0; i < sizes.size(); ++i) {
+        const size_t sz = sizes[i];
+        plan.totalStates += sz;
+        if (sz == 0)
+            continue;
+        if (sz > capacity) {
+            // Oversized item: state-granularity split into exclusive
+            // batches (ceil(sz / capacity) of them).
+            flush();
+            size_t remaining = sz;
+            while (remaining > 0) {
+                Batch b;
+                b.items.push_back(i);
+                b.states = remaining > capacity ? capacity : remaining;
+                remaining -= b.states;
+                plan.batches.push_back(std::move(b));
+            }
+            continue;
+        }
+        if (current.states + sz > capacity)
+            flush();
+        current.items.push_back(i);
+        current.states += sz;
+    }
+    flush();
+    return plan;
+}
+
+BatchPlan
+packWholeNfas(const Application &app, size_t capacity)
+{
+    std::vector<size_t> sizes;
+    sizes.reserve(app.nfaCount());
+    for (const auto &nfa : app.nfas())
+        sizes.push_back(nfa.size());
+    return packSizes(sizes, capacity);
+}
+
+size_t
+analyticBatchCount(size_t total_states, size_t capacity)
+{
+    SPARSEAP_ASSERT(capacity > 0, "analyticBatchCount with zero capacity");
+    return (total_states + capacity - 1) / capacity;
+}
+
+} // namespace sparseap

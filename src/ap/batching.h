@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Batch packing: splitting an application across AP configurations.
+ *
+ * A spatial program must fit entirely to execute, so an application with
+ * more states than the AP capacity is split into batches; every batch
+ * re-consumes the whole input stream. The baseline AP (and our BaseAP /
+ * SpAP modes) packs *whole NFAs* greedily in declaration order — the
+ * "batches usually contain whole NFAs" behaviour of the real AP compiler.
+ * An NFA larger than the capacity is given ceil(size/capacity) exclusive
+ * batches (the paper's state-granularity splitting assumption).
+ */
+
+#ifndef SPARSEAP_AP_BATCHING_H
+#define SPARSEAP_AP_BATCHING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nfa/application.h"
+
+namespace sparseap {
+
+/** One AP configuration: which items it holds and how many STEs it uses. */
+struct Batch
+{
+    /** Indices of the packed items (NFA indices for whole-NFA packing). */
+    std::vector<uint32_t> items;
+    /** STEs occupied. */
+    size_t states = 0;
+};
+
+/** A full packing of an application (or item list) into batches. */
+struct BatchPlan
+{
+    std::vector<Batch> batches;
+    /** Sum of item sizes. */
+    size_t totalStates = 0;
+
+    size_t batchCount() const { return batches.size(); }
+
+    /** Fraction of configured STEs actually occupied, averaged over
+     *  batches of @p capacity. */
+    double utilization(size_t capacity) const;
+};
+
+/**
+ * Pack items of the given @p sizes greedily in order into batches of
+ * @p capacity. Items larger than the capacity receive exclusive batches.
+ */
+BatchPlan packSizes(const std::vector<size_t> &sizes, size_t capacity);
+
+/** Pack whole NFAs of @p app in order. Items are NFA indices. */
+BatchPlan packWholeNfas(const Application &app, size_t capacity);
+
+/**
+ * The paper's analytic lower bound on configurations:
+ * ceil(total_states / capacity), i.e. splitting at state granularity.
+ */
+size_t analyticBatchCount(size_t total_states, size_t capacity);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_AP_BATCHING_H

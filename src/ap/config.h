@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Automata Processor hardware configuration.
+ *
+ * Models the capacity and timing parameters of the Micron AP D480-style
+ * device used in the paper: a half-core holds 24K STEs (the baseline),
+ * a full chip 49K; the input is consumed at one symbol per 7.5 ns cycle.
+ */
+
+#ifndef SPARSEAP_AP_CONFIG_H
+#define SPARSEAP_AP_CONFIG_H
+
+#include <cstddef>
+
+namespace sparseap {
+
+/** Capacity and timing of one AP configuration target. */
+struct ApConfig
+{
+    /** STEs available per configuration ("24K" in the paper = 24576). */
+    size_t capacity = kHalfCore;
+
+    /** Symbol cycle time in nanoseconds (7.5 ns, from Subramaniyan
+     *  and Das, ISCA'17, as used by the paper). */
+    double cycleTimeNs = 7.5;
+
+    /** Entries in the on-chip intermediate-report queue (Section V-B). */
+    size_t reportQueueEntries = 128;
+
+    /** Bytes per intermediate report: 4 (position) + 2 (state id). */
+    static constexpr size_t kReportBytes = 6;
+
+    static constexpr size_t kQuarterCore = 12288; ///< "12K"
+    static constexpr size_t kHalfCore = 24576;    ///< "24K" (baseline)
+    static constexpr size_t kFullChip = 49152;    ///< "49K"
+
+    /** Convert a cycle count to seconds under this clock. */
+    double
+    cyclesToSeconds(double cycles) const
+    {
+        return cycles * cycleTimeNs * 1e-9;
+    }
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_AP_CONFIG_H

@@ -1,0 +1,48 @@
+#include "ap/timing.h"
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+BaselineTiming
+baselineTiming(const BatchPlan &plan, const ApConfig &config,
+               uint64_t input_len)
+{
+    BaselineTiming t;
+    t.batches = plan.batchCount();
+    t.cycles = static_cast<uint64_t>(t.batches) * input_len;
+    t.seconds = config.cyclesToSeconds(static_cast<double>(t.cycles));
+    return t;
+}
+
+BaselineTiming
+baselineTiming(const Application &app, const ApConfig &config,
+               uint64_t input_len)
+{
+    return baselineTiming(packWholeNfas(app, config.capacity), config,
+                          input_len);
+}
+
+double
+performancePerSte(uint64_t input_len, uint64_t cycles, size_t capacity)
+{
+    SPARSEAP_ASSERT(capacity > 0, "performancePerSte with zero capacity");
+    if (cycles == 0)
+        return 0.0;
+    const double throughput =
+        static_cast<double>(input_len) / static_cast<double>(cycles);
+    return throughput / static_cast<double>(capacity);
+}
+
+double
+idealSpeedup(size_t total_states, size_t cold_states, size_t capacity)
+{
+    SPARSEAP_ASSERT(cold_states <= total_states,
+                    "cold_states ", cold_states, " > total ", total_states);
+    const size_t base = analyticBatchCount(total_states, capacity);
+    const size_t hot = total_states - cold_states;
+    const size_t pruned = analyticBatchCount(hot == 0 ? 1 : hot, capacity);
+    return static_cast<double>(base) / static_cast<double>(pruned);
+}
+
+} // namespace sparseap

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cycle/timing model for AP executions (Sections III-C and VI).
+ *
+ * Baseline execution of an application with B batches over an n-symbol
+ * input costs B x n cycles (each batch re-consumes the input). Speedup of
+ * an alternative execution is baseline cycles / alternative cycles.
+ * Performance-per-STE normalizes throughput by fabric capacity so APs of
+ * different sizes can be compared (a proxy for performance/area).
+ */
+
+#ifndef SPARSEAP_AP_TIMING_H
+#define SPARSEAP_AP_TIMING_H
+
+#include <cstdint>
+
+#include "ap/batching.h"
+#include "ap/config.h"
+
+namespace sparseap {
+
+/** Cycle accounting for one baseline AP execution. */
+struct BaselineTiming
+{
+    /** Number of AP configurations (batches). */
+    size_t batches = 0;
+    /** Total cycles = batches x input length. */
+    uint64_t cycles = 0;
+    /** Wall time under the AP clock. */
+    double seconds = 0.0;
+};
+
+/** Compute baseline timing for @p app at @p config over @p input_len. */
+BaselineTiming baselineTiming(const Application &app, const ApConfig &config,
+                              uint64_t input_len);
+
+/** Baseline timing from a pre-computed batch plan. */
+BaselineTiming baselineTiming(const BatchPlan &plan, const ApConfig &config,
+                              uint64_t input_len);
+
+/**
+ * throughput / capacity, where throughput = input symbols per cycle
+ * (Section VI "Performance per STE").
+ */
+double performancePerSte(uint64_t input_len, uint64_t cycles,
+                         size_t capacity);
+
+/**
+ * The paper's ideal-speedup model (Section III-C): with resource saving
+ * p = S_cold / S, speedup = ceil(S/C) / ceil((1-p) S / C).
+ */
+double idealSpeedup(size_t total_states, size_t cold_states,
+                    size_t capacity);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_AP_TIMING_H

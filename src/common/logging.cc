@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace sparseap {
+
+Verbosity
+verbosity()
+{
+    static const Verbosity level = [] {
+        const char *env = std::getenv("SPARSEAP_VERBOSE");
+        if (!env)
+            return Verbosity::Normal;
+        switch (env[0]) {
+          case '0':
+            return Verbosity::Quiet;
+          case '2':
+            return Verbosity::Debug;
+          default:
+            return Verbosity::Normal;
+        }
+    }();
+    return level;
+}
+
+namespace detail {
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")"
+              << std::endl;
+    std::abort();
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (verbosity() != Verbosity::Quiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg, Verbosity level)
+{
+    if (static_cast<int>(verbosity()) >= static_cast<int>(level))
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace sparseap

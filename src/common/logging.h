@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Status and error reporting helpers, gem5-style.
+ *
+ * fatal()  -- the user asked for something impossible (bad config, bad
+ *             arguments); exits with code 1.
+ * panic()  -- an internal invariant broke (a library bug); aborts.
+ * warn()   -- something works but not as well as it should.
+ * inform() -- plain status output.
+ */
+
+#ifndef SPARSEAP_COMMON_LOGGING_H
+#define SPARSEAP_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace sparseap {
+
+/** Verbosity levels for inform(); selected via SPARSEAP_VERBOSE env var. */
+enum class Verbosity { Quiet = 0, Normal = 1, Debug = 2 };
+
+/** @return the process-wide verbosity (read once from the environment). */
+Verbosity verbosity();
+
+namespace detail {
+[[noreturn]] void fatalImpl(const std::string &msg);
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg, Verbosity level);
+
+/** Fold a variadic pack into one string with operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+} // namespace detail
+
+/** Terminate with a user-facing error (exit code 1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a status line to stderr (suppressed when SPARSEAP_VERBOSE=0). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...),
+                       Verbosity::Normal);
+}
+
+/** Emit a debug line to stderr (shown only when SPARSEAP_VERBOSE=2). */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...),
+                       Verbosity::Debug);
+}
+
+/** Abort on a broken internal invariant; use via the panic() macro. */
+#define SPARSEAP_PANIC(...)                                                  \
+    ::sparseap::detail::panicImpl(                                           \
+        ::sparseap::detail::concat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** panic unless @p cond holds. */
+#define SPARSEAP_ASSERT(cond, ...)                                           \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            SPARSEAP_PANIC("assertion '" #cond "' failed: ", __VA_ARGS__);   \
+        }                                                                    \
+    } while (0)
+
+} // namespace sparseap
+
+#endif // SPARSEAP_COMMON_LOGGING_H

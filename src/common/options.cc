@@ -1,0 +1,64 @@
+#include "common/options.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+std::vector<std::string>
+splitString(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : s) {
+        if (ch == sep) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+namespace {
+
+Options
+parseEnvironment()
+{
+    Options opt;
+    if (const char *v = std::getenv("SPARSEAP_INPUT_KB")) {
+        long kb = std::atol(v);
+        if (kb <= 0)
+            fatal("SPARSEAP_INPUT_KB must be positive, got '", v, "'");
+        opt.inputBytes = static_cast<size_t>(kb) * 1024;
+    }
+    if (const char *v = std::getenv("SPARSEAP_SEED"))
+        opt.seed = std::strtoull(v, nullptr, 10);
+    if (const char *v = std::getenv("SPARSEAP_CSV"))
+        opt.csv = v[0] == '1';
+    if (const char *v = std::getenv("SPARSEAP_APPS"))
+        opt.apps = splitString(v, ',');
+    if (const char *v = std::getenv("SPARSEAP_SCALE")) {
+        long pct = std::atol(v);
+        if (pct <= 0 || pct > 400)
+            fatal("SPARSEAP_SCALE must be in (0, 400], got '", v, "'");
+        opt.scalePercent = static_cast<unsigned>(pct);
+    }
+    return opt;
+}
+
+} // namespace
+
+const Options &
+globalOptions()
+{
+    static const Options opt = parseEnvironment();
+    return opt;
+}
+
+} // namespace sparseap

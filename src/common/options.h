@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Environment/flag options shared by the benchmark and example binaries.
+ *
+ * The harness is driven by environment variables so looping over the
+ * bench binaries needs no per-binary arguments:
+ *
+ *   SPARSEAP_INPUT_KB   input size per application in KiB (default 64)
+ *   SPARSEAP_SEED       master RNG seed (default 20181020, MICRO'18 dates)
+ *   SPARSEAP_CSV        when set to 1, tables print CSV instead of ASCII
+ *   SPARSEAP_APPS       comma-separated list of app abbreviations to run
+ *   SPARSEAP_SCALE      workload scale factor in percent (default 100)
+ */
+
+#ifndef SPARSEAP_COMMON_OPTIONS_H
+#define SPARSEAP_COMMON_OPTIONS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sparseap {
+
+/** Parsed global options; read once per process via globalOptions(). */
+struct Options
+{
+    /** Bytes of input stream generated per application. */
+    size_t inputBytes = 64 * 1024;
+    /** Master seed for all workload generation. */
+    uint64_t seed = 20181020;
+    /** Print CSV instead of aligned ASCII tables. */
+    bool csv = false;
+    /** If non-empty, restricts experiments to these app abbreviations. */
+    std::vector<std::string> apps;
+    /** Workload scale in percent; 100 reproduces paper-sized automata. */
+    unsigned scalePercent = 100;
+};
+
+/** @return process-wide options parsed from the environment (cached). */
+const Options &globalOptions();
+
+/** Split @p s on @p sep, dropping empty pieces. */
+std::vector<std::string> splitString(const std::string &s, char sep);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_COMMON_OPTIONS_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every workload generator and input synthesizer takes an explicit seed so
+ * experiment runs are exactly reproducible; nothing in the library reads
+ * the wall clock or global random state.
+ */
+
+#ifndef SPARSEAP_COMMON_RNG_H
+#define SPARSEAP_COMMON_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sparseap {
+
+/** Thin wrapper over std::mt19937_64 with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : gen(seed) {}
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    uniform(uint64_t lo, uint64_t hi)
+    {
+        return std::uniform_int_distribution<uint64_t>(lo, hi)(gen);
+    }
+
+    /** @return a uniform integer in [0, n). @p n must be positive. */
+    size_t
+    index(size_t n)
+    {
+        return static_cast<size_t>(uniform(0, n - 1));
+    }
+
+    /** @return a uniform byte. */
+    uint8_t byte() { return static_cast<uint8_t>(uniform(0, 255)); }
+
+    /** @return true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(gen) < p;
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    real()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(gen);
+    }
+
+    /** @return a geometrically distributed count with success prob @p p. */
+    uint64_t
+    geometric(double p)
+    {
+        return std::geometric_distribution<uint64_t>(p)(gen);
+    }
+
+    /** Pick a uniformly random element of @p v. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[index(v.size())];
+    }
+
+    /** Derive an independent child stream (for per-NFA seeding). */
+    Rng
+    fork()
+    {
+        return Rng(uniform(0, ~0ull));
+    }
+
+    std::mt19937_64 &engine() { return gen; }
+
+  private:
+    std::mt19937_64 gen;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_COMMON_RNG_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small numeric helpers shared by the evaluation harness: geometric mean,
+ * arithmetic mean, Pearson correlation, and a streaming min/max/mean
+ * accumulator.
+ */
+
+#ifndef SPARSEAP_COMMON_STATS_H
+#define SPARSEAP_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sparseap {
+
+/** @return the geometric mean of @p values (which must all be positive). */
+double geomean(const std::vector<double> &values);
+
+/** @return the arithmetic mean of @p values (0 for an empty vector). */
+double mean(const std::vector<double> &values);
+
+/**
+ * @return the Pearson correlation coefficient between @p x and @p y, or 0
+ * if either series is constant. The vectors must have equal length.
+ */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Streaming accumulator for min / max / mean / count. */
+class Accumulator
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double v);
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
+    size_t count() const { return count_; }
+
+  private:
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+    size_t count_ = 0;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_COMMON_STATS_H

@@ -1,0 +1,86 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+Table::Table(std::vector<std::string> header_cols)
+    : header(std::move(header_cols))
+{
+    SPARSEAP_ASSERT(!header.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    SPARSEAP_ASSERT(row.size() == header.size(),
+                    "row arity ", row.size(), " != header arity ",
+                    header.size());
+    rows.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << cells[c];
+            if (c + 1 < cells.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    emit(header);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(header);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+} // namespace sparseap

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A column-aligned ASCII table writer used by the benchmark harness to
+ * print paper tables and figure series. Also emits CSV when asked, so the
+ * output can be piped into plotting scripts.
+ */
+
+#ifndef SPARSEAP_COMMON_TABLE_H
+#define SPARSEAP_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sparseap {
+
+/** Formats rows of strings under a header, padding columns to align. */
+class Table
+{
+  public:
+    /** @param header column names, defining the column count. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render as aligned ASCII with a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    size_t rowCount() const { return rows.size(); }
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format a double as a percentage string like "59.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_COMMON_TABLE_H

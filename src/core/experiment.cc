@@ -1,0 +1,102 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "workloads/inputs.h"
+
+namespace sparseap {
+
+const AppTopology &
+LoadedApp::topology() const
+{
+    if (!topo_)
+        topo_ = std::make_unique<AppTopology>(workload.app);
+    return *topo_;
+}
+
+ExperimentRunner::ExperimentRunner() : opts_(globalOptions()) {}
+
+const LoadedApp &
+ExperimentRunner::load(const std::string &abbr)
+{
+    auto it = cache_.find(abbr);
+    if (it != cache_.end())
+        return it->second;
+
+    LoadedApp loaded;
+    loaded.entry = findApp(abbr);
+    loaded.workload =
+        generateWorkload(abbr, opts_.seed, opts_.scalePercent);
+    Rng input_rng(opts_.seed ^ 0x9e3779b97f4a7c15ull ^
+                  std::hash<std::string>{}(abbr));
+    size_t bytes = opts_.inputBytes;
+    if (loaded.workload.inputBytesCap > 0)
+        bytes = std::min(bytes, loaded.workload.inputBytesCap);
+    loaded.input =
+        synthesizeInput(loaded.workload.input, bytes, input_rng);
+    inform("generated ", abbr, ": ", loaded.workload.app.totalStates(),
+           " states, ", loaded.workload.app.nfaCount(), " NFAs");
+    return cache_.emplace(abbr, std::move(loaded)).first->second;
+}
+
+void
+ExperimentRunner::unload(const std::string &abbr)
+{
+    cache_.erase(abbr);
+}
+
+std::vector<std::string>
+ExperimentRunner::selectApps(const std::string &groups) const
+{
+    std::vector<std::string> out;
+    for (const auto &entry : appCatalog()) {
+        if (groups.find(entry.group) == std::string::npos)
+            continue;
+        if (!opts_.apps.empty() &&
+            std::find(opts_.apps.begin(), opts_.apps.end(), entry.abbr) ==
+                opts_.apps.end()) {
+            continue;
+        }
+        out.push_back(entry.abbr);
+    }
+    return out;
+}
+
+void
+ExperimentRunner::printTable(const Table &table) const
+{
+    if (opts_.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout.flush();
+}
+
+void
+printSection(const std::string &title)
+{
+    std::cout << "\n### " << title << "\n\n";
+}
+
+SpapRunStats
+runAppConfig(const LoadedApp &app, double profile_fraction,
+             size_t capacity, const PartitionOptions &partition,
+             bool fill_optimization)
+{
+    ExecutionOptions opts = app.execOptions(profile_fraction, capacity);
+    opts.partition = partition;
+    opts.fillOptimization = fill_optimization;
+    return runBaseApSpap(app.topology(), opts, app.input);
+}
+
+HotColdProfile
+oracleProfile(const LoadedApp &app)
+{
+    const FlatAutomaton fa(app.workload.app);
+    return profileApplication(fa, app.input);
+}
+
+} // namespace sparseap

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared experiment driver for the benchmark harness.
+ *
+ * Loads (generates) the 26 applications on demand, synthesizes their
+ * inputs, caches topologies, and provides the group filters and printing
+ * conveniences every paper-figure bench uses. All knobs come from the
+ * environment (see common/options.h).
+ */
+
+#ifndef SPARSEAP_CORE_EXPERIMENT_H
+#define SPARSEAP_CORE_EXPERIMENT_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/table.h"
+#include "partition/app_topology.h"
+#include "spap/executor.h"
+#include "workloads/registry.h"
+
+namespace sparseap {
+
+/** One generated application with its input and (lazy) topology. */
+struct LoadedApp
+{
+    CatalogEntry entry;
+    Workload workload;
+    std::vector<uint8_t> input;
+
+    /** Topology (computed on first use, cached). */
+    const AppTopology &topology() const;
+
+    /** Default ExecutionOptions for this app at @p profile_fraction. */
+    ExecutionOptions
+    execOptions(double profile_fraction, size_t capacity) const
+    {
+        ExecutionOptions o;
+        o.ap.capacity = capacity;
+        o.profileFraction = profile_fraction;
+        o.fullInputAsTest = workload.fullInputAsTest;
+        return o;
+    }
+
+  private:
+    mutable std::unique_ptr<AppTopology> topo_;
+};
+
+/** Caching loader/driver shared by bench binaries. */
+class ExperimentRunner
+{
+  public:
+    /** Uses globalOptions() for seed, scale, input size and app filter. */
+    ExperimentRunner();
+
+    /** Generate (or fetch cached) one application. */
+    const LoadedApp &load(const std::string &abbr);
+
+    /** Drop a cached application to bound memory use. */
+    void unload(const std::string &abbr);
+
+    /**
+     * Abbreviations to run: the catalog order filtered to @p groups
+     * (subset of "HML") and, if SPARSEAP_APPS is set, to that list.
+     */
+    std::vector<std::string> selectApps(const std::string &groups) const;
+
+    /** Print @p table as ASCII or CSV per SPARSEAP_CSV. */
+    void printTable(const Table &table) const;
+
+    const Options &options() const { return opts_; }
+
+  private:
+    Options opts_;
+    std::map<std::string, LoadedApp> cache_;
+};
+
+/** Print a "### <title>" section header for bench output. */
+void printSection(const std::string &title);
+
+/**
+ * Run one BaseAP/SpAP configuration of a loaded app: profile fraction,
+ * capacity, fill/dedupe options from @p opts overrides.
+ */
+SpapRunStats runAppConfig(const LoadedApp &app, double profile_fraction,
+                          size_t capacity,
+                          const PartitionOptions &partition = {},
+                          bool fill_optimization = true);
+
+/**
+ * Oracle hot/cold profile of the whole input (used by Figs. 1, 5, 8).
+ */
+HotColdProfile oracleProfile(const LoadedApp &app);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_CORE_EXPERIMENT_H

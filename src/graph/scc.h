@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Strongly connected components of an NFA's transition graph.
+ *
+ * NFAs are not always DAGs (self-loops, back edges). Section III-A of the
+ * paper condenses each SCC to a single node so a topological order exists;
+ * every state in an SCC then shares one topological layer, which is what
+ * guarantees that a layer cut never separates an SCC (invariant 3 in
+ * DESIGN.md).
+ */
+
+#ifndef SPARSEAP_GRAPH_SCC_H
+#define SPARSEAP_GRAPH_SCC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nfa/nfa.h"
+
+namespace sparseap {
+
+/** Result of SCC identification over one NFA. */
+struct SccResult
+{
+    /** component[s] = SCC id of state s, in [0, count). */
+    std::vector<uint32_t> component;
+    /** members[c] = states in SCC c. */
+    std::vector<std::vector<StateId>> members;
+    /** Number of SCCs. */
+    uint32_t count = 0;
+
+    /** Size of the largest SCC (1 for a DAG without self-cycles). */
+    size_t largestSize() const;
+};
+
+/**
+ * Find SCCs with an iterative Tarjan traversal (no recursion, safe for the
+ * multi-thousand-layer automata in ClamAV/Snort workloads).
+ */
+SccResult findSccs(const Nfa &nfa);
+
+/** Condensation DAG: one node per SCC, deduplicated edges. */
+struct Condensation
+{
+    /** adj[c] = sorted unique successor SCCs of SCC c (no self-edges). */
+    std::vector<std::vector<uint32_t>> adj;
+};
+
+/** Build the condensation DAG from an NFA and its SCC labelling. */
+Condensation condense(const Nfa &nfa, const SccResult &scc);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_GRAPH_SCC_H

@@ -1,0 +1,77 @@
+#include "graph/topology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+Topology
+analyzeTopology(const Nfa &nfa)
+{
+    SPARSEAP_ASSERT(nfa.finalized(), "analyzeTopology needs finalized NFA");
+    Topology topo;
+    topo.scc = findSccs(nfa);
+    const Condensation cond = condense(nfa, topo.scc);
+    const uint32_t nc = topo.scc.count;
+
+    // Longest-path layering over the condensation DAG via Kahn order.
+    std::vector<uint32_t> indegree(nc, 0);
+    for (uint32_t c = 0; c < nc; ++c)
+        for (uint32_t d : cond.adj[c])
+            ++indegree[d];
+
+    std::vector<uint32_t> layer(nc, 1);
+    std::vector<uint32_t> ready;
+    ready.reserve(nc);
+    for (uint32_t c = 0; c < nc; ++c)
+        if (indegree[c] == 0)
+            ready.push_back(c);
+
+    size_t processed = 0;
+    while (processed < ready.size()) {
+        uint32_t c = ready[processed++];
+        for (uint32_t d : cond.adj[c]) {
+            layer[d] = std::max(layer[d], layer[c] + 1);
+            if (--indegree[d] == 0)
+                ready.push_back(d);
+        }
+    }
+    SPARSEAP_ASSERT(processed == nc,
+                    "condensation is not a DAG: processed ", processed,
+                    " of ", nc, " components");
+
+    topo.order.resize(nfa.size());
+    topo.maxOrder = 1;
+    for (StateId s = 0; s < nfa.size(); ++s) {
+        topo.order[s] = layer[topo.scc.component[s]];
+        topo.maxOrder = std::max(topo.maxOrder, topo.order[s]);
+    }
+    return topo;
+}
+
+DepthBucket
+depthBucket(double normalized_depth)
+{
+    if (normalized_depth < 0.3)
+        return DepthBucket::Shallow;
+    if (normalized_depth < 0.6)
+        return DepthBucket::Medium;
+    return DepthBucket::Deep;
+}
+
+const char *
+depthBucketName(DepthBucket b)
+{
+    switch (b) {
+      case DepthBucket::Shallow:
+        return "shallow";
+      case DepthBucket::Medium:
+        return "medium";
+      case DepthBucket::Deep:
+        return "deep";
+    }
+    return "?";
+}
+
+} // namespace sparseap

@@ -1,0 +1,97 @@
+#include "nfa/application.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+const char *
+resourceGroupName(ResourceGroup g)
+{
+    switch (g) {
+      case ResourceGroup::High:
+        return "H";
+      case ResourceGroup::Medium:
+        return "M";
+      case ResourceGroup::Low:
+        return "L";
+    }
+    return "?";
+}
+
+uint32_t
+Application::addNfa(Nfa nfa)
+{
+    SPARSEAP_ASSERT(nfa.finalized(),
+                    "addNfa requires a finalized NFA (app '", name_, "')");
+    nfas_.push_back(std::move(nfa));
+    offsets_.push_back(static_cast<GlobalStateId>(total_states_));
+    total_states_ += nfas_.back().size();
+    return static_cast<uint32_t>(nfas_.size() - 1);
+}
+
+void
+Application::reindex()
+{
+    offsets_.clear();
+    total_states_ = 0;
+    for (const auto &n : nfas_) {
+        offsets_.push_back(static_cast<GlobalStateId>(total_states_));
+        total_states_ += n.size();
+    }
+}
+
+size_t
+Application::reportingStates() const
+{
+    size_t n = 0;
+    for (const auto &nfa : nfas_)
+        n += nfa.reportingCount();
+    return n;
+}
+
+GlobalStateRef
+Application::resolve(GlobalStateId id) const
+{
+    SPARSEAP_ASSERT(id < total_states_, "global id ", id, " out of range ",
+                    total_states_);
+    // offsets_ is sorted; find the last offset <= id.
+    auto it = std::upper_bound(offsets_.begin(), offsets_.end(), id);
+    uint32_t nfa_idx = static_cast<uint32_t>(it - offsets_.begin()) - 1;
+    return {nfa_idx, id - offsets_[nfa_idx]};
+}
+
+void
+Application::setNames(std::string name, std::string abbr)
+{
+    name_ = std::move(name);
+    abbr_ = std::move(abbr);
+}
+
+void
+Application::classifyGroup(size_t half_core_capacity, size_t chip_capacity)
+{
+    if (total_states_ > chip_capacity)
+        group_ = ResourceGroup::High;
+    else if (total_states_ > half_core_capacity)
+        group_ = ResourceGroup::Medium;
+    else
+        group_ = ResourceGroup::Low;
+}
+
+bool
+Application::startOfDataOnly() const
+{
+    bool any = false;
+    for (const auto &nfa : nfas_) {
+        for (StateId s : nfa.startStates()) {
+            any = true;
+            if (nfa.state(s).start != StartKind::StartOfData)
+                return false;
+        }
+    }
+    return any;
+}
+
+} // namespace sparseap

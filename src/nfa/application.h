@@ -1,0 +1,118 @@
+/**
+ * @file
+ * An application is a collection of NFAs (one per pattern/rule) executed
+ * against the same input stream — the unit the Automata Processor is
+ * configured with (Table II of the paper lists 26 such applications).
+ */
+
+#ifndef SPARSEAP_NFA_APPLICATION_H
+#define SPARSEAP_NFA_APPLICATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nfa/nfa.h"
+
+namespace sparseap {
+
+/** Application-wide dense state id across all NFAs. */
+using GlobalStateId = uint32_t;
+
+/** Locates one state: which NFA, which state within it. */
+struct GlobalStateRef
+{
+    uint32_t nfa;
+    StateId state;
+
+    bool
+    operator==(const GlobalStateRef &o) const
+    {
+        return nfa == o.nfa && state == o.state;
+    }
+};
+
+/** Resource-requirement group from the paper's Table II. */
+enum class ResourceGroup : uint8_t {
+    High,   ///< more states than a full AP chip (49K)
+    Medium, ///< more states than an AP half-core (24K)
+    Low,    ///< fits in a half-core
+};
+
+/** @return "H", "M" or "L". */
+const char *resourceGroupName(ResourceGroup g);
+
+/** A named collection of NFAs plus global state numbering. */
+class Application
+{
+  public:
+    Application() = default;
+    Application(std::string name, std::string abbr)
+        : name_(std::move(name)), abbr_(std::move(abbr)) {}
+
+    /** Append a finalized NFA; @return its index. */
+    uint32_t addNfa(Nfa nfa);
+
+    /** Recompute global-id offsets; called automatically by addNfa. */
+    void reindex();
+
+    const std::vector<Nfa> &nfas() const { return nfas_; }
+    std::vector<Nfa> &nfas() { return nfas_; }
+    const Nfa &nfa(uint32_t i) const { return nfas_[i]; }
+
+    size_t nfaCount() const { return nfas_.size(); }
+
+    /** Total states across all NFAs. */
+    size_t totalStates() const { return total_states_; }
+
+    /** Total reporting states across all NFAs. */
+    size_t reportingStates() const;
+
+    /** Map (nfa, state) to the application-wide dense id. */
+    GlobalStateId
+    globalId(uint32_t nfa_idx, StateId state) const
+    {
+        return offsets_[nfa_idx] + state;
+    }
+
+    /** Map an application-wide dense id back to (nfa, state). */
+    GlobalStateRef resolve(GlobalStateId id) const;
+
+    /** First global id of NFA @p nfa_idx. */
+    GlobalStateId nfaOffset(uint32_t nfa_idx) const
+    {
+        return offsets_[nfa_idx];
+    }
+
+    const std::string &name() const { return name_; }
+    const std::string &abbr() const { return abbr_; }
+    void setNames(std::string name, std::string abbr);
+
+    ResourceGroup group() const { return group_; }
+    void setGroup(ResourceGroup g) { group_ = g; }
+
+    /**
+     * Classify into H/M/L from the state count, matching Table II
+     * (H > 49K states, M > 24K, else L).
+     */
+    void classifyGroup(size_t half_core_capacity, size_t chip_capacity);
+
+    /**
+     * True iff every start state is StartOfData (Fermi, SPM): profiling on
+     * an input prefix is then representative only of position 0, so the
+     * paper runs the whole input for these.
+     */
+    bool startOfDataOnly() const;
+
+  private:
+    std::string name_;
+    std::string abbr_;
+    std::vector<Nfa> nfas_;
+    std::vector<GlobalStateId> offsets_;
+    size_t total_states_ = 0;
+    ResourceGroup group_ = ResourceGroup::Low;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_NFA_APPLICATION_H

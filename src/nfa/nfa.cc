@@ -1,0 +1,71 @@
+#include "nfa/nfa.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+StateId
+Nfa::addState(SymbolSet symbols, StartKind start, bool reporting)
+{
+    SPARSEAP_ASSERT(!finalized_, "addState on finalized NFA '", name_, "'");
+    State s;
+    s.symbols = symbols;
+    s.start = start;
+    s.reporting = reporting;
+    states_.push_back(std::move(s));
+    return static_cast<StateId>(states_.size() - 1);
+}
+
+void
+Nfa::addEdge(StateId from, StateId to)
+{
+    SPARSEAP_ASSERT(!finalized_, "addEdge on finalized NFA '", name_, "'");
+    SPARSEAP_ASSERT(from < states_.size() && to < states_.size(),
+                    "edge (", from, ", ", to, ") out of range in '", name_,
+                    "' of size ", states_.size());
+    states_[from].successors.push_back(to);
+}
+
+void
+Nfa::finalize(bool require_start)
+{
+    SPARSEAP_ASSERT(!states_.empty(), "finalize on empty NFA '", name_, "'");
+    starts_.clear();
+    for (StateId id = 0; id < states_.size(); ++id) {
+        auto &succ = states_[id].successors;
+        std::sort(succ.begin(), succ.end());
+        succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+        if (states_[id].start != StartKind::None)
+            starts_.push_back(id);
+        if (states_[id].symbols.empty()) {
+            warn("NFA '", name_, "' state ", id,
+                 " has an empty symbol-set; it can never activate");
+        }
+    }
+    if (require_start && starts_.empty())
+        fatal("NFA '", name_, "' has no start state");
+    finalized_ = true;
+}
+
+size_t
+Nfa::reportingCount() const
+{
+    size_t n = 0;
+    for (const auto &s : states_)
+        n += s.reporting ? 1 : 0;
+    return n;
+}
+
+std::vector<std::vector<StateId>>
+Nfa::predecessors() const
+{
+    std::vector<std::vector<StateId>> pred(states_.size());
+    for (StateId u = 0; u < states_.size(); ++u)
+        for (StateId v : states_[u].successors)
+            pred[v].push_back(u);
+    return pred;
+}
+
+} // namespace sparseap

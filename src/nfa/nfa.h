@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Homogeneous NFA model.
+ *
+ * In a homogeneous NFA every incoming transition to a state accepts the same
+ * symbol-set, so the symbol-set lives on the state, not the edge — exactly
+ * the STE model of the Automata Processor. A state is:
+ *
+ *  - a *start* state (enabled always, or only at input position 0), and/or
+ *  - a *reporting* state (emits a report when activated),
+ *
+ * and carries a set of successor states that become enabled in the cycle
+ * after it activates.
+ */
+
+#ifndef SPARSEAP_NFA_NFA_H
+#define SPARSEAP_NFA_NFA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nfa/symbol_set.h"
+
+namespace sparseap {
+
+/** Index of a state within one Nfa. */
+using StateId = uint32_t;
+
+/** Sentinel for "no state". */
+constexpr StateId kInvalidState = ~0u;
+
+/** How a state starts: never, on every position, or at position 0 only. */
+enum class StartKind : uint8_t {
+    None,        ///< enabled only by a predecessor's activation
+    AllInput,    ///< always enabled (Kleene-star entry; ANML "all-input")
+    StartOfData, ///< enabled only before the first symbol (ANML %s anchors)
+};
+
+/** One homogeneous NFA state (the software mirror of one STE). */
+struct State
+{
+    /** Bytes this state accepts. */
+    SymbolSet symbols;
+    /** Successor state ids, sorted and unique. */
+    std::vector<StateId> successors;
+    /** Start behaviour. */
+    StartKind start = StartKind::None;
+    /** True iff activation of this state emits a report. */
+    bool reporting = false;
+};
+
+/**
+ * A single homogeneous NFA: a bag of states plus edges.
+ *
+ * Build with addState()/addEdge(), then call finalize() which sorts and
+ * dedups adjacency and checks invariants. Most library passes require a
+ * finalized NFA.
+ */
+class Nfa
+{
+  public:
+    Nfa() = default;
+    explicit Nfa(std::string nfa_name) : name_(std::move(nfa_name)) {}
+
+    /**
+     * Append a state.
+     * @return its id (dense, starting at 0)
+     */
+    StateId addState(SymbolSet symbols, StartKind start = StartKind::None,
+                     bool reporting = false);
+
+    /** Add the edge @p from -> @p to. Duplicate edges are merged. */
+    void addEdge(StateId from, StateId to);
+
+    /**
+     * Sort/dedup adjacency and validate; must be called before analysis.
+     *
+     * @param require_start when true (the default) an NFA without a start
+     * state is a fatal error. Predicted-cold fragments legitimately have
+     * no start states — they are driven purely by SpAP enable events — and
+     * pass false.
+     */
+    void finalize(bool require_start = true);
+
+    /** @return true once finalize() has run. */
+    bool finalized() const { return finalized_; }
+
+    /** Number of states. */
+    size_t size() const { return states_.size(); }
+
+    const State &state(StateId id) const { return states_[id]; }
+    State &state(StateId id) { return states_[id]; }
+
+    const std::vector<State> &states() const { return states_; }
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** Ids of start states (either kind); valid after finalize(). */
+    const std::vector<StateId> &startStates() const { return starts_; }
+
+    /** Count of reporting states. */
+    size_t reportingCount() const;
+
+    /**
+     * Build the predecessor lists (reverse adjacency).
+     * @return pred[v] = sorted list of u with edge u -> v
+     */
+    std::vector<std::vector<StateId>> predecessors() const;
+
+  private:
+    std::string name_;
+    std::vector<State> states_;
+    std::vector<StateId> starts_;
+    bool finalized_ = false;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_NFA_NFA_H

@@ -1,0 +1,131 @@
+#include "nfa/optimize.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace sparseap {
+namespace {
+
+/**
+ * One merging round: group non-reporting states by (symbol-set, start
+ * kind, predecessor set) and collapse each group to its lowest-id
+ * member. @return true if anything merged; @p state_map is updated so
+ * old ids always point at current ids.
+ */
+bool
+mergeRound(Nfa &nfa, std::vector<StateId> &state_map)
+{
+    const auto preds = nfa.predecessors();
+
+    // Group key: hash-free exact comparison via an ordered map.
+    using Key = std::tuple<std::array<uint64_t, 4>, StartKind,
+                           std::vector<StateId>>;
+    std::map<Key, StateId> representative;
+    std::vector<StateId> merge_into(nfa.size(), kInvalidState);
+    bool merged_any = false;
+
+    static const std::vector<StateId> kNoPreds;
+    for (StateId s = 0; s < nfa.size(); ++s) {
+        const State &st = nfa.state(s);
+        if (st.reporting)
+            continue; // reporting identity must be preserved
+        // Always-enabled starts are enabled regardless of predecessors,
+        // so their predecessor sets are irrelevant to the merge.
+        const std::vector<StateId> &pred_key =
+            st.start == StartKind::AllInput ? kNoPreds : preds[s];
+        Key key{st.symbols.words, st.start, pred_key};
+        auto [it, inserted] = representative.try_emplace(key, s);
+        if (!inserted) {
+            merge_into[s] = it->second;
+            merged_any = true;
+        }
+    }
+    if (!merged_any)
+        return false;
+
+    // Rebuild with merged states dropped and edges redirected.
+    std::vector<StateId> new_id(nfa.size(), kInvalidState);
+    Nfa rebuilt(nfa.name());
+    for (StateId s = 0; s < nfa.size(); ++s) {
+        if (merge_into[s] != kInvalidState)
+            continue;
+        const State &st = nfa.state(s);
+        new_id[s] = rebuilt.addState(st.symbols, st.start, st.reporting);
+    }
+    for (StateId s = 0; s < nfa.size(); ++s)
+        if (merge_into[s] != kInvalidState)
+            new_id[s] = new_id[merge_into[s]];
+
+    // Every edge is redirected through the id map — including the
+    // outgoing edges of merged-away states, which now originate from
+    // their representative (finalize dedups the duplicates).
+    for (StateId s = 0; s < nfa.size(); ++s) {
+        for (StateId t : nfa.state(s).successors)
+            rebuilt.addEdge(new_id[s], new_id[t]);
+    }
+    rebuilt.finalize(/*require_start=*/!nfa.startStates().empty());
+
+    for (StateId old = 0; old < state_map.size(); ++old)
+        state_map[old] = new_id[state_map[old]];
+    nfa = std::move(rebuilt);
+    return true;
+}
+
+} // namespace
+
+OptimizeStats
+mergeCommonPrefixes(Nfa &nfa, std::vector<StateId> *remap)
+{
+    SPARSEAP_ASSERT(nfa.finalized(),
+                    "mergeCommonPrefixes needs a finalized NFA");
+    OptimizeStats stats;
+    stats.statesBefore = nfa.size();
+
+    std::vector<StateId> state_map(nfa.size());
+    for (StateId s = 0; s < nfa.size(); ++s)
+        state_map[s] = s;
+
+    // Merging changes predecessor sets, enabling further merges: iterate
+    // to a fixpoint (bounded by the state count).
+    while (mergeRound(nfa, state_map)) {
+    }
+
+    stats.statesAfter = nfa.size();
+    if (remap)
+        *remap = std::move(state_map);
+    return stats;
+}
+
+Nfa
+flattenApplication(const Application &app)
+{
+    Nfa flat(app.name() + "_flat");
+    for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+        const Nfa &nfa = app.nfa(u);
+        for (StateId s = 0; s < nfa.size(); ++s) {
+            const State &st = nfa.state(s);
+            flat.addState(st.symbols, st.start, st.reporting);
+        }
+    }
+    for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+        const Nfa &nfa = app.nfa(u);
+        const GlobalStateId base = app.nfaOffset(u);
+        for (StateId s = 0; s < nfa.size(); ++s)
+            for (StateId t : nfa.state(s).successors)
+                flat.addEdge(base + s, base + t);
+    }
+    flat.finalize();
+    return flat;
+}
+
+OptimizeStats
+measurePrefixMerging(const Application &app)
+{
+    Nfa flat = flattenApplication(app);
+    return mergeCommonPrefixes(flat);
+}
+
+} // namespace sparseap

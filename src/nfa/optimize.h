@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Automata optimization passes.
+ *
+ * Common-prefix merging (as in VASim's optimizer): two states are
+ * indistinguishable — and can share one STE — when they have the same
+ * symbol-set, start kind and predecessor set, because they are then
+ * enabled on exactly the same cycles. Rule sets compiled pattern-by-
+ * pattern are full of such duplicates (every rule starting with "GET "
+ * repeats those four STEs). Reporting states are never merged: distinct
+ * reporting states signal distinct rules.
+ *
+ * The pass preserves the report stream exactly (positions and reporting
+ * state identity, modulo the returned id remapping).
+ */
+
+#ifndef SPARSEAP_NFA_OPTIMIZE_H
+#define SPARSEAP_NFA_OPTIMIZE_H
+
+#include <vector>
+
+#include "nfa/application.h"
+
+namespace sparseap {
+
+/** Result of one optimization run. */
+struct OptimizeStats
+{
+    size_t statesBefore = 0;
+    size_t statesAfter = 0;
+
+    double
+    reduction() const
+    {
+        return statesBefore == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(statesAfter) /
+                               static_cast<double>(statesBefore);
+    }
+};
+
+/**
+ * Merge common prefixes within one NFA, in place, to a fixpoint.
+ *
+ * @param nfa a finalized NFA; it is rebuilt (and re-finalized)
+ * @param remap optional out-parameter: old state id -> new state id
+ */
+OptimizeStats mergeCommonPrefixes(Nfa &nfa,
+                                  std::vector<StateId> *remap = nullptr);
+
+/**
+ * Flatten an application into one NFA (states and edges concatenated,
+ * start/reporting flags preserved). Execution semantics are unchanged;
+ * this exposes the cross-rule prefix sharing that per-rule compilation
+ * hides from mergeCommonPrefixes.
+ */
+Nfa flattenApplication(const Application &app);
+
+/**
+ * Measure the achievable cross-rule state reduction for an application:
+ * flatten, merge, report. The application itself is not modified.
+ */
+OptimizeStats measurePrefixMerging(const Application &app);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_NFA_OPTIMIZE_H

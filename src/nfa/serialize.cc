@@ -1,0 +1,169 @@
+#include "nfa/serialize.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sparseap {
+namespace {
+
+const char *
+startKindName(StartKind k)
+{
+    switch (k) {
+      case StartKind::None:
+        return "none";
+      case StartKind::AllInput:
+        return "all";
+      case StartKind::StartOfData:
+        return "sod";
+    }
+    return "?";
+}
+
+StartKind
+parseStartKind(const std::string &s)
+{
+    if (s == "none")
+        return StartKind::None;
+    if (s == "all")
+        return StartKind::AllInput;
+    if (s == "sod")
+        return StartKind::StartOfData;
+    fatal("unknown start kind '", s, "'");
+}
+
+} // namespace
+
+void
+writeNfa(std::ostream &os, const Nfa &nfa)
+{
+    os << "nfa " << (nfa.name().empty() ? "unnamed" : nfa.name()) << '\n';
+    for (StateId id = 0; id < nfa.size(); ++id) {
+        const State &s = nfa.state(id);
+        os << "state " << id << ' ' << startKindName(s.start) << ' '
+           << (s.reporting ? 1 : 0) << ' ' << formatSymbolSet(s.symbols)
+           << '\n';
+    }
+    for (StateId id = 0; id < nfa.size(); ++id)
+        for (StateId to : nfa.state(id).successors)
+            os << "edge " << id << ' ' << to << '\n';
+    os << "end\n";
+}
+
+void
+writeApplication(std::ostream &os, const Application &app)
+{
+    os << "app " << (app.name().empty() ? "unnamed" : app.name()) << ' '
+       << (app.abbr().empty() ? "NA" : app.abbr()) << '\n';
+    for (const auto &nfa : app.nfas())
+        writeNfa(os, nfa);
+}
+
+Nfa
+readNfa(std::istream &is)
+{
+    std::string line;
+    Nfa nfa;
+    bool have_header = false;
+    size_t declared = 0;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kw;
+        ls >> kw;
+        if (kw == "nfa") {
+            if (have_header)
+                fatal("nested 'nfa' line: ", line);
+            std::string name;
+            ls >> name;
+            nfa.setName(name);
+            have_header = true;
+        } else if (kw == "state") {
+            if (!have_header)
+                fatal("'state' before 'nfa' header");
+            size_t id;
+            std::string start_s;
+            int report;
+            std::string sym;
+            ls >> id >> start_s >> report;
+            // The symbol-set expression is the rest of the line (it may
+            // contain spaces inside a bracket class).
+            std::getline(ls, sym);
+            size_t first = sym.find_first_not_of(' ');
+            if (first == std::string::npos)
+                fatal("missing symbol-set in line: ", line);
+            sym = sym.substr(first);
+            if (id != declared)
+                fatal("non-dense state id ", id, ", expected ", declared);
+            nfa.addState(parseSymbolSet(sym), parseStartKind(start_s),
+                         report != 0);
+            ++declared;
+        } else if (kw == "edge") {
+            StateId from, to;
+            ls >> from >> to;
+            nfa.addEdge(from, to);
+        } else if (kw == "end") {
+            nfa.finalize();
+            return nfa;
+        } else {
+            fatal("unknown keyword '", kw, "' in NFA description");
+        }
+    }
+    fatal("unexpected end of stream inside NFA description");
+}
+
+Application
+readApplication(std::istream &is)
+{
+    std::string line;
+    Application app;
+    bool have_header = false;
+    while (true) {
+        std::streampos pos = is.tellg();
+        if (!std::getline(is, line))
+            break;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kw;
+        ls >> kw;
+        if (kw == "app") {
+            if (have_header)
+                fatal("multiple 'app' headers in one stream");
+            std::string name, abbr;
+            ls >> name >> abbr;
+            app.setNames(name, abbr);
+            have_header = true;
+        } else if (kw == "nfa") {
+            // Rewind so readNfa sees the header line.
+            is.seekg(pos);
+            app.addNfa(readNfa(is));
+        } else {
+            fatal("unknown keyword '", kw, "' in application description");
+        }
+    }
+    if (!have_header)
+        fatal("missing 'app' header");
+    return app;
+}
+
+std::string
+toString(const Application &app)
+{
+    std::ostringstream os;
+    writeApplication(os, app);
+    return os.str();
+}
+
+Application
+applicationFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    return readApplication(is);
+}
+
+} // namespace sparseap

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Text serialization for NFAs and applications.
+ *
+ * The format is a line-oriented ANML-like description, chosen so automata
+ * can be diffed, versioned and hand-edited:
+ *
+ *   app <name> <abbr>
+ *   nfa <name>
+ *   state <id> <none|all|sod> <report:0|1> <symbol-set expr>
+ *   edge <from> <to>
+ *   end
+ *   ...
+ *
+ * States must be declared before edges referencing them; ids are dense and
+ * in declaration order.
+ */
+
+#ifndef SPARSEAP_NFA_SERIALIZE_H
+#define SPARSEAP_NFA_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "nfa/application.h"
+
+namespace sparseap {
+
+/** Write one NFA in the text format (without an `app` header). */
+void writeNfa(std::ostream &os, const Nfa &nfa);
+
+/** Write a whole application. */
+void writeApplication(std::ostream &os, const Application &app);
+
+/**
+ * Parse one NFA from the stream; expects the cursor at a `nfa` line.
+ * Calls fatal() on malformed input.
+ */
+Nfa readNfa(std::istream &is);
+
+/** Parse a whole application (an `app` header and its NFAs). */
+Application readApplication(std::istream &is);
+
+/** Round-trip convenience: serialize to a string. */
+std::string toString(const Application &app);
+
+/** Round-trip convenience: parse from a string. */
+Application applicationFromString(const std::string &text);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_NFA_SERIALIZE_H

@@ -1,0 +1,169 @@
+#include "nfa/symbol_set.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace sparseap {
+namespace {
+
+/** Decode one hex digit or die. */
+int
+hexDigit(char c, const std::string &expr)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    fatal("bad hex digit '", c, "' in symbol-set '", expr, "'");
+}
+
+/**
+ * Consume one (possibly escaped) character starting at expr[i]; advances i
+ * past it. @return the decoded byte.
+ */
+uint8_t
+consumeChar(const std::string &expr, size_t &i)
+{
+    SPARSEAP_ASSERT(i < expr.size(), "consumeChar past end of '", expr, "'");
+    char c = expr[i++];
+    if (c != '\\')
+        return static_cast<uint8_t>(c);
+    if (i >= expr.size())
+        fatal("dangling escape in symbol-set '", expr, "'");
+    char e = expr[i++];
+    switch (e) {
+      case 'n':
+        return '\n';
+      case 't':
+        return '\t';
+      case 'r':
+        return '\r';
+      case '0':
+        return '\0';
+      case 'x': {
+        if (i + 1 >= expr.size())
+            fatal("truncated \\x escape in symbol-set '", expr, "'");
+        int hi = hexDigit(expr[i], expr);
+        int lo = hexDigit(expr[i + 1], expr);
+        i += 2;
+        return static_cast<uint8_t>((hi << 4) | lo);
+      }
+      default:
+        // Any other escaped character stands for itself ("\\[", "\\]"...).
+        return static_cast<uint8_t>(e);
+    }
+}
+
+} // namespace
+
+SymbolSet
+parseSymbolSet(const std::string &expr)
+{
+    if (expr.empty())
+        fatal("empty symbol-set expression");
+
+    if (expr == ".")
+        return SymbolSet::all();
+
+    if (expr[0] != '[') {
+        size_t i = 0;
+        uint8_t b = consumeChar(expr, i);
+        if (i != expr.size())
+            fatal("trailing characters in symbol-set '", expr, "'");
+        return SymbolSet::single(b);
+    }
+
+    if (expr.back() != ']')
+        fatal("unterminated bracket class '", expr, "'");
+
+    SymbolSet set;
+    size_t i = 1;
+    const size_t end = expr.size() - 1;
+    bool negate = false;
+    if (i < end && expr[i] == '^') {
+        negate = true;
+        ++i;
+    }
+    if (i >= end)
+        fatal("empty bracket class '", expr, "'");
+    while (i < end) {
+        uint8_t lo = consumeChar(expr, i);
+        if (i + 1 < end && expr[i] == '-') {
+            size_t j = i + 1;
+            uint8_t hi = consumeChar(expr, j);
+            if (hi < lo)
+                fatal("inverted range in symbol-set '", expr, "'");
+            set |= SymbolSet::range(lo, hi);
+            i = j;
+        } else {
+            set.set(lo);
+        }
+    }
+    return negate ? ~set : set;
+}
+
+namespace {
+
+/** Render one byte for inclusion inside a bracket class. */
+std::string
+renderByte(uint8_t b)
+{
+    if (b == '\\' || b == ']' || b == '[' || b == '-' || b == '^')
+        return std::string("\\") + static_cast<char>(b);
+    if (std::isprint(b))
+        return std::string(1, static_cast<char>(b));
+    static const char *hex = "0123456789abcdef";
+    std::string s = "\\x";
+    s += hex[b >> 4];
+    s += hex[b & 15];
+    return s;
+}
+
+} // namespace
+
+std::string
+formatSymbolSet(const SymbolSet &set)
+{
+    if (set == SymbolSet::all())
+        return ".";
+    const int n = set.count();
+    if (n == 1) {
+        for (unsigned b = 0; b < 256; ++b) {
+            if (set.test(static_cast<uint8_t>(b))) {
+                uint8_t byte = static_cast<uint8_t>(b);
+                // ' ' must not be emitted bare: the serializer's line
+                // format would swallow it.
+                if (std::isprint(byte) && byte != '[' && byte != ']' &&
+                    byte != '\\' && byte != '.' && byte != ' ') {
+                    return std::string(1, static_cast<char>(byte));
+                }
+                return "[" + renderByte(byte) + "]";
+            }
+        }
+    }
+
+    std::string out = "[";
+    unsigned b = 0;
+    while (b < 256) {
+        if (!set.test(static_cast<uint8_t>(b))) {
+            ++b;
+            continue;
+        }
+        unsigned start = b;
+        while (b + 1 < 256 && set.test(static_cast<uint8_t>(b + 1)))
+            ++b;
+        out += renderByte(static_cast<uint8_t>(start));
+        if (b > start + 1)
+            out += "-";
+        if (b > start)
+            out += renderByte(static_cast<uint8_t>(b));
+        ++b;
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace sparseap

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Symbol-set construction helpers on top of Bitset256.
+ *
+ * A homogeneous NFA state carries one symbol-set: the set of input bytes it
+ * accepts (the contents of its STE column on the AP). This header provides
+ * the character-class notation used by the regex compiler and workload
+ * generators: "a", "[a-z0-9]", "[^\\x00]", ".", etc.
+ */
+
+#ifndef SPARSEAP_NFA_SYMBOL_SET_H
+#define SPARSEAP_NFA_SYMBOL_SET_H
+
+#include <string>
+
+#include "common/bitset256.h"
+
+namespace sparseap {
+
+/** Alias: a symbol-set is a 256-bit set over the byte alphabet. */
+using SymbolSet = Bitset256;
+
+/**
+ * Parse a character-class expression into a symbol-set.
+ *
+ * Accepted forms:
+ *  - a single literal character: "a"
+ *  - an escape: "\\n", "\\t", "\\r", "\\\\", "\\xHH"
+ *  - "." meaning every byte
+ *  - a bracket class: "[abc]", "[a-z]", "[^0-9]", with escapes inside
+ *
+ * @param expr the class expression
+ * @return the parsed set
+ *
+ * Calls fatal() on malformed input.
+ */
+SymbolSet parseSymbolSet(const std::string &expr);
+
+/**
+ * Render a symbol-set back to a canonical bracket expression (or a single
+ * character / "." when that is shorter). Inverse of parseSymbolSet up to
+ * canonicalization.
+ */
+std::string formatSymbolSet(const SymbolSet &set);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_NFA_SYMBOL_SET_H

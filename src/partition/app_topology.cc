@@ -1,0 +1,18 @@
+#include "partition/app_topology.h"
+
+#include <algorithm>
+
+namespace sparseap {
+
+AppTopology::AppTopology(const Application &app) : app_(&app)
+{
+    per_nfa_.reserve(app.nfaCount());
+    for (const auto &nfa : app.nfas()) {
+        per_nfa_.push_back(analyzeTopology(nfa));
+        max_order_ = std::max(max_order_, per_nfa_.back().maxOrder);
+        largest_scc_ =
+            std::max(largest_scc_, per_nfa_.back().scc.largestSize());
+    }
+}
+
+} // namespace sparseap

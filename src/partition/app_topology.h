@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Application-wide topological analysis: the per-NFA Topology results plus
+ * global-id helpers (Section III-A applied to a whole application).
+ */
+
+#ifndef SPARSEAP_PARTITION_APP_TOPOLOGY_H
+#define SPARSEAP_PARTITION_APP_TOPOLOGY_H
+
+#include <vector>
+
+#include "graph/topology.h"
+#include "nfa/application.h"
+
+namespace sparseap {
+
+/** Topology of every NFA in an application. */
+class AppTopology
+{
+  public:
+    explicit AppTopology(const Application &app);
+
+    const Topology &nfa(uint32_t nfa_idx) const { return per_nfa_[nfa_idx]; }
+
+    /** Topological layer of a state addressed by global id. */
+    uint32_t
+    order(GlobalStateId gid) const
+    {
+        const GlobalStateRef r = app_->resolve(gid);
+        return per_nfa_[r.nfa].order[r.state];
+    }
+
+    /** Normalized depth of a state addressed by global id. */
+    double
+    normalizedDepth(GlobalStateId gid) const
+    {
+        const GlobalStateRef r = app_->resolve(gid);
+        return per_nfa_[r.nfa].normalizedDepth(r.state);
+    }
+
+    /** Maximum topological order across all NFAs (Table II "MaxTopo"). */
+    uint32_t maxOrder() const { return max_order_; }
+
+    /** Size of the largest SCC across all NFAs. */
+    size_t largestScc() const { return largest_scc_; }
+
+    const Application &app() const { return *app_; }
+
+  private:
+    const Application *app_;
+    std::vector<Topology> per_nfa_;
+    uint32_t max_order_ = 0;
+    size_t largest_scc_ = 0;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_PARTITION_APP_TOPOLOGY_H

@@ -1,0 +1,132 @@
+#include "partition/fill.h"
+
+#include <algorithm>
+
+#include "ap/batching.h"
+#include "common/logging.h"
+
+namespace sparseap {
+
+LayerSizeTable
+computeLayerSizes(const Nfa &nfa, const Topology &topo,
+                  bool dedupe_intermediates)
+{
+    LayerSizeTable table;
+    table.maxOrder = topo.maxOrder;
+    table.statesUpTo.assign(topo.maxOrder, 0);
+    table.cutAt.assign(topo.maxOrder, 0);
+
+    // States per layer -> prefix sums.
+    for (StateId s = 0; s < nfa.size(); ++s)
+        ++table.statesUpTo[topo.order[s] - 1];
+    for (uint32_t k = 1; k < topo.maxOrder; ++k)
+        table.statesUpTo[k] += table.statesUpTo[k - 1];
+
+    // Intermediate counts via a difference array over cut layers: cutting
+    // at k creates an intermediate for target v iff some predecessor sits
+    // at or above k (order <= k) and v below (order > k).
+    std::vector<long> diff(topo.maxOrder + 1, 0);
+    if (dedupe_intermediates) {
+        // One intermediate per distinct target v, alive for cut layers
+        // [min-pred-order, order(v) - 1].
+        std::vector<uint32_t> min_pred(nfa.size(), ~0u);
+        for (StateId u = 0; u < nfa.size(); ++u) {
+            for (StateId v : nfa.state(u).successors) {
+                if (topo.order[u] < topo.order[v])
+                    min_pred[v] = std::min(min_pred[v], topo.order[u]);
+            }
+        }
+        for (StateId v = 0; v < nfa.size(); ++v) {
+            if (min_pred[v] == ~0u)
+                continue;
+            diff[min_pred[v] - 1] += 1;
+            diff[topo.order[v] - 1] -= 1;
+        }
+    } else {
+        // One intermediate per cut edge (u, v), alive for cut layers
+        // [order(u), order(v) - 1].
+        for (StateId u = 0; u < nfa.size(); ++u) {
+            for (StateId v : nfa.state(u).successors) {
+                if (topo.order[u] < topo.order[v]) {
+                    diff[topo.order[u] - 1] += 1;
+                    diff[topo.order[v] - 1] -= 1;
+                }
+            }
+        }
+    }
+    long running = 0;
+    for (uint32_t k = 0; k < topo.maxOrder; ++k) {
+        running += diff[k];
+        SPARSEAP_ASSERT(running >= 0, "negative cut count at layer ", k + 1);
+        table.cutAt[k] = static_cast<size_t>(running);
+    }
+    // Cutting at maxOrder leaves nothing below: no intermediates.
+    SPARSEAP_ASSERT(table.cutAt[topo.maxOrder - 1] == 0,
+                    "cut at bottom layer must be empty");
+    return table;
+}
+
+PartitionLayers
+fillToCapacity(const AppTopology &topo, PartitionLayers layers,
+               size_t capacity, const PartitionOptions &opts)
+{
+    const Application &app = topo.app();
+    const size_t n = app.nfaCount();
+    SPARSEAP_ASSERT(layers.k.size() == n, "layer/NFA count mismatch");
+
+    std::vector<LayerSizeTable> tables;
+    tables.reserve(n);
+    for (uint32_t u = 0; u < n; ++u) {
+        tables.push_back(computeLayerSizes(app.nfa(u), topo.nfa(u),
+                                           opts.dedupeIntermediates));
+    }
+
+    std::vector<size_t> sizes(n);
+    size_t total = 0;
+    for (uint32_t u = 0; u < n; ++u) {
+        sizes[u] = tables[u].fragmentSize(layers.k[u]);
+        total += sizes[u];
+    }
+
+    const size_t batches0 = packSizes(sizes, capacity).batchCount();
+    const size_t budget = batches0 * capacity;
+
+    // Round-robin layer raises while the analytic budget holds.
+    std::vector<uint32_t> raised; // increment log, for revert
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t u = 0; u < n; ++u) {
+            if (layers.k[u] >= tables[u].maxOrder)
+                continue;
+            const size_t next = tables[u].fragmentSize(layers.k[u] + 1);
+            // A raise can shrink the fragment when the dropped
+            // intermediates outnumber the absorbed layer; always take
+            // those.
+            const bool take = next <= sizes[u] ||
+                              total - sizes[u] + next <= budget;
+            if (take) {
+                total = total - sizes[u] + next;
+                sizes[u] = next;
+                ++layers.k[u];
+                raised.push_back(u);
+                changed = true;
+            }
+        }
+    }
+
+    // The analytic budget ignores whole-NFA packing fragmentation; revert
+    // raises (most recent first) until the real batch count is preserved.
+    while (packSizes(sizes, capacity).batchCount() > batches0 &&
+           !raised.empty()) {
+        uint32_t u = raised.back();
+        raised.pop_back();
+        --layers.k[u];
+        const size_t prev = tables[u].fragmentSize(layers.k[u]);
+        total = total - sizes[u] + prev;
+        sizes[u] = prev;
+    }
+    return layers;
+}
+
+} // namespace sparseap

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Batch-fill optimization (Section IV-B "Optimization").
+ *
+ * After choosing partition layers, the predicted hot set rarely fills the
+ * last BaseAP batch exactly. Since those STEs are paid for anyway, the
+ * optimizer raises k_U for NFAs round-robin — absorbing the next cold
+ * layer (and shrinking its intermediate states) — as long as the batch
+ * count does not grow. This converts would-be mis-predictions into free
+ * hot coverage; the paper notes it can equalize resource savings across
+ * profiling sizes while speedups still differ.
+ */
+
+#ifndef SPARSEAP_PARTITION_FILL_H
+#define SPARSEAP_PARTITION_FILL_H
+
+#include <vector>
+
+#include "partition/hotcold.h"
+#include "partition/partitioner.h"
+
+namespace sparseap {
+
+/**
+ * Per-NFA fragment-size tables: how many STEs the hot fragment occupies
+ * for every candidate partition layer k, including the intermediate
+ * reporting states that cut at k would create.
+ */
+struct LayerSizeTable
+{
+    /** statesUpTo[k-1] = #states with topo order <= k (k in 1..maxOrder) */
+    std::vector<size_t> statesUpTo;
+    /** cutAt[k-1] = #intermediate states created by cutting at k. */
+    std::vector<size_t> cutAt;
+    uint32_t maxOrder = 0;
+
+    /** Hot fragment size (states + intermediates) when cutting at k. */
+    size_t
+    fragmentSize(uint32_t k) const
+    {
+        return statesUpTo[k - 1] + cutAt[k - 1];
+    }
+};
+
+/** Compute the table for one NFA. */
+LayerSizeTable computeLayerSizes(const Nfa &nfa, const Topology &topo,
+                                 bool dedupe_intermediates);
+
+/**
+ * Raise partition layers to fill the BaseAP batches (without increasing
+ * the batch count implied by the input layers).
+ *
+ * @param topo application topology
+ * @param layers the profiling-derived layers (taken by value; returned
+ *               raised)
+ * @param capacity AP capacity in STEs
+ * @param opts must match the options later passed to partitionApplication
+ */
+PartitionLayers fillToCapacity(const AppTopology &topo,
+                               PartitionLayers layers, size_t capacity,
+                               const PartitionOptions &opts = {});
+
+} // namespace sparseap
+
+#endif // SPARSEAP_PARTITION_FILL_H

@@ -1,0 +1,75 @@
+#include "partition/hotcold.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+size_t
+HotColdProfile::hotCount() const
+{
+    return static_cast<size_t>(std::count(hot.begin(), hot.end(), true));
+}
+
+HotColdProfile
+profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input)
+{
+    HotStateProfiler profiler(fa.size());
+    Engine engine(fa);
+    engine.run(input, &profiler);
+    HotColdProfile profile;
+    profile.hot = profiler.hotSet();
+    return profile;
+}
+
+PartitionLayers
+chooseLayers(const AppTopology &topo, const HotColdProfile &profile)
+{
+    const Application &app = topo.app();
+    SPARSEAP_ASSERT(profile.hot.size() == app.totalStates(),
+                    "profile size ", profile.hot.size(),
+                    " != total states ", app.totalStates());
+    PartitionLayers layers;
+    layers.k.assign(app.nfaCount(), 1);
+    for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+        const Topology &t = topo.nfa(u);
+        const GlobalStateId base = app.nfaOffset(u);
+        uint32_t k = 1;
+        for (StateId s = 0; s < app.nfa(u).size(); ++s) {
+            if (profile.hot[base + s])
+                k = std::max(k, t.order[s]);
+        }
+        layers.k[u] = k;
+    }
+    return layers;
+}
+
+size_t
+predictedHotCount(const AppTopology &topo, const PartitionLayers &layers)
+{
+    const Application &app = topo.app();
+    size_t n = 0;
+    for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+        const Topology &t = topo.nfa(u);
+        for (StateId s = 0; s < app.nfa(u).size(); ++s)
+            n += t.order[s] <= layers.k[u] ? 1 : 0;
+    }
+    return n;
+}
+
+std::vector<bool>
+layersToPredictedHot(const AppTopology &topo, const PartitionLayers &layers)
+{
+    const Application &app = topo.app();
+    std::vector<bool> hot(app.totalStates(), false);
+    for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+        const Topology &t = topo.nfa(u);
+        const GlobalStateId base = app.nfaOffset(u);
+        for (StateId s = 0; s < app.nfa(u).size(); ++s)
+            hot[base + s] = t.order[s] <= layers.k[u];
+    }
+    return hot;
+}
+
+} // namespace sparseap

@@ -1,0 +1,91 @@
+#include "partition/metrics.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace sparseap {
+
+PredictionMetrics
+comparePrediction(const std::vector<bool> &predicted_hot,
+                  const std::vector<bool> &reference_hot)
+{
+    SPARSEAP_ASSERT(predicted_hot.size() == reference_hot.size(),
+                    "prediction size mismatch: ", predicted_hot.size(),
+                    " vs ", reference_hot.size());
+    PredictionMetrics m;
+    for (size_t i = 0; i < predicted_hot.size(); ++i) {
+        if (predicted_hot[i]) {
+            if (reference_hot[i])
+                ++m.tp;
+            else
+                ++m.fp;
+        } else {
+            if (reference_hot[i])
+                ++m.fn;
+            else
+                ++m.tn;
+        }
+    }
+    return m;
+}
+
+ConstrainedStats
+constrainedStates(const AppTopology &topo, const HotColdProfile &oracle)
+{
+    ConstrainedStats s;
+    s.total = topo.app().totalStates();
+    s.oracleHot = oracle.hotCount();
+    const PartitionLayers layers = chooseLayers(topo, oracle);
+    s.topoConfigured = predictedHotCount(topo, layers);
+    SPARSEAP_ASSERT(s.topoConfigured >= s.oracleHot,
+                    "topo partition configured fewer states (",
+                    s.topoConfigured, ") than the hot set (", s.oracleHot,
+                    ")");
+    return s;
+}
+
+DepthDistribution
+depthDistribution(const AppTopology &topo, const HotColdProfile &profile)
+{
+    const Application &app = topo.app();
+    SPARSEAP_ASSERT(profile.hot.size() == app.totalStates(),
+                    "profile/application size mismatch");
+    DepthDistribution d;
+    size_t hot_by_bucket[3] = {0, 0, 0};
+    size_t cold_by_bucket[3] = {0, 0, 0};
+    std::vector<double> depths;
+    std::vector<double> hotness;
+    depths.reserve(app.totalStates());
+    hotness.reserve(app.totalStates());
+
+    for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+        const Topology &t = topo.nfa(u);
+        const GlobalStateId base = app.nfaOffset(u);
+        for (StateId s = 0; s < app.nfa(u).size(); ++s) {
+            const double nd = t.normalizedDepth(s);
+            const int bucket = static_cast<int>(depthBucket(nd));
+            const bool is_hot = profile.hot[base + s];
+            if (is_hot)
+                ++hot_by_bucket[bucket];
+            else
+                ++cold_by_bucket[bucket];
+            depths.push_back(nd);
+            hotness.push_back(is_hot ? 1.0 : 0.0);
+        }
+    }
+
+    d.hotCount = hot_by_bucket[0] + hot_by_bucket[1] + hot_by_bucket[2];
+    d.coldCount = cold_by_bucket[0] + cold_by_bucket[1] + cold_by_bucket[2];
+    for (int b = 0; b < 3; ++b) {
+        d.hot[b] = d.hotCount ? static_cast<double>(hot_by_bucket[b]) /
+                                    static_cast<double>(d.hotCount)
+                              : 0.0;
+        d.cold[b] = d.coldCount ? static_cast<double>(cold_by_bucket[b]) /
+                                      static_cast<double>(d.coldCount)
+                                : 0.0;
+    }
+    d.depthHotCorrelation = pearson(depths, hotness);
+    return d;
+}
+
+} // namespace sparseap

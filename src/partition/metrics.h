@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Evaluation metrics for the prediction and partitioning schemes:
+ * Table I (accuracy / recall / precision of profiling) and Fig. 8
+ * (constrained states of topological-order partitioning).
+ */
+
+#ifndef SPARSEAP_PARTITION_METRICS_H
+#define SPARSEAP_PARTITION_METRICS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/app_topology.h"
+#include "partition/hotcold.h"
+
+namespace sparseap {
+
+/**
+ * Confusion-matrix metrics treating hot as positive (Section IV-A):
+ * TP = hot in both prediction and reference, FP = predicted hot but
+ * actually cold, etc.
+ */
+struct PredictionMetrics
+{
+    size_t tp = 0;
+    size_t fp = 0;
+    size_t tn = 0;
+    size_t fn = 0;
+
+    size_t total() const { return tp + fp + tn + fn; }
+
+    double
+    accuracy() const
+    {
+        return total() ? static_cast<double>(tp + tn) /
+                             static_cast<double>(total())
+                       : 0.0;
+    }
+
+    double
+    recall() const
+    {
+        return (tp + fn) ? static_cast<double>(tp) /
+                               static_cast<double>(tp + fn)
+                         : 1.0;
+    }
+
+    double
+    precision() const
+    {
+        return (tp + fp) ? static_cast<double>(tp) /
+                               static_cast<double>(tp + fp)
+                         : 1.0;
+    }
+};
+
+/** Compare a predicted hot bitvector against a reference hot bitvector. */
+PredictionMetrics comparePrediction(const std::vector<bool> &predicted_hot,
+                                    const std::vector<bool> &reference_hot);
+
+/** Fig. 8: cost of the topological-order constraint under oracle hotness. */
+struct ConstrainedStats
+{
+    /** States a topo-layer perfect partition must configure. */
+    size_t topoConfigured = 0;
+    /** States an arbitrary-edge perfect partition configures (= |hot|). */
+    size_t oracleHot = 0;
+    /** Total states. */
+    size_t total = 0;
+
+    /** Extra (cold but configured) fraction caused by the constraint. */
+    double
+    constrainedFraction() const
+    {
+        return total ? static_cast<double>(topoConfigured - oracleHot) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * Evaluate the constraint cost: the topo-layer partition chosen under the
+ * oracle profile vs the oracle hot set itself.
+ */
+ConstrainedStats constrainedStates(const AppTopology &topo,
+                                   const HotColdProfile &oracle);
+
+/**
+ * Per-bucket normalized-depth histogram of hot and cold states (Fig. 5).
+ * hot[b] / cold[b] are *fractions within the hot (resp. cold) set*,
+ * indexed by DepthBucket.
+ */
+struct DepthDistribution
+{
+    double hot[3] = {0, 0, 0};
+    double cold[3] = {0, 0, 0};
+    size_t hotCount = 0;
+    size_t coldCount = 0;
+    /** Pearson correlation between normalized depth and hotness. */
+    double depthHotCorrelation = 0.0;
+};
+
+/** Compute the Fig. 5 distribution for one application. */
+DepthDistribution depthDistribution(const AppTopology &topo,
+                                    const HotColdProfile &profile);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_PARTITION_METRICS_H

@@ -1,0 +1,120 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+PartitionedApp
+partitionApplication(const AppTopology &topo, const PartitionLayers &layers,
+                     const PartitionOptions &opts)
+{
+    const Application &app = topo.app();
+    SPARSEAP_ASSERT(layers.k.size() == app.nfaCount(),
+                    "layer count ", layers.k.size(), " != NFA count ",
+                    app.nfaCount());
+
+    PartitionedApp out;
+    out.hot.setNames(app.name() + "_hot", app.abbr());
+    out.cold.setNames(app.name() + "_cold", app.abbr());
+    out.originalToCold.assign(app.totalStates(), kInvalidGlobal);
+
+    for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+        const Nfa &nfa = app.nfa(u);
+        const Topology &t = topo.nfa(u);
+        const uint32_t k = layers.k[u];
+        const GlobalStateId base = app.nfaOffset(u);
+
+        // Local state id remapping for both fragments.
+        std::vector<StateId> to_hot(nfa.size(), kInvalidState);
+        std::vector<StateId> to_cold(nfa.size(), kInvalidState);
+
+        Nfa hot_frag(nfa.name() + "_hot");
+        Nfa cold_frag(nfa.name() + "_cold");
+        std::vector<GlobalStateId> hot_frag_original; // per hot-local state
+        std::vector<GlobalStateId> hot_frag_target;   // per hot-local state
+        std::vector<GlobalStateId> cold_frag_original;
+
+        for (StateId s = 0; s < nfa.size(); ++s) {
+            const State &st = nfa.state(s);
+            if (t.order[s] <= k) {
+                to_hot[s] = hot_frag.addState(st.symbols, st.start,
+                                              st.reporting);
+                hot_frag_original.push_back(base + s);
+                hot_frag_target.push_back(kInvalidGlobal);
+                if (st.reporting)
+                    ++out.hotOriginalReporting;
+            } else {
+                SPARSEAP_ASSERT(st.start == StartKind::None,
+                                "start state below partition layer in '",
+                                nfa.name(), "'");
+                to_cold[s] = cold_frag.addState(st.symbols, StartKind::None,
+                                                st.reporting);
+                cold_frag_original.push_back(base + s);
+                if (st.reporting)
+                    ++out.coldReporting;
+            }
+        }
+
+        // Edges within fragments, plus intermediate states for cut edges.
+        // In dedupe mode, one intermediate per distinct cold target.
+        std::vector<StateId> target_intermediate(nfa.size(), kInvalidState);
+        for (StateId s = 0; s < nfa.size(); ++s) {
+            const bool s_hot = to_hot[s] != kInvalidState;
+            for (StateId d : nfa.state(s).successors) {
+                const bool d_hot = to_hot[d] != kInvalidState;
+                if (s_hot && d_hot) {
+                    hot_frag.addEdge(to_hot[s], to_hot[d]);
+                } else if (!s_hot && !d_hot) {
+                    cold_frag.addEdge(to_cold[s], to_cold[d]);
+                } else if (s_hot && !d_hot) {
+                    // Cut edge (s, d): route through an intermediate
+                    // reporting state that clones d's symbol-set.
+                    StateId inter = kInvalidState;
+                    if (opts.dedupeIntermediates &&
+                        target_intermediate[d] != kInvalidState) {
+                        inter = target_intermediate[d];
+                    } else {
+                        inter = hot_frag.addState(nfa.state(d).symbols,
+                                                  StartKind::None, true);
+                        hot_frag_original.push_back(kInvalidGlobal);
+                        hot_frag_target.push_back(base + d);
+                        target_intermediate[d] = inter;
+                        ++out.intermediateCount;
+                    }
+                    hot_frag.addEdge(to_hot[s], inter);
+                } else {
+                    SPARSEAP_PANIC("cold-to-hot edge (", s, " -> ", d,
+                                   ") in NFA '", nfa.name(),
+                                   "': layering violated");
+                }
+            }
+        }
+
+        hot_frag.finalize();
+        out.hot.addNfa(std::move(hot_frag));
+        out.hotToOriginal.insert(out.hotToOriginal.end(),
+                                 hot_frag_original.begin(),
+                                 hot_frag_original.end());
+        out.intermediateTarget.insert(out.intermediateTarget.end(),
+                                      hot_frag_target.begin(),
+                                      hot_frag_target.end());
+
+        if (cold_frag.size() > 0) {
+            cold_frag.finalize(/*require_start=*/false);
+            const GlobalStateId cold_base =
+                static_cast<GlobalStateId>(out.cold.totalStates());
+            out.cold.addNfa(std::move(cold_frag));
+            out.coldNfaToOriginal.push_back(u);
+            for (size_t i = 0; i < cold_frag_original.size(); ++i) {
+                out.coldToOriginal.push_back(cold_frag_original[i]);
+                out.originalToCold[cold_frag_original[i]] =
+                    cold_base + static_cast<GlobalStateId>(i);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace sparseap

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * NFA partitioning at a topological layer (Section IV-C, Fig. 7).
+ *
+ * Given per-NFA partition layers k_U, every NFA is split into:
+ *
+ *  - a *hot fragment*: states with topo order <= k_U, all edges among
+ *    them, plus one *intermediate reporting state* v' per cut edge
+ *    (u, v) — v' clones v's symbol-set, is a reporting state, has no
+ *    successors, and carries a translation entry v' -> v;
+ *  - a *cold fragment*: states with topo order > k_U and the edges among
+ *    them. Cold fragments have no start states; they are driven by SpAP
+ *    enable events.
+ *
+ * Because longest-path layering makes every cross-SCC edge go strictly
+ * deeper, no edge crosses from cold back to hot: execution transitions
+ * out of the hot fabric exactly once per matching thread.
+ */
+
+#ifndef SPARSEAP_PARTITION_PARTITIONER_H
+#define SPARSEAP_PARTITION_PARTITIONER_H
+
+#include <vector>
+
+#include "partition/app_topology.h"
+#include "partition/hotcold.h"
+
+namespace sparseap {
+
+/** Sentinel for "no such global state". */
+constexpr GlobalStateId kInvalidGlobal = ~0u;
+
+/** Options controlling partition construction. */
+struct PartitionOptions
+{
+    /**
+     * When false (the paper's scheme), one intermediate state is created
+     * per cut *edge*; when true, cut edges sharing a target share one
+     * intermediate state (a strictly smaller hot fragment — evaluated as
+     * an ablation).
+     */
+    bool dedupeIntermediates = false;
+};
+
+/** The two fragment applications plus the id translation tables. */
+struct PartitionedApp
+{
+    /** Hot fragments; NFA u here corresponds to original NFA u. */
+    Application hot;
+    /** Cold fragments; only NFAs with a nonempty cold part appear. */
+    Application cold;
+
+    /** hot gid -> original gid; kInvalidGlobal for intermediate states. */
+    std::vector<GlobalStateId> hotToOriginal;
+    /**
+     * hot gid -> original gid of the predicted-cold state this
+     * intermediate state enables; kInvalidGlobal for ordinary states.
+     * This is the translation table of Fig. 7 (3).
+     */
+    std::vector<GlobalStateId> intermediateTarget;
+
+    /** cold gid -> original gid. */
+    std::vector<GlobalStateId> coldToOriginal;
+    /** original gid -> cold gid, or kInvalidGlobal if the state is hot. */
+    std::vector<GlobalStateId> originalToCold;
+    /** cold NFA index -> original NFA index. */
+    std::vector<uint32_t> coldNfaToOriginal;
+
+    /** Number of intermediate reporting states added. */
+    size_t intermediateCount = 0;
+    /** Original reporting states on the hot side (Fig. 12 "True"). */
+    size_t hotOriginalReporting = 0;
+    /** Original reporting states on the cold side. */
+    size_t coldReporting = 0;
+
+    /** States configured in BaseAP mode (hot originals + intermediates). */
+    size_t
+    baseApStates() const
+    {
+        return hot.totalStates();
+    }
+
+    /**
+     * Resource savings p (Fig. 10(b)): fraction of original states not
+     * configured in BaseAP mode.
+     */
+    double
+    resourceSavings(size_t original_total) const
+    {
+        const size_t hot_originals = hot.totalStates() - intermediateCount;
+        return 1.0 - static_cast<double>(hot_originals) /
+                         static_cast<double>(original_total);
+    }
+};
+
+/** Split every NFA of the application at its partition layer. */
+PartitionedApp partitionApplication(const AppTopology &topo,
+                                    const PartitionLayers &layers,
+                                    const PartitionOptions &opts = {});
+
+} // namespace sparseap
+
+#endif // SPARSEAP_PARTITION_PARTITIONER_H

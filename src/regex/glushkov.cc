@@ -1,0 +1,153 @@
+#include "regex/glushkov.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sparseap {
+namespace {
+
+/** Per-node Glushkov attributes, computed bottom-up. */
+struct Attrs
+{
+    bool nullable = false;
+    std::vector<uint32_t> first;
+    std::vector<uint32_t> last;
+};
+
+/** Accumulates positions and follow sets during the AST walk. */
+struct Builder
+{
+    std::vector<SymbolSet> position_symbols;
+    std::vector<std::vector<uint32_t>> follow;
+
+    uint32_t
+    newPosition(const SymbolSet &set)
+    {
+        position_symbols.push_back(set);
+        follow.emplace_back();
+        return static_cast<uint32_t>(position_symbols.size() - 1);
+    }
+
+    void
+    addFollow(const std::vector<uint32_t> &from,
+              const std::vector<uint32_t> &to)
+    {
+        for (uint32_t f : from) {
+            follow[f].insert(follow[f].end(), to.begin(), to.end());
+        }
+    }
+
+    Attrs
+    walk(const RegexNode &node)
+    {
+        Attrs a;
+        switch (node.op) {
+          case RegexOp::Epsilon:
+            a.nullable = true;
+            break;
+          case RegexOp::Sym: {
+            uint32_t p = newPosition(node.symbols);
+            a.first = {p};
+            a.last = {p};
+            break;
+          }
+          case RegexOp::Cat: {
+            a.nullable = true;
+            bool prefix_nullable = true;
+            std::vector<uint32_t> carry_last;
+            for (const auto &child : node.children) {
+                Attrs c = walk(*child);
+                addFollow(carry_last, c.first);
+                if (prefix_nullable) {
+                    a.first.insert(a.first.end(), c.first.begin(),
+                                   c.first.end());
+                }
+                if (c.nullable) {
+                    carry_last.insert(carry_last.end(), c.last.begin(),
+                                      c.last.end());
+                } else {
+                    carry_last = c.last;
+                }
+                prefix_nullable = prefix_nullable && c.nullable;
+                a.nullable = a.nullable && c.nullable;
+            }
+            a.last = std::move(carry_last);
+            break;
+          }
+          case RegexOp::Alt: {
+            for (const auto &child : node.children) {
+                Attrs c = walk(*child);
+                a.nullable = a.nullable || c.nullable;
+                a.first.insert(a.first.end(), c.first.begin(),
+                               c.first.end());
+                a.last.insert(a.last.end(), c.last.begin(), c.last.end());
+            }
+            break;
+          }
+          case RegexOp::Star:
+          case RegexOp::Plus:
+          case RegexOp::Opt: {
+            Attrs c = walk(*node.children[0]);
+            if (node.op != RegexOp::Opt)
+                addFollow(c.last, c.first);
+            a.nullable = node.op == RegexOp::Plus ? c.nullable : true;
+            a.first = std::move(c.first);
+            a.last = std::move(c.last);
+            break;
+          }
+        }
+        return a;
+    }
+};
+
+} // namespace
+
+Nfa
+compileRegex(const ParsedRegex &parsed, const std::string &name)
+{
+    SPARSEAP_ASSERT(parsed.root != nullptr, "compileRegex on empty AST");
+    Builder b;
+    Attrs root = b.walk(*parsed.root);
+
+    if (root.nullable) {
+        warn("pattern '", name,
+             "' accepts the empty string; the empty match is dropped");
+    }
+    if (b.position_symbols.empty())
+        fatal("pattern '", name, "' has no symbol positions");
+
+    const StartKind start_kind =
+        parsed.anchored ? StartKind::StartOfData : StartKind::AllInput;
+
+    Nfa nfa(name);
+    std::vector<bool> is_first(b.position_symbols.size(), false);
+    for (uint32_t p : root.first)
+        is_first[p] = true;
+    std::vector<bool> is_last(b.position_symbols.size(), false);
+    for (uint32_t p : root.last)
+        is_last[p] = true;
+
+    for (uint32_t p = 0; p < b.position_symbols.size(); ++p) {
+        nfa.addState(b.position_symbols[p],
+                     is_first[p] ? start_kind : StartKind::None,
+                     is_last[p]);
+    }
+    for (uint32_t p = 0; p < b.follow.size(); ++p) {
+        auto &f = b.follow[p];
+        std::sort(f.begin(), f.end());
+        f.erase(std::unique(f.begin(), f.end()), f.end());
+        for (uint32_t q : f)
+            nfa.addEdge(p, q);
+    }
+    nfa.finalize();
+    return nfa;
+}
+
+Nfa
+compileRegex(const std::string &pattern, const std::string &name)
+{
+    return compileRegex(parseRegex(pattern), name);
+}
+
+} // namespace sparseap

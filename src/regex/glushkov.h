@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Glushkov construction: regex AST -> homogeneous NFA.
+ *
+ * The Glushkov (position) automaton has one state per symbol occurrence in
+ * the pattern and no epsilon transitions; every incoming edge to a position
+ * accepts that position's symbol-set. That is exactly the homogeneous NFA
+ * form the Automata Processor executes (one STE per position).
+ *
+ * Anchoring: an anchored pattern's first-positions become start-of-data
+ * states (enabled only at input position 0); an unanchored pattern's
+ * first-positions become all-input states (enabled every cycle), which is
+ * the AP's way of matching at every offset.
+ */
+
+#ifndef SPARSEAP_REGEX_GLUSHKOV_H
+#define SPARSEAP_REGEX_GLUSHKOV_H
+
+#include <string>
+
+#include "nfa/nfa.h"
+#include "regex/parser.h"
+
+namespace sparseap {
+
+/**
+ * Compile a parsed regex into a homogeneous NFA.
+ *
+ * @param parsed the AST plus anchor flag
+ * @param name name to give the NFA
+ * @return a finalized NFA whose last-positions are reporting states
+ *
+ * A pattern that accepts the empty string triggers a warn(): the empty
+ * match is dropped (it would report at every position).
+ */
+Nfa compileRegex(const ParsedRegex &parsed, const std::string &name);
+
+/** Parse and compile in one step. */
+Nfa compileRegex(const std::string &pattern, const std::string &name);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_REGEX_GLUSHKOV_H

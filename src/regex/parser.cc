@@ -1,0 +1,419 @@
+#include "regex/parser.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+std::unique_ptr<RegexNode>
+RegexNode::clone() const
+{
+    auto n = std::make_unique<RegexNode>(op);
+    n->symbols = symbols;
+    n->children.reserve(children.size());
+    for (const auto &c : children)
+        n->children.push_back(c->clone());
+    return n;
+}
+
+size_t
+countPositions(const RegexNode &node)
+{
+    if (node.op == RegexOp::Sym)
+        return 1;
+    size_t n = 0;
+    for (const auto &c : node.children)
+        n += countPositions(*c);
+    return n;
+}
+
+namespace {
+
+/** Upper bound on Glushkov positions after count desugaring. */
+constexpr size_t kMaxPositions = 1u << 20;
+
+std::unique_ptr<RegexNode>
+makeNode(RegexOp op)
+{
+    return std::make_unique<RegexNode>(op);
+}
+
+std::unique_ptr<RegexNode>
+makeSym(SymbolSet set)
+{
+    auto n = makeNode(RegexOp::Sym);
+    n->symbols = set;
+    return n;
+}
+
+/** Recursive-descent parser over a pattern string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &pattern) : pat(pattern) {}
+
+    ParsedRegex
+    parse()
+    {
+        ParsedRegex out;
+        if (peek() == '^') {
+            out.anchored = true;
+            ++pos;
+        }
+        out.root = parseAlt();
+        if (pos != pat.size())
+            syntaxError("unexpected character");
+        if (countPositions(*out.root) > kMaxPositions)
+            fatal("regex '", pat, "' expands to too many positions");
+        return out;
+    }
+
+  private:
+    const std::string &pat;
+    size_t pos = 0;
+
+    [[noreturn]] void
+    syntaxError(const std::string &what)
+    {
+        fatal("regex syntax error at offset ", pos, " in '", pat, "': ",
+              what);
+    }
+
+    char
+    peek() const
+    {
+        return pos < pat.size() ? pat[pos] : '\0';
+    }
+
+    bool
+    atEnd() const
+    {
+        return pos >= pat.size();
+    }
+
+    std::unique_ptr<RegexNode>
+    parseAlt()
+    {
+        auto first = parseCat();
+        if (peek() != '|')
+            return first;
+        auto alt = makeNode(RegexOp::Alt);
+        alt->children.push_back(std::move(first));
+        while (peek() == '|') {
+            ++pos;
+            alt->children.push_back(parseCat());
+        }
+        return alt;
+    }
+
+    std::unique_ptr<RegexNode>
+    parseCat()
+    {
+        auto cat = makeNode(RegexOp::Cat);
+        while (!atEnd() && peek() != '|' && peek() != ')')
+            cat->children.push_back(parseQuantified());
+        if (cat->children.empty())
+            return makeNode(RegexOp::Epsilon);
+        if (cat->children.size() == 1)
+            return std::move(cat->children[0]);
+        return cat;
+    }
+
+    std::unique_ptr<RegexNode>
+    parseQuantified()
+    {
+        auto atom = parseAtom();
+        while (!atEnd()) {
+            char c = peek();
+            if (c == '*') {
+                ++pos;
+                auto n = makeNode(RegexOp::Star);
+                n->children.push_back(std::move(atom));
+                atom = std::move(n);
+            } else if (c == '+') {
+                ++pos;
+                auto n = makeNode(RegexOp::Plus);
+                n->children.push_back(std::move(atom));
+                atom = std::move(n);
+            } else if (c == '?') {
+                ++pos;
+                auto n = makeNode(RegexOp::Opt);
+                n->children.push_back(std::move(atom));
+                atom = std::move(n);
+            } else if (c == '{') {
+                atom = parseCount(std::move(atom));
+            } else {
+                break;
+            }
+        }
+        return atom;
+    }
+
+    /** Desugar atom{m}, atom{m,}, atom{m,n} by copying the atom. */
+    std::unique_ptr<RegexNode>
+    parseCount(std::unique_ptr<RegexNode> atom)
+    {
+        ++pos; // consume '{'
+        long lo = parseInt();
+        long hi = lo;
+        bool unbounded = false;
+        if (peek() == ',') {
+            ++pos;
+            if (peek() == '}') {
+                unbounded = true;
+            } else {
+                hi = parseInt();
+            }
+        }
+        if (peek() != '}')
+            syntaxError("expected '}' after count");
+        ++pos;
+        if (!unbounded && hi < lo)
+            syntaxError("count upper bound below lower bound");
+        constexpr long kMaxCount = 8192;
+        if (lo > kMaxCount || (!unbounded && hi > kMaxCount))
+            syntaxError("count exceeds supported maximum");
+
+        auto cat = makeNode(RegexOp::Cat);
+        for (long i = 0; i < lo; ++i)
+            cat->children.push_back(atom->clone());
+        if (unbounded) {
+            auto star = makeNode(RegexOp::Star);
+            star->children.push_back(atom->clone());
+            cat->children.push_back(std::move(star));
+        } else {
+            for (long i = lo; i < hi; ++i) {
+                auto opt = makeNode(RegexOp::Opt);
+                opt->children.push_back(atom->clone());
+                cat->children.push_back(std::move(opt));
+            }
+        }
+        if (cat->children.empty())
+            return makeNode(RegexOp::Epsilon);
+        if (cat->children.size() == 1)
+            return std::move(cat->children[0]);
+        return cat;
+    }
+
+    long
+    parseInt()
+    {
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            syntaxError("expected digit");
+        long v = 0;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            v = v * 10 + (pat[pos] - '0');
+            if (v > 1'000'000)
+                syntaxError("count too large");
+            ++pos;
+        }
+        return v;
+    }
+
+    std::unique_ptr<RegexNode>
+    parseAtom()
+    {
+        char c = peek();
+        switch (c) {
+          case '(': {
+            ++pos;
+            if (peek() == '?') {
+                // Allow PCRE non-capturing group syntax (?:...); reject
+                // lookaround and other extensions.
+                if (pos + 1 < pat.size() && pat[pos + 1] == ':') {
+                    pos += 2;
+                } else {
+                    syntaxError("unsupported (?...) group");
+                }
+            }
+            auto inner = parseAlt();
+            if (peek() != ')')
+                syntaxError("missing ')'");
+            ++pos;
+            return inner;
+          }
+          case ')':
+          case '|':
+            syntaxError("unexpected metacharacter");
+          case '*':
+          case '+':
+          case '?':
+            syntaxError("quantifier with nothing to repeat");
+          case '[':
+            return makeSym(parseClass());
+          case '.':
+            ++pos;
+            return makeSym(SymbolSet::all());
+          case '$':
+            syntaxError("'$' end anchor is not supported");
+          case '^':
+            syntaxError("'^' is only valid at the start of the pattern");
+          case '\\':
+            return makeSym(parseEscape());
+          case '\0':
+            syntaxError("unexpected end of pattern");
+          default:
+            ++pos;
+            return makeSym(SymbolSet::single(static_cast<uint8_t>(c)));
+        }
+    }
+
+    int
+    hexDigit(char c)
+    {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        syntaxError("bad hex digit");
+    }
+
+    /** Parse an escape starting at '\\'; consumes it. */
+    SymbolSet
+    parseEscape()
+    {
+        ++pos; // consume backslash
+        if (atEnd())
+            syntaxError("dangling escape");
+        char e = pat[pos++];
+        switch (e) {
+          case 'n':
+            return SymbolSet::single('\n');
+          case 't':
+            return SymbolSet::single('\t');
+          case 'r':
+            return SymbolSet::single('\r');
+          case '0':
+            return SymbolSet::single('\0');
+          case 'x': {
+            if (pos + 2 > pat.size())
+                syntaxError("truncated \\x escape");
+            int hi = hexDigit(pat[pos]);
+            int lo = hexDigit(pat[pos + 1]);
+            pos += 2;
+            return SymbolSet::single(static_cast<uint8_t>((hi << 4) | lo));
+          }
+          case 'd':
+            return SymbolSet::range('0', '9');
+          case 'D':
+            return ~SymbolSet::range('0', '9');
+          case 'w':
+            return wordClass();
+          case 'W':
+            return ~wordClass();
+          case 's':
+            return spaceClass();
+          case 'S':
+            return ~spaceClass();
+          default:
+            return SymbolSet::single(static_cast<uint8_t>(e));
+        }
+    }
+
+    static SymbolSet
+    wordClass()
+    {
+        SymbolSet s = SymbolSet::range('a', 'z');
+        s |= SymbolSet::range('A', 'Z');
+        s |= SymbolSet::range('0', '9');
+        s.set('_');
+        return s;
+    }
+
+    static SymbolSet
+    spaceClass()
+    {
+        SymbolSet s;
+        s.set(' ');
+        s.set('\t');
+        s.set('\n');
+        s.set('\r');
+        s.set('\f');
+        s.set('\v');
+        return s;
+    }
+
+    /** Parse a bracket class starting at '['; consumes through ']'. */
+    SymbolSet
+    parseClass()
+    {
+        ++pos; // consume '['
+        bool negate = false;
+        if (peek() == '^') {
+            negate = true;
+            ++pos;
+        }
+        SymbolSet set;
+        bool first = true;
+        while (true) {
+            if (atEnd())
+                syntaxError("unterminated character class");
+            char c = peek();
+            if (c == ']' && !first) {
+                ++pos;
+                break;
+            }
+            first = false;
+            SymbolSet item;
+            uint8_t lo_byte = 0;
+            bool single = true;
+            if (c == '\\') {
+                item = parseEscape();
+                if (item.count() == 1) {
+                    for (unsigned b = 0; b < 256; ++b) {
+                        if (item.test(static_cast<uint8_t>(b))) {
+                            lo_byte = static_cast<uint8_t>(b);
+                            break;
+                        }
+                    }
+                } else {
+                    single = false;
+                }
+            } else {
+                ++pos;
+                lo_byte = static_cast<uint8_t>(c);
+                item = SymbolSet::single(lo_byte);
+            }
+            // Range: only when the left side was a single byte.
+            if (single && peek() == '-' && pos + 1 < pat.size() &&
+                pat[pos + 1] != ']') {
+                ++pos; // consume '-'
+                uint8_t hi_byte;
+                if (peek() == '\\') {
+                    SymbolSet hi_set = parseEscape();
+                    if (hi_set.count() != 1)
+                        syntaxError("class range bound must be one byte");
+                    hi_byte = 0;
+                    for (unsigned b = 0; b < 256; ++b) {
+                        if (hi_set.test(static_cast<uint8_t>(b))) {
+                            hi_byte = static_cast<uint8_t>(b);
+                            break;
+                        }
+                    }
+                } else {
+                    hi_byte = static_cast<uint8_t>(peek());
+                    ++pos;
+                }
+                if (hi_byte < lo_byte)
+                    syntaxError("inverted class range");
+                set |= SymbolSet::range(lo_byte, hi_byte);
+            } else {
+                set |= item;
+            }
+        }
+        return negate ? ~set : set;
+    }
+};
+
+} // namespace
+
+ParsedRegex
+parseRegex(const std::string &pattern)
+{
+    return Parser(pattern).parse();
+}
+
+} // namespace sparseap

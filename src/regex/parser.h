@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regular-expression parser.
+ *
+ * Grammar subset (the dialect used by Snort/ClamAV-style signatures):
+ *
+ *   alternation:  a|b
+ *   concatenation
+ *   quantifiers:  * + ? {m} {m,} {m,n}   (greedy; counts desugared by copy)
+ *   groups:       ( ... )               (non-capturing; no backrefs)
+ *   classes:      [abc], [a-z], [^...]  and '.' (any byte)
+ *   escapes:      \n \t \r \0 \xHH \d \D \w \W \s \S and \<punct>
+ *   anchor:       leading ^ anchors to start of data; otherwise the
+ *                 pattern matches at every input offset (AP semantics)
+ *
+ * '$' is rejected: end anchoring needs an end-of-data symbol the AP model
+ * does not carry. Backreferences and lookaround are rejected.
+ */
+
+#ifndef SPARSEAP_REGEX_PARSER_H
+#define SPARSEAP_REGEX_PARSER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nfa/symbol_set.h"
+
+namespace sparseap {
+
+/** Regex AST node kinds after desugaring counts. */
+enum class RegexOp : uint8_t {
+    Epsilon, ///< empty string
+    Sym,     ///< one symbol-set occurrence
+    Cat,     ///< concatenation of children
+    Alt,     ///< alternation of children
+    Star,    ///< zero or more of child
+    Plus,    ///< one or more of child
+    Opt,     ///< zero or one of child
+};
+
+/** AST node; children owned by unique_ptr. */
+struct RegexNode
+{
+    RegexOp op;
+    SymbolSet symbols; // valid when op == Sym
+    std::vector<std::unique_ptr<RegexNode>> children;
+
+    explicit RegexNode(RegexOp o) : op(o) {}
+
+    /** Deep copy (used to desugar {m,n} counts). */
+    std::unique_ptr<RegexNode> clone() const;
+};
+
+/** A parsed pattern: AST plus anchoring flag. */
+struct ParsedRegex
+{
+    std::unique_ptr<RegexNode> root;
+    /** True iff the pattern began with '^'. */
+    bool anchored = false;
+};
+
+/**
+ * Parse @p pattern; calls fatal() with a position-annotated message on
+ * syntax errors.
+ */
+ParsedRegex parseRegex(const std::string &pattern);
+
+/** Count of Sym occurrences in the AST (the Glushkov position count). */
+size_t countPositions(const RegexNode &node);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_REGEX_PARSER_H

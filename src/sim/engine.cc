@@ -1,0 +1,33 @@
+#include "sim/engine.h"
+
+#include "common/logging.h"
+#include "sim/exec_core.h"
+#include "sim/profiler.h"
+
+namespace sparseap {
+
+Engine::Engine(const FlatAutomaton &fa)
+    : fa_(fa), core_(std::make_unique<ExecCore>(fa))
+{
+}
+
+Engine::~Engine() = default;
+
+SimResult
+Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
+{
+    SimResult result;
+    result.cycles = input.size();
+
+    if (profiler)
+        profiler->markStarts(fa_);
+
+    core_->reset(ExecCore::distinctBytes(input), profiler,
+                 /*install_starts=*/true);
+    for (size_t i = 0; i < input.size(); ++i) {
+        core_->step(input[i], static_cast<uint32_t>(i), &result.reports);
+    }
+    return result;
+}
+
+} // namespace sparseap

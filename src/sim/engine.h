@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional homogeneous-NFA engine (the VASim-equivalent substrate).
+ *
+ * Executes an automaton over a byte stream with the AP semantics: each
+ * cycle, every enabled state whose symbol-set contains the input byte
+ * *activates*; activation of a reporting state emits a report; successors
+ * of activated states are *enabled* for the next cycle. Always-enabled
+ * start states are dispatched through a 256-entry table instead of living
+ * in the dynamic enabled set, so per-cycle cost is proportional to the
+ * number of matching states, not the number of NFAs.
+ */
+
+#ifndef SPARSEAP_SIM_ENGINE_H
+#define SPARSEAP_SIM_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/flat_automaton.h"
+#include "sim/report.h"
+
+namespace sparseap {
+
+class ExecCore;
+class HotStateProfiler;
+
+/** Result of a functional run. */
+struct SimResult
+{
+    /** Reports in nondecreasing position order. */
+    ReportList reports;
+    /** Symbols consumed (== input length for a plain run). */
+    uint64_t cycles = 0;
+};
+
+/**
+ * Reusable engine over one FlatAutomaton. The engine owns scratch state
+ * sized to the automaton, so reuse across runs avoids reallocation.
+ */
+class Engine
+{
+  public:
+    explicit Engine(const FlatAutomaton &fa);
+    ~Engine();
+
+    /**
+     * Run the whole input.
+     * @param input the symbol stream
+     * @param profiler optional hot-state recorder
+     */
+    SimResult run(std::span<const uint8_t> input,
+                  HotStateProfiler *profiler = nullptr);
+
+    const FlatAutomaton &automaton() const { return fa_; }
+
+  private:
+    const FlatAutomaton &fa_;
+    std::unique_ptr<ExecCore> core_;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_SIM_ENGINE_H

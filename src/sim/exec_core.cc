@@ -1,0 +1,199 @@
+#include "sim/exec_core.h"
+
+#include "common/logging.h"
+#include "sim/profiler.h"
+
+namespace sparseap {
+
+ExecCore::ExecCore(const FlatAutomaton &fa)
+    : fa_(fa), status_(fa.size(), Status::Normal), mark_(fa.size(), 0)
+{
+}
+
+Bitset256
+ExecCore::distinctBytes(std::span<const uint8_t> input)
+{
+    Bitset256 set;
+    for (uint8_t b : input)
+        set.set(b);
+    return set;
+}
+
+bool
+ExecCore::universal(GlobalStateId s) const
+{
+    // symbols(s) covers every byte of the stream: alphabet & ~symbols
+    // must be empty.
+    return (input_alphabet_ & ~fa_.symbols(s)).empty();
+}
+
+bool
+ExecCore::hasSelfLoop(GlobalStateId s) const
+{
+    for (GlobalStateId t : fa_.successors(s)) {
+        if (t == s)
+            return true;
+    }
+    return false;
+}
+
+void
+ExecCore::reset(const Bitset256 &input_alphabet,
+                HotStateProfiler *profiler, bool install_starts)
+{
+    input_alphabet_ = input_alphabet;
+    profiler_ = profiler;
+
+    std::fill(status_.begin(), status_.end(), Status::Normal);
+    std::fill(mark_.begin(), mark_.end(), 0u);
+    epoch_ = 1;
+    enabled_.clear();
+    next_enabled_.clear();
+    for (auto &bucket : perm_table_)
+        bucket.clear();
+    permanent_count_ = 0;
+    latched_pending_.clear();
+    latched_reporting_.clear();
+    pending_permanent_.clear();
+
+    if (!install_starts)
+        return;
+
+    // Always-enabled starts are permanent by definition.
+    for (GlobalStateId s : fa_.allInputStarts()) {
+        if (profiler_)
+            profiler_->markEnabled(s);
+        if (status_[s] == Status::Normal)
+            makePermanent(s);
+    }
+    // Start-of-data starts are enabled for the first cycle only.
+    for (GlobalStateId s : fa_.startOfDataStarts()) {
+        if (profiler_)
+            profiler_->markEnabled(s);
+        enableState(s);
+    }
+}
+
+void
+ExecCore::makePermanent(GlobalStateId s)
+{
+    SPARSEAP_ASSERT(status_[s] == Status::Normal,
+                    "makePermanent on non-normal state ", s);
+    if (profiler_)
+        profiler_->markEnabled(s);
+    ++permanent_count_;
+    if (universal(s)) {
+        status_[s] = Status::Latched;
+        latched_pending_.push_back(s);
+    } else {
+        status_[s] = Status::Permanent;
+        for (unsigned b = 0; b < 256; ++b) {
+            if (input_alphabet_.test(static_cast<uint8_t>(b)) &&
+                fa_.symbols(s).test(static_cast<uint8_t>(b))) {
+                perm_table_[b].push_back(s);
+            }
+        }
+    }
+}
+
+void
+ExecCore::enableState(GlobalStateId s)
+{
+    if (status_[s] != Status::Normal)
+        return; // already permanently enabled
+    if (profiler_)
+        profiler_->markEnabled(s);
+    if (universal(s) && hasSelfLoop(s)) {
+        // Enabled now, activates on every symbol, re-enables itself:
+        // permanently enabled from this cycle on.
+        makePermanent(s);
+        return;
+    }
+    if (mark_[s] != epoch_) {
+        mark_[s] = epoch_;
+        enabled_.push_back(s);
+    }
+}
+
+void
+ExecCore::enableForNext(GlobalStateId t)
+{
+    if (status_[t] != Status::Normal)
+        return;
+    const uint32_t next_epoch = epoch_ + 1;
+    if (mark_[t] != next_epoch) {
+        mark_[t] = next_epoch;
+        next_enabled_.push_back(t);
+        if (profiler_)
+            profiler_->markEnabled(t);
+        if (universal(t) && hasSelfLoop(t)) {
+            // Will latch at the start of the next cycle.
+            pending_permanent_.push_back(t);
+        }
+    }
+}
+
+void
+ExecCore::activate(GlobalStateId s, uint32_t position, ReportList *reports)
+{
+    if (fa_.reporting(s) && reports)
+        reports->push_back({position, s});
+    for (GlobalStateId t : fa_.successors(s))
+        enableForNext(t);
+}
+
+void
+ExecCore::expandLatched(uint32_t position)
+{
+    (void)position;
+    for (GlobalStateId s : latched_pending_) {
+        if (fa_.reporting(s))
+            latched_reporting_.push_back(s);
+        // A latched state activates on every remaining cycle, so its
+        // successors are permanently enabled from the next cycle on.
+        for (GlobalStateId t : fa_.successors(s)) {
+            if (t != s && status_[t] == Status::Normal)
+                pending_permanent_.push_back(t);
+        }
+    }
+    latched_pending_.clear();
+}
+
+void
+ExecCore::flushPending()
+{
+    for (GlobalStateId s : pending_permanent_) {
+        if (status_[s] == Status::Normal)
+            makePermanent(s);
+    }
+    pending_permanent_.clear();
+}
+
+void
+ExecCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
+{
+    expandLatched(position);
+
+    // Latched reporting states match every actual input byte.
+    if (reports) {
+        for (GlobalStateId s : latched_reporting_)
+            reports->push_back({position, s});
+    }
+
+    next_enabled_.clear();
+
+    for (GlobalStateId s : perm_table_[symbol])
+        activate(s, position, reports);
+
+    for (GlobalStateId s : enabled_) {
+        // A state may have become permanent while queued.
+        if (status_[s] == Status::Normal && fa_.symbols(s).test(symbol))
+            activate(s, position, reports);
+    }
+
+    enabled_.swap(next_enabled_);
+    ++epoch_;
+    flushPending();
+}
+
+} // namespace sparseap

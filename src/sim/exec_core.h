@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared cycle-stepping core for the BaseAP functional engine and the
+ * SpAP-mode engine.
+ *
+ * Semantics are the plain AP model (enabled -> activated -> successors
+ * enabled), with one pure optimization for `.*`-heavy automata:
+ *
+ *  - A state is *universal* (w.r.t. one input stream) when its symbol-set
+ *    contains every distinct byte of that stream: once enabled it
+ *    activates on every remaining cycle.
+ *  - A universal state that re-enables itself (self-loop) or that is an
+ *    always-enabled start is therefore *latched*: permanently enabled and
+ *    permanently activating. Its successors become *permanently enabled*
+ *    and are served from a per-symbol dispatch table instead of being
+ *    re-inserted into the dynamic enabled set every cycle.
+ *
+ * This collapses the per-cycle cost of self-loop gap states (SPM, Fermi,
+ * Dotstar `.*` positions) from O(live gap states) to O(actual matches),
+ * without changing a single report. Property tests pit this core against
+ * an independent naive simulator.
+ */
+
+#ifndef SPARSEAP_SIM_EXEC_CORE_H
+#define SPARSEAP_SIM_EXEC_CORE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/flat_automaton.h"
+#include "sim/report.h"
+
+namespace sparseap {
+
+class HotStateProfiler;
+
+/** Reusable stepping core bound to one FlatAutomaton. */
+class ExecCore
+{
+  public:
+    explicit ExecCore(const FlatAutomaton &fa);
+
+    /**
+     * Prepare for a run over a stream whose distinct bytes are
+     * @p input_alphabet. Clears all dynamic and permanent state, then
+     * installs the always-enabled starts (all-input kind) as permanent
+     * and the start-of-data starts as enabled for the first cycle.
+     *
+     * @param profiler optional hot-state recorder
+     * @param install_starts when false, start states are NOT installed
+     *        (SpAP mode: the cold fabric is driven by events only)
+     */
+    void reset(const Bitset256 &input_alphabet,
+               HotStateProfiler *profiler, bool install_starts);
+
+    /**
+     * Enable @p s for the next step() call (an SpAP enable operation or
+     * internal successor enabling). Idempotent; no-op when the state is
+     * already permanently enabled.
+     */
+    void enableState(GlobalStateId s);
+
+    /** True iff no state is enabled (dynamic or permanent). */
+    bool
+    idle() const
+    {
+        return enabled_.empty() && permanent_count_ == 0 &&
+               latched_pending_.empty();
+    }
+
+    /**
+     * Consume one input symbol.
+     * @param symbol the byte at this position
+     * @param position input position (for report records)
+     * @param reports destination for reports emitted this cycle
+     */
+    void step(uint8_t symbol, uint32_t position, ReportList *reports);
+
+    /** Compute the set of distinct bytes in @p input. */
+    static Bitset256 distinctBytes(std::span<const uint8_t> input);
+
+  private:
+    enum class Status : uint8_t {
+        Normal,    ///< ordinary dynamic state
+        Permanent, ///< permanently enabled, dispatched by symbol
+        Latched,   ///< permanently enabled and universal
+    };
+
+    void activate(GlobalStateId s, uint32_t position,
+                  ReportList *reports);
+    void enableForNext(GlobalStateId t);
+    void makePermanent(GlobalStateId s);
+    bool universal(GlobalStateId s) const;
+    bool hasSelfLoop(GlobalStateId s) const;
+    void expandLatched(uint32_t position);
+    void flushPending();
+
+    const FlatAutomaton &fa_;
+    Bitset256 input_alphabet_;
+    HotStateProfiler *profiler_ = nullptr;
+
+    std::vector<Status> status_;
+    std::vector<uint32_t> mark_;
+    uint32_t epoch_ = 0; ///< epoch of the *upcoming* step
+    std::vector<GlobalStateId> enabled_;      ///< dynamic, for next step
+    std::vector<GlobalStateId> next_enabled_; ///< scratch
+
+    /** Permanent non-universal states accepting each symbol. */
+    std::array<std::vector<GlobalStateId>, 256> perm_table_;
+    size_t permanent_count_ = 0;
+
+    /** Latched states whose successors still need permanence. */
+    std::vector<GlobalStateId> latched_pending_;
+    /** Latched reporting states: they report on every remaining cycle. */
+    std::vector<GlobalStateId> latched_reporting_;
+
+    /** States scheduled to become permanent after the current step. */
+    std::vector<GlobalStateId> pending_permanent_;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_SIM_EXEC_CORE_H

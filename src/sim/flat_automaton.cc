@@ -1,0 +1,48 @@
+#include "sim/flat_automaton.h"
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+FlatAutomaton::FlatAutomaton(const Application &app)
+{
+    const size_t n = app.totalStates();
+    symbols_.reserve(n);
+    reporting_.reserve(n);
+    start_.reserve(n);
+    succ_begin_.reserve(n + 1);
+
+    size_t edge_count = 0;
+    for (const auto &nfa : app.nfas())
+        for (const auto &s : nfa.states())
+            edge_count += s.successors.size();
+    succ_.reserve(edge_count);
+
+    for (uint32_t ni = 0; ni < app.nfaCount(); ++ni) {
+        const Nfa &nfa = app.nfa(ni);
+        SPARSEAP_ASSERT(nfa.finalized(), "FlatAutomaton needs finalized NFAs");
+        const GlobalStateId base = app.nfaOffset(ni);
+        for (StateId si = 0; si < nfa.size(); ++si) {
+            const State &st = nfa.state(si);
+            const GlobalStateId gid = base + si;
+            symbols_.push_back(st.symbols);
+            reporting_.push_back(st.reporting ? 1 : 0);
+            start_.push_back(st.start);
+            succ_begin_.push_back(static_cast<uint32_t>(succ_.size()));
+            for (StateId t : st.successors)
+                succ_.push_back(base + t);
+            if (st.start == StartKind::AllInput) {
+                all_input_starts_.push_back(gid);
+                for (unsigned b = 0; b < 256; ++b) {
+                    if (st.symbols.test(static_cast<uint8_t>(b)))
+                        start_table_[b].push_back(gid);
+                }
+            } else if (st.start == StartKind::StartOfData) {
+                sod_starts_.push_back(gid);
+            }
+        }
+    }
+    succ_begin_.push_back(static_cast<uint32_t>(succ_.size()));
+}
+
+} // namespace sparseap

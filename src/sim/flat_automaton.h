@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A flattened, simulation-friendly view of an Application.
+ *
+ * All NFAs are merged into one dense state space (GlobalStateId order) with
+ * CSR adjacency and a per-symbol dispatch table for the always-enabled
+ * start states — the software analogue of the AP feeding each input symbol
+ * through the DRAM row decoder so all matching STEs activate in parallel.
+ */
+
+#ifndef SPARSEAP_SIM_FLAT_AUTOMATON_H
+#define SPARSEAP_SIM_FLAT_AUTOMATON_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nfa/application.h"
+
+namespace sparseap {
+
+/** Immutable flattened automaton built from a (finalized) Application. */
+class FlatAutomaton
+{
+  public:
+    explicit FlatAutomaton(const Application &app);
+
+    /** Number of states. */
+    size_t size() const { return symbols_.size(); }
+
+    const SymbolSet &symbols(GlobalStateId s) const { return symbols_[s]; }
+
+    bool reporting(GlobalStateId s) const { return reporting_[s]; }
+
+    StartKind start(GlobalStateId s) const { return start_[s]; }
+
+    /** Successors of @p s as a contiguous span. */
+    std::span<const GlobalStateId>
+    successors(GlobalStateId s) const
+    {
+        return {succ_.data() + succ_begin_[s],
+                succ_begin_[s + 1] - succ_begin_[s]};
+    }
+
+    /** Always-enabled start states that accept @p symbol. */
+    const std::vector<GlobalStateId> &
+    allInputStartsFor(uint8_t symbol) const
+    {
+        return start_table_[symbol];
+    }
+
+    /** Start-of-data start states (enabled only for position 0). */
+    const std::vector<GlobalStateId> &
+    startOfDataStarts() const
+    {
+        return sod_starts_;
+    }
+
+    /** All always-enabled start states. */
+    const std::vector<GlobalStateId> &
+    allInputStarts() const
+    {
+        return all_input_starts_;
+    }
+
+  private:
+    std::vector<SymbolSet> symbols_;
+    std::vector<uint8_t> reporting_; // bool, stored flat for cache locality
+    std::vector<StartKind> start_;
+    std::vector<uint32_t> succ_begin_; // size() + 1 entries (CSR)
+    std::vector<GlobalStateId> succ_;
+    std::array<std::vector<GlobalStateId>, 256> start_table_;
+    std::vector<GlobalStateId> sod_starts_;
+    std::vector<GlobalStateId> all_input_starts_;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_SIM_FLAT_AUTOMATON_H

@@ -1,0 +1,39 @@
+#include "sim/profiler.h"
+
+#include <algorithm>
+
+#include "sim/flat_automaton.h"
+
+namespace sparseap {
+
+HotStateProfiler::HotStateProfiler(size_t state_count)
+    : enabled_ever_(state_count, false)
+{
+}
+
+void
+HotStateProfiler::markStarts(const FlatAutomaton &fa)
+{
+    for (GlobalStateId s : fa.allInputStarts())
+        enabled_ever_[s] = true;
+    for (GlobalStateId s : fa.startOfDataStarts())
+        enabled_ever_[s] = true;
+}
+
+size_t
+HotStateProfiler::hotCount() const
+{
+    return static_cast<size_t>(
+        std::count(enabled_ever_.begin(), enabled_ever_.end(), true));
+}
+
+double
+HotStateProfiler::hotFraction() const
+{
+    if (enabled_ever_.empty())
+        return 0.0;
+    return static_cast<double>(hotCount()) /
+           static_cast<double>(enabled_ever_.size());
+}
+
+} // namespace sparseap

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hot-state profiler (Section IV-A).
+ *
+ * Records which states were *enabled* at least once during a run. Hot =
+ * enabled at least once; cold = never enabled. Start states count as hot
+ * unconditionally: an all-input start is enabled every cycle, and a
+ * start-of-data start is enabled before position 0.
+ */
+
+#ifndef SPARSEAP_SIM_PROFILER_H
+#define SPARSEAP_SIM_PROFILER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "nfa/application.h"
+
+namespace sparseap {
+
+class FlatAutomaton;
+
+/** Accumulates the set of states ever enabled across one or more runs. */
+class HotStateProfiler
+{
+  public:
+    /** @param state_count total states in the automaton being profiled. */
+    explicit HotStateProfiler(size_t state_count);
+
+    /** Mark the start states of @p fa as enabled. */
+    void markStarts(const FlatAutomaton &fa);
+
+    /** Record that state @p s became enabled. */
+    void
+    markEnabled(GlobalStateId s)
+    {
+        enabled_ever_[s] = true;
+    }
+
+    /** @return true iff state @p s was ever enabled. */
+    bool hot(GlobalStateId s) const { return enabled_ever_[s]; }
+
+    /** Bitvector of ever-enabled states. */
+    const std::vector<bool> &hotSet() const { return enabled_ever_; }
+
+    /** Number of hot states. */
+    size_t hotCount() const;
+
+    /** Fraction of hot states. */
+    double hotFraction() const;
+
+  private:
+    std::vector<bool> enabled_ever_;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_SIM_PROFILER_H

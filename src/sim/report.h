@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Report records emitted by automata execution.
+ *
+ * A report (position, state) means the reporting state @c state activated
+ * while consuming the input symbol at @c position. Intermediate reports
+ * (Section IV-C) reuse the same record with the *translated* target state
+ * (the predicted-cold state to enable in SpAP mode).
+ */
+
+#ifndef SPARSEAP_SIM_REPORT_H
+#define SPARSEAP_SIM_REPORT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nfa/application.h"
+
+namespace sparseap {
+
+/** One report: reporting state @c state activated at input @c position. */
+struct Report
+{
+    uint32_t position;
+    GlobalStateId state;
+
+    bool
+    operator==(const Report &o) const
+    {
+        return position == o.position && state == o.state;
+    }
+
+    bool
+    operator<(const Report &o) const
+    {
+        return position != o.position ? position < o.position
+                                      : state < o.state;
+    }
+};
+
+/** Report stream in nondecreasing position order. */
+using ReportList = std::vector<Report>;
+
+} // namespace sparseap
+
+#endif // SPARSEAP_SIM_REPORT_H

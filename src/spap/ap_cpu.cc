@@ -1,0 +1,89 @@
+#include "spap/ap_cpu.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+ApCpuStats
+runApCpu(const AppTopology &topo, const ExecutionOptions &opts,
+         const PreparedPartition &prep, bool collect_reports)
+{
+    const Application &app = topo.app();
+    const PartitionedApp &part = prep.part;
+    const std::span<const uint8_t> test = prep.testInput;
+
+    ApCpuStats stats;
+    stats.baselineBatches =
+        packWholeNfas(app, opts.ap.capacity).batchCount();
+    stats.baselineSeconds = opts.ap.cyclesToSeconds(
+        static_cast<double>(stats.baselineBatches) *
+        static_cast<double>(test.size()));
+
+    stats.baseApBatches =
+        packWholeNfas(part.hot, opts.ap.capacity).batchCount();
+    stats.baseApSeconds = opts.ap.cyclesToSeconds(
+        static_cast<double>(stats.baseApBatches) *
+        static_cast<double>(test.size()));
+
+    // BaseAP mode (functional): collect events and final reports.
+    const FlatAutomaton hot_fa(part.hot);
+    Engine hot_engine(hot_fa);
+    const SimResult hot_run = hot_engine.run(test);
+
+    ReportList final_reports;
+    std::vector<SpapEvent> events;
+    for (const Report &r : hot_run.reports) {
+        const GlobalStateId target = part.intermediateTarget[r.state];
+        if (target != kInvalidGlobal) {
+            GlobalStateId cold_id = part.originalToCold[target];
+            SPARSEAP_ASSERT(cold_id != kInvalidGlobal,
+                            "event targets a non-cold state");
+            events.push_back({r.position, cold_id});
+        } else if (collect_reports) {
+            final_reports.push_back(
+                {r.position, part.hotToOriginal[r.state]});
+        }
+    }
+    stats.intermediateReports = events.size();
+
+    // CPU handling of the cold set, measured in real time. The CPU holds
+    // the whole cold set at once (no batching) and may skip idle spans —
+    // software is free to do both.
+    if (!events.empty() && part.cold.nfaCount() > 0) {
+        const FlatAutomaton cold_fa(part.cold);
+        const auto t0 = std::chrono::steady_clock::now();
+        const SpapResult r = runSpapMode(cold_fa, test, events);
+        const auto t1 = std::chrono::steady_clock::now();
+        stats.cpuSeconds =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (collect_reports) {
+            for (const Report &rep : r.reports) {
+                final_reports.push_back(
+                    {rep.position, part.coldToOriginal[rep.state]});
+            }
+        }
+    }
+
+    const double ours = stats.baseApSeconds + stats.cpuSeconds;
+    stats.speedup = ours == 0.0 ? 1.0 : stats.baselineSeconds / ours;
+
+    if (collect_reports) {
+        std::sort(final_reports.begin(), final_reports.end());
+        stats.reports = std::move(final_reports);
+    }
+    return stats;
+}
+
+ApCpuStats
+runApCpu(const AppTopology &topo, const ExecutionOptions &opts,
+         std::span<const uint8_t> full_input, bool collect_reports)
+{
+    const PreparedPartition prep =
+        preparePartition(topo, opts, full_input);
+    return runApCpu(topo, opts, prep, collect_reports);
+}
+
+} // namespace sparseap

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * AP-CPU execution: the predicted hot set runs in BaseAP mode, and the
+ * mis-predicted (cold) work is handled on the host CPU with the
+ * functional engine, timed with std::chrono — the paper's no-hardware-
+ * change alternative to SpAP mode (Table III).
+ */
+
+#ifndef SPARSEAP_SPAP_AP_CPU_H
+#define SPARSEAP_SPAP_AP_CPU_H
+
+#include "spap/executor.h"
+
+namespace sparseap {
+
+/**
+ * Run the AP-CPU pipeline.
+ *
+ * AP time is modelled (batches x input x 7.5 ns); the cold-set handling
+ * is *measured* wall-clock time of the event-driven software simulation,
+ * exactly the paper's methodology. Results therefore vary with the host
+ * machine; the shape (CPU handling dwarfing AP cycles when many events
+ * fire) is what matters.
+ */
+ApCpuStats runApCpu(const AppTopology &topo, const ExecutionOptions &opts,
+                    const PreparedPartition &prep,
+                    bool collect_reports = false);
+
+/** Convenience overload building the partition internally. */
+ApCpuStats runApCpu(const AppTopology &topo, const ExecutionOptions &opts,
+                    std::span<const uint8_t> full_input,
+                    bool collect_reports = false);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_SPAP_AP_CPU_H

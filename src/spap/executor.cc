@@ -1,0 +1,238 @@
+#include "spap/executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+BaselineResult
+runBaseline(const Application &app, const ApConfig &config,
+            std::span<const uint8_t> test_input, bool collect_reports)
+{
+    BaselineResult r;
+    r.batches = packWholeNfas(app, config.capacity).batchCount();
+    r.cycles = static_cast<uint64_t>(r.batches) * test_input.size();
+    if (collect_reports) {
+        FlatAutomaton fa(app);
+        Engine engine(fa);
+        r.reports = engine.run(test_input).reports;
+    }
+    return r;
+}
+
+PreparedPartition
+preparePartition(const AppTopology &topo, const ExecutionOptions &opts,
+                 std::span<const uint8_t> full_input)
+{
+    SPARSEAP_ASSERT(opts.profileFraction > 0.0 &&
+                        opts.profileFraction < 1.0,
+                    "profileFraction must be in (0, 1), got ",
+                    opts.profileFraction);
+    PreparedPartition prep;
+
+    const double reference =
+        opts.profileReferenceBytes > 0
+            ? static_cast<double>(opts.profileReferenceBytes)
+            : static_cast<double>(full_input.size());
+    size_t profile_len =
+        static_cast<size_t>(reference * opts.profileFraction);
+    profile_len = std::min(profile_len, full_input.size() / 2);
+    profile_len = std::max<size_t>(profile_len, 1);
+    prep.profileInput = full_input.subspan(0, profile_len);
+    prep.testInput = opts.fullInputAsTest ? full_input
+                                          : full_input.subspan(profile_len);
+
+    const FlatAutomaton fa(topo.app());
+    const HotColdProfile profile =
+        profileApplication(fa, prep.profileInput);
+
+    prep.layers = chooseLayers(topo, profile);
+    if (opts.fillOptimization) {
+        prep.layers = fillToCapacity(topo, std::move(prep.layers),
+                                     opts.ap.capacity, opts.partition);
+    }
+    prep.part = partitionApplication(topo, prep.layers, opts.partition);
+    return prep;
+}
+
+namespace {
+
+/**
+ * Pack cold NFAs into SpAP batches at whole-NFA granularity. A cold
+ * fragment larger than the capacity gets one over-full batch (splitting a
+ * fragment would need another partitioning level), with a warning.
+ */
+std::vector<std::vector<uint32_t>>
+packColdBatches(const Application &cold, size_t capacity)
+{
+    std::vector<std::vector<uint32_t>> batches;
+    std::vector<uint32_t> current;
+    size_t used = 0;
+    for (uint32_t i = 0; i < cold.nfaCount(); ++i) {
+        const size_t sz = cold.nfa(i).size();
+        if (sz > capacity) {
+            warn("cold fragment '", cold.nfa(i).name(), "' (", sz,
+                 " states) exceeds the AP capacity (", capacity,
+                 "); modelling it as one over-full SpAP batch");
+        }
+        if (used + sz > capacity && !current.empty()) {
+            batches.push_back(std::move(current));
+            current.clear();
+            used = 0;
+        }
+        current.push_back(i);
+        used += sz;
+    }
+    if (!current.empty())
+        batches.push_back(std::move(current));
+    return batches;
+}
+
+} // namespace
+
+SpapRunStats
+runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
+              const PreparedPartition &prep, bool collect_reports)
+{
+    const Application &app = topo.app();
+    const PartitionedApp &part = prep.part;
+    const std::span<const uint8_t> test = prep.testInput;
+
+    SpapRunStats stats;
+    stats.testLength = test.size();
+    stats.totalStates = app.totalStates();
+    stats.baseApStates = part.hot.totalStates();
+    stats.intermediateStates = part.intermediateCount;
+    stats.hotOriginalReporting = part.hotOriginalReporting;
+    stats.resourceSavings = part.resourceSavings(app.totalStates());
+
+    // Baseline batch count (cycle model only; reports aren't needed here).
+    stats.baselineBatches =
+        packWholeNfas(app, opts.ap.capacity).batchCount();
+    stats.baselineCycles =
+        static_cast<uint64_t>(stats.baselineBatches) * test.size();
+
+    // ----- BaseAP mode: execute the predicted hot set. -----
+    stats.baseApBatches =
+        packWholeNfas(part.hot, opts.ap.capacity).batchCount();
+    stats.baseApCycles =
+        static_cast<uint64_t>(stats.baseApBatches) * test.size();
+
+    const FlatAutomaton hot_fa(part.hot);
+    Engine hot_engine(hot_fa);
+    const SimResult hot_run = hot_engine.run(test);
+
+    // Split BaseAP reports into final reports and intermediate events.
+    ReportList final_reports;
+    std::vector<SpapEvent> events; // targets as original global ids
+    for (const Report &r : hot_run.reports) {
+        const GlobalStateId target = part.intermediateTarget[r.state];
+        if (target != kInvalidGlobal) {
+            events.push_back({r.position, target});
+        } else if (collect_reports) {
+            final_reports.push_back(
+                {r.position, part.hotToOriginal[r.state]});
+        }
+    }
+    stats.intermediateReports = events.size();
+
+    // ----- SpAP mode: execute the predicted cold set. -----
+    if (part.cold.nfaCount() > 0) {
+        const auto batches = packColdBatches(part.cold, opts.ap.capacity);
+        stats.spApConfiguredBatches = batches.size();
+
+        // Cold NFAs that actually receive events; a batch with none
+        // never starts (its SpAP run would jump straight past the end).
+        std::vector<bool> nfa_has_event(part.cold.nfaCount(), false);
+        for (const SpapEvent &e : events) {
+            const GlobalStateId cold_id = part.originalToCold[e.state];
+            SPARSEAP_ASSERT(cold_id != kInvalidGlobal,
+                            "intermediate event targets a non-cold state");
+            nfa_has_event[part.cold.resolve(cold_id).nfa] = true;
+        }
+
+        for (const auto &batch : batches) {
+            bool active = false;
+            for (uint32_t ci : batch)
+                active = active || nfa_has_event[ci];
+            if (!active)
+                continue;
+            ++stats.spApBatches;
+            // Build the batch application and its id maps.
+            Application batch_app;
+            std::vector<GlobalStateId> batch_to_cold;
+            std::vector<GlobalStateId> cold_to_batch(
+                part.cold.totalStates(), kInvalidGlobal);
+            for (uint32_t ci : batch) {
+                const GlobalStateId cold_base = part.cold.nfaOffset(ci);
+                const size_t sz = part.cold.nfa(ci).size();
+                const GlobalStateId batch_base =
+                    static_cast<GlobalStateId>(batch_to_cold.size());
+                batch_app.addNfa(part.cold.nfa(ci));
+                for (size_t s = 0; s < sz; ++s) {
+                    batch_to_cold.push_back(
+                        cold_base + static_cast<GlobalStateId>(s));
+                    cold_to_batch[cold_base + s] =
+                        batch_base + static_cast<GlobalStateId>(s);
+                }
+            }
+
+            // Events whose target lives in this batch, in batch-local ids.
+            std::vector<SpapEvent> batch_events;
+            for (const SpapEvent &e : events) {
+                const GlobalStateId cold_id = part.originalToCold[e.state];
+                SPARSEAP_ASSERT(cold_id != kInvalidGlobal,
+                                "intermediate event targets a non-cold "
+                                "state");
+                const GlobalStateId local = cold_to_batch[cold_id];
+                if (local != kInvalidGlobal)
+                    batch_events.push_back({e.position, local});
+            }
+
+            const FlatAutomaton batch_fa(batch_app);
+            const SpapResult r = runSpapMode(batch_fa, test, batch_events);
+            stats.spApCycles += r.totalCycles();
+            stats.spApConsumedCycles += r.consumedCycles;
+            stats.enableStalls += r.enableStalls;
+            if (collect_reports) {
+                for (const Report &rep : r.reports) {
+                    final_reports.push_back(
+                        {rep.position,
+                         part.coldToOriginal[batch_to_cold[rep.state]]});
+                }
+            }
+        }
+
+        if (stats.spApBatches > 0 && test.size() > 0) {
+            const double denom =
+                static_cast<double>(stats.spApBatches) *
+                static_cast<double>(test.size());
+            stats.jumpRatio =
+                1.0 -
+                static_cast<double>(stats.spApConsumedCycles) / denom;
+        }
+    }
+
+    const uint64_t ours = stats.baseApCycles + stats.spApCycles;
+    stats.speedup = ours == 0 ? 1.0
+                              : static_cast<double>(stats.baselineCycles) /
+                                    static_cast<double>(ours);
+
+    if (collect_reports) {
+        std::sort(final_reports.begin(), final_reports.end());
+        stats.reports = std::move(final_reports);
+    }
+    return stats;
+}
+
+SpapRunStats
+runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
+              std::span<const uint8_t> full_input, bool collect_reports)
+{
+    const PreparedPartition prep =
+        preparePartition(topo, opts, full_input);
+    return runBaseApSpap(topo, opts, prep, collect_reports);
+}
+
+} // namespace sparseap

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * End-to-end execution pipelines (Table III of the paper):
+ *
+ *  - AP          baseline: whole NFAs, batched, every batch re-consumes
+ *                the input;
+ *  - BaseAP/SpAP predicted hot set in BaseAP mode, predicted cold set in
+ *                SpAP mode driven by intermediate reports;
+ *  - AP-CPU      predicted hot set in BaseAP mode, cold handling on the
+ *                CPU (timed with std::chrono, as in the paper).
+ *
+ * All pipelines share the profiling -> layer choice -> fill -> partition
+ * front end and report the Table IV runtime statistics.
+ */
+
+#ifndef SPARSEAP_SPAP_EXECUTOR_H
+#define SPARSEAP_SPAP_EXECUTOR_H
+
+#include <span>
+
+#include "ap/config.h"
+#include "ap/timing.h"
+#include "partition/fill.h"
+#include "partition/partitioner.h"
+#include "sim/engine.h"
+#include "spap/spap_engine.h"
+
+namespace sparseap {
+
+/** Knobs for the partitioned pipelines. */
+struct ExecutionOptions
+{
+    ApConfig ap;
+    /** Profiling prefix as a fraction of the whole input (0.001 / 0.01). */
+    double profileFraction = 0.01;
+    /**
+     * Reference stream length the profile fraction is taken of. The
+     * paper profiles 0.1% / 1% of a 1 MiB input (~1 KiB / ~10 KiB); when
+     * simulating shorter streams, taking the fraction of the *reference*
+     * keeps the absolute profile sizes — and hence prediction quality —
+     * faithful. 0 means take the fraction of the actual input. The
+     * profile is always clamped to half the input.
+     */
+    size_t profileReferenceBytes = 1 << 20;
+    /** Apply the Section IV-B batch-fill optimization. */
+    bool fillOptimization = true;
+    /** Intermediate-state construction options. */
+    PartitionOptions partition;
+    /**
+     * Run the *whole* input as the test stream (paper behaviour for
+     * Fermi/SPM whose start states fire only at position 0); otherwise
+     * the test stream is the remainder after the profiling prefix.
+     */
+    bool fullInputAsTest = false;
+};
+
+/** Result of the plain baseline AP execution. */
+struct BaselineResult
+{
+    size_t batches = 0;
+    uint64_t cycles = 0;
+    /** Reports (original global ids); filled only when requested. */
+    ReportList reports;
+};
+
+/** Table IV row: runtime statistics of one BaseAP/SpAP execution. */
+struct SpapRunStats
+{
+    // Execution counts.
+    size_t baselineBatches = 0;
+    size_t baseApBatches = 0;
+    /**
+     * SpAP-mode executions: cold batches that received at least one
+     * intermediate report (batches with no events never start, matching
+     * Table IV's "0 SpAP executions" for apps like CAV4k and DS).
+     */
+    size_t spApBatches = 0;
+    /** Cold batches configured in total (incl. never-started ones). */
+    size_t spApConfiguredBatches = 0;
+
+    // Cycle accounting.
+    uint64_t testLength = 0;
+    uint64_t baselineCycles = 0;
+    uint64_t baseApCycles = 0;
+    uint64_t spApCycles = 0; ///< consumed + stalls, summed over batches
+    uint64_t spApConsumedCycles = 0; ///< input symbols actually consumed
+    uint64_t enableStalls = 0;
+
+    // Partition statistics.
+    size_t totalStates = 0;
+    size_t baseApStates = 0; ///< configured in BaseAP (incl. intermediates)
+    size_t intermediateStates = 0;
+    size_t hotOriginalReporting = 0;
+    size_t intermediateReports = 0; ///< events recorded during BaseAP mode
+    double resourceSavings = 0.0;
+
+    /**
+     * Fraction of SpAP-mode input cycles skipped by jump operations:
+     * 1 - consumed / (spApBatches * testLength); -1 when no SpAP ran.
+     */
+    double jumpRatio = -1.0;
+
+    /** baselineCycles / (baseApCycles + spApCycles). */
+    double speedup = 1.0;
+
+    /** Merged final reports (original ids); filled when requested. */
+    ReportList reports;
+};
+
+/** AP-CPU execution result (real-time based, Section VI). */
+struct ApCpuStats
+{
+    size_t baselineBatches = 0;
+    size_t baseApBatches = 0;
+    double baselineSeconds = 0.0;
+    double baseApSeconds = 0.0;
+    /** Wall-clock seconds the CPU spent handling intermediate reports. */
+    double cpuSeconds = 0.0;
+    size_t intermediateReports = 0;
+    /** baselineSeconds / (baseApSeconds + cpuSeconds). */
+    double speedup = 1.0;
+    ReportList reports;
+};
+
+/**
+ * Run the baseline AP execution.
+ *
+ * @param collect_reports when true, also functionally execute the
+ * application to produce the report stream (one extra simulation).
+ */
+BaselineResult runBaseline(const Application &app, const ApConfig &config,
+                           std::span<const uint8_t> test_input,
+                           bool collect_reports);
+
+/**
+ * Shared front end: profile, choose layers, fill, partition. Exposed so
+ * benchmarks can inspect the partition without running the back end.
+ */
+struct PreparedPartition
+{
+    PartitionLayers layers;
+    PartitionedApp part;
+    /** Test stream (suffix of the input, or the whole input). */
+    std::span<const uint8_t> testInput;
+    /** Profile stream (prefix of the input). */
+    std::span<const uint8_t> profileInput;
+};
+
+/** Build the partition for @p app under @p opts over @p full_input. */
+PreparedPartition preparePartition(const AppTopology &topo,
+                                   const ExecutionOptions &opts,
+                                   std::span<const uint8_t> full_input);
+
+/**
+ * Run the full BaseAP/SpAP pipeline.
+ *
+ * @param topo topology of @p app (reused across configurations)
+ * @param opts execution options
+ * @param full_input the whole input stream (profile prefix + test)
+ * @param collect_reports fill SpapRunStats::reports (needed for
+ *        equivalence checking; adds report translation cost only)
+ */
+SpapRunStats runBaseApSpap(const AppTopology &topo,
+                           const ExecutionOptions &opts,
+                           std::span<const uint8_t> full_input,
+                           bool collect_reports = false);
+
+/** Variant reusing an existing PreparedPartition. */
+SpapRunStats runBaseApSpap(const AppTopology &topo,
+                           const ExecutionOptions &opts,
+                           const PreparedPartition &prep,
+                           bool collect_reports = false);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_SPAP_EXECUTOR_H

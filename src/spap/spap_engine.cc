@@ -1,0 +1,68 @@
+#include "spap/spap_engine.h"
+
+#include "common/logging.h"
+#include "sim/exec_core.h"
+
+namespace sparseap {
+
+SpapResult
+runSpapMode(const FlatAutomaton &fa, std::span<const uint8_t> input,
+            std::span<const SpapEvent> events)
+{
+    SPARSEAP_ASSERT(fa.allInputStarts().empty() &&
+                        fa.startOfDataStarts().empty(),
+                    "SpAP mode requires a start-free automaton: the jump "
+                    "operation assumes no state is always enabled");
+    for (size_t e = 1; e < events.size(); ++e) {
+        SPARSEAP_ASSERT(events[e - 1].position <= events[e].position,
+                        "SpAP events must be sorted by position");
+    }
+
+    SpapResult result;
+    const size_t n = input.size();
+
+    ExecCore core(fa);
+    core.reset(ExecCore::distinctBytes(input), nullptr,
+               /*install_starts=*/false);
+
+    size_t i = 0; // input cursor
+    size_t j = 0; // event cursor
+
+    while (i < n) {
+        if (core.idle()) {
+            if (j < events.size()) {
+                // Jump: nothing can activate until the next enable.
+                if (events[j].position > i) {
+                    i = events[j].position;
+                    ++result.jumps;
+                    if (i >= n)
+                        break; // event beyond the input: nothing to do
+                }
+            } else {
+                break;
+            }
+        }
+
+        // Enable every event at this position; the first enable overlaps
+        // input processing, each further simultaneous enable stalls one
+        // cycle.
+        uint64_t enables_here = 0;
+        while (j < events.size() && events[j].position == i) {
+            const GlobalStateId s = events[j].state;
+            SPARSEAP_ASSERT(s < fa.size(), "event state ", s,
+                            " out of range ", fa.size());
+            core.enableState(s);
+            ++enables_here;
+            ++j;
+        }
+        if (enables_here > 1)
+            result.enableStalls += enables_here - 1;
+
+        core.step(input[i], static_cast<uint32_t>(i), &result.reports);
+        ++result.consumedCycles;
+        ++i;
+    }
+    return result;
+}
+
+} // namespace sparseap

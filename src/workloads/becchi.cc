@@ -1,0 +1,95 @@
+#include "workloads/becchi.h"
+
+#include "common/logging.h"
+#include "regex/glushkov.h"
+
+namespace sparseap {
+namespace {
+
+/** Printable characters that need no regex escaping. */
+const char kPlain[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    " /:-_=&%#@!<>,;'";
+
+char
+plainChar(Rng &rng)
+{
+    return kPlain[rng.index(sizeof(kPlain) - 1)];
+}
+
+} // namespace
+
+Workload
+makeBecchi(const BecchiParams &params, Rng &rng, const std::string &name,
+           const std::string &abbr)
+{
+    Workload w;
+    w.app.setNames(name, abbr);
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        const bool long_pattern =
+            params.longPatternLength > 0 &&
+            (n == 0 || rng.chance(params.longPatternProb));
+        const unsigned len =
+            long_pattern ? params.longPatternLength
+                         : static_cast<unsigned>(rng.uniform(
+                               params.minLength, params.maxLength));
+        const bool has_dotstar = rng.chance(params.dotStarProb);
+        unsigned dotstars =
+            has_dotstar ? 1 + static_cast<unsigned>(
+                                  rng.uniform(0, params.maxDotStars - 1))
+                        : 0;
+
+        // Pick the positions (in [4, len-4]) where `.*` gaps go.
+        std::vector<unsigned> gap_at;
+        for (unsigned g = 0; g < dotstars && len > 10; ++g)
+            gap_at.push_back(
+                4 + static_cast<unsigned>(rng.uniform(0, len - 9)));
+
+        std::string pattern;
+        std::string plant;
+        for (unsigned i = 0; i < len; ++i) {
+            for (unsigned g : gap_at) {
+                if (g == i)
+                    pattern += ".*";
+            }
+            if (rng.chance(params.rangeFraction)) {
+                // A modest byte range like [a-e].
+                const char lo =
+                    static_cast<char>('a' + rng.uniform(0, 20));
+                const char hi = static_cast<char>(
+                    lo + static_cast<char>(rng.uniform(2, 5)));
+                pattern += '[';
+                pattern += lo;
+                pattern += '-';
+                pattern += hi;
+                pattern += ']';
+                if (i < 12)
+                    plant += lo; // a byte inside the range
+            } else {
+                const char c = plainChar(rng);
+                if (std::string("().[]{}|*+?^$\\").find(c) !=
+                    std::string::npos) {
+                    pattern += '\\';
+                }
+                pattern += c;
+                if (i < 12)
+                    plant += c;
+            }
+        }
+
+        w.app.addNfa(
+            compileRegex(pattern, abbr + "_" + std::to_string(n)));
+        if (plant.size() >= 4)
+            w.input.plants.push_back(plant);
+    }
+
+    w.input.base = InputSpec::Base::Alphabet;
+    w.input.alphabet = kPlain;
+    w.input.plantRate = params.plantRate;
+    w.input.prefixKeepProb = params.prefixKeepProb;
+    w.input.fullPlantProb = 0.01;
+    return w;
+}
+
+} // namespace sparseap

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Becchi/Franklin/Crowley regex workload family ("A Workload for
+ * Evaluating Deep Packet Inspection Architectures", IISWC'08): synthetic
+ * rule sets graded by feature mix —
+ *
+ *   EM          exact-match ASCII literals
+ *   Ranges05/1  literals where 50% / 100% of positions are byte ranges
+ *   Dotstar03/06/09  rules containing `.*` with probability 0.3/0.6/0.9
+ *   TCP         a mixed ruleset modelling TCP-stream signatures
+ *   Bro217      217-rule Bro HTTP signature set (literal URIs)
+ *
+ * ANMLZoo's Dotstar (DS) application is the same generator scaled up.
+ * All patterns go through the regex parser + Glushkov compiler.
+ */
+
+#ifndef SPARSEAP_WORKLOADS_BECCHI_H
+#define SPARSEAP_WORKLOADS_BECCHI_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters of a Becchi-style regex workload. */
+struct BecchiParams
+{
+    size_t nfaCount = 297;
+    /** Pattern length in positions (uniform in [min, max]). */
+    unsigned minLength = 30;
+    unsigned maxLength = 55;
+    /** A few patterns are much longer (sets the suite's MaxTopo). */
+    double longPatternProb = 0.0;
+    unsigned longPatternLength = 0;
+    /** Fraction of positions that are character ranges. */
+    double rangeFraction = 0.0;
+    /** Probability that a pattern contains `.*` gaps. */
+    double dotStarProb = 0.0;
+    /** Max number of `.*` gaps in a dotstar pattern. */
+    unsigned maxDotStars = 2;
+    /** Pattern prefixes planted into the input at this rate. */
+    double plantRate = 0.002;
+    /** Plant-prefix survival probability (controls hot depth). */
+    double prefixKeepProb = 0.75;
+};
+
+/** Generate a Becchi-style workload. */
+Workload makeBecchi(const BecchiParams &params, Rng &rng,
+                    const std::string &name, const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_BECCHI_H

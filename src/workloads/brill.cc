@@ -1,0 +1,71 @@
+#include "workloads/brill.h"
+
+#include "common/logging.h"
+
+namespace sparseap {
+namespace {
+
+const char *const kCommonTags[] = {"NN ", "VB ", "DT ", "JJ ", "IN ",
+                                   "RB ", "TO ", "CC ", "MD ", "CD "};
+constexpr size_t kCommonTagCount =
+    sizeof(kCommonTags) / sizeof(kCommonTags[0]);
+
+} // namespace
+
+Workload
+makeBrill(const BrillParams &params, Rng &rng, const std::string &name,
+          const std::string &abbr)
+{
+    Workload w;
+    w.app.setNames(name, abbr);
+
+    static const char kTagChars[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        const unsigned tokens = static_cast<unsigned>(
+            rng.uniform(params.minTokens, params.maxTokens));
+        Nfa nfa(abbr + "_" + std::to_string(n));
+
+        std::string window;
+        for (unsigned t = 0; t < tokens; ++t) {
+            // The opening bigram always comes from the common tags: many
+            // rules share it, so a planted common sequence walks them to
+            // their partition boundary *simultaneously* — the source of
+            // Brill's enable stalls in Table IV.
+            if (t < 2 || rng.chance(params.commonTagProb)) {
+                window += kCommonTags[rng.index(kCommonTagCount)];
+            } else {
+                for (unsigned b = 0; b + 1 < params.tokenBytes; ++b)
+                    window += kTagChars[rng.index(sizeof(kTagChars) - 1)];
+                window += ' ';
+            }
+        }
+
+        StateId prev = kInvalidState;
+        for (size_t i = 0; i < window.size(); ++i) {
+            const StateId s = nfa.addState(
+                SymbolSet::single(static_cast<uint8_t>(window[i])),
+                i == 0 ? StartKind::AllInput : StartKind::None,
+                i + 1 == window.size());
+            if (prev != kInvalidState)
+                nfa.addEdge(prev, s);
+            prev = s;
+        }
+        nfa.finalize();
+        w.app.addNfa(std::move(nfa));
+        w.input.plants.push_back(window);
+    }
+
+    // Tagged-text stream: tag mnemonics separated by spaces, with rule
+    // windows planted (mostly as prefixes, sometimes fully).
+    w.input.base = InputSpec::Base::Alphabet;
+    w.input.alphabet = std::string(kTagChars) + "   ";
+    for (size_t i = 0; i < kCommonTagCount; ++i)
+        w.input.plants.push_back(kCommonTags[i]);
+    w.input.plantRate = params.plantRate;
+    w.input.prefixKeepProb = 0.85;
+    w.input.fullPlantProb = 0.15;
+    return w;
+}
+
+} // namespace sparseap

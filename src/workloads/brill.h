@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Brill-tagging rule workloads (ANMLZoo Brill).
+ *
+ * Brill part-of-speech transformation rules match short windows of
+ * word/tag tokens. Encoded here as chains over a token alphabet where a
+ * few tags are extremely common — which is why Brill generates many
+ * intermediate reports and enable stalls in Table IV.
+ */
+
+#ifndef SPARSEAP_WORKLOADS_BRILL_H
+#define SPARSEAP_WORKLOADS_BRILL_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters for Brill rule chains. */
+struct BrillParams
+{
+    size_t nfaCount = 1962;
+    /** Tokens per rule window. */
+    unsigned minTokens = 4;
+    unsigned maxTokens = 7;
+    /** Bytes per token (tag mnemonics like "NN "). */
+    unsigned tokenBytes = 3;
+    /** Probability a token is one of the very common tags. */
+    double commonTagProb = 0.55;
+    /** How often tag text is planted into the input. */
+    double plantRate = 0.015;
+};
+
+/** Generate a Brill workload. */
+Workload makeBrill(const BrillParams &params, Rng &rng,
+                   const std::string &name, const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_BRILL_H

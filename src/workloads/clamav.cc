@@ -1,0 +1,92 @@
+#include "workloads/clamav.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sparseap {
+namespace {
+
+/** Draw lo + Exp(mean - lo), clipped to [lo, hi]. */
+unsigned
+drawLength(Rng &rng, unsigned lo, unsigned mean, unsigned hi)
+{
+    const double scale = static_cast<double>(mean > lo ? mean - lo : 1);
+    const double v = static_cast<double>(lo) -
+                     scale * std::log(1.0 - rng.real());
+    unsigned len = static_cast<unsigned>(v);
+    return len < lo ? lo : (len > hi ? hi : len);
+}
+
+} // namespace
+
+Workload
+makeClamAv(const ClamAvParams &params, Rng &rng, const std::string &name,
+           const std::string &abbr)
+{
+    Workload w;
+    w.app.setNames(name, abbr);
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        // The first signature is pinned to maxLength (Table II MaxTopo).
+        const unsigned len =
+            n == 0 ? params.maxLength
+                   : drawLength(rng, params.minLength, params.meanLength,
+                                params.maxLength);
+        Nfa nfa(abbr + "_" + std::to_string(n));
+
+        std::string literal; // the plantable byte rendering of the chain
+        StateId prev = kInvalidState;
+        for (unsigned i = 0; i < len; ++i) {
+            SymbolSet set;
+            uint8_t byte = rng.byte();
+            if (rng.chance(params.wildcardRate)) {
+                set = SymbolSet::all(); // "??" wildcard byte
+            } else {
+                set = SymbolSet::single(byte);
+                literal += static_cast<char>(byte);
+            }
+            const StartKind start =
+                i == 0 ? StartKind::AllInput : StartKind::None;
+            const StateId s = nfa.addState(set, start, false);
+            if (prev != kInvalidState) {
+                nfa.addEdge(prev, s);
+                // A bounded gap {0-k}: skip edges over 1..3 optional
+                // wildcard states.
+                if (rng.chance(params.gapRate) && i + 4 < len) {
+                    // The next up-to-3 states become optional by adding a
+                    // skip edge later; emulate simply with an extra "any"
+                    // state reachable in parallel.
+                    const StateId gap = nfa.addState(SymbolSet::all(),
+                                                     StartKind::None, false);
+                    nfa.addEdge(prev, gap);
+                    nfa.addEdge(gap, s);
+                }
+            }
+            prev = s;
+        }
+        // Reporting tail; a few signatures carry an alternation tail
+        // (two reporting variants), giving Table II's RStates > #NFAs.
+        nfa.state(prev).reporting = true;
+        if (rng.chance(params.altTailProb)) {
+            const StateId alt = nfa.addState(
+                SymbolSet::single(rng.byte()), StartKind::None, true);
+            nfa.addEdge(prev, alt);
+        }
+        nfa.finalize();
+        w.app.addNfa(std::move(nfa));
+
+        if (literal.size() >= 8)
+            w.input.plants.push_back(literal.substr(0, 48));
+    }
+
+    // Benign binary input: uniform bytes with very rare short signature
+    // prefixes. Deep signature states stay cold (Fig. 1: CAV4k 99% cold).
+    w.input.base = InputSpec::Base::RandomBytes;
+    w.input.plantRate = params.plantRate;
+    w.input.prefixKeepProb = 0.6;
+    w.input.fullPlantProb = 0.001;
+    return w;
+}
+
+} // namespace sparseap

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ClamAV-style virus-signature workloads (CAV from ANMLZoo; CAV4k scaled
+ * to the first 4,000 patterns of the Q1-2018 database, per the paper).
+ *
+ * A signature is a long hex byte-string with occasional wildcard gaps
+ * ("??"), short bounded gaps ("{n-m}") and two-way alternations — the
+ * ClamAV body-signature grammar. Compiled to a deep chain NFA whose far
+ * end is essentially unreachable on benign input: the source of the
+ * paper's 99%-cold observation for CAV4k (Fig. 1).
+ */
+
+#ifndef SPARSEAP_WORKLOADS_CLAMAV_H
+#define SPARSEAP_WORKLOADS_CLAMAV_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters of a ClamAV-style workload. */
+struct ClamAvParams
+{
+    size_t nfaCount = 515;
+    /** Signature byte-lengths: minLength + Exp(meanLength - minLength),
+     *  clipped to maxLength; one signature is forced to maxLength so the
+     *  workload hits its Table II MaxTopo. */
+    unsigned minLength = 24;
+    unsigned meanLength = 96;
+    unsigned maxLength = 542;
+    /** Probability per position of a "??" wildcard byte. */
+    double wildcardRate = 0.03;
+    /** Probability per position of opening a short {n-m} gap. */
+    double gapRate = 0.01;
+    /** Probability that a signature ends with an alternation tail. */
+    double altTailProb = 0.004;
+    /** Rate at which signature prefixes are planted in the input. */
+    double plantRate = 0.00005;
+};
+
+/** Generate a ClamAV-style workload (signatures + binary input). */
+Workload makeClamAv(const ClamAvParams &params, Rng &rng,
+                    const std::string &name, const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_CLAMAV_H

@@ -1,0 +1,114 @@
+#include "workloads/entity_resolution.h"
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+Workload
+makeEntityResolution(const EntityResolutionParams &params, Rng &rng,
+                     const std::string &name, const std::string &abbr)
+{
+    Workload w;
+    w.app.setNames(name, abbr);
+
+    static const char kNameChars[] = "abcdefghijklmnopqrstuvwxyz. ";
+
+    auto rand_char = [&]() {
+        return static_cast<uint8_t>(
+            kNameChars[rng.index(sizeof(kNameChars) - 1)]);
+    };
+
+    // Openers come from a small shared pool of common record tokens, so
+    // even a short profiling prefix sees every opener: each NFA's loop is
+    // entered during profiling, its (bottom-layer) SCC is profiled hot,
+    // and the partition can prune almost nothing — the paper's ER
+    // behaviour.
+    std::vector<std::string> opener_pool;
+    for (int i = 0; i < 12; ++i) {
+        std::string tok;
+        for (unsigned c = 0; c < params.entryLength; ++c)
+            tok += static_cast<char>(rand_char());
+        opener_pool.push_back(tok);
+    }
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        Nfa nfa(abbr + "_" + std::to_string(n));
+
+        // Entry chain: a record-opening token from the shared pool.
+        const std::string &opener = opener_pool[n % opener_pool.size()];
+        StateId prev = kInvalidState;
+        for (unsigned i = 0; i < params.entryLength; ++i) {
+            const uint8_t c = static_cast<uint8_t>(opener[i]);
+            const StateId s = nfa.addState(
+                SymbolSet::single(c),
+                i == 0 ? StartKind::AllInput : StartKind::None, false);
+            if (prev != kInvalidState)
+                nfa.addEdge(prev, s);
+            prev = s;
+        }
+
+        // Token loop: one giant ring SCC holding most of the NFA,
+        // including the reporting state. Because SCC members share one
+        // topological layer, a single hot member pins the partition
+        // layer to the ring: nothing inside it can be pruned (Fig. 8's
+        // outlier; Fig. 10's unchanged performance).
+        std::vector<StateId> loop;
+        std::vector<StateId> separators;
+        for (unsigned i = 0; i < params.loopStates; ++i) {
+            SymbolSet set;
+            if (i % 5 == 0) {
+                set.set(' ');
+                set.set('.');
+            } else {
+                set = SymbolSet::single(rand_char());
+            }
+            const bool reporting = i == params.loopStates / 2;
+            loop.push_back(nfa.addState(set, StartKind::None, reporting));
+            if (i % 5 == 0)
+                separators.push_back(loop.back());
+        }
+        nfa.addEdge(prev, loop.front());
+        for (unsigned i = 0; i + 1 < params.loopStates; ++i)
+            nfa.addEdge(loop[i], loop[i + 1]);
+        nfa.addEdge(loop.back(), loop.front()); // the SCC-forming edge
+        // Shortcut edges: separators can restart the loop early (token
+        // reordering), thickening the SCC.
+        for (size_t i = 1; i < separators.size(); ++i)
+            nfa.addEdge(separators[i], loop.front());
+
+        // Verification tail below the ring: rarely walked (cold), but
+        // fed by several separators — each feed is a crossing edge that
+        // partitioning must turn into an intermediate reporting state.
+        if (params.exitLength > 0) {
+            StateId head = kInvalidState;
+            for (unsigned i = 0; i < params.exitLength; ++i) {
+                const StateId s = nfa.addState(
+                    SymbolSet::single(rand_char()), StartKind::None,
+                    false);
+                if (i == 0) {
+                    head = s;
+                } else {
+                    nfa.addEdge(static_cast<StateId>(s - 1), s);
+                }
+            }
+            const size_t fan =
+                std::min<size_t>(params.exitFanIn, separators.size());
+            for (size_t i = 0; i < fan; ++i)
+                nfa.addEdge(separators[i], head);
+        }
+
+        nfa.finalize();
+        w.app.addNfa(std::move(nfa));
+    }
+
+    w.input.base = InputSpec::Base::Alphabet;
+    w.input.alphabet = kNameChars;
+    for (const std::string &opener : opener_pool)
+        w.input.plants.push_back(opener + " ");
+    w.input.plantRate = params.plantRate;
+    w.input.prefixKeepProb = 0.9;
+    w.input.fullPlantProb = 0.5;
+    return w;
+}
+
+} // namespace sparseap

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Entity Resolution workload (ANMLZoo ER, Bo et al.).
+ *
+ * ER automata match names with reordered/repeated tokens, which in the
+ * ANML encoding yields a large token *loop*: one strongly connected
+ * component spanning most of the NFA. The SCC pins a single topological
+ * layer over dozens of states, so the layer cut cannot separate its cold
+ * members — ER is the paper's worst case in Fig. 8, and its partition
+ * configures (nearly) everything, leaving performance unchanged.
+ */
+
+#ifndef SPARSEAP_WORKLOADS_ENTITY_RESOLUTION_H
+#define SPARSEAP_WORKLOADS_ENTITY_RESOLUTION_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters for ER automata. */
+struct EntityResolutionParams
+{
+    size_t nfaCount = 1000;
+    /** Entry-chain length (token that opens a record). */
+    unsigned entryLength = 4;
+    /** States in the token loop (one big SCC, reporting inside). */
+    unsigned loopStates = 85;
+    /**
+     * Short verification tail hanging off the loop. It is rarely walked
+     * (predicted cold), and several loop separators feed its head — so
+     * partitioning ER adds many per-edge intermediate reporting states
+     * while saving almost nothing (Fig. 12's 3.6x outlier).
+     */
+    unsigned exitLength = 6;
+    unsigned exitFanIn = 4;
+    /** Rate of planting record openers in the stream. */
+    double plantRate = 0.004;
+};
+
+/** Generate an ER workload. */
+Workload makeEntityResolution(const EntityResolutionParams &params,
+                              Rng &rng, const std::string &name,
+                              const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_ENTITY_RESOLUTION_H

@@ -1,0 +1,69 @@
+#include "workloads/fermi.h"
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+Workload
+makeFermi(const FermiParams &params, Rng &rng, const std::string &name,
+          const std::string &abbr)
+{
+    Workload w;
+    w.app.setNames(name, abbr);
+    w.fullInputAsTest = true;
+
+    const std::string &ab = params.alphabet;
+    SymbolSet any_hit;
+    for (char c : ab)
+        any_hit.set(static_cast<uint8_t>(c));
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        const unsigned steps = static_cast<unsigned>(
+            rng.uniform(params.minSteps, params.maxSteps));
+        Nfa nfa(abbr + "_" + std::to_string(n));
+
+        std::vector<StateId> prevs = {
+            nfa.addState(any_hit, StartKind::StartOfData, false)};
+        for (unsigned t = 0; t < steps; ++t) {
+            // Gap over unrelated detector hits.
+            const StateId gap =
+                nfa.addState(any_hit, StartKind::None, false);
+            for (StateId p : prevs)
+                nfa.addEdge(p, gap);
+            nfa.addEdge(gap, gap);
+
+            // Wide coordinate windows: a large alphabet slice, so the
+            // path advances on most hits (everything stays hot). Half
+            // the steps carry a parallel window (detector ambiguity).
+            auto make_window = [&]() {
+                const size_t lo = rng.index(ab.size());
+                SymbolSet window;
+                for (unsigned i = 0; i < params.classWidth; ++i)
+                    window.set(static_cast<uint8_t>(
+                        ab[(lo + i) % ab.size()]));
+                return window;
+            };
+            const bool last = t + 1 == steps;
+            std::vector<StateId> layer = {
+                nfa.addState(make_window(), StartKind::None, last)};
+            if (rng.chance(0.5)) {
+                layer.push_back(nfa.addState(make_window(),
+                                             StartKind::None, false));
+            }
+            for (StateId coord : layer) {
+                nfa.addEdge(gap, coord);
+                for (StateId p : prevs)
+                    nfa.addEdge(p, coord);
+            }
+            prevs = std::move(layer);
+        }
+        nfa.finalize();
+        w.app.addNfa(std::move(nfa));
+    }
+
+    w.input.base = InputSpec::Base::Alphabet;
+    w.input.alphabet = ab;
+    return w;
+}
+
+} // namespace sparseap

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fermi-style workload: particle-track path matching (ANMLZoo Fermi).
+ *
+ * Start-of-data anchored automata over a small hit-coordinate alphabet
+ * with very common symbols: nearly every state is enabled during
+ * execution, so the partitioner finds no savings and the paper reports
+ * unchanged performance for Fermi (Table IV: 2 baseline batches, 2
+ * BaseAP batches, 0 SpAP executions).
+ */
+
+#ifndef SPARSEAP_WORKLOADS_FERMI_H
+#define SPARSEAP_WORKLOADS_FERMI_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters for Fermi-style path automata. */
+struct FermiParams
+{
+    size_t nfaCount = 2399;
+    /** Path steps per automaton (each step: gap state + coordinate). */
+    unsigned minSteps = 5;
+    unsigned maxSteps = 6;
+    /** Coordinate classes are this wide out of the alphabet. */
+    unsigned classWidth = 10;
+    /** Hit-coordinate alphabet. */
+    std::string alphabet = "0123456789ABCDEFGHIJKLMNOP";
+};
+
+/** Generate a Fermi workload. */
+Workload makeFermi(const FermiParams &params, Rng &rng,
+                   const std::string &name, const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_FERMI_H

@@ -1,0 +1,131 @@
+#include "workloads/hamming.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+Nfa
+buildHammingNfa(const std::string &pattern, unsigned distance,
+                const std::string &name)
+{
+    const unsigned len = static_cast<unsigned>(pattern.size());
+    SPARSEAP_ASSERT(len >= 2, "Hamming pattern too short: ", len);
+    SPARSEAP_ASSERT(distance >= 1 && distance < len,
+                    "Hamming distance ", distance,
+                    " out of range for length ", len);
+
+    Nfa nfa(name);
+    constexpr StateId kNone = kInvalidState;
+
+    // match_state[i][e] / mis_state[i][e]: consumed i symbols (1-based)
+    // with e mismatches; the i-th symbol matched (resp. mismatched).
+    // Interior columns only (i < len); the last column is collapsed.
+    auto sym_match = [&](unsigned i) {
+        return SymbolSet::single(
+            static_cast<uint8_t>(pattern[i - 1]));
+    };
+    auto sym_mismatch = [&](unsigned i) {
+        return ~SymbolSet::single(
+            static_cast<uint8_t>(pattern[i - 1]));
+    };
+
+    std::vector<std::vector<StateId>> match(len), mismatch(len);
+    for (unsigned i = 1; i < len; ++i) {
+        match[i - 1].assign(distance + 1, kNone);
+        mismatch[i - 1].assign(distance + 1, kNone);
+        const StartKind start =
+            i == 1 ? StartKind::AllInput : StartKind::None;
+        // Match at i keeps the error count: e in [0, min(i-1, d)].
+        for (unsigned e = 0; e <= std::min(i - 1, distance); ++e)
+            match[i - 1][e] = nfa.addState(sym_match(i), start, false);
+        // Mismatch at i increments it: e in [1, min(i, d)].
+        for (unsigned e = 1; e <= std::min(i, distance); ++e)
+            mismatch[i - 1][e] = nfa.addState(sym_mismatch(i), start, false);
+    }
+
+    // Collapsed last column: one match and one mismatch reporting state.
+    const StateId final_match =
+        nfa.addState(sym_match(len), StartKind::None, true);
+    const StateId final_mismatch =
+        nfa.addState(sym_mismatch(len), StartKind::None, true);
+
+    // Grid edges between interior columns.
+    for (unsigned i = 1; i + 1 < len; ++i) {
+        for (unsigned e = 0; e <= distance; ++e) {
+            for (StateId from : {match[i - 1][e], mismatch[i - 1][e]}) {
+                if (from == kNone)
+                    continue;
+                if (match[i][e] != kNone)
+                    nfa.addEdge(from, match[i][e]);
+                if (e + 1 <= distance && mismatch[i][e + 1] != kNone)
+                    nfa.addEdge(from, mismatch[i][e + 1]);
+            }
+        }
+    }
+
+    // Edges into the collapsed final column: a match is always allowed; a
+    // final mismatch needs e <= d-1 beforehand.
+    for (unsigned e = 0; e <= distance; ++e) {
+        for (StateId from :
+             {match[len - 2][e], mismatch[len - 2][e]}) {
+            if (from == kNone)
+                continue;
+            nfa.addEdge(from, final_match);
+            if (e + 1 <= distance)
+                nfa.addEdge(from, final_mismatch);
+        }
+    }
+
+    nfa.finalize();
+    return nfa;
+}
+
+Workload
+makeHamming(const HammingParams &params, Rng &rng, const std::string &name,
+            const std::string &abbr)
+{
+    SPARSEAP_ASSERT(params.lengths.size() == params.lengthWeights.size(),
+                    "length/weight arity mismatch");
+    Workload w;
+    w.app.setNames(name, abbr);
+
+    double weight_sum = 0.0;
+    for (double x : params.lengthWeights)
+        weight_sum += x;
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        // Weighted length pick.
+        double roll = rng.real() * weight_sum;
+        unsigned len = params.lengths.back();
+        for (size_t i = 0; i < params.lengths.size(); ++i) {
+            roll -= params.lengthWeights[i];
+            if (roll <= 0.0) {
+                len = params.lengths[i];
+                break;
+            }
+        }
+        const unsigned distance = std::max(
+            2u, static_cast<unsigned>(static_cast<double>(len) *
+                                      params.distanceFraction));
+
+        std::string pattern;
+        pattern.reserve(len);
+        for (unsigned i = 0; i < len; ++i)
+            pattern += params.alphabet[rng.index(params.alphabet.size())];
+
+        w.app.addNfa(buildHammingNfa(
+            pattern, std::min(distance, len - 1),
+            abbr + "_" + std::to_string(n)));
+    }
+
+    // Random sequences over the same alphabet (ANMLZoo Hamming inputs are
+    // random); mismatch states accept 3/4 of the alphabet, so windows walk
+    // several layers deep before dying, as in the paper.
+    w.input.base = InputSpec::Base::Alphabet;
+    w.input.alphabet = params.alphabet;
+    return w;
+}
+
+} // namespace sparseap

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Hamming-distance automata in the BMIA (Bounded Mismatch Identification
+ * Automaton) style of Roy and Aluru, as used by ANMLZoo's Hamming and the
+ * paper's scaled HM500 / HM1000 / HM1500 workloads.
+ *
+ * For a pattern P of length L and distance d, the automaton is a grid of
+ * (position, error-count) states with two flavours per cell: a *match*
+ * state accepting P[i] and a *mismatch* state accepting ~P[i] (which
+ * increments the error count). The final column is collapsed to one
+ * match / one mismatch reporting state (errors no longer need tracking at
+ * the last symbol), giving the two reporting states per NFA of Table II.
+ */
+
+#ifndef SPARSEAP_WORKLOADS_HAMMING_H
+#define SPARSEAP_WORKLOADS_HAMMING_H
+
+#include <string>
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/**
+ * Build one BMIA automaton.
+ *
+ * @param pattern the expected pattern (bytes)
+ * @param distance maximum mismatches accepted (>= 1, < pattern length)
+ * @param name NFA name
+ */
+Nfa buildHammingNfa(const std::string &pattern, unsigned distance,
+                    const std::string &name);
+
+/** Parameters of a Hamming workload. */
+struct HammingParams
+{
+    /** Number of automata to generate. */
+    size_t nfaCount = 93;
+    /** Pattern lengths to mix (picked per NFA with `lengthWeights`). */
+    std::vector<unsigned> lengths = {20};
+    /** Relative pick weights, same arity as `lengths`. */
+    std::vector<double> lengthWeights = {1.0};
+    /** Distance as a fraction of the length (paper: 2 to 20% of length). */
+    double distanceFraction = 0.2;
+    /** Pattern/input alphabet (DNA by default, as in motif finding). */
+    std::string alphabet = "ACGT";
+};
+
+/** Generate a Hamming workload (automata + random-sequence input). */
+Workload makeHamming(const HammingParams &params, Rng &rng,
+                     const std::string &name, const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_HAMMING_H

@@ -1,0 +1,103 @@
+#include "workloads/levenshtein.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+Nfa
+buildLevenshteinNfa(const std::string &pattern, unsigned distance,
+                    const std::string &name)
+{
+    const unsigned len = static_cast<unsigned>(pattern.size());
+    SPARSEAP_ASSERT(len >= 4, "Levenshtein pattern too short");
+    SPARSEAP_ASSERT(distance >= 1 && distance < len,
+                    "bad Levenshtein distance ", distance);
+
+    Nfa nfa(name);
+    constexpr StateId kNone = kInvalidState;
+
+    // match[i][e]: consumed pattern position i (1-based) with e edits via
+    // a match; edit[i][e]: via a substitution/insertion (any symbol).
+    std::vector<std::vector<StateId>> match(len + 1), edit(len + 1);
+    for (unsigned i = 1; i <= len; ++i) {
+        match[i].assign(distance + 1, kNone);
+        edit[i].assign(distance + 1, kNone);
+        const StartKind start =
+            i == 1 ? StartKind::AllInput : StartKind::None;
+        const SymbolSet m =
+            SymbolSet::single(static_cast<uint8_t>(pattern[i - 1]));
+        for (unsigned e = 0; e <= distance; ++e) {
+            if (e <= distance) {
+                match[i][e] = nfa.addState(
+                    m, start, i == len); // reporting on last column
+            }
+            if (e >= 1) {
+                edit[i][e] = nfa.addState(SymbolSet::all(), start,
+                                          i == len && e == distance);
+            }
+        }
+    }
+
+    auto link = [&](StateId from, StateId to) {
+        if (from != kNone && to != kNone)
+            nfa.addEdge(from, to);
+    };
+
+    for (unsigned i = 1; i <= len; ++i) {
+        for (unsigned e = 0; e <= distance; ++e) {
+            for (StateId from : {match[i][e], edit[i][e]}) {
+                if (from == kNone)
+                    continue;
+                if (i < len) {
+                    // Match advances without consuming an edit.
+                    link(from, match[i + 1][e]);
+                    // Substitution advances with one edit.
+                    if (e + 1 <= distance)
+                        link(from, edit[i + 1][e + 1]);
+                    // Deletion skips a pattern symbol.
+                    if (e + 1 <= distance && i + 2 <= len)
+                        link(from, match[i + 2][e + 1]);
+                }
+                // Insertion stays at the same position with one edit.
+                if (e + 1 <= distance)
+                    link(from, edit[i][e + 1]);
+            }
+        }
+    }
+
+    // Resynchronization back edges (ANML encoding): deep states can
+    // restart the middle of the grid, collapsing it into a large SCC.
+    const unsigned resync_from = (len * 3) / 4;
+    const unsigned resync_to = len / 4;
+    for (unsigned e = 0; e <= distance; ++e) {
+        link(match[resync_from][e], match[resync_to][0]);
+        link(edit[resync_from][e], edit[resync_to][1]);
+    }
+
+    nfa.finalize();
+    return nfa;
+}
+
+Workload
+makeLevenshtein(const LevenshteinParams &params, Rng &rng,
+                const std::string &name, const std::string &abbr)
+{
+    Workload w;
+    w.app.setNames(name, abbr);
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        std::string pattern;
+        for (unsigned i = 0; i < params.patternLength; ++i)
+            pattern += params.alphabet[rng.index(params.alphabet.size())];
+        w.app.addNfa(buildLevenshteinNfa(
+            pattern, params.distance, abbr + "_" + std::to_string(n)));
+    }
+
+    w.input.base = InputSpec::Base::Alphabet;
+    w.input.alphabet = params.alphabet;
+    return w;
+}
+
+} // namespace sparseap

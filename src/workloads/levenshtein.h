@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Levenshtein workload (ANMLZoo Levenshtein, Tracy et al.).
+ *
+ * Edit-distance automata over DNA: a (position, errors) grid where
+ * substitutions and insertions consume any symbol. The ANML encoding adds
+ * resynchronization back edges, so the grid's middle collapses into a
+ * large SCC — like ER, Levenshtein resists topological partitioning
+ * (Fig. 8), and its wildcard-heavy states keep nearly everything hot
+ * (Fig. 1 puts LV among the hottest applications).
+ */
+
+#ifndef SPARSEAP_WORKLOADS_LEVENSHTEIN_H
+#define SPARSEAP_WORKLOADS_LEVENSHTEIN_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters for Levenshtein automata. */
+struct LevenshteinParams
+{
+    size_t nfaCount = 24;
+    /** Pattern length. */
+    unsigned patternLength = 20;
+    /** Edit distance bound. */
+    unsigned distance = 3;
+    /** Pattern/input alphabet. */
+    std::string alphabet = "ACGT";
+};
+
+/** Build one Levenshtein automaton (with resync back edges). */
+Nfa buildLevenshteinNfa(const std::string &pattern, unsigned distance,
+                        const std::string &name);
+
+/** Generate a Levenshtein workload. */
+Workload makeLevenshtein(const LevenshteinParams &params, Rng &rng,
+                         const std::string &name, const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_LEVENSHTEIN_H

@@ -1,0 +1,84 @@
+#include "workloads/poweren.h"
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+Workload
+makePowerEn(const PowerEnParams &params, Rng &rng, const std::string &name,
+            const std::string &abbr)
+{
+    Workload w;
+    w.app.setNames(name, abbr);
+
+    static const char kLetters[] = "abcdefghijklmnopqrstuvwxyz ";
+    const SymbolSet digits = SymbolSet::range('0', '9');
+
+    // A class of roughly half the letter alphabet; tail classes also
+    // admit a couple of digits (PowerEN rules mix alphanumerics), which
+    // keeps the post-digit chain walkable once digits flood the stream.
+    auto half_class = [&](bool with_digits) {
+        SymbolSet s;
+        const size_t lo = rng.index(26);
+        for (unsigned i = 0; i < 13; ++i)
+            s.set(static_cast<uint8_t>('a' + (lo + i) % 26));
+        if (rng.chance(0.5))
+            s.set(' ');
+        if (with_digits) {
+            for (int d = 0; d < 3; ++d)
+                s.set(static_cast<uint8_t>('0' + rng.uniform(0, 9)));
+        }
+        return s;
+    };
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        Nfa nfa(abbr + "_" + std::to_string(n));
+
+        // Layers 1-2: common letter classes (hot under any input).
+        const StateId l1 =
+            nfa.addState(half_class(false), StartKind::AllInput, false);
+        const StateId l2 = nfa.addState(half_class(false),
+                                        StartKind::None, false);
+        nfa.addEdge(l1, l2);
+
+        // Layer 3: digits. The input stream is digit-quiet early on, so
+        // during profiling this layer is enabled (hot) but never
+        // activates — everything deeper is predicted cold. In the test
+        // stream digits are frequent, so the chain below runs and the
+        // partition-boundary clone fires simultaneously across all the
+        // rules: the paper's intermediate-report storm.
+        const StateId l3 = nfa.addState(digits, StartKind::None, false);
+        nfa.addEdge(l2, l3);
+
+        // A long tail of common classes: the batch-fill optimization can
+        // absorb only part of it, leaving the boundary in the middle of
+        // a frequently-matching region.
+        StateId prev = l3;
+        const unsigned tail = static_cast<unsigned>(
+            rng.uniform(params.minTail, params.maxTail));
+        for (unsigned t = 0; t < tail; ++t) {
+            const bool last = t + 1 == tail;
+            const StateId s =
+                nfa.addState(half_class(true), StartKind::None, last);
+            nfa.addEdge(prev, s);
+            prev = s;
+        }
+        if (rng.chance(0.2)) {
+            const StateId alt = nfa.addState(half_class(true),
+                                             StartKind::None, true);
+            nfa.addEdge(prev, alt);
+        }
+        nfa.finalize();
+        w.app.addNfa(std::move(nfa));
+    }
+
+    // Letter stream with digits only after the quiet prefix.
+    w.input.base = InputSpec::Base::Alphabet;
+    w.input.alphabet = kLetters;
+    w.input.lateBytes = "0123456789";
+    w.input.lateRate = params.digitRate;
+    w.input.quietFraction = params.quietFraction;
+    return w;
+}
+
+} // namespace sparseap

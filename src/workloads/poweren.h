@@ -1,0 +1,44 @@
+/**
+ * @file
+ * PowerEN-style workload (ANMLZoo PowerEN: IBM PowerEN regex rules).
+ *
+ * This workload reproduces PowerEN's signature pathology in the paper:
+ * a *simultaneous intermediate-report storm*. Rules share a very common
+ * two-symbol prefix; the third position is a class (digits) that the
+ * profiling prefix never contains (the input is digit-quiet early on),
+ * so layer 4+ is predicted cold. During the test stream digits are
+ * frequent, so thousands of rules cross the partition at the same input
+ * positions — millions of intermediate reports, massive enable stalls,
+ * and a BaseAP/SpAP slowdown (Table IV: 5.45M reports, 4.5M EStalls).
+ */
+
+#ifndef SPARSEAP_WORKLOADS_POWEREN_H
+#define SPARSEAP_WORKLOADS_POWEREN_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters for the PowerEN-style ruleset. */
+struct PowerEnParams
+{
+    size_t nfaCount = 2857;
+    /** Tail class-chain length after the storm (digit) layer. */
+    unsigned minTail = 9;
+    unsigned maxTail = 13;
+    /** Fraction of the stream where digits start appearing. Must cover
+     *  the largest profiling prefix (1% of the paper's 1 MiB reference =
+     *  ~10.5 KiB) so the storm layer stays mispredicted. */
+    double quietFraction = 0.25;
+    /** Digit injection rate after the quiet prefix. */
+    double digitRate = 0.35;
+};
+
+/** Generate a PowerEN workload. */
+Workload makePowerEn(const PowerEnParams &params, Rng &rng,
+                     const std::string &name, const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_POWEREN_H

@@ -1,0 +1,92 @@
+#include "workloads/protomata.h"
+
+#include "common/logging.h"
+
+namespace sparseap {
+namespace {
+
+const char kAmino[] = "ACDEFGHIKLMNPQRSTVWY";
+constexpr size_t kAminoCount = sizeof(kAmino) - 1;
+
+} // namespace
+
+Workload
+makeProtomata(const ProtomataParams &params, Rng &rng,
+              const std::string &name, const std::string &abbr)
+{
+    Workload w;
+    w.app.setNames(name, abbr);
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        const bool long_motif = rng.chance(params.longMotifProb);
+        const unsigned elements =
+            long_motif ? params.longMotifElements
+                       : static_cast<unsigned>(rng.uniform(
+                             params.minElements, params.maxElements));
+        Nfa nfa(abbr + "_" + std::to_string(n));
+
+        std::string plant;
+        bool prefix_intact = true; // plants must match from the motif start
+        StateId prev = kInvalidState;
+        auto append = [&](SymbolSet set, bool reporting) {
+            const StateId s = nfa.addState(
+                set,
+                prev == kInvalidState ? StartKind::AllInput
+                                      : StartKind::None,
+                reporting);
+            if (prev != kInvalidState)
+                nfa.addEdge(prev, s);
+            prev = s;
+        };
+
+        for (unsigned e = 0; e < elements; ++e) {
+            const bool last = e + 1 == elements;
+            const double roll = rng.real();
+            if (roll < params.gapProb && !last && e > 0) {
+                // x(n) wildcard gap over any residue.
+                const unsigned gap_len =
+                    static_cast<unsigned>(rng.uniform(1, 4));
+                SymbolSet any;
+                for (size_t a = 0; a < kAminoCount; ++a)
+                    any.set(static_cast<uint8_t>(kAmino[a]));
+                for (unsigned g = 0; g < gap_len; ++g)
+                    append(any, false);
+                prefix_intact = false; // prefix plants stop at a gap
+            } else if (roll < params.gapProb + params.classProb) {
+                // Residue class of 2..5 amino acids.
+                const unsigned width =
+                    static_cast<unsigned>(rng.uniform(2, 5));
+                SymbolSet cls;
+                char first = 0;
+                for (unsigned i = 0; i < width; ++i) {
+                    const char c = kAmino[rng.index(kAminoCount)];
+                    if (i == 0)
+                        first = c;
+                    cls.set(static_cast<uint8_t>(c));
+                }
+                append(cls, last);
+                if (prefix_intact)
+                    plant += first;
+            } else {
+                const char c = kAmino[rng.index(kAminoCount)];
+                append(SymbolSet::single(static_cast<uint8_t>(c)), last);
+                if (prefix_intact)
+                    plant += c;
+            }
+        }
+        nfa.finalize();
+        w.app.addNfa(std::move(nfa));
+        if (plant.size() >= 4)
+            w.input.plants.push_back(plant.substr(0, 16));
+    }
+
+    // Protein sequence stream with motif prefixes planted.
+    w.input.base = InputSpec::Base::Alphabet;
+    w.input.alphabet = kAmino;
+    w.input.plantRate = params.plantRate;
+    w.input.prefixKeepProb = 0.8;
+    w.input.fullPlantProb = 0.03;
+    return w;
+}
+
+} // namespace sparseap

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Protomata workloads (ANMLZoo Protomata): PROSITE-style protein motif
+ * patterns over the 20-letter amino-acid alphabet — residue classes like
+ * [ILVM], exact residues, and short x(n) wildcard gaps.
+ */
+
+#ifndef SPARSEAP_WORKLOADS_PROTOMATA_H
+#define SPARSEAP_WORKLOADS_PROTOMATA_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters for protein motif patterns. */
+struct ProtomataParams
+{
+    size_t nfaCount = 2340;
+    /** Motif element count (classes/residues/gaps). */
+    unsigned minElements = 10;
+    unsigned maxElements = 20;
+    /** A few motifs are much longer (profile-HMM consensus chains). */
+    double longMotifProb = 0.01;
+    unsigned longMotifElements = 100;
+    /** Probability an element is a residue class ([ILVM]-style). */
+    double classProb = 0.35;
+    /** Probability an element is an x(n) wildcard gap (n in 1..4). */
+    double gapProb = 0.2;
+    /** Rate of planting motif prefixes into the sequence stream. */
+    double plantRate = 0.004;
+};
+
+/** Generate a Protomata workload. */
+Workload makeProtomata(const ProtomataParams &params, Rng &rng,
+                       const std::string &name, const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_PROTOMATA_H

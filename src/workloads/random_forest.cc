@@ -1,0 +1,67 @@
+#include "workloads/random_forest.h"
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+Workload
+makeRandomForest(const RandomForestParams &params, Rng &rng,
+                 const std::string &name, const std::string &abbr)
+{
+    Workload w;
+    w.app.setNames(name, abbr);
+
+    auto draw_range = [&](bool allow_dead) {
+        // A feature-threshold window; dead ranges sit above valueRange
+        // where the quantized input never goes.
+        const unsigned width =
+            static_cast<unsigned>(rng.uniform(4, 16));
+        unsigned lo;
+        if (allow_dead && rng.chance(params.deadRangeProb)) {
+            lo = params.valueRange +
+                 static_cast<unsigned>(
+                     rng.uniform(0, 255 - params.valueRange - width));
+        } else {
+            lo = static_cast<unsigned>(
+                rng.uniform(0, params.valueRange - 1));
+        }
+        const unsigned hi = std::min(255u, lo + width);
+        return SymbolSet::range(static_cast<uint8_t>(lo),
+                                static_cast<uint8_t>(hi));
+    };
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        Nfa nfa(abbr + "_" + std::to_string(n));
+
+        std::vector<StateId> level1, level2;
+        for (unsigned i = 0; i < params.roots; ++i) {
+            level1.push_back(nfa.addState(draw_range(false),
+                                          StartKind::AllInput, false));
+        }
+        for (unsigned i = 0; i < params.midNodes; ++i) {
+            const StateId s =
+                nfa.addState(draw_range(true), StartKind::None, false);
+            nfa.addEdge(level1[rng.index(level1.size())], s);
+            level2.push_back(s);
+        }
+        for (unsigned i = 0; i < params.leafNodes; ++i) {
+            // One reporting leaf per tree (the classification outcome),
+            // matching Table II's #RStates == #NFAs for RF1/RF2.
+            const StateId s = nfa.addState(draw_range(true),
+                                           StartKind::None, i == 0);
+            nfa.addEdge(level2[rng.index(level2.size())], s);
+        }
+        nfa.finalize();
+        w.app.addNfa(std::move(nfa));
+    }
+
+    // Quantized feature stream.
+    std::string values;
+    for (unsigned v = 0; v < params.valueRange; ++v)
+        values += static_cast<char>(v);
+    w.input.base = InputSpec::Base::Alphabet;
+    w.input.alphabet = values;
+    return w;
+}
+
+} // namespace sparseap

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Random Forest workloads (RF1, RF2 — ANMLZoo RandomForest).
+ *
+ * Tracy et al. compile decision-tree ensembles to automata: each tree
+ * becomes shallow chains of feature-threshold range tests (depth 3 in
+ * Table II). Input symbols are quantized feature values; a range that
+ * lies outside the quantized value distribution kills its subtree, which
+ * is where the cold states come from.
+ */
+
+#ifndef SPARSEAP_WORKLOADS_RANDOM_FOREST_H
+#define SPARSEAP_WORKLOADS_RANDOM_FOREST_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters for Random Forest chains. */
+struct RandomForestParams
+{
+    size_t nfaCount = 3767;
+    /** Root range tests per tree (always-enabled starts). */
+    unsigned roots = 6;
+    /** Second/third level nodes per tree. */
+    unsigned midNodes = 7;
+    unsigned leafNodes = 7;
+    /** Feature values are quantized to [0, valueRange). */
+    unsigned valueRange = 64;
+    /** Probability a node's range lies outside the value distribution. */
+    double deadRangeProb = 0.35;
+};
+
+/** Generate a Random Forest workload. */
+Workload makeRandomForest(const RandomForestParams &params, Rng &rng,
+                          const std::string &name, const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_RANDOM_FOREST_H

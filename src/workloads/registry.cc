@@ -1,0 +1,284 @@
+#include "workloads/registry.h"
+
+#include <functional>
+
+#include "ap/config.h"
+#include "common/logging.h"
+#include "workloads/becchi.h"
+#include "workloads/brill.h"
+#include "workloads/clamav.h"
+#include "workloads/entity_resolution.h"
+#include "workloads/fermi.h"
+#include "workloads/hamming.h"
+#include "workloads/levenshtein.h"
+#include "workloads/poweren.h"
+#include "workloads/protomata.h"
+#include "workloads/random_forest.h"
+#include "workloads/snort.h"
+#include "workloads/spm.h"
+
+namespace sparseap {
+namespace {
+
+/** Scale an NFA count, keeping at least one NFA. */
+size_t
+scaled(size_t count, unsigned scale_percent)
+{
+    const size_t n = count * scale_percent / 100;
+    return n == 0 ? 1 : n;
+}
+
+/** Stable per-app seed derived from the master seed. */
+uint64_t
+appSeed(uint64_t seed, const std::string &abbr)
+{
+    uint64_t h = seed ^ 0x5851f42d4c957f2dull;
+    for (char c : abbr)
+        h = (h ^ static_cast<uint64_t>(c)) * 0x100000001b3ull;
+    return h;
+}
+
+} // namespace
+
+const std::vector<CatalogEntry> &
+appCatalog()
+{
+    static const std::vector<CatalogEntry> catalog = {
+        {"ClamAV4000", "CAV4k", 'H', 1124947, 4000, 2080, 4015},
+        {"Hamming1500", "HM1500", 'H', 366000, 3000, 32, 6000},
+        {"Hamming1000", "HM1000", 'H', 244000, 2000, 32, 4000},
+        {"Snort_big", "Snort_L", 'H', 132171, 3126, 4509, 4043},
+        {"Hamming500", "HM500", 'H', 122000, 1000, 32, 2000},
+        {"SPM", "SPM", 'H', 100500, 5025, 16, 5025},
+        {"Dotstar", "DS", 'H', 96438, 2837, 95, 2838},
+        {"EntityResolution", "ER", 'H', 95136, 1000, 64, 1000},
+        {"RandomForest1", "RF1", 'H', 75340, 3767, 3, 3767},
+        {"Snort", "Snort", 'H', 69029, 2687, 133, 4166},
+        {"ClamAV", "CAV", 'H', 49538, 515, 542, 515},
+        {"Brill", "Brill", 'M', 42658, 1962, 38, 1962},
+        {"Protomata", "Pro", 'M', 42009, 2340, 123, 2365},
+        {"Fermi", "Fermi", 'M', 40783, 2399, 13, 2399},
+        {"PowerEN", "PEN", 'M', 40513, 2857, 44, 3456},
+        {"RandomForest2", "RF2", 'M', 33220, 1661, 3, 1661},
+        {"TCP", "TCP", 'L', 19704, 738, 100, 767},
+        {"Dotstar06", "DS06", 'L', 12640, 298, 104, 300},
+        {"Ranges05", "Rg05", 'L', 12621, 299, 94, 299},
+        {"Ranges1", "Rg1", 'L', 12464, 297, 96, 297},
+        {"ExactMatch", "EM", 'L', 12439, 297, 87, 297},
+        {"Dotstar09", "DS09", 'L', 12431, 297, 104, 300},
+        {"Dotstar03", "DS03", 'L', 12144, 299, 92, 300},
+        {"Hamming", "HM", 'L', 11346, 93, 20, 186},
+        {"Levenshtein", "LV", 'L', 2784, 24, 23, 96},
+        {"Bro217", "Bro217", 'L', 2312, 187, 84, 187},
+    };
+    return catalog;
+}
+
+const CatalogEntry &
+findApp(const std::string &abbr)
+{
+    for (const auto &e : appCatalog()) {
+        if (e.abbr == abbr)
+            return e;
+    }
+    fatal("unknown application '", abbr, "'");
+}
+
+Workload
+generateWorkload(const std::string &abbr, uint64_t seed,
+                 unsigned scale_percent)
+{
+    const CatalogEntry &entry = findApp(abbr); // validates the abbr
+    Rng rng(appSeed(seed, abbr));
+    Workload w;
+
+    if (abbr == "CAV4k") {
+        ClamAvParams p;
+        p.nfaCount = scaled(4000, scale_percent);
+        p.minLength = 24;
+        p.meanLength = 275;
+        p.maxLength = 2080;
+        p.wildcardRate = 0.03;
+        p.gapRate = 0.005;
+        p.altTailProb = 0.004;
+        p.plantRate = 0.00002;
+        w = makeClamAv(p, rng, entry.name, abbr);
+    } else if (abbr == "CAV") {
+        ClamAvParams p;
+        p.nfaCount = scaled(515, scale_percent);
+        p.minLength = 24;
+        p.meanLength = 100;
+        p.maxLength = 542;
+        p.plantRate = 0.0001;
+        w = makeClamAv(p, rng, entry.name, abbr);
+    } else if (abbr == "HM1500" || abbr == "HM1000" || abbr == "HM500") {
+        HammingParams p;
+        p.nfaCount = scaled(abbr == "HM1500"   ? 3000
+                            : abbr == "HM1000" ? 2000
+                                               : 1000,
+                            scale_percent);
+        p.lengths = {8, 12, 20, 30};
+        p.lengthWeights = {0.05, 0.05, 0.2, 0.7};
+        // Distance 2 for every length (the low end of the paper's
+        // "2 to 20% of the pattern length" recipe): keeps the live
+        // window set, and hence simulation time, manageable.
+        p.distanceFraction = 0.08;
+        w = makeHamming(p, rng, entry.name, abbr);
+        // Hamming mismatch states accept 3 of 4 bases, so the live set
+        // is inherently dense; cap the stream to keep runs quick.
+        w.inputBytesCap = 32 * 1024;
+    } else if (abbr == "HM") {
+        HammingParams p;
+        p.nfaCount = scaled(93, scale_percent);
+        p.lengths = {20};
+        p.lengthWeights = {1.0};
+        p.distanceFraction = 0.15; // d = 3 at length 20
+        w = makeHamming(p, rng, entry.name, abbr);
+    } else if (abbr == "Snort_L") {
+        SnortParams p;
+        p.nfaCount = scaled(3126, scale_percent);
+        p.minTokens = 3;
+        p.maxTokens = 7;
+        p.dotStarProb = 0.35;
+        p.altTailProb = 0.35;
+        p.deepRuleCount = scale_percent >= 50 ? 2 : 1;
+        p.deepRuleGap = 4480;
+        p.plantRate = 0.02;
+        w = makeSnort(p, rng, entry.name, abbr);
+    } else if (abbr == "Snort") {
+        SnortParams p;
+        p.nfaCount = scaled(2687, scale_percent);
+        p.minTokens = 2;
+        p.maxTokens = 5;
+        p.dotStarProb = 0.3;
+        p.altTailProb = 0.5;
+        p.longRuleCount = 3;
+        p.longRuleTokens = 22; // ~130-layer rules (Table II MaxTopo 133)
+        p.plantRate = 0.012;
+        w = makeSnort(p, rng, entry.name, abbr);
+    } else if (abbr == "SPM") {
+        SpmParams p;
+        p.nfaCount = scaled(5025, scale_percent);
+        p.minItems = 8;
+        p.maxItems = 8;
+        p.altItemProb = 0.45;
+        w = makeSpm(p, rng, entry.name, abbr);
+    } else if (abbr == "DS") {
+        BecchiParams p;
+        p.nfaCount = scaled(2837, scale_percent);
+        p.minLength = 26;
+        p.maxLength = 40;
+        p.rangeFraction = 0.1;
+        p.dotStarProb = 1.0;
+        p.maxDotStars = 2;
+        p.longPatternProb = 0.003;
+        p.longPatternLength = 92;
+        p.plantRate = 0.002;
+        w = makeBecchi(p, rng, entry.name, abbr);
+    } else if (abbr == "ER") {
+        EntityResolutionParams p;
+        p.nfaCount = scaled(1000, scale_percent);
+        p.entryLength = 4;
+        p.loopStates = 85;
+        p.exitLength = 6;
+        p.exitFanIn = 4;
+        p.plantRate = 0.05;
+        w = makeEntityResolution(p, rng, entry.name, abbr);
+    } else if (abbr == "RF1" || abbr == "RF2") {
+        RandomForestParams p;
+        p.nfaCount = scaled(abbr == "RF1" ? 3767 : 1661, scale_percent);
+        w = makeRandomForest(p, rng, entry.name, abbr);
+    } else if (abbr == "Brill") {
+        BrillParams p;
+        p.nfaCount = scaled(1962, scale_percent);
+        p.minTokens = 5;
+        p.maxTokens = 9;
+        p.plantRate = 0.05;
+        w = makeBrill(p, rng, entry.name, abbr);
+    } else if (abbr == "Pro") {
+        ProtomataParams p;
+        p.nfaCount = scaled(2340, scale_percent);
+        p.minElements = 8;
+        p.maxElements = 17;
+        p.longMotifProb = 0.01;
+        p.longMotifElements = 95;
+        p.plantRate = 0.004;
+        w = makeProtomata(p, rng, entry.name, abbr);
+    } else if (abbr == "Fermi") {
+        FermiParams p;
+        p.nfaCount = scaled(2399, scale_percent);
+        p.minSteps = 6;
+        p.maxSteps = 7;
+        w = makeFermi(p, rng, entry.name, abbr);
+        // Fermi keeps its whole fabric live (that is its point); cap the
+        // stream so full-input runs stay quick.
+        w.inputBytesCap = 32 * 1024;
+    } else if (abbr == "PEN") {
+        PowerEnParams p;
+        p.nfaCount = scaled(2857, scale_percent);
+        w = makePowerEn(p, rng, entry.name, abbr);
+    } else if (abbr == "TCP") {
+        BecchiParams p;
+        p.nfaCount = scaled(738, scale_percent);
+        p.minLength = 20;
+        p.maxLength = 33;
+        p.rangeFraction = 0.25;
+        p.dotStarProb = 0.4;
+        p.longPatternProb = 0.004;
+        p.longPatternLength = 97;
+        p.plantRate = 0.003;
+        w = makeBecchi(p, rng, entry.name, abbr);
+    } else if (abbr == "DS03" || abbr == "DS06" || abbr == "DS09") {
+        BecchiParams p;
+        p.nfaCount = scaled(298, scale_percent);
+        p.minLength = 36;
+        p.maxLength = 48;
+        p.rangeFraction = 0.1;
+        p.dotStarProb = abbr == "DS03" ? 0.3 : (abbr == "DS06" ? 0.6 : 0.9);
+        p.longPatternProb = 0.004;
+        p.longPatternLength = abbr == "DS03" ? 90 : 101;
+        p.plantRate = 0.002;
+        w = makeBecchi(p, rng, entry.name, abbr);
+    } else if (abbr == "Rg05" || abbr == "Rg1") {
+        BecchiParams p;
+        p.nfaCount = scaled(298, scale_percent);
+        p.minLength = 36;
+        p.maxLength = 48;
+        p.rangeFraction = abbr == "Rg05" ? 0.5 : 1.0;
+        p.longPatternProb = 0.004;
+        p.longPatternLength = abbr == "Rg05" ? 94 : 96;
+        p.plantRate = 0.002;
+        w = makeBecchi(p, rng, entry.name, abbr);
+    } else if (abbr == "EM") {
+        BecchiParams p;
+        p.nfaCount = scaled(297, scale_percent);
+        p.minLength = 36;
+        p.maxLength = 48;
+        p.longPatternProb = 0.004;
+        p.longPatternLength = 87;
+        p.plantRate = 0.002;
+        w = makeBecchi(p, rng, entry.name, abbr);
+    } else if (abbr == "LV") {
+        LevenshteinParams p;
+        p.nfaCount = scaled(24, scale_percent);
+        p.patternLength = 23;
+        p.distance = 2;
+        w = makeLevenshtein(p, rng, entry.name, abbr);
+    } else if (abbr == "Bro217") {
+        BecchiParams p;
+        p.nfaCount = scaled(187, scale_percent);
+        p.minLength = 8;
+        p.maxLength = 17;
+        p.longPatternProb = 0.005;
+        p.longPatternLength = 84;
+        p.plantRate = 0.005;
+        w = makeBecchi(p, rng, entry.name, abbr);
+    } else {
+        SPARSEAP_PANIC("catalog entry '", abbr, "' has no generator");
+    }
+
+    w.app.classifyGroup(ApConfig::kHalfCore, ApConfig::kFullChip);
+    return w;
+}
+
+} // namespace sparseap

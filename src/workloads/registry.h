@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The 26-application catalog (Table II of the paper).
+ *
+ * Each entry carries the paper's published statistics (#states, #NFAs,
+ * MaxTopo, #RStates, resource group) for side-by-side comparison and a
+ * generator that synthesizes the workload at a requested scale.
+ */
+
+#ifndef SPARSEAP_WORKLOADS_REGISTRY_H
+#define SPARSEAP_WORKLOADS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Catalog entry: identity plus the paper's Table II reference row. */
+struct CatalogEntry
+{
+    std::string name;
+    std::string abbr;
+    char group; ///< paper's group: 'H', 'M' or 'L'
+    size_t paperStates;
+    size_t paperNfas;
+    size_t paperMaxTopo;
+    size_t paperRStates;
+};
+
+/** All applications in Table II order (largest first). */
+const std::vector<CatalogEntry> &appCatalog();
+
+/** Find a catalog entry by abbreviation; fatal() if unknown. */
+const CatalogEntry &findApp(const std::string &abbr);
+
+/**
+ * Generate the workload for @p abbr.
+ *
+ * @param seed RNG seed (combined with the abbreviation so different apps
+ *             draw independent streams)
+ * @param scale_percent scales NFA counts; 100 reproduces paper sizes
+ */
+Workload generateWorkload(const std::string &abbr, uint64_t seed,
+                          unsigned scale_percent = 100);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_REGISTRY_H

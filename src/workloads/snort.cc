@@ -1,0 +1,122 @@
+#include "workloads/snort.h"
+
+#include "common/logging.h"
+#include "regex/glushkov.h"
+
+namespace sparseap {
+namespace {
+
+const char *const kKeywords[] = {
+    "GET ",  "POST ",   "HEAD ",  "HTTP/1.", "Host: ",  "User-Agent",
+    "/cgi-", "/admin",  ".php",   ".asp",    "passwd",  "cmd.exe",
+    "login", "SELECT ", "UNION ", "script>", "%00",     "\\x90\\x90",
+    "root:", "/etc/",   "shell",  "exploit", "overflow", "..%2f",
+};
+constexpr size_t kKeywordCount = sizeof(kKeywords) / sizeof(kKeywords[0]);
+
+/** A short random token of letters/digits. */
+std::string
+randomToken(Rng &rng, unsigned min_len, unsigned max_len)
+{
+    static const char charset[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789";
+    const unsigned len =
+        static_cast<unsigned>(rng.uniform(min_len, max_len));
+    std::string s;
+    for (unsigned i = 0; i < len; ++i)
+        s += charset[rng.index(sizeof(charset) - 1)];
+    return s;
+}
+
+} // namespace
+
+Workload
+makeSnort(const SnortParams &params, Rng &rng, const std::string &name,
+          const std::string &abbr)
+{
+    Workload w;
+    w.app.setNames(name, abbr);
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        const bool deep = n < params.deepRuleCount;
+        const bool long_rule =
+            !deep && n < params.deepRuleCount + params.longRuleCount;
+        const unsigned tokens =
+            long_rule ? params.longRuleTokens
+                      : static_cast<unsigned>(rng.uniform(
+                            params.minTokens, params.maxTokens));
+
+        std::string pattern;
+        std::string plant;
+        for (unsigned t = 0; t < tokens; ++t) {
+            std::string tok;
+            if (!deep && (t == 0 || rng.chance(0.6))) {
+                // First tokens always come from the common keyword set:
+                // every rule's opening matcher (and its `.*` gap, if
+                // any) is exercised by even a short profiling window, so
+                // predicted-cold fragments contain no always-live star
+                // states and SpAP mode can jump (Table IV: ~98% jump
+                // ratio for Snort_L).
+                tok = kKeywords[rng.index(kKeywordCount)];
+            } else {
+                // Deep rules use rare random tokens so their huge gap
+                // chain stays cold on benign traffic.
+                tok = randomToken(rng, deep ? 6 : 3, 8);
+            }
+            if (t == 0) {
+                if (!deep)
+                    plant = tok;
+            } else if (deep && t == 1) {
+                // Exact-count gap: a linear chain of wildcard states (an
+                // {0,n} gap would create quadratic skip edges).
+                pattern += ".{" + std::to_string(params.deepRuleGap) + "}";
+            } else if (t == 1 && rng.chance(params.dotStarProb)) {
+                // `.*` only as the first connector: its gap state is
+                // enabled as soon as the (common) opening keyword hits,
+                // so it is always profiled hot and never lands in the
+                // cold set — predicted-cold fragments stay loop-free and
+                // SpAP mode can jump over idle traffic.
+                pattern += ".*";
+            } else if (rng.chance(0.3)) {
+                pattern += "[ -~]"; // one printable byte
+            }
+            // Escape regex metacharacters in the token.
+            for (char c : tok) {
+                if (c == '\\') {
+                    pattern += "\\\\";
+                } else if (std::string("().[]{}|*+?^$").find(c) !=
+                           std::string::npos) {
+                    pattern += '\\';
+                    pattern += c;
+                } else {
+                    pattern += c;
+                }
+            }
+        }
+        if (rng.chance(params.altTailProb)) {
+            pattern += "(" + randomToken(rng, 2, 4) + "|" +
+                       randomToken(rng, 2, 4) + ")";
+        }
+
+        w.app.addNfa(
+            compileRegex(pattern, abbr + "_" + std::to_string(n)));
+        if (plant.size() >= 3)
+            w.input.plants.push_back(plant);
+    }
+
+    // Synthetic traffic: printable ASCII with rule keywords planted
+    // frequently (network traffic is keyword-dense, which is what drives
+    // Snort_L's large intermediate-report counts in Table IV).
+    w.input.base = InputSpec::Base::Alphabet;
+    w.input.alphabet =
+        "abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ./:-_%?&=\r\n";
+    for (size_t k = 0; k < kKeywordCount; ++k)
+        w.input.plants.push_back(kKeywords[k]);
+    w.input.plantRate = params.plantRate;
+    w.input.prefixKeepProb = 0.8;
+    w.input.fullPlantProb = 0.35;
+    return w;
+}
+
+} // namespace sparseap

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Snort-style network-intrusion rule workloads (ANMLZoo Snort and the
+ * paper's Snort_L built from 3,126 community + registered rules).
+ *
+ * Rules are PCRE-flavoured: a protocol keyword, URI/header tokens, byte
+ * classes, `.*` gaps and occasional large bounded counts (`.{n,m}`) —
+ * the counts are what give Snort_L its 4,509-layer-deep NFA (Table II).
+ * Compiled through the library's regex parser + Glushkov construction.
+ */
+
+#ifndef SPARSEAP_WORKLOADS_SNORT_H
+#define SPARSEAP_WORKLOADS_SNORT_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters of a Snort-style workload. */
+struct SnortParams
+{
+    size_t nfaCount = 2687;
+    /** Keyword-token count per rule (uniform in [min, max]). */
+    unsigned minTokens = 2;
+    unsigned maxTokens = 5;
+    /** Probability a rule joins tokens with `.*` instead of adjacency. */
+    double dotStarProb = 0.35;
+    /** Probability a rule ends in a small alternation (extra reporters). */
+    double altTailProb = 0.4;
+    /** Count rules: a few rules carry a huge bounded gap. */
+    size_t deepRuleCount = 0;
+    unsigned deepRuleGap = 0;
+    /** Long keyword rules (many tokens) setting the suite's MaxTopo. */
+    size_t longRuleCount = 0;
+    unsigned longRuleTokens = 0;
+    /** How often rule keywords are planted into the traffic. */
+    double plantRate = 0.004;
+};
+
+/** Generate a Snort-style workload (rules + synthetic traffic). */
+Workload makeSnort(const SnortParams &params, Rng &rng,
+                   const std::string &name, const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_SNORT_H

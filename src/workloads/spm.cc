@@ -1,0 +1,78 @@
+#include "workloads/spm.h"
+
+#include "common/logging.h"
+
+namespace sparseap {
+
+Workload
+makeSpm(const SpmParams &params, Rng &rng, const std::string &name,
+        const std::string &abbr)
+{
+    SPARSEAP_ASSERT(params.inputPoolSize <= params.alphabetSize,
+                    "SPM input pool larger than the alphabet");
+    Workload w;
+    w.app.setNames(name, abbr);
+    w.fullInputAsTest = true;
+
+    auto item_byte = [&](unsigned idx) {
+        return static_cast<uint8_t>(48 + idx);
+    };
+
+    // The whole item alphabet; gap states idle over any item.
+    SymbolSet any_item;
+    for (unsigned i = 0; i < params.alphabetSize; ++i)
+        any_item.set(item_byte(i));
+
+    for (size_t n = 0; n < params.nfaCount; ++n) {
+        const unsigned items = static_cast<unsigned>(
+            rng.uniform(params.minItems, params.maxItems));
+        Nfa nfa(abbr + "_" + std::to_string(n));
+
+        // Anchored broad start: any item opens the transaction stream.
+        std::vector<StateId> prevs = {
+            nfa.addState(any_item, StartKind::StartOfData, false)};
+
+        for (unsigned t = 0; t < items; ++t) {
+            // Gap: a self-loop state that idles over non-matching items.
+            const StateId gap =
+                nfa.addState(any_item, StartKind::None, false);
+            for (StateId p : prevs)
+                nfa.addEdge(p, gap);
+            nfa.addEdge(gap, gap);
+
+            // Item state(s): early items come from the frequent pool;
+            // deep items from the full (mostly absent) alphabet.
+            auto draw_item = [&]() {
+                const unsigned pool = t < params.rareAfterItem
+                                          ? params.inputPoolSize
+                                          : params.alphabetSize;
+                return item_byte(
+                    static_cast<unsigned>(rng.index(pool)));
+            };
+            const bool last = t + 1 == items;
+            std::vector<StateId> layer = {nfa.addState(
+                SymbolSet::single(draw_item()), StartKind::None, last)};
+            if (rng.chance(params.altItemProb) && !last) {
+                layer.push_back(nfa.addState(
+                    SymbolSet::single(draw_item()), StartKind::None,
+                    false));
+            }
+            for (StateId item : layer) {
+                nfa.addEdge(gap, item);
+                for (StateId p : prevs)
+                    nfa.addEdge(p, item); // adjacent items need no gap
+            }
+            prevs = std::move(layer);
+        }
+        nfa.finalize();
+        w.app.addNfa(std::move(nfa));
+    }
+
+    // Transaction stream over the frequent-item pool only.
+    w.input.base = InputSpec::Base::Alphabet;
+    for (unsigned i = 0; i < params.inputPoolSize; ++i)
+        w.input.alphabet += static_cast<char>(item_byte(i));
+    return w;
+}
+
+} // namespace sparseap

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sequential Pattern Mining (SPM) and Fermi-style workloads.
+ *
+ * Both are *start-of-data* applications: their start states are enabled
+ * only at input position 0 (ANML start-of-data anchors), so the paper
+ * excludes them from prefix profiling and runs the whole input as the
+ * test stream. Their NFAs interleave item states with `.*`-style
+ * self-loop gap states, which keep threads alive across the whole
+ * stream — the reason SPM's SpAP mode skips almost nothing
+ * (JumpRatio ~2% in Table IV).
+ */
+
+#ifndef SPARSEAP_WORKLOADS_SPM_H
+#define SPARSEAP_WORKLOADS_SPM_H
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace sparseap {
+
+/** Parameters for SPM-style sequence automata. */
+struct SpmParams
+{
+    size_t nfaCount = 5025;
+    /** Items per sequence pattern. */
+    unsigned minItems = 6;
+    unsigned maxItems = 8;
+    /** Probability an item position has a second (parallel) item state. */
+    double altItemProb = 0.25;
+    /**
+     * Item alphabet size (mapped onto bytes 48..48+size). The *input*
+     * stream only ever contains the first `inputPoolSize` items; later
+     * pattern items are drawn from the whole alphabet, so most deep
+     * items never occur — deep states stay cold (real sequence-mining
+     * item sets have exactly this frequency skew).
+     */
+    unsigned alphabetSize = 160;
+    unsigned inputPoolSize = 40;
+    /** Items at position >= this index draw from the full alphabet. */
+    unsigned rareAfterItem = 3;
+};
+
+/** Generate an SPM workload (anchored sequence patterns + item stream). */
+Workload makeSpm(const SpmParams &params, Rng &rng, const std::string &name,
+                 const std::string &abbr);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_SPM_H

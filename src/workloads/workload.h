@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Workload = an application plus the recipe for its input stream.
+ *
+ * The ANMLZoo / Becchi-suite benchmark files are not redistributable, so
+ * each of the paper's 26 applications is *generated*: a seeded synthesizer
+ * builds automata of the same structural class and an input model that
+ * reproduces the hot/cold phenomenology (see DESIGN.md section 2).
+ */
+
+#ifndef SPARSEAP_WORKLOADS_WORKLOAD_H
+#define SPARSEAP_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nfa/application.h"
+#include "workloads/inputs.h"
+
+namespace sparseap {
+
+/** One generated benchmark application plus its input model. */
+struct Workload
+{
+    Application app;
+    InputSpec input;
+    /**
+     * True for start-of-data applications (Fermi, SPM): the whole input
+     * is used as the test stream and the app is excluded from Table I.
+     */
+    bool fullInputAsTest = false;
+
+    /**
+     * Upper bound on the generated input stream, 0 = none. Set for
+     * workloads whose enabled sets are inherently dense (Hamming grids,
+     * Fermi paths), where simulation cost grows with stream length but
+     * none of the reported ratios do.
+     */
+    size_t inputBytesCap = 0;
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_WORKLOADS_WORKLOAD_H

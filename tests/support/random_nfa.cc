@@ -1,0 +1,85 @@
+#include "support/random_nfa.h"
+
+#include <algorithm>
+
+namespace sparseap::testing {
+
+Nfa
+randomNfa(Rng &rng, const RandomNfaParams &params, const std::string &name)
+{
+    const size_t n = rng.uniform(params.minStates, params.maxStates);
+    Nfa nfa(name);
+
+    std::vector<bool> wants_self_loop(n, false);
+    for (size_t i = 0; i < n; ++i) {
+        SymbolSet set;
+        if (rng.chance(params.universalProb)) {
+            set = SymbolSet::all();
+            wants_self_loop[i] = rng.chance(0.5);
+        } else {
+            const unsigned symbols = static_cast<unsigned>(
+                rng.uniform(params.minSymbols, params.maxSymbols));
+            for (unsigned s = 0; s < symbols; ++s)
+                set.set(static_cast<uint8_t>(
+                    rng.index(params.alphabetSize)));
+        }
+        StartKind start = StartKind::None;
+        if (i == 0 || rng.chance(params.extraStartProb)) {
+            start = rng.chance(params.sodProb) ? StartKind::StartOfData
+                                               : StartKind::AllInput;
+        }
+        nfa.addState(set, start, rng.chance(params.reportProb));
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (wants_self_loop[i])
+            nfa.addEdge(static_cast<StateId>(i), static_cast<StateId>(i));
+    }
+
+    // Forward-ish edges to keep most of the graph reachable, plus random
+    // back edges for cycles.
+    for (StateId u = 0; u < n; ++u) {
+        const unsigned out = static_cast<unsigned>(
+            rng.geometric(1.0 / (params.avgOutDegree + 1.0)));
+        for (unsigned e = 0; e < out; ++e) {
+            StateId v = static_cast<StateId>(rng.index(n));
+            nfa.addEdge(u, v);
+        }
+        if (u + 1 < n && rng.chance(0.8))
+            nfa.addEdge(u, u + 1); // a forward spine
+        if (params.backEdgeProb > 0 && u > 0 &&
+            rng.chance(params.backEdgeProb)) {
+            nfa.addEdge(u, static_cast<StateId>(rng.index(u)));
+        }
+    }
+    nfa.finalize();
+    return nfa;
+}
+
+Application
+randomApplication(Rng &rng, size_t nfa_count, const RandomNfaParams &params)
+{
+    Application app("random_app", "RAND");
+    for (size_t i = 0; i < nfa_count; ++i)
+        app.addNfa(randomNfa(rng, params, "rand_" + std::to_string(i)));
+    return app;
+}
+
+uint32_t
+minPartitionLayer(const Nfa &nfa, const Topology &topo)
+{
+    uint32_t min_layer = 1;
+    for (StateId s : nfa.startStates())
+        min_layer = std::max(min_layer, topo.order[s]);
+    return min_layer;
+}
+
+std::vector<uint8_t>
+randomInput(Rng &rng, size_t len, unsigned alphabet_size)
+{
+    std::vector<uint8_t> input(len);
+    for (auto &b : input)
+        b = static_cast<uint8_t>(rng.index(alphabet_size));
+    return input;
+}
+
+} // namespace sparseap::testing

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Random automata for property-based tests.
+ */
+
+#ifndef SPARSEAP_TESTS_SUPPORT_RANDOM_NFA_H
+#define SPARSEAP_TESTS_SUPPORT_RANDOM_NFA_H
+
+#include "common/rng.h"
+#include "graph/topology.h"
+#include "nfa/application.h"
+
+namespace sparseap::testing {
+
+/** Shape knobs for random NFA generation. */
+struct RandomNfaParams
+{
+    size_t minStates = 3;
+    size_t maxStates = 24;
+    /** Average successors per state. */
+    double avgOutDegree = 1.6;
+    /** Probability of an extra back edge (creates cycles / SCCs). */
+    double backEdgeProb = 0.15;
+    /** Probability a state is reporting. */
+    double reportProb = 0.2;
+    /** Extra all-input start states beyond the first. */
+    double extraStartProb = 0.2;
+    /** Probability start states are start-of-data instead of all-input. */
+    double sodProb = 0.0;
+    /** Symbols per state's symbol-set (small sets keep runs sparse). */
+    unsigned minSymbols = 1;
+    unsigned maxSymbols = 24;
+    /** Restrict symbols to [0, alphabetSize). */
+    unsigned alphabetSize = 32;
+    /**
+     * Probability a state accepts every byte (a `.*`-style wildcard);
+     * half of those get a self-loop — this exercises the engine's
+     * latching fast path against the naive oracle.
+     */
+    double universalProb = 0.12;
+};
+
+/** Generate one finalized random NFA with at least one start state. */
+Nfa randomNfa(Rng &rng, const RandomNfaParams &params,
+              const std::string &name = "rand");
+
+/** Generate an application of @p nfa_count random NFAs. */
+Application randomApplication(Rng &rng, size_t nfa_count,
+                              const RandomNfaParams &params = {});
+
+/** Generate a random input over [0, alphabetSize). */
+std::vector<uint8_t> randomInput(Rng &rng, size_t len,
+                                 unsigned alphabet_size);
+
+/**
+ * The smallest legal partition layer for an NFA: start states are always
+ * enabled (hence hot), so a cut may never place one in the cold set.
+ */
+uint32_t minPartitionLayer(const Nfa &nfa, const Topology &topo);
+
+} // namespace sparseap::testing
+
+#endif // SPARSEAP_TESTS_SUPPORT_RANDOM_NFA_H

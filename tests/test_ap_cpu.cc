@@ -1,0 +1,76 @@
+/** @file Tests for the AP-CPU execution pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "regex/glushkov.h"
+#include "spap/ap_cpu.h"
+#include "support/naive_sim.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+TEST(ApCpu, NoEventsMeansNoCpuTime)
+{
+    Application app("a", "A");
+    for (int i = 0; i < 4; ++i)
+        app.addNfa(compileRegex("q0123456789", "p"));
+    AppTopology topo(app);
+    ExecutionOptions opts;
+    opts.ap.capacity = app.totalStates() / 2 + 2;
+    opts.profileFraction = 0.1;
+    std::vector<uint8_t> input(1000, 'z');
+    ApCpuStats stats = runApCpu(topo, opts, input);
+    EXPECT_EQ(stats.intermediateReports, 0u);
+    EXPECT_EQ(stats.cpuSeconds, 0.0);
+    EXPECT_GE(stats.speedup, 1.0);
+}
+
+TEST(ApCpu, TimesAreConsistentWithModel)
+{
+    Application app("a", "A");
+    for (int i = 0; i < 4; ++i)
+        app.addNfa(compileRegex("abcdefgh", "p"));
+    AppTopology topo(app);
+    ExecutionOptions opts;
+    opts.ap.capacity = 16; // two NFAs per batch
+    opts.profileFraction = 0.1;
+    opts.profileReferenceBytes = 0;
+    std::vector<uint8_t> input(1000, 'z');
+    ApCpuStats stats = runApCpu(topo, opts, input);
+    const double cycle = opts.ap.cycleTimeNs * 1e-9;
+    EXPECT_NEAR(stats.baselineSeconds,
+                static_cast<double>(stats.baselineBatches) * 900 * cycle,
+                1e-12);
+    EXPECT_NEAR(stats.baseApSeconds,
+                static_cast<double>(stats.baseApBatches) * 900 * cycle,
+                1e-12);
+}
+
+/** Property: AP-CPU produces the same reports as the monolithic run. */
+TEST(ApCpu, PropertyReportEquivalence)
+{
+    Rng rng(555);
+    for (int trial = 0; trial < 30; ++trial) {
+        testing::RandomNfaParams params;
+        params.backEdgeProb = 0.3;
+        params.reportProb = 0.3;
+        Application app =
+            testing::randomApplication(rng, 1 + rng.index(4), params);
+        std::vector<uint8_t> input = testing::randomInput(rng, 250, 16);
+
+        AppTopology topo(app);
+        ExecutionOptions opts;
+        opts.ap.capacity = 1 + rng.index(app.totalStates() + 10);
+        opts.profileFraction = 0.1;
+        PreparedPartition prep = preparePartition(topo, opts, input);
+        ApCpuStats stats = runApCpu(topo, opts, prep, true);
+        EXPECT_EQ(stats.reports,
+                  testing::naiveSimulate(app, prep.testInput))
+            << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace sparseap

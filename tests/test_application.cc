@@ -1,0 +1,109 @@
+/** @file Tests for the Application container and global state ids. */
+
+#include <gtest/gtest.h>
+
+#include "ap/config.h"
+#include "common/rng.h"
+#include "nfa/application.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+Nfa
+chain(size_t states, bool sod = false)
+{
+    Nfa nfa("chain");
+    for (size_t i = 0; i < states; ++i) {
+        nfa.addState(SymbolSet::all(),
+                     i == 0 ? (sod ? StartKind::StartOfData
+                                   : StartKind::AllInput)
+                            : StartKind::None,
+                     i + 1 == states);
+        if (i > 0)
+            nfa.addEdge(static_cast<StateId>(i - 1),
+                        static_cast<StateId>(i));
+    }
+    nfa.finalize();
+    return nfa;
+}
+
+TEST(Application, GlobalIdsAreDenseAndOrdered)
+{
+    Application app("a", "A");
+    app.addNfa(chain(3));
+    app.addNfa(chain(5));
+    app.addNfa(chain(2));
+    EXPECT_EQ(app.totalStates(), 10u);
+    EXPECT_EQ(app.nfaOffset(0), 0u);
+    EXPECT_EQ(app.nfaOffset(1), 3u);
+    EXPECT_EQ(app.nfaOffset(2), 8u);
+    EXPECT_EQ(app.globalId(1, 4), 7u);
+}
+
+TEST(Application, ResolveRoundTrip)
+{
+    Rng rng(9);
+    Application app = testing::randomApplication(rng, 6);
+    for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+        for (StateId s = 0; s < app.nfa(u).size(); ++s) {
+            GlobalStateRef ref = app.resolve(app.globalId(u, s));
+            EXPECT_EQ(ref.nfa, u);
+            EXPECT_EQ(ref.state, s);
+        }
+    }
+}
+
+TEST(Application, ReportingStatesSum)
+{
+    Application app("a", "A");
+    app.addNfa(chain(3));
+    app.addNfa(chain(4));
+    EXPECT_EQ(app.reportingStates(), 2u);
+}
+
+TEST(Application, ClassifyGroups)
+{
+    Application low("l", "L");
+    low.addNfa(chain(10));
+    low.classifyGroup(ApConfig::kHalfCore, ApConfig::kFullChip);
+    EXPECT_EQ(low.group(), ResourceGroup::Low);
+
+    Application med("m", "M");
+    for (int i = 0; i < 30; ++i)
+        med.addNfa(chain(1000));
+    med.classifyGroup(ApConfig::kHalfCore, ApConfig::kFullChip);
+    EXPECT_EQ(med.group(), ResourceGroup::Medium);
+
+    Application high("h", "H");
+    for (int i = 0; i < 50; ++i)
+        high.addNfa(chain(1000));
+    high.classifyGroup(ApConfig::kHalfCore, ApConfig::kFullChip);
+    EXPECT_EQ(high.group(), ResourceGroup::High);
+}
+
+TEST(Application, StartOfDataOnly)
+{
+    Application sod("s", "S");
+    sod.addNfa(chain(3, /*sod=*/true));
+    sod.addNfa(chain(4, /*sod=*/true));
+    EXPECT_TRUE(sod.startOfDataOnly());
+
+    Application mixed("m", "M");
+    mixed.addNfa(chain(3, /*sod=*/true));
+    mixed.addNfa(chain(4, /*sod=*/false));
+    EXPECT_FALSE(mixed.startOfDataOnly());
+
+    Application empty("e", "E");
+    EXPECT_FALSE(empty.startOfDataOnly());
+}
+
+TEST(Application, GroupNames)
+{
+    EXPECT_STREQ(resourceGroupName(ResourceGroup::High), "H");
+    EXPECT_STREQ(resourceGroupName(ResourceGroup::Medium), "M");
+    EXPECT_STREQ(resourceGroupName(ResourceGroup::Low), "L");
+}
+
+} // namespace
+} // namespace sparseap

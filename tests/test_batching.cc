@@ -1,0 +1,140 @@
+/** @file Tests for AP batch packing. */
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ap/batching.h"
+#include "common/rng.h"
+
+namespace sparseap {
+namespace {
+
+TEST(Batching, EverythingFitsInOneBatch)
+{
+    BatchPlan plan = packSizes({10, 20, 30}, 100);
+    EXPECT_EQ(plan.batchCount(), 1u);
+    EXPECT_EQ(plan.totalStates, 60u);
+    EXPECT_EQ(plan.batches[0].states, 60u);
+}
+
+TEST(Batching, SplitsAtCapacity)
+{
+    BatchPlan plan = packSizes({60, 60, 60}, 100);
+    EXPECT_EQ(plan.batchCount(), 3u);
+}
+
+TEST(Batching, GreedySequentialFill)
+{
+    BatchPlan plan = packSizes({50, 50, 50, 50}, 100);
+    EXPECT_EQ(plan.batchCount(), 2u);
+    EXPECT_EQ(plan.batches[0].items, (std::vector<uint32_t>{0, 1}));
+    EXPECT_EQ(plan.batches[1].items, (std::vector<uint32_t>{2, 3}));
+}
+
+TEST(Batching, ExactCapacityFits)
+{
+    BatchPlan plan = packSizes({100}, 100);
+    EXPECT_EQ(plan.batchCount(), 1u);
+}
+
+TEST(Batching, OversizedItemGetsExclusiveBatches)
+{
+    BatchPlan plan = packSizes({10, 250, 10}, 100);
+    // 10 | 100+100+50 (item 1) | 10 — the oversized item never shares.
+    EXPECT_EQ(plan.batchCount(), 5u);
+    EXPECT_EQ(plan.batches[1].items, std::vector<uint32_t>{1});
+    EXPECT_EQ(plan.batches[2].items, std::vector<uint32_t>{1});
+    EXPECT_EQ(plan.batches[3].items, std::vector<uint32_t>{1});
+    EXPECT_EQ(plan.batches[3].states, 50u);
+}
+
+TEST(Batching, ZeroSizedItemsSkipped)
+{
+    BatchPlan plan = packSizes({0, 10, 0}, 100);
+    EXPECT_EQ(plan.batchCount(), 1u);
+    EXPECT_EQ(plan.batches[0].items, std::vector<uint32_t>{1});
+}
+
+TEST(Batching, EmptyInput)
+{
+    BatchPlan plan = packSizes({}, 100);
+    EXPECT_EQ(plan.batchCount(), 0u);
+    EXPECT_EQ(plan.utilization(100), 0.0);
+}
+
+TEST(Batching, UtilizationComputation)
+{
+    BatchPlan plan = packSizes({50, 50, 40}, 100);
+    // Batch 1: 100, batch 2: 40 -> 140 / 200.
+    EXPECT_DOUBLE_EQ(plan.utilization(100), 0.7);
+}
+
+TEST(Batching, AnalyticCount)
+{
+    EXPECT_EQ(analyticBatchCount(0, 100), 0u);
+    EXPECT_EQ(analyticBatchCount(1, 100), 1u);
+    EXPECT_EQ(analyticBatchCount(100, 100), 1u);
+    EXPECT_EQ(analyticBatchCount(101, 100), 2u);
+    // CAV4k-style numbers: ~47 configurations at a 24K half-core.
+    EXPECT_EQ(analyticBatchCount(1124947, 24576), 46u);
+}
+
+/** Property: packing preserves items, order, and capacity bounds. */
+TEST(Batching, PropertyPackingInvariants)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        const size_t capacity = rng.uniform(10, 200);
+        std::vector<size_t> sizes;
+        const size_t n = rng.uniform(1, 40);
+        for (size_t i = 0; i < n; ++i)
+            sizes.push_back(rng.uniform(0, capacity * 2));
+
+        BatchPlan plan = packSizes(sizes, capacity);
+
+        // Every batch respects the capacity unless it holds one oversized
+        // item fragment.
+        std::vector<uint32_t> flattened;
+        for (const auto &b : plan.batches) {
+            EXPECT_FALSE(b.items.empty());
+            EXPECT_LE(b.states, capacity);
+            for (uint32_t item : b.items)
+                flattened.push_back(item);
+        }
+        // Items appear in order; each non-oversized item exactly once.
+        for (size_t i = 1; i < flattened.size(); ++i)
+            EXPECT_LE(flattened[i - 1], flattened[i]);
+
+        // The batch count is at least the analytic lower bound.
+        const size_t total =
+            std::accumulate(sizes.begin(), sizes.end(), size_t{0});
+        EXPECT_GE(plan.batchCount(), analyticBatchCount(total, capacity));
+        EXPECT_EQ(plan.totalStates, total);
+
+        // Greedy never uses more than twice the analytic bound plus one
+        // (each batch except the last is more than half full in the
+        // non-oversized case; oversized splits are exact).
+        EXPECT_LE(plan.batchCount(),
+                  2 * analyticBatchCount(total, capacity) + 1);
+    }
+}
+
+TEST(Batching, PackWholeNfasUsesNfaSizes)
+{
+    Application app("a", "A");
+    for (int i = 0; i < 3; ++i) {
+        Nfa nfa("n");
+        for (int s = 0; s < 40; ++s)
+            nfa.addState(SymbolSet::all(),
+                         s == 0 ? StartKind::AllInput : StartKind::None);
+        nfa.finalize();
+        app.addNfa(std::move(nfa));
+    }
+    BatchPlan plan = packWholeNfas(app, 100);
+    EXPECT_EQ(plan.batchCount(), 2u); // 40+40 | 40
+    EXPECT_EQ(plan.totalStates, 120u);
+}
+
+} // namespace
+} // namespace sparseap

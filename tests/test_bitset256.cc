@@ -1,0 +1,139 @@
+/** @file Unit and property tests for Bitset256. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitset256.h"
+#include "common/rng.h"
+
+namespace sparseap {
+namespace {
+
+TEST(Bitset256, DefaultIsEmpty)
+{
+    Bitset256 s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0);
+    for (unsigned b = 0; b < 256; ++b)
+        EXPECT_FALSE(s.test(static_cast<uint8_t>(b)));
+}
+
+TEST(Bitset256, AllContainsEverything)
+{
+    Bitset256 s = Bitset256::all();
+    EXPECT_EQ(s.count(), 256);
+    for (unsigned b = 0; b < 256; ++b)
+        EXPECT_TRUE(s.test(static_cast<uint8_t>(b)));
+}
+
+TEST(Bitset256, SingleAndReset)
+{
+    Bitset256 s = Bitset256::single('x');
+    EXPECT_EQ(s.count(), 1);
+    EXPECT_TRUE(s.test('x'));
+    EXPECT_FALSE(s.test('y'));
+    s.reset('x');
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(Bitset256, RangeBounds)
+{
+    Bitset256 s = Bitset256::range(10, 20);
+    EXPECT_EQ(s.count(), 11);
+    EXPECT_FALSE(s.test(9));
+    EXPECT_TRUE(s.test(10));
+    EXPECT_TRUE(s.test(20));
+    EXPECT_FALSE(s.test(21));
+}
+
+TEST(Bitset256, RangeSingleElement)
+{
+    Bitset256 s = Bitset256::range(0, 0);
+    EXPECT_EQ(s.count(), 1);
+    EXPECT_TRUE(s.test(0));
+}
+
+TEST(Bitset256, RangeFullAlphabet)
+{
+    EXPECT_EQ(Bitset256::range(0, 255), Bitset256::all());
+}
+
+TEST(Bitset256, WordBoundaries)
+{
+    // Bits 63/64 and 127/128 straddle word boundaries.
+    for (unsigned b : {63u, 64u, 127u, 128u, 191u, 192u, 255u}) {
+        Bitset256 s = Bitset256::single(static_cast<uint8_t>(b));
+        EXPECT_EQ(s.count(), 1) << b;
+        EXPECT_TRUE(s.test(static_cast<uint8_t>(b))) << b;
+    }
+}
+
+TEST(Bitset256, UnionIntersection)
+{
+    Bitset256 a = Bitset256::range(0, 99);
+    Bitset256 b = Bitset256::range(50, 149);
+    EXPECT_EQ((a | b).count(), 150);
+    EXPECT_EQ((a & b).count(), 50);
+}
+
+TEST(Bitset256, ComplementInvolution)
+{
+    Bitset256 s = Bitset256::range(17, 93);
+    EXPECT_EQ(~~s, s);
+    EXPECT_EQ((~s).count(), 256 - s.count());
+}
+
+TEST(Bitset256, EqualityAndHash)
+{
+    Bitset256 a = Bitset256::range(1, 7);
+    Bitset256 b = Bitset256::range(1, 7);
+    Bitset256 c = Bitset256::range(1, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_NE(a.hash(), c.hash()); // overwhelmingly likely
+}
+
+/** Property: random membership matches a reference bool array. */
+TEST(Bitset256, PropertyMatchesReferenceArray)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        bool ref[256] = {};
+        Bitset256 s;
+        for (int ops = 0; ops < 100; ++ops) {
+            uint8_t b = rng.byte();
+            if (rng.chance(0.7)) {
+                s.set(b);
+                ref[b] = true;
+            } else {
+                s.reset(b);
+                ref[b] = false;
+            }
+        }
+        int count = 0;
+        for (unsigned b = 0; b < 256; ++b) {
+            EXPECT_EQ(s.test(static_cast<uint8_t>(b)), ref[b]);
+            count += ref[b];
+        }
+        EXPECT_EQ(s.count(), count);
+        EXPECT_EQ(s.empty(), count == 0);
+    }
+}
+
+/** Property: De Morgan over random sets. */
+TEST(Bitset256, PropertyDeMorgan)
+{
+    Rng rng(43);
+    for (int trial = 0; trial < 50; ++trial) {
+        Bitset256 a, b;
+        for (int i = 0; i < 40; ++i) {
+            a.set(rng.byte());
+            b.set(rng.byte());
+        }
+        EXPECT_EQ(~(a | b), (~a) & (~b));
+        EXPECT_EQ(~(a & b), (~a) | (~b));
+    }
+}
+
+} // namespace
+} // namespace sparseap

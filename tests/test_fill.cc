@@ -1,0 +1,153 @@
+/** @file Tests for the batch-fill optimization and layer size tables. */
+
+#include <gtest/gtest.h>
+
+#include "ap/batching.h"
+#include "common/rng.h"
+#include "partition/fill.h"
+#include "regex/glushkov.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+TEST(LayerSizes, ChainTables)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcd", "p"));
+    AppTopology topo(app);
+    LayerSizeTable t =
+        computeLayerSizes(app.nfa(0), topo.nfa(0), false);
+    ASSERT_EQ(t.maxOrder, 4u);
+    EXPECT_EQ(t.statesUpTo, (std::vector<size_t>{1, 2, 3, 4}));
+    // Cutting at k<4 always cuts exactly one chain edge.
+    EXPECT_EQ(t.cutAt, (std::vector<size_t>{1, 1, 1, 0}));
+    EXPECT_EQ(t.fragmentSize(1), 2u);
+    EXPECT_EQ(t.fragmentSize(4), 4u);
+}
+
+TEST(LayerSizes, DedupeSharedTarget)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("(a|b)c", "p"));
+    AppTopology topo(app);
+    LayerSizeTable per_edge =
+        computeLayerSizes(app.nfa(0), topo.nfa(0), false);
+    LayerSizeTable dedup =
+        computeLayerSizes(app.nfa(0), topo.nfa(0), true);
+    EXPECT_EQ(per_edge.cutAt[0], 2u);
+    EXPECT_EQ(dedup.cutAt[0], 1u);
+    EXPECT_EQ(per_edge.cutAt[1], 0u);
+}
+
+/**
+ * Property: the size table matches an actual partition at every layer.
+ */
+TEST(LayerSizes, PropertyTableMatchesPartitioner)
+{
+    Rng rng(15);
+    for (int trial = 0; trial < 30; ++trial) {
+        testing::RandomNfaParams params;
+        params.backEdgeProb = 0.3;
+        params.maxStates = 18;
+        Application app = testing::randomApplication(rng, 1, params);
+        AppTopology topo(app);
+        for (bool dedupe : {false, true}) {
+            LayerSizeTable t =
+                computeLayerSizes(app.nfa(0), topo.nfa(0), dedupe);
+            const uint32_t lo =
+                testing::minPartitionLayer(app.nfa(0), topo.nfa(0));
+            for (uint32_t k = lo; k <= t.maxOrder; ++k) {
+                PartitionLayers layers;
+                layers.k = {k};
+                PartitionOptions opts;
+                opts.dedupeIntermediates = dedupe;
+                PartitionedApp part =
+                    partitionApplication(topo, layers, opts);
+                EXPECT_EQ(t.fragmentSize(k), part.hot.totalStates())
+                    << "k=" << k << " dedupe=" << dedupe;
+            }
+        }
+    }
+}
+
+TEST(Fill, RaisesLayersUpToBudget)
+{
+    // Two 4-chains, capacity 6, initial layers (1,1): hot = 2*(1+1)=4,
+    // one batch of 6 -> raising layers must stop at total <= 6.
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcd", "p"));
+    app.addNfa(compileRegex("wxyz", "q"));
+    AppTopology topo(app);
+    PartitionLayers layers;
+    layers.k = {1, 1};
+    PartitionLayers filled = fillToCapacity(topo, layers, 6);
+    size_t total = 0;
+    for (uint32_t u = 0; u < 2; ++u) {
+        LayerSizeTable t =
+            computeLayerSizes(app.nfa(u), topo.nfa(u), false);
+        total += t.fragmentSize(filled.k[u]);
+    }
+    EXPECT_LE(total, 6u);
+    EXPECT_GT(filled.k[0] + filled.k[1], 2u); // something was raised
+}
+
+TEST(Fill, FullLayersSaturate)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("ab", "p"));
+    AppTopology topo(app);
+    PartitionLayers layers;
+    layers.k = {2};
+    PartitionLayers filled = fillToCapacity(topo, layers, 100);
+    EXPECT_EQ(filled.k[0], 2u); // already at maxOrder
+}
+
+/**
+ * Property: filling never lowers a layer and never increases the batch
+ * count of the hot set.
+ */
+TEST(Fill, PropertyMonotoneAndBatchPreserving)
+{
+    Rng rng(16);
+    for (int trial = 0; trial < 40; ++trial) {
+        testing::RandomNfaParams params;
+        params.backEdgeProb = 0.3;
+        Application app =
+            testing::randomApplication(rng, 2 + rng.index(5), params);
+        AppTopology topo(app);
+
+        PartitionLayers layers;
+        std::vector<size_t> before_sizes;
+        for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+            layers.k.push_back(static_cast<uint32_t>(
+                rng.uniform(1, topo.nfa(u).maxOrder)));
+        }
+        const size_t capacity = rng.uniform(8, 60);
+
+        PartitionOptions opts;
+        opts.dedupeIntermediates = trial % 2 == 0;
+
+        std::vector<size_t> sizes0, sizes1;
+        for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+            LayerSizeTable t = computeLayerSizes(app.nfa(u), topo.nfa(u),
+                                                 opts.dedupeIntermediates);
+            sizes0.push_back(t.fragmentSize(layers.k[u]));
+        }
+
+        PartitionLayers filled =
+            fillToCapacity(topo, layers, capacity, opts);
+        for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+            EXPECT_GE(filled.k[u], layers.k[u]);
+            EXPECT_LE(filled.k[u], topo.nfa(u).maxOrder);
+            LayerSizeTable t = computeLayerSizes(app.nfa(u), topo.nfa(u),
+                                                 opts.dedupeIntermediates);
+            sizes1.push_back(t.fragmentSize(filled.k[u]));
+        }
+        EXPECT_LE(packSizes(sizes1, capacity).batchCount(),
+                  packSizes(sizes0, capacity).batchCount());
+    }
+}
+
+} // namespace
+} // namespace sparseap

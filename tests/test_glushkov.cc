@@ -1,0 +1,229 @@
+/** @file Tests for the Glushkov regex -> homogeneous NFA compiler. */
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "regex/glushkov.h"
+#include "sim/engine.h"
+
+namespace sparseap {
+namespace {
+
+std::span<const uint8_t>
+bytes(const std::string &s)
+{
+    return {reinterpret_cast<const uint8_t *>(s.data()), s.size()};
+}
+
+/**
+ * Reference matcher: the set of end offsets (exclusive) of matches of
+ * @p node starting at @p pos — an independent, direct AST interpreter.
+ */
+std::set<size_t>
+matchEnds(const RegexNode &node, const std::string &s, size_t pos)
+{
+    switch (node.op) {
+      case RegexOp::Epsilon:
+        return {pos};
+      case RegexOp::Sym:
+        if (pos < s.size() &&
+            node.symbols.test(static_cast<uint8_t>(s[pos]))) {
+            return {pos + 1};
+        }
+        return {};
+      case RegexOp::Cat: {
+        std::set<size_t> cur = {pos};
+        for (const auto &child : node.children) {
+            std::set<size_t> next;
+            for (size_t p : cur) {
+                for (size_t e : matchEnds(*child, s, p))
+                    next.insert(e);
+            }
+            cur = std::move(next);
+            if (cur.empty())
+                break;
+        }
+        return cur;
+      }
+      case RegexOp::Alt: {
+        std::set<size_t> out;
+        for (const auto &child : node.children) {
+            for (size_t e : matchEnds(*child, s, pos))
+                out.insert(e);
+        }
+        return out;
+      }
+      case RegexOp::Opt: {
+        std::set<size_t> out = matchEnds(*node.children[0], s, pos);
+        out.insert(pos);
+        return out;
+      }
+      case RegexOp::Star:
+      case RegexOp::Plus: {
+        std::set<size_t> out;
+        std::set<size_t> frontier = {pos};
+        if (node.op == RegexOp::Star)
+            out.insert(pos);
+        while (!frontier.empty()) {
+            std::set<size_t> next;
+            for (size_t p : frontier) {
+                for (size_t e : matchEnds(*node.children[0], s, p)) {
+                    if (!out.count(e)) {
+                        out.insert(e);
+                        if (e > p)
+                            next.insert(e);
+                    }
+                }
+            }
+            frontier = std::move(next);
+        }
+        if (node.op == RegexOp::Plus && !out.count(pos)) {
+            // ok: plus does not include the empty repetition unless the
+            // child is nullable (handled by the recursion already).
+        }
+        return out;
+      }
+    }
+    return {};
+}
+
+/** Reference report positions (end - 1) for unanchored matching. */
+std::set<uint32_t>
+referencePositions(const ParsedRegex &re, const std::string &s)
+{
+    std::set<uint32_t> out;
+    const size_t max_start = re.anchored ? 0 : s.size();
+    for (size_t i = 0; i <= max_start && i <= s.size(); ++i) {
+        for (size_t e : matchEnds(*re.root, s, i)) {
+            if (e > i)
+                out.insert(static_cast<uint32_t>(e - 1));
+        }
+    }
+    return out;
+}
+
+/** Engine report positions for a compiled pattern. */
+std::set<uint32_t>
+enginePositions(const std::string &pattern, const std::string &input)
+{
+    Application app("t", "T");
+    app.addNfa(compileRegex(pattern, "t"));
+    FlatAutomaton fa(app);
+    Engine engine(fa);
+    std::set<uint32_t> out;
+    for (const Report &r : engine.run(bytes(input)).reports)
+        out.insert(r.position);
+    return out;
+}
+
+void
+expectSamePositions(const std::string &pattern, const std::string &input)
+{
+    ParsedRegex re = parseRegex(pattern);
+    EXPECT_EQ(enginePositions(pattern, input),
+              referencePositions(re, input))
+        << "pattern '" << pattern << "' input '" << input << "'";
+}
+
+TEST(Glushkov, BasicShapes)
+{
+    expectSamePositions("abc", "zzabczabc");
+    expectSamePositions("a|b", "aabba");
+    expectSamePositions("ab*c", "ac abc abbbbc");
+    expectSamePositions("a+", "aaa");
+    expectSamePositions("a?b", "b ab");
+    expectSamePositions("(ab|cd)+e", "ababcde cdabe");
+    expectSamePositions("a.c", "abc axc a c");
+    expectSamePositions("[a-c]+d", "abcd bd zd");
+    expectSamePositions("a{3}", "aaaa");
+    expectSamePositions("a{2,4}b", "aab aaaab ab");
+    expectSamePositions("^ab", "abab");
+    expectSamePositions("^a+b", "aab ab");
+}
+
+TEST(Glushkov, ReportingStatesAreLastPositions)
+{
+    Nfa nfa = compileRegex("ab|cd", "t");
+    EXPECT_EQ(nfa.reportingCount(), 2u);
+    nfa = compileRegex("abc", "t");
+    EXPECT_EQ(nfa.reportingCount(), 1u);
+}
+
+TEST(Glushkov, StartStatesAreFirstPositions)
+{
+    Nfa nfa = compileRegex("ab|cd", "t");
+    EXPECT_EQ(nfa.startStates().size(), 2u);
+    nfa = compileRegex("a*bc", "t");
+    // first = {a, b} since a* is nullable.
+    EXPECT_EQ(nfa.startStates().size(), 2u);
+}
+
+TEST(Glushkov, AnchoredUsesStartOfData)
+{
+    Nfa nfa = compileRegex("^ab", "t");
+    EXPECT_EQ(nfa.state(nfa.startStates()[0]).start,
+              StartKind::StartOfData);
+    nfa = compileRegex("ab", "t");
+    EXPECT_EQ(nfa.state(nfa.startStates()[0]).start, StartKind::AllInput);
+}
+
+TEST(Glushkov, PositionCountEqualsStates)
+{
+    for (const char *p : {"abc", "a(b|c)d", "a{4}", "x[0-9]+y"}) {
+        ParsedRegex re = parseRegex(p);
+        const size_t positions = countPositions(*re.root);
+        Nfa nfa = compileRegex(re, p);
+        EXPECT_EQ(nfa.size(), positions) << p;
+    }
+}
+
+/** Property: random patterns vs the reference AST interpreter. */
+TEST(Glushkov, PropertyRandomPatterns)
+{
+    Rng rng(404);
+    const std::string alphabet = "abc";
+
+    // Random pattern synthesis from a tiny grammar.
+    std::function<std::string(int)> gen = [&](int depth) -> std::string {
+        const int kind =
+            static_cast<int>(rng.uniform(0, depth > 2 ? 1 : 6));
+        switch (kind) {
+          case 0:
+          case 1:
+            return std::string(1, alphabet[rng.index(3)]);
+          case 2:
+            return "(" + gen(depth + 1) + "|" + gen(depth + 1) + ")";
+          case 3:
+            return "(" + gen(depth + 1) + ")*";
+          case 4:
+            return "(" + gen(depth + 1) + ")?";
+          case 5:
+            return "(" + gen(depth + 1) + ")+";
+          default:
+            return gen(depth + 1) + gen(depth + 1);
+        }
+    };
+
+    int checked = 0;
+    for (int trial = 0; trial < 400 && checked < 150; ++trial) {
+        const std::string pattern = gen(0);
+        ParsedRegex re = parseRegex(pattern);
+        if (countPositions(*re.root) == 0)
+            continue; // pure-epsilon patterns compile to nothing
+        ++checked;
+        std::string input;
+        const size_t len = rng.uniform(1, 24);
+        for (size_t i = 0; i < len; ++i)
+            input += alphabet[rng.index(3)];
+        expectSamePositions(pattern, input);
+    }
+    EXPECT_GE(checked, 100);
+}
+
+} // namespace
+} // namespace sparseap

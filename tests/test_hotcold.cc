@@ -1,0 +1,114 @@
+/** @file Tests for profiling-based hot/cold prediction and layer choice. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "partition/hotcold.h"
+#include "regex/glushkov.h"
+#include "support/naive_sim.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+std::span<const uint8_t>
+bytes(const std::string &s)
+{
+    return {reinterpret_cast<const uint8_t *>(s.data()), s.size()};
+}
+
+TEST(HotCold, ProfileMatchesEngineHotSet)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcd", "p"));
+    FlatAutomaton fa(app);
+    HotColdProfile prof = profileApplication(fa, bytes("abxx"));
+    // hot: a (start), b, c. cold: d.
+    EXPECT_EQ(prof.hotCount(), 3u);
+    EXPECT_TRUE(prof.hot[0]);
+    EXPECT_TRUE(prof.hot[1]);
+    EXPECT_TRUE(prof.hot[2]);
+    EXPECT_FALSE(prof.hot[3]);
+    EXPECT_DOUBLE_EQ(prof.hotFraction(), 0.75);
+}
+
+TEST(HotCold, ChooseLayersIsMaxHotOrder)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcd", "p"));  // chain, layers 1..4
+    app.addNfa(compileRegex("xy", "q"));    // chain, layers 1..2
+    AppTopology topo(app);
+
+    FlatAutomaton fa(app);
+    HotColdProfile prof = profileApplication(fa, bytes("abz"));
+    // NFA 0: hot up to layer 3 ('c' enabled); NFA 1: only the start.
+    PartitionLayers layers = chooseLayers(topo, prof);
+    EXPECT_EQ(layers.k[0], 3u);
+    EXPECT_EQ(layers.k[1], 1u);
+}
+
+TEST(HotCold, StartStatesForceLayerAtLeastOne)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcd", "p"));
+    AppTopology topo(app);
+    FlatAutomaton fa(app);
+    // Nothing in the input matches 'a' at all.
+    HotColdProfile prof = profileApplication(fa, bytes("zzzz"));
+    PartitionLayers layers = chooseLayers(topo, prof);
+    EXPECT_EQ(layers.k[0], 1u);
+}
+
+TEST(HotCold, PredictedHotCountAndExpansion)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcd", "p"));
+    AppTopology topo(app);
+    PartitionLayers layers;
+    layers.k = {2};
+    EXPECT_EQ(predictedHotCount(topo, layers), 2u);
+    std::vector<bool> hot = layersToPredictedHot(topo, layers);
+    EXPECT_EQ(hot, (std::vector<bool>{true, true, false, false}));
+}
+
+/**
+ * Property: the predicted hot set derived from a profile is a superset
+ * of the profile's hot set (the layer rule only rounds *up* to whole
+ * layers), and exactly the states at or above the layer.
+ */
+TEST(HotCold, PropertyLayerExpansionIsSuperset)
+{
+    Rng rng(21);
+    for (int trial = 0; trial < 40; ++trial) {
+        testing::RandomNfaParams params;
+        params.backEdgeProb = 0.3;
+        Application app =
+            testing::randomApplication(rng, 1 + rng.index(4), params);
+        std::vector<uint8_t> input = testing::randomInput(rng, 120, 32);
+
+        AppTopology topo(app);
+        FlatAutomaton fa(app);
+        HotColdProfile prof = profileApplication(fa, input);
+        PartitionLayers layers = chooseLayers(topo, prof);
+        std::vector<bool> predicted = layersToPredictedHot(topo, layers);
+
+        size_t predicted_count = 0;
+        for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+            const GlobalStateId base = app.nfaOffset(u);
+            for (StateId s = 0; s < app.nfa(u).size(); ++s) {
+                const GlobalStateId gid = base + s;
+                if (prof.hot[gid]) {
+                    EXPECT_TRUE(predicted[gid]);
+                }
+                EXPECT_EQ(predicted[gid],
+                          topo.nfa(u).order[s] <= layers.k[u]);
+                predicted_count += predicted[gid];
+            }
+        }
+        EXPECT_EQ(predicted_count, predictedHotCount(topo, layers));
+        EXPECT_GE(predicted_count, prof.hotCount());
+    }
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,127 @@
+/** @file Tests for the input synthesizer. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/inputs.h"
+
+namespace sparseap {
+namespace {
+
+TEST(Inputs, ExactLength)
+{
+    InputSpec spec;
+    Rng rng(1);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{1000}, size_t{65536}})
+        EXPECT_EQ(synthesizeInput(spec, n, rng).size(), n);
+}
+
+TEST(Inputs, AlphabetRestriction)
+{
+    InputSpec spec;
+    spec.base = InputSpec::Base::Alphabet;
+    spec.alphabet = "ACGT";
+    Rng rng(2);
+    auto input = synthesizeInput(spec, 5000, rng);
+    for (uint8_t b : input) {
+        EXPECT_TRUE(b == 'A' || b == 'C' || b == 'G' || b == 'T')
+            << static_cast<int>(b);
+    }
+}
+
+TEST(Inputs, AlphabetCoversAllSymbols)
+{
+    InputSpec spec;
+    spec.base = InputSpec::Base::Alphabet;
+    spec.alphabet = "xy";
+    Rng rng(3);
+    auto input = synthesizeInput(spec, 1000, rng);
+    bool saw_x = false, saw_y = false;
+    for (uint8_t b : input) {
+        saw_x = saw_x || b == 'x';
+        saw_y = saw_y || b == 'y';
+    }
+    EXPECT_TRUE(saw_x);
+    EXPECT_TRUE(saw_y);
+}
+
+TEST(Inputs, PlantsAppear)
+{
+    InputSpec spec;
+    spec.base = InputSpec::Base::Alphabet;
+    spec.alphabet = "z";
+    spec.plants = {"HELLO"};
+    spec.plantRate = 0.02;
+    spec.fullPlantProb = 1.0; // always full copies
+    Rng rng(4);
+    auto input = synthesizeInput(spec, 20000, rng);
+    const std::string text(input.begin(), input.end());
+    EXPECT_NE(text.find("HELLO"), std::string::npos);
+}
+
+TEST(Inputs, PrefixTruncationKeepsPrefixesOnly)
+{
+    InputSpec spec;
+    spec.base = InputSpec::Base::Alphabet;
+    spec.alphabet = "z";
+    spec.plants = {"ABCDEFG"};
+    spec.plantRate = 0.05;
+    spec.fullPlantProb = 0.0;
+    spec.prefixKeepProb = 0.5;
+    Rng rng(5);
+    auto input = synthesizeInput(spec, 20000, rng);
+    const std::string text(input.begin(), input.end());
+    // 'A' must appear (every plant starts with it)...
+    EXPECT_NE(text.find('A'), std::string::npos);
+    // ...and any 'B' must follow an 'A' (prefix property).
+    for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == 'B') {
+            ASSERT_GT(i, 0u);
+            EXPECT_EQ(text[i - 1], 'A');
+        }
+    }
+    // Truncation means strictly fewer full copies than starts.
+    size_t starts = 0, fulls = 0;
+    for (size_t i = 0; i + 7 <= text.size(); ++i) {
+        if (text[i] == 'A') {
+            ++starts;
+            if (text.compare(i, 7, "ABCDEFG") == 0)
+                ++fulls;
+        }
+    }
+    EXPECT_GT(starts, 0u);
+    EXPECT_LT(fulls, starts);
+}
+
+TEST(Inputs, LateBytesRespectQuietPrefix)
+{
+    InputSpec spec;
+    spec.base = InputSpec::Base::Alphabet;
+    spec.alphabet = "a";
+    spec.lateBytes = "9";
+    spec.lateRate = 0.5;
+    spec.quietFraction = 0.25;
+    Rng rng(6);
+    auto input = synthesizeInput(spec, 10000, rng);
+    const size_t quiet_end = 2500;
+    for (size_t i = 0; i < quiet_end; ++i)
+        EXPECT_NE(input[i], '9') << "late byte at " << i;
+    size_t nines = 0;
+    for (size_t i = quiet_end; i < input.size(); ++i)
+        nines += input[i] == '9';
+    EXPECT_GT(nines, 2000u); // roughly half the late region
+}
+
+TEST(Inputs, DeterministicUnderSeed)
+{
+    InputSpec spec;
+    spec.plants = {"XYZ"};
+    spec.plantRate = 0.01;
+    Rng a(9), b(9), c(10);
+    EXPECT_EQ(synthesizeInput(spec, 4096, a),
+              synthesizeInput(spec, 4096, b));
+    EXPECT_NE(synthesizeInput(spec, 4096, a),
+              synthesizeInput(spec, 4096, c));
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Integration tests: the whole pipeline on scaled-down versions of the
+ * paper's applications — generation, serialization, profiling,
+ * partitioning, BaseAP/SpAP execution, and report equivalence.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/sparseap.h"
+#include "support/naive_sim.h"
+
+namespace sparseap {
+namespace {
+
+/** Apps light enough (at 3% scale) to oracle-check with the naive sim. */
+const char *const kLightApps[] = {"Bro217", "EM",  "Rg05", "DS03",
+                                  "RF2",    "LV",  "CAV",  "Brill",
+                                  "Pro",    "PEN"};
+
+TEST(Integration, EquivalenceAcrossRealWorkloads)
+{
+    for (const char *abbr : kLightApps) {
+        Workload w = generateWorkload(abbr, 99, 3);
+        Rng input_rng(1234);
+        std::vector<uint8_t> input =
+            synthesizeInput(w.input, 16 * 1024, input_rng);
+
+        AppTopology topo(w.app);
+        ExecutionOptions opts;
+        // Force multiple batches: a quarter of the app per config.
+        opts.ap.capacity = w.app.totalStates() / 4 + 8;
+        opts.profileFraction = 0.02;
+        opts.fullInputAsTest = w.fullInputAsTest;
+
+        PreparedPartition prep = preparePartition(topo, opts, input);
+        SpapRunStats stats = runBaseApSpap(topo, opts, prep, true);
+
+        EXPECT_EQ(stats.reports,
+                  testing::naiveSimulate(w.app, prep.testInput))
+            << abbr;
+        EXPECT_GE(stats.baselineBatches, 2u) << abbr;
+    }
+}
+
+TEST(Integration, SerializationRoundTripOfGeneratedApp)
+{
+    Workload w = generateWorkload("Snort", 5, 2);
+    Application back = applicationFromString(toString(w.app));
+    ASSERT_EQ(back.totalStates(), w.app.totalStates());
+    ASSERT_EQ(back.nfaCount(), w.app.nfaCount());
+
+    // Execution over the round-tripped app is identical.
+    Rng input_rng(5);
+    std::vector<uint8_t> input =
+        synthesizeInput(w.input, 8 * 1024, input_rng);
+    FlatAutomaton fa_a(w.app), fa_b(back);
+    Engine ea(fa_a), eb(fa_b);
+    EXPECT_EQ(ea.run(input).reports, eb.run(input).reports);
+}
+
+TEST(Integration, SpeedupTracksResourceSavingsModel)
+{
+    // For a workload with a perfectly cold tail, the measured speedup
+    // approaches the Section III-C model ceil(S/C)/ceil((1-p)S/C).
+    Workload w = generateWorkload("CAV", 42, 5);
+    Rng input_rng(42);
+    std::vector<uint8_t> input =
+        synthesizeInput(w.input, 32 * 1024, input_rng);
+
+    AppTopology topo(w.app);
+    ExecutionOptions opts;
+    opts.ap.capacity = w.app.totalStates() / 6 + 8;
+    opts.profileFraction = 0.01;
+    SpapRunStats stats = runBaseApSpap(topo, opts, input);
+
+    // ClamAV on benign input is overwhelmingly cold.
+    EXPECT_GT(stats.resourceSavings, 0.5);
+    EXPECT_GT(stats.speedup, 1.5);
+    // Speedup can never beat the batch-count ratio.
+    EXPECT_LE(stats.speedup,
+              static_cast<double>(stats.baselineBatches) /
+                  static_cast<double>(stats.baseApBatches) + 1e-9);
+}
+
+TEST(Integration, FermiHasNoSavings)
+{
+    Workload w = generateWorkload("Fermi", 7, 3);
+    Rng input_rng(7);
+    std::vector<uint8_t> input =
+        synthesizeInput(w.input, 16 * 1024, input_rng);
+    AppTopology topo(w.app);
+    ExecutionOptions opts;
+    opts.ap.capacity = w.app.totalStates() / 2 + 8;
+    opts.profileFraction = 0.01;
+    opts.fullInputAsTest = true;
+    SpapRunStats stats = runBaseApSpap(topo, opts, input);
+    // Everything is hot: nothing is saved and performance is unchanged.
+    EXPECT_LT(stats.resourceSavings, 0.1);
+    EXPECT_NEAR(stats.speedup, 1.0, 0.2);
+}
+
+TEST(Integration, ErSccPreventsPartitioning)
+{
+    Workload w = generateWorkload("ER", 7, 3);
+    Rng input_rng(8);
+    std::vector<uint8_t> input =
+        synthesizeInput(w.input, 16 * 1024, input_rng);
+    AppTopology topo(w.app);
+
+    // Oracle analysis: lots of cold states, but the topological partition
+    // cannot exclude them (Fig. 8's ER outlier).
+    FlatAutomaton fa(w.app);
+    HotColdProfile oracle = profileApplication(fa, input);
+    ConstrainedStats cs = constrainedStates(topo, oracle);
+    EXPECT_GT(cs.constrainedFraction(), 0.2);
+}
+
+TEST(Integration, PowerEnGeneratesSimultaneousReportStorm)
+{
+    Workload w = generateWorkload("PEN", 7, 10);
+    Rng input_rng(9);
+    std::vector<uint8_t> input =
+        synthesizeInput(w.input, 32 * 1024, input_rng);
+    AppTopology topo(w.app);
+    ExecutionOptions opts;
+    opts.ap.capacity = w.app.totalStates() / 3 + 8;
+    opts.profileFraction = 0.001; // inside the digit-quiet prefix
+    SpapRunStats stats = runBaseApSpap(topo, opts, input);
+    EXPECT_GT(stats.intermediateReports, 1000u);
+    // The storm is simultaneous: stalls are a sizable share of reports.
+    // Simultaneity grows with the NFA count, so at this 10% scale the
+    // bar is lower than the full-scale behaviour (where stalls dominate,
+    // as in Table IV).
+    EXPECT_GT(stats.enableStalls, stats.intermediateReports / 10);
+}
+
+TEST(Integration, ProfilingQualityImprovesWithPrefixSize)
+{
+    // Table I's trend: a longer profile has higher recall.
+    Workload w = generateWorkload("Pro", 11, 4);
+    Rng input_rng(11);
+    std::vector<uint8_t> input =
+        synthesizeInput(w.input, 64 * 1024, input_rng);
+    const FlatAutomaton fa(w.app);
+
+    const size_t half = input.size() / 2;
+    const std::span<const uint8_t> test_half(input.data() + half, half);
+    HotColdProfile reference = profileApplication(fa, test_half);
+
+    double prev_recall = -1.0;
+    for (double frac : {0.002, 0.02, 0.2, 1.0}) {
+        const size_t n = std::max<size_t>(
+            1, static_cast<size_t>(static_cast<double>(half) * frac));
+        HotColdProfile prof = profileApplication(
+            fa, std::span<const uint8_t>(input.data(), n));
+        PredictionMetrics m =
+            comparePrediction(prof.hot, reference.hot);
+        EXPECT_GE(m.recall(), prev_recall - 0.02)
+            << "recall regressed at " << frac;
+        prev_recall = m.recall();
+    }
+    EXPECT_GT(prev_recall, 0.9); // the full first half predicts well
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,134 @@
+/** @file Tests for prediction metrics, Fig. 8 and Fig. 5 statistics. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "partition/metrics.h"
+#include "regex/glushkov.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+TEST(PredictionMetrics, ConfusionMatrix)
+{
+    //            predicted: 1 1 0 0 1
+    //            reference: 1 0 0 1 1
+    PredictionMetrics m = comparePrediction(
+        {true, true, false, false, true},
+        {true, false, false, true, true});
+    EXPECT_EQ(m.tp, 2u);
+    EXPECT_EQ(m.fp, 1u);
+    EXPECT_EQ(m.tn, 1u);
+    EXPECT_EQ(m.fn, 1u);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 0.6);
+    EXPECT_DOUBLE_EQ(m.recall(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(m.precision(), 2.0 / 3.0);
+}
+
+TEST(PredictionMetrics, DegenerateCases)
+{
+    PredictionMetrics all_cold =
+        comparePrediction({false, false}, {false, false});
+    EXPECT_DOUBLE_EQ(all_cold.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(all_cold.recall(), 1.0);    // no positives to find
+    EXPECT_DOUBLE_EQ(all_cold.precision(), 1.0); // no positive claims
+
+    PredictionMetrics empty = comparePrediction({}, {});
+    EXPECT_EQ(empty.total(), 0u);
+    EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+}
+
+TEST(ConstrainedStates, PerfectChainHasNoConstraint)
+{
+    // A chain where hot = a prefix exactly matches a layer cut: zero
+    // constrained states.
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcd", "p"));
+    AppTopology topo(app);
+    HotColdProfile oracle;
+    oracle.hot = {true, true, false, false};
+    ConstrainedStats s = constrainedStates(topo, oracle);
+    EXPECT_EQ(s.topoConfigured, 2u);
+    EXPECT_EQ(s.oracleHot, 2u);
+    EXPECT_DOUBLE_EQ(s.constrainedFraction(), 0.0);
+}
+
+TEST(ConstrainedStates, WideLayerForcesColdSiblings)
+{
+    // (a|b)c : if only 'a' and 'c' are hot, 'b' (layer 1, cold) is still
+    // configured because the cut is at layer >= 2.
+    Application app("a", "A");
+    app.addNfa(compileRegex("(a|b)c", "p"));
+    AppTopology topo(app);
+    HotColdProfile oracle;
+    oracle.hot = {true, false, true};
+    ConstrainedStats s = constrainedStates(topo, oracle);
+    EXPECT_EQ(s.topoConfigured, 3u);
+    EXPECT_EQ(s.oracleHot, 2u);
+    EXPECT_NEAR(s.constrainedFraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ConstrainedStates, SccForcesWholeComponent)
+{
+    // a(bc)+d : the (bc)+ loop is one SCC. If only 'b' is hot inside it,
+    // 'c' is constrained along.
+    Application app("a", "A");
+    app.addNfa(compileRegex("a(bc)+d", "p"));
+    AppTopology topo(app);
+    HotColdProfile oracle;
+    oracle.hot = {true, true, false, false}; // a, b hot; c, d cold
+    ConstrainedStats s = constrainedStates(topo, oracle);
+    EXPECT_EQ(s.topoConfigured, 3u); // a + the whole {b, c} SCC
+    EXPECT_EQ(s.oracleHot, 2u);
+}
+
+/** Property: configured >= hot, and fraction in [0, 1]. */
+TEST(ConstrainedStates, PropertyBounds)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 30; ++trial) {
+        testing::RandomNfaParams params;
+        params.backEdgeProb = 0.4;
+        Application app =
+            testing::randomApplication(rng, 1 + rng.index(3), params);
+        AppTopology topo(app);
+        HotColdProfile oracle;
+        oracle.hot.resize(app.totalStates());
+        // Random hotness, but keep start states hot (they always are).
+        for (size_t i = 0; i < oracle.hot.size(); ++i)
+            oracle.hot[i] = rng.chance(0.4);
+        for (uint32_t u = 0; u < app.nfaCount(); ++u)
+            for (StateId s : app.nfa(u).startStates())
+                oracle.hot[app.nfaOffset(u) + s] = true;
+
+        ConstrainedStats s = constrainedStates(topo, oracle);
+        EXPECT_GE(s.topoConfigured, s.oracleHot);
+        EXPECT_LE(s.topoConfigured, s.total);
+        EXPECT_GE(s.constrainedFraction(), 0.0);
+        EXPECT_LE(s.constrainedFraction(), 1.0);
+    }
+}
+
+TEST(DepthDistribution, BucketsSumToOne)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcdefghij", "p")); // 10 layers
+    AppTopology topo(app);
+    HotColdProfile prof;
+    prof.hot = {true,  true,  true,  false, false,
+                false, false, false, false, false};
+    DepthDistribution d = depthDistribution(topo, prof);
+    EXPECT_EQ(d.hotCount, 3u);
+    EXPECT_EQ(d.coldCount, 7u);
+    EXPECT_NEAR(d.hot[0] + d.hot[1] + d.hot[2], 1.0, 1e-12);
+    EXPECT_NEAR(d.cold[0] + d.cold[1] + d.cold[2], 1.0, 1e-12);
+    // Hot states are shallow; cold states skew deep.
+    EXPECT_GT(d.hot[0], 0.5);
+    EXPECT_GT(d.cold[2], 0.4);
+    // Deeper should correlate negatively with hot.
+    EXPECT_LT(d.depthHotCorrelation, 0.0);
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,116 @@
+/** @file Tests for the homogeneous NFA model. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nfa/nfa.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+Nfa
+tinyNfa()
+{
+    Nfa nfa("tiny");
+    StateId a = nfa.addState(SymbolSet::single('a'), StartKind::AllInput);
+    StateId b = nfa.addState(SymbolSet::single('b'));
+    StateId c = nfa.addState(SymbolSet::single('c'), StartKind::None, true);
+    nfa.addEdge(a, b);
+    nfa.addEdge(b, c);
+    nfa.finalize();
+    return nfa;
+}
+
+TEST(Nfa, BuildAndQuery)
+{
+    Nfa nfa = tinyNfa();
+    EXPECT_EQ(nfa.size(), 3u);
+    EXPECT_TRUE(nfa.finalized());
+    EXPECT_EQ(nfa.startStates().size(), 1u);
+    EXPECT_EQ(nfa.startStates()[0], 0u);
+    EXPECT_EQ(nfa.reportingCount(), 1u);
+    EXPECT_EQ(nfa.state(0).successors, std::vector<StateId>{1});
+}
+
+TEST(Nfa, DuplicateEdgesMerged)
+{
+    Nfa nfa("dup");
+    StateId a = nfa.addState(SymbolSet::all(), StartKind::AllInput);
+    StateId b = nfa.addState(SymbolSet::all());
+    nfa.addEdge(a, b);
+    nfa.addEdge(a, b);
+    nfa.addEdge(a, b);
+    nfa.finalize();
+    EXPECT_EQ(nfa.state(a).successors.size(), 1u);
+}
+
+TEST(Nfa, SuccessorsSorted)
+{
+    Nfa nfa("sorted");
+    StateId a = nfa.addState(SymbolSet::all(), StartKind::AllInput);
+    StateId b = nfa.addState(SymbolSet::all());
+    StateId c = nfa.addState(SymbolSet::all());
+    nfa.addEdge(a, c);
+    nfa.addEdge(a, b);
+    nfa.finalize();
+    EXPECT_EQ(nfa.state(a).successors, (std::vector<StateId>{b, c}));
+}
+
+TEST(Nfa, SelfLoopAllowed)
+{
+    Nfa nfa("loop");
+    StateId a = nfa.addState(SymbolSet::all(), StartKind::AllInput);
+    nfa.addEdge(a, a);
+    nfa.finalize();
+    EXPECT_EQ(nfa.state(a).successors, std::vector<StateId>{a});
+}
+
+TEST(Nfa, NoStartStateDies)
+{
+    Nfa nfa("nostart");
+    nfa.addState(SymbolSet::all());
+    EXPECT_EXIT(nfa.finalize(), ::testing::ExitedWithCode(1),
+                "no start state");
+}
+
+TEST(Nfa, NoStartAllowedWhenRequested)
+{
+    Nfa nfa("coldfrag");
+    nfa.addState(SymbolSet::all());
+    nfa.finalize(/*require_start=*/false);
+    EXPECT_TRUE(nfa.finalized());
+    EXPECT_TRUE(nfa.startStates().empty());
+}
+
+TEST(Nfa, PredecessorsInvertSuccessors)
+{
+    Nfa nfa = tinyNfa();
+    auto pred = nfa.predecessors();
+    EXPECT_TRUE(pred[0].empty());
+    EXPECT_EQ(pred[1], std::vector<StateId>{0});
+    EXPECT_EQ(pred[2], std::vector<StateId>{1});
+}
+
+/** Property: predecessors() is the exact inverse of adjacency. */
+TEST(Nfa, PropertyPredecessorInverse)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 30; ++trial) {
+        Nfa nfa = testing::randomNfa(rng, {});
+        auto pred = nfa.predecessors();
+        size_t forward = 0, backward = 0;
+        for (StateId u = 0; u < nfa.size(); ++u) {
+            forward += nfa.state(u).successors.size();
+            backward += pred[u].size();
+            for (StateId v : nfa.state(u).successors) {
+                EXPECT_NE(std::find(pred[v].begin(), pred[v].end(), u),
+                          pred[v].end());
+            }
+        }
+        EXPECT_EQ(forward, backward);
+    }
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,155 @@
+/** @file Tests for common-prefix merging. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nfa/optimize.h"
+#include "regex/glushkov.h"
+#include "sim/engine.h"
+#include "support/naive_sim.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+TEST(Optimize, MergesSharedLiteralPrefix)
+{
+    // Two rules sharing "abc": flattened, the prefix collapses.
+    Application app("t", "T");
+    app.addNfa(compileRegex("abcX", "r1"));
+    app.addNfa(compileRegex("abcY", "r2"));
+    OptimizeStats stats = measurePrefixMerging(app);
+    EXPECT_EQ(stats.statesBefore, 8u);
+    // a, b, c shared; X and Y distinct reporting: 5 states.
+    EXPECT_EQ(stats.statesAfter, 5u);
+    EXPECT_NEAR(stats.reduction(), 3.0 / 8.0, 1e-12);
+}
+
+TEST(Optimize, NeverMergesReportingStates)
+{
+    Application app("t", "T");
+    app.addNfa(compileRegex("ab", "r1"));
+    app.addNfa(compileRegex("ab", "r2")); // identical rule
+    OptimizeStats stats = measurePrefixMerging(app);
+    // 'a' states merge; the two reporting 'b' states must not.
+    EXPECT_EQ(stats.statesAfter, 3u);
+}
+
+TEST(Optimize, NoFalseMergeOnDifferentPredecessors)
+{
+    // xb and yb: the two 'b' states have different predecessors and are
+    // enabled on different cycles; they must not merge.
+    Application app("t", "T");
+    Nfa nfa("g");
+    StateId x = nfa.addState(SymbolSet::single('x'), StartKind::AllInput);
+    StateId y = nfa.addState(SymbolSet::single('y'), StartKind::AllInput);
+    StateId b1 = nfa.addState(SymbolSet::single('b'));
+    StateId b2 = nfa.addState(SymbolSet::single('b'));
+    StateId r1 = nfa.addState(SymbolSet::single('1'), StartKind::None,
+                              true);
+    StateId r2 = nfa.addState(SymbolSet::single('2'), StartKind::None,
+                              true);
+    nfa.addEdge(x, b1);
+    nfa.addEdge(y, b2);
+    nfa.addEdge(b1, r1);
+    nfa.addEdge(b2, r2);
+    nfa.finalize();
+
+    OptimizeStats stats = mergeCommonPrefixes(nfa);
+    EXPECT_EQ(stats.statesAfter, stats.statesBefore);
+}
+
+TEST(Optimize, IdempotentAtFixpoint)
+{
+    Application app("t", "T");
+    app.addNfa(compileRegex("GET /a", "r1"));
+    app.addNfa(compileRegex("GET /b", "r2"));
+    app.addNfa(compileRegex("GET /c", "r3"));
+    Nfa flat = flattenApplication(app);
+    OptimizeStats first = mergeCommonPrefixes(flat);
+    OptimizeStats second = mergeCommonPrefixes(flat);
+    EXPECT_LT(first.statesAfter, first.statesBefore);
+    EXPECT_EQ(second.statesAfter, second.statesBefore);
+}
+
+TEST(Optimize, RemapTracksMergedIds)
+{
+    Application app("t", "T");
+    app.addNfa(compileRegex("abX|abY", "r"));
+    Nfa flat = flattenApplication(app);
+    std::vector<StateId> remap;
+    mergeCommonPrefixes(flat, &remap);
+    ASSERT_EQ(remap.size(), 6u);
+    // Position order is a,b,X,a,b,Y: both 'a' positions share one id,
+    // as do both 'b' positions.
+    EXPECT_EQ(remap[0], remap[3]);
+    EXPECT_EQ(remap[1], remap[4]);
+    EXPECT_NE(remap[2], remap[5]); // reporting states stay distinct
+    for (StateId id : remap)
+        EXPECT_LT(id, flat.size());
+}
+
+/**
+ * Property: merging preserves the report stream exactly, up to the id
+ * remapping.
+ */
+TEST(Optimize, PropertyReportsPreserved)
+{
+    Rng rng(777);
+    for (int trial = 0; trial < 40; ++trial) {
+        testing::RandomNfaParams params;
+        params.backEdgeProb = 0.3;
+        params.reportProb = 0.3;
+        params.universalProb = 0.1;
+        Application app =
+            testing::randomApplication(rng, 1 + rng.index(3), params);
+        std::vector<uint8_t> input = testing::randomInput(rng, 200, 16);
+
+        Nfa flat = flattenApplication(app);
+        Application flat_app("flat", "F");
+        {
+            Nfa copy = flat; // keep the unmerged flat automaton
+            flat_app.addNfa(std::move(copy));
+        }
+        FlatAutomaton fa_before(flat_app);
+        Engine before(fa_before);
+        ReportList want = before.run(input).reports;
+
+        std::vector<StateId> remap;
+        mergeCommonPrefixes(flat, &remap);
+        Application merged_app("merged", "M");
+        merged_app.addNfa(std::move(flat));
+        FlatAutomaton fa_after(merged_app);
+        Engine after(fa_after);
+        ReportList got = after.run(input).reports;
+
+        // Remap the reference reports into merged ids and compare.
+        for (Report &r : want)
+            r.state = remap[r.state];
+        std::sort(want.begin(), want.end());
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, want) << "trial " << trial;
+    }
+}
+
+TEST(Optimize, FlattenPreservesExecution)
+{
+    Rng rng(778);
+    Application app = testing::randomApplication(rng, 4);
+    std::vector<uint8_t> input = testing::randomInput(rng, 150, 16);
+
+    ReportList direct = testing::naiveSimulate(app, input);
+
+    Application flat_app("flat", "F");
+    flat_app.addNfa(flattenApplication(app));
+    FlatAutomaton fa(flat_app);
+    Engine engine(fa);
+    ReportList flat = engine.run(input).reports;
+    std::sort(flat.begin(), flat.end());
+    EXPECT_EQ(flat, direct); // global ids coincide by construction
+}
+
+} // namespace
+} // namespace sparseap

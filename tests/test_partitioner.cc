@@ -1,0 +1,210 @@
+/** @file Tests for layer-cut partitioning and intermediate states. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "partition/partitioner.h"
+#include "regex/glushkov.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+TEST(Partitioner, ChainCutInTheMiddle)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcd", "p")); // layers 1..4
+    AppTopology topo(app);
+    PartitionLayers layers;
+    layers.k = {2};
+    PartitionedApp part = partitionApplication(topo, layers);
+
+    // Hot: a, b + one intermediate clone of c. Cold: c, d.
+    EXPECT_EQ(part.hot.totalStates(), 3u);
+    EXPECT_EQ(part.intermediateCount, 1u);
+    EXPECT_EQ(part.cold.totalStates(), 2u);
+    EXPECT_EQ(part.cold.nfaCount(), 1u);
+
+    // The intermediate state clones 'c' and reports.
+    const Nfa &hot = part.hot.nfa(0);
+    const StateId inter = 2;
+    EXPECT_TRUE(hot.state(inter).reporting);
+    EXPECT_TRUE(hot.state(inter).symbols.test('c'));
+    EXPECT_TRUE(hot.state(inter).successors.empty());
+    EXPECT_EQ(part.intermediateTarget[inter], 2u); // original gid of 'c'
+
+    // Cold mapping round-trips.
+    EXPECT_EQ(part.coldToOriginal[0], 2u);
+    EXPECT_EQ(part.coldToOriginal[1], 3u);
+    EXPECT_EQ(part.originalToCold[2], 0u);
+    EXPECT_EQ(part.originalToCold[3], 1u);
+    EXPECT_EQ(part.originalToCold[0], kInvalidGlobal);
+}
+
+TEST(Partitioner, FullyHotNfaHasNoColdFragment)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("ab", "p"));
+    AppTopology topo(app);
+    PartitionLayers layers;
+    layers.k = {2};
+    PartitionedApp part = partitionApplication(topo, layers);
+    EXPECT_EQ(part.hot.totalStates(), 2u);
+    EXPECT_EQ(part.intermediateCount, 0u);
+    EXPECT_EQ(part.cold.nfaCount(), 0u);
+    EXPECT_DOUBLE_EQ(part.resourceSavings(2), 0.0);
+}
+
+TEST(Partitioner, PerEdgeVsDedupedIntermediates)
+{
+    // Two hot predecessors of one cold state: (a|b)c with cut at layer 1.
+    Application app("a", "A");
+    app.addNfa(compileRegex("(a|b)c", "p"));
+    AppTopology topo(app);
+    PartitionLayers layers;
+    layers.k = {1};
+
+    PartitionOptions per_edge;
+    per_edge.dedupeIntermediates = false;
+    PartitionedApp p1 = partitionApplication(topo, layers, per_edge);
+    EXPECT_EQ(p1.intermediateCount, 2u); // one per cut edge (the paper)
+
+    PartitionOptions dedup;
+    dedup.dedupeIntermediates = true;
+    PartitionedApp p2 = partitionApplication(topo, layers, dedup);
+    EXPECT_EQ(p2.intermediateCount, 1u); // shared per target
+}
+
+TEST(Partitioner, ReportingCountsSplit)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("ab|xyz", "p"));
+    AppTopology topo(app);
+    PartitionLayers layers;
+    layers.k = {2};
+    PartitionedApp part = partitionApplication(topo, layers);
+    // 'b' (reporting, layer 2) stays hot; 'z' (reporting, layer 3) cold.
+    EXPECT_EQ(part.hotOriginalReporting, 1u);
+    EXPECT_EQ(part.coldReporting, 1u);
+}
+
+TEST(Partitioner, SavingsExcludeIntermediates)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcd", "p"));
+    AppTopology topo(app);
+    PartitionLayers layers;
+    layers.k = {2};
+    PartitionedApp part = partitionApplication(topo, layers);
+    // 2 of 4 original states stay hot -> savings 50%, regardless of the
+    // intermediate clone.
+    EXPECT_DOUBLE_EQ(part.resourceSavings(4), 0.5);
+}
+
+/**
+ * Property: partition invariants on random automata —
+ *  - hot/cold fragment sizes sum to the original (plus intermediates),
+ *  - no cold state has an edge to a hot state (unidirectionality),
+ *  - SCCs are never split,
+ *  - intermediate states clone their target's symbol-set, report, and
+ *    have no successors,
+ *  - id translation tables are mutually consistent.
+ */
+TEST(Partitioner, PropertyInvariants)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 50; ++trial) {
+        testing::RandomNfaParams params;
+        params.backEdgeProb = 0.35;
+        Application app =
+            testing::randomApplication(rng, 1 + rng.index(4), params);
+        AppTopology topo(app);
+
+        PartitionLayers layers;
+        for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+            const uint32_t lo =
+                testing::minPartitionLayer(app.nfa(u), topo.nfa(u));
+            layers.k.push_back(static_cast<uint32_t>(
+                rng.uniform(lo, topo.nfa(u).maxOrder)));
+        }
+        PartitionOptions opts;
+        opts.dedupeIntermediates = trial % 2 == 0;
+        PartitionedApp part = partitionApplication(topo, layers, opts);
+
+        EXPECT_EQ(part.hot.totalStates() - part.intermediateCount +
+                      part.cold.totalStates(),
+                  app.totalStates());
+
+        // Hot fragments: originals then intermediates, per NFA.
+        ASSERT_EQ(part.hotToOriginal.size(), part.hot.totalStates());
+        ASSERT_EQ(part.intermediateTarget.size(), part.hot.totalStates());
+        size_t inter_seen = 0;
+        for (GlobalStateId h = 0; h < part.hot.totalStates(); ++h) {
+            const bool is_inter =
+                part.intermediateTarget[h] != kInvalidGlobal;
+            EXPECT_EQ(part.hotToOriginal[h] == kInvalidGlobal, is_inter);
+            if (is_inter) {
+                ++inter_seen;
+                const GlobalStateRef hr = part.hot.resolve(h);
+                const State &st = part.hot.nfa(hr.nfa).state(hr.state);
+                EXPECT_TRUE(st.reporting);
+                EXPECT_TRUE(st.successors.empty());
+                // Clone of the target's symbol-set; target is cold.
+                const GlobalStateId target = part.intermediateTarget[h];
+                const GlobalStateRef tr = app.resolve(target);
+                EXPECT_EQ(st.symbols,
+                          app.nfa(tr.nfa).state(tr.state).symbols);
+                EXPECT_NE(part.originalToCold[target], kInvalidGlobal);
+            }
+        }
+        EXPECT_EQ(inter_seen, part.intermediateCount);
+
+        // Cold mapping is a bijection with originalToCold.
+        for (GlobalStateId c = 0; c < part.cold.totalStates(); ++c)
+            EXPECT_EQ(part.originalToCold[part.coldToOriginal[c]], c);
+
+        // Membership agrees with the layers, and SCCs are atomic.
+        for (uint32_t u = 0; u < app.nfaCount(); ++u) {
+            const Topology &t = topo.nfa(u);
+            const GlobalStateId base = app.nfaOffset(u);
+            for (StateId s = 0; s < app.nfa(u).size(); ++s) {
+                const bool is_cold =
+                    part.originalToCold[base + s] != kInvalidGlobal;
+                EXPECT_EQ(is_cold, t.order[s] > layers.k[u]);
+            }
+            for (const auto &members : t.scc.members) {
+                bool any_cold = false, any_hot = false;
+                for (StateId s : members) {
+                    (part.originalToCold[base + s] != kInvalidGlobal
+                         ? any_cold
+                         : any_hot) = true;
+                }
+                EXPECT_FALSE(any_cold && any_hot) << "SCC split";
+            }
+        }
+
+        // Unidirectionality: cold fragments only have cold-to-cold
+        // edges by construction; additionally no hot original edge leads
+        // to a cold state (those became intermediates).
+        for (uint32_t u = 0; u < part.hot.nfaCount(); ++u) {
+            const Nfa &hf = part.hot.nfa(u);
+            for (StateId s = 0; s < hf.size(); ++s) {
+                const GlobalStateId orig =
+                    part.hotToOriginal[part.hot.globalId(u, s)];
+                if (orig == kInvalidGlobal)
+                    continue;
+                for (StateId d : hf.state(s).successors) {
+                    const GlobalStateId dorig =
+                        part.hotToOriginal[part.hot.globalId(u, d)];
+                    if (dorig != kInvalidGlobal) {
+                        EXPECT_EQ(part.originalToCold[dorig],
+                                  kInvalidGlobal);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,104 @@
+/** @file Tests for the hot-state profiler. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "regex/glushkov.h"
+#include "sim/engine.h"
+#include "sim/profiler.h"
+#include "support/naive_sim.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+std::span<const uint8_t>
+bytes(const std::string &s)
+{
+    return {reinterpret_cast<const uint8_t *>(s.data()), s.size()};
+}
+
+TEST(Profiler, StartStatesAlwaysHot)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("abc", "p"));
+    FlatAutomaton fa(app);
+    Engine engine(fa);
+    HotStateProfiler prof(fa.size());
+    engine.run(bytes("zzzz"), &prof); // nothing matches
+    // The single start state ('a' position) is hot; the rest cold.
+    EXPECT_EQ(prof.hotCount(), 1u);
+}
+
+TEST(Profiler, EnabledMeansHotEvenWithoutActivation)
+{
+    // 'a' then 'q': after "a", the 'q' state is enabled (hot) even though
+    // the input never contains 'q'.
+    Application app("a", "A");
+    app.addNfa(compileRegex("aq", "p"));
+    FlatAutomaton fa(app);
+    Engine engine(fa);
+    HotStateProfiler prof(fa.size());
+    engine.run(bytes("axxx"), &prof);
+    EXPECT_EQ(prof.hotCount(), 2u);
+}
+
+TEST(Profiler, DeepStatesStayCold)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("abcdef", "p"));
+    FlatAutomaton fa(app);
+    Engine engine(fa);
+    HotStateProfiler prof(fa.size());
+    engine.run(bytes("abxxabcx"), &prof);
+    // Hot: a (start), b (after a), c (after ab), d (after abc). Not e, f.
+    EXPECT_EQ(prof.hotCount(), 4u);
+    EXPECT_DOUBLE_EQ(prof.hotFraction(), 4.0 / 6.0);
+}
+
+TEST(Profiler, AccumulatesAcrossRuns)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("ab", "p"));
+    FlatAutomaton fa(app);
+    Engine engine(fa);
+    HotStateProfiler prof(fa.size());
+    engine.run(bytes("zz"), &prof);
+    EXPECT_EQ(prof.hotCount(), 1u);
+    engine.run(bytes("az"), &prof);
+    EXPECT_EQ(prof.hotCount(), 2u);
+}
+
+TEST(Profiler, StartOfDataStartsMarked)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("^xy", "p"));
+    FlatAutomaton fa(app);
+    Engine engine(fa);
+    HotStateProfiler prof(fa.size());
+    engine.run(bytes("zz"), &prof);
+    EXPECT_EQ(prof.hotCount(), 1u); // the anchored start is still hot
+}
+
+/** Property: profiler hot set equals the naive oracle's enabled set. */
+TEST(Profiler, PropertyMatchesNaiveHotSet)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        testing::RandomNfaParams params;
+        params.sodProb = trial % 2 ? 0.4 : 0.0;
+        Application app =
+            testing::randomApplication(rng, 1 + rng.index(4), params);
+        std::vector<uint8_t> input = testing::randomInput(rng, 150, 32);
+
+        FlatAutomaton fa(app);
+        Engine engine(fa);
+        HotStateProfiler prof(fa.size());
+        engine.run(input, &prof);
+        EXPECT_EQ(prof.hotSet(), testing::naiveHotSet(app, input))
+            << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,113 @@
+/** @file Tests for the regex parser and count desugaring. */
+
+#include <gtest/gtest.h>
+
+#include "regex/parser.h"
+
+namespace sparseap {
+namespace {
+
+TEST(RegexParser, LiteralChain)
+{
+    ParsedRegex p = parseRegex("abc");
+    EXPECT_FALSE(p.anchored);
+    EXPECT_EQ(countPositions(*p.root), 3u);
+    EXPECT_EQ(p.root->op, RegexOp::Cat);
+}
+
+TEST(RegexParser, Anchor)
+{
+    EXPECT_TRUE(parseRegex("^abc").anchored);
+    EXPECT_FALSE(parseRegex("abc").anchored);
+}
+
+TEST(RegexParser, Alternation)
+{
+    ParsedRegex p = parseRegex("a|b|c");
+    EXPECT_EQ(p.root->op, RegexOp::Alt);
+    EXPECT_EQ(p.root->children.size(), 3u);
+}
+
+TEST(RegexParser, Quantifiers)
+{
+    EXPECT_EQ(parseRegex("a*").root->op, RegexOp::Star);
+    EXPECT_EQ(parseRegex("a+").root->op, RegexOp::Plus);
+    EXPECT_EQ(parseRegex("a?").root->op, RegexOp::Opt);
+}
+
+TEST(RegexParser, CountsDesugarByCopy)
+{
+    EXPECT_EQ(countPositions(*parseRegex("a{3}").root), 3u);
+    EXPECT_EQ(countPositions(*parseRegex("a{2,5}").root), 5u);
+    EXPECT_EQ(countPositions(*parseRegex("a{0,3}").root), 3u);
+    EXPECT_EQ(countPositions(*parseRegex("a{3,}").root), 4u); // aaa + a*
+    EXPECT_EQ(countPositions(*parseRegex("(ab){2}").root), 4u);
+}
+
+TEST(RegexParser, GroupsAndNesting)
+{
+    ParsedRegex p = parseRegex("a(b|cd)*e");
+    EXPECT_EQ(countPositions(*p.root), 5u);
+    // Non-capturing group syntax is tolerated.
+    EXPECT_EQ(countPositions(*parseRegex("a(?:bc)d").root), 4u);
+}
+
+TEST(RegexParser, ClassesAndEscapes)
+{
+    ParsedRegex p = parseRegex("[a-c]x");
+    ASSERT_EQ(p.root->op, RegexOp::Cat);
+    const RegexNode &cls = *p.root->children[0];
+    EXPECT_EQ(cls.op, RegexOp::Sym);
+    EXPECT_EQ(cls.symbols.count(), 3);
+
+    EXPECT_EQ(parseRegex("\\d").root->symbols.count(), 10);
+    EXPECT_EQ(parseRegex("\\w").root->symbols.count(), 63);
+    EXPECT_EQ(parseRegex("\\s").root->symbols.count(), 6);
+    EXPECT_EQ(parseRegex("\\D").root->symbols.count(), 246);
+    EXPECT_TRUE(parseRegex("\\x7f").root->symbols.test(0x7f));
+    EXPECT_TRUE(parseRegex("\\.").root->symbols.test('.'));
+}
+
+TEST(RegexParser, DotIsEveryByte)
+{
+    EXPECT_EQ(parseRegex(".").root->symbols.count(), 256);
+}
+
+TEST(RegexParser, EmptyPatternIsEpsilon)
+{
+    EXPECT_EQ(parseRegex("").root->op, RegexOp::Epsilon);
+    EXPECT_EQ(parseRegex("a|").root->op, RegexOp::Alt);
+}
+
+TEST(RegexParser, CloneIsDeep)
+{
+    ParsedRegex p = parseRegex("a(b|c)+d");
+    auto copy = p.root->clone();
+    EXPECT_EQ(countPositions(*copy), countPositions(*p.root));
+    // Mutating the copy must not affect the original.
+    copy->children.clear();
+    EXPECT_EQ(countPositions(*p.root), 4u);
+}
+
+TEST(RegexParser, SyntaxErrorsDie)
+{
+    EXPECT_EXIT(parseRegex("a("), ::testing::ExitedWithCode(1), "regex");
+    EXPECT_EXIT(parseRegex("a)"), ::testing::ExitedWithCode(1), "regex");
+    EXPECT_EXIT(parseRegex("*a"), ::testing::ExitedWithCode(1),
+                "quantifier");
+    EXPECT_EXIT(parseRegex("a{5,2}"), ::testing::ExitedWithCode(1),
+                "bound");
+    EXPECT_EXIT(parseRegex("a$"), ::testing::ExitedWithCode(1), "anchor");
+    EXPECT_EXIT(parseRegex("a^b"), ::testing::ExitedWithCode(1), "start");
+    EXPECT_EXIT(parseRegex("[abc"), ::testing::ExitedWithCode(1),
+                "unterminated");
+    EXPECT_EXIT(parseRegex("a\\"), ::testing::ExitedWithCode(1),
+                "dangling");
+    EXPECT_EXIT(parseRegex("a{99999999}"), ::testing::ExitedWithCode(1),
+                "count");
+    EXPECT_EXIT(parseRegex("(?=a)"), ::testing::ExitedWithCode(1),
+                "unsupported");
+}
+
+} // namespace
+} // namespace sparseap

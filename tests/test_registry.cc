@@ -1,0 +1,110 @@
+/** @file Tests for the 26-application catalog. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.h"
+
+namespace sparseap {
+namespace {
+
+TEST(Registry, CatalogHas26UniqueApps)
+{
+    const auto &catalog = appCatalog();
+    EXPECT_EQ(catalog.size(), 26u);
+    std::set<std::string> abbrs;
+    for (const auto &e : catalog)
+        abbrs.insert(e.abbr);
+    EXPECT_EQ(abbrs.size(), 26u);
+}
+
+TEST(Registry, CatalogSortedByStatesDescending)
+{
+    const auto &catalog = appCatalog();
+    for (size_t i = 1; i < catalog.size(); ++i)
+        EXPECT_GE(catalog[i - 1].paperStates, catalog[i].paperStates);
+}
+
+TEST(Registry, GroupsMatchPaperThresholds)
+{
+    for (const auto &e : appCatalog()) {
+        if (e.paperStates > 49152)
+            EXPECT_EQ(e.group, 'H') << e.abbr;
+        else if (e.paperStates > 24576)
+            EXPECT_EQ(e.group, 'M') << e.abbr;
+        else
+            EXPECT_EQ(e.group, 'L') << e.abbr;
+    }
+}
+
+TEST(Registry, FindAppWorksAndUnknownDies)
+{
+    EXPECT_EQ(findApp("CAV4k").paperStates, 1124947u);
+    EXPECT_EXIT(findApp("NOPE"), ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(Registry, ScaledGenerationKeepsShape)
+{
+    // 5% scale keeps generation fast; this covers every generator path.
+    for (const auto &e : appCatalog()) {
+        Workload w = generateWorkload(e.abbr, 1, 5);
+        EXPECT_GT(w.app.nfaCount(), 0u) << e.abbr;
+        EXPECT_GT(w.app.totalStates(), 0u) << e.abbr;
+        EXPECT_GT(w.app.reportingStates(), 0u) << e.abbr;
+        EXPECT_EQ(w.app.abbr(), e.abbr);
+        // States per NFA should be within 2x of the paper's ratio.
+        const double paper_ratio =
+            static_cast<double>(e.paperStates) /
+            static_cast<double>(e.paperNfas);
+        const double ours =
+            static_cast<double>(w.app.totalStates()) /
+            static_cast<double>(w.app.nfaCount());
+        EXPECT_GT(ours, paper_ratio / 2.5) << e.abbr;
+        EXPECT_LT(ours, paper_ratio * 2.5) << e.abbr;
+        // Start-of-data applications are flagged for full-input testing.
+        EXPECT_EQ(w.fullInputAsTest,
+                  e.abbr == "SPM" || e.abbr == "Fermi")
+            << e.abbr;
+    }
+}
+
+TEST(Registry, DeterministicUnderSeed)
+{
+    Workload a = generateWorkload("LV", 7, 100);
+    Workload b = generateWorkload("LV", 7, 100);
+    EXPECT_EQ(a.app.totalStates(), b.app.totalStates());
+    EXPECT_EQ(a.app.nfaCount(), b.app.nfaCount());
+    // Spot-check structural equality of the first NFA.
+    const Nfa &na = a.app.nfa(0), &nb = b.app.nfa(0);
+    ASSERT_EQ(na.size(), nb.size());
+    for (StateId s = 0; s < na.size(); ++s) {
+        EXPECT_EQ(na.state(s).symbols, nb.state(s).symbols);
+        EXPECT_EQ(na.state(s).successors, nb.state(s).successors);
+    }
+
+    Workload c = generateWorkload("LV", 8, 100);
+    bool differs = c.app.nfa(0).state(0).symbols !=
+                   a.app.nfa(0).state(0).symbols;
+    for (StateId s = 0; s < std::min(c.app.nfa(0).size(), na.size()); ++s)
+        differs = differs ||
+                  c.app.nfa(0).state(s).symbols != na.state(s).symbols;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Registry, SeedsAreIndependentAcrossApps)
+{
+    // Different apps with the same master seed draw different streams.
+    Workload em = generateWorkload("EM", 7, 20);
+    Workload rg = generateWorkload("Rg1", 7, 20);
+    EXPECT_NE(em.app.totalStates(), 0u);
+    bool differs = em.app.nfaCount() != rg.app.nfaCount();
+    if (!differs) {
+        differs = em.app.nfa(0).state(0).symbols !=
+                  rg.app.nfa(0).state(0).symbols;
+    }
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace sparseap

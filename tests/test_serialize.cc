@@ -1,0 +1,103 @@
+/** @file Round-trip tests for the text serialization format. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nfa/serialize.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+/** Structural equality of two NFAs. */
+void
+expectSameNfa(const Nfa &a, const Nfa &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (StateId s = 0; s < a.size(); ++s) {
+        EXPECT_EQ(a.state(s).symbols, b.state(s).symbols) << "state " << s;
+        EXPECT_EQ(a.state(s).start, b.state(s).start) << "state " << s;
+        EXPECT_EQ(a.state(s).reporting, b.state(s).reporting)
+            << "state " << s;
+        EXPECT_EQ(a.state(s).successors, b.state(s).successors)
+            << "state " << s;
+    }
+}
+
+TEST(Serialize, TinyRoundTrip)
+{
+    Nfa nfa("t");
+    StateId a = nfa.addState(parseSymbolSet("[a-z]"), StartKind::AllInput);
+    StateId b = nfa.addState(parseSymbolSet("\\x00"), StartKind::None,
+                             true);
+    nfa.addEdge(a, b);
+    nfa.finalize();
+
+    std::stringstream ss;
+    writeNfa(ss, nfa);
+    Nfa back = readNfa(ss);
+    expectSameNfa(nfa, back);
+    EXPECT_EQ(back.name(), "t");
+}
+
+TEST(Serialize, ApplicationRoundTrip)
+{
+    Rng rng(123);
+    Application app = testing::randomApplication(rng, 5);
+    app.setNames("roundtrip", "RT");
+
+    Application back = applicationFromString(toString(app));
+    EXPECT_EQ(back.name(), "roundtrip");
+    EXPECT_EQ(back.abbr(), "RT");
+    ASSERT_EQ(back.nfaCount(), app.nfaCount());
+    ASSERT_EQ(back.totalStates(), app.totalStates());
+    for (uint32_t u = 0; u < app.nfaCount(); ++u)
+        expectSameNfa(app.nfa(u), back.nfa(u));
+}
+
+/** Property: round trip over many random applications. */
+TEST(Serialize, PropertyRandomRoundTrip)
+{
+    Rng rng(124);
+    for (int trial = 0; trial < 20; ++trial) {
+        testing::RandomNfaParams params;
+        params.sodProb = 0.3;
+        params.alphabetSize = 256; // exercise all byte values
+        Application app = testing::randomApplication(rng, 3, params);
+        Application back = applicationFromString(toString(app));
+        ASSERT_EQ(back.totalStates(), app.totalStates());
+        for (uint32_t u = 0; u < app.nfaCount(); ++u)
+            expectSameNfa(app.nfa(u), back.nfa(u));
+    }
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored)
+{
+    const std::string text =
+        "# a comment\n"
+        "app demo D\n"
+        "\n"
+        "nfa one\n"
+        "# another comment\n"
+        "state 0 all 1 a\n"
+        "end\n";
+    Application app = applicationFromString(text);
+    EXPECT_EQ(app.nfaCount(), 1u);
+    EXPECT_TRUE(app.nfa(0).state(0).reporting);
+}
+
+TEST(Serialize, MalformedInputDies)
+{
+    EXPECT_EXIT(applicationFromString("nonsense\n"),
+                ::testing::ExitedWithCode(1), "unknown keyword");
+    EXPECT_EXIT(
+        applicationFromString("app a A\nnfa x\nstate 1 all 0 a\nend\n"),
+        ::testing::ExitedWithCode(1), "non-dense");
+    EXPECT_EXIT(applicationFromString("app a A\nnfa x\nstate 0 all 0 a\n"),
+                ::testing::ExitedWithCode(1), "end of stream");
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,146 @@
+/** @file Tests for the SpAP-mode engine (Algorithm 1). */
+
+#include <gtest/gtest.h>
+
+#include "spap/spap_engine.h"
+
+namespace sparseap {
+namespace {
+
+/** A start-free chain NFA: s0 -> s1 -> ... (cold-fragment shaped). */
+Application
+coldChain(const std::string &symbols, bool last_reports = true)
+{
+    Application app("cold", "C");
+    Nfa nfa("chain");
+    for (size_t i = 0; i < symbols.size(); ++i) {
+        nfa.addState(SymbolSet::single(static_cast<uint8_t>(symbols[i])),
+                     StartKind::None,
+                     last_reports && i + 1 == symbols.size());
+        if (i > 0)
+            nfa.addEdge(static_cast<StateId>(i - 1),
+                        static_cast<StateId>(i));
+    }
+    nfa.finalize(false);
+    app.addNfa(std::move(nfa));
+    return app;
+}
+
+std::span<const uint8_t>
+bytes(const std::string &s)
+{
+    return {reinterpret_cast<const uint8_t *>(s.data()), s.size()};
+}
+
+TEST(SpapEngine, NoEventsConsumesNothing)
+{
+    Application app = coldChain("abc");
+    FlatAutomaton fa(app);
+    SpapResult r = runSpapMode(fa, bytes("abcabc"), {});
+    EXPECT_EQ(r.consumedCycles, 0u);
+    EXPECT_EQ(r.enableStalls, 0u);
+    EXPECT_TRUE(r.reports.empty());
+}
+
+TEST(SpapEngine, JumpSkipsIdlePrefix)
+{
+    Application app = coldChain("abc");
+    FlatAutomaton fa(app);
+    // Enable state 0 right before position 10 where "abc" begins.
+    const std::string input = "zzzzzzzzzzabczzz";
+    std::vector<SpapEvent> events = {{10, 0}};
+    SpapResult r = runSpapMode(fa, bytes(input), events);
+    EXPECT_EQ(r.jumps, 1u);
+    ASSERT_EQ(r.reports.size(), 1u);
+    EXPECT_EQ(r.reports[0].position, 12u); // 'c' at position 12
+    // Consumed: positions 10,11,12,13 (dies at 13 when 'z' mismatches...
+    // actually at 13 the enabled set is empty already after reporting, so
+    // only 10..12 are consumed plus the check at 13 jumps/breaks).
+    EXPECT_LE(r.consumedCycles, 4u);
+    EXPECT_GE(r.consumedCycles, 3u);
+}
+
+TEST(SpapEngine, SimultaneousEnablesStall)
+{
+    Application app("cold", "C");
+    for (int n = 0; n < 3; ++n) {
+        Nfa nfa("c");
+        nfa.addState(SymbolSet::single('x'), StartKind::None, true);
+        nfa.finalize(false);
+        app.addNfa(std::move(nfa));
+    }
+    FlatAutomaton fa(app);
+    // Three events at the same position: two stalls (one enable is free).
+    std::vector<SpapEvent> events = {{5, 0}, {5, 1}, {5, 2}};
+    SpapResult r = runSpapMode(fa, bytes("zzzzzxzz"), events);
+    EXPECT_EQ(r.enableStalls, 2u);
+    EXPECT_EQ(r.reports.size(), 3u);
+    EXPECT_EQ(r.totalCycles(), r.consumedCycles + 2);
+}
+
+TEST(SpapEngine, EventsAtDifferentPositionsDoNotStall)
+{
+    Application app = coldChain("ab", false);
+    FlatAutomaton fa(app);
+    std::vector<SpapEvent> events = {{1, 0}, {4, 0}};
+    SpapResult r = runSpapMode(fa, bytes("zazzab"), events);
+    EXPECT_EQ(r.enableStalls, 0u);
+}
+
+TEST(SpapEngine, EnableIsIdempotent)
+{
+    Application app = coldChain("ab");
+    FlatAutomaton fa(app);
+    // Duplicate events for the same state at one position: stall counted,
+    // but the state is enabled once (single report).
+    std::vector<SpapEvent> events = {{0, 0}, {0, 0}};
+    SpapResult r = runSpapMode(fa, bytes("ab"), events);
+    EXPECT_EQ(r.enableStalls, 1u);
+    ASSERT_EQ(r.reports.size(), 1u);
+}
+
+TEST(SpapEngine, EventBeyondInputIgnored)
+{
+    Application app = coldChain("ab");
+    FlatAutomaton fa(app);
+    std::vector<SpapEvent> events = {{100, 0}};
+    SpapResult r = runSpapMode(fa, bytes("ab"), events);
+    EXPECT_TRUE(r.reports.empty());
+    EXPECT_EQ(r.consumedCycles, 0u);
+}
+
+TEST(SpapEngine, ThreadDiesThenJumpsAgain)
+{
+    Application app = coldChain("ab");
+    FlatAutomaton fa(app);
+    // First event starts a thread that dies at position 3 ('z'); the
+    // engine must jump to 6 rather than walk 4..5.
+    std::vector<SpapEvent> events = {{2, 0}, {6, 0}};
+    SpapResult r = runSpapMode(fa, bytes("zzabzzab"), events);
+    EXPECT_EQ(r.jumps, 2u);
+    EXPECT_EQ(r.reports.size(), 2u);
+    // Consumed: 2,3 then 6,7 -> 4 cycles (the kill-check at 4 is a jump).
+    EXPECT_EQ(r.consumedCycles, 4u);
+}
+
+TEST(SpapEngine, RequiresStartFreeAutomaton)
+{
+    Application app("bad", "B");
+    Nfa nfa("s");
+    nfa.addState(SymbolSet::all(), StartKind::AllInput);
+    nfa.finalize();
+    app.addNfa(std::move(nfa));
+    FlatAutomaton fa(app);
+    EXPECT_DEATH(runSpapMode(fa, bytes("x"), {}), "start-free");
+}
+
+TEST(SpapEngine, UnsortedEventsDie)
+{
+    Application app = coldChain("ab");
+    FlatAutomaton fa(app);
+    std::vector<SpapEvent> events = {{5, 0}, {1, 0}};
+    EXPECT_DEATH(runSpapMode(fa, bytes("zzzzzzzz"), events), "sorted");
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,102 @@
+/** @file Tests for the numeric helpers in common/stats. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace sparseap {
+namespace {
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+}
+
+TEST(Geomean, EmptyIsZero)
+{
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, ScaleInvariance)
+{
+    // geomean(c*x) = c * geomean(x)
+    std::vector<double> xs = {1.5, 2.25, 9.0, 0.5};
+    std::vector<double> scaled;
+    for (double x : xs)
+        scaled.push_back(3.0 * x);
+    EXPECT_NEAR(geomean(scaled), 3.0 * geomean(xs), 1e-9);
+}
+
+TEST(Mean, Basic)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+}
+
+TEST(Pearson, PerfectCorrelation)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    std::vector<double> neg = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero)
+{
+    std::vector<double> x = {1, 2, 3};
+    std::vector<double> c = {5, 5, 5};
+    EXPECT_EQ(pearson(x, c), 0.0);
+    EXPECT_EQ(pearson(c, x), 0.0);
+}
+
+TEST(Pearson, ShortSeriesIsZero)
+{
+    EXPECT_EQ(pearson({1.0}, {2.0}), 0.0);
+    EXPECT_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Pearson, BoundedByOne)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> x, y;
+        for (int i = 0; i < 50; ++i) {
+            x.push_back(rng.real());
+            y.push_back(rng.real());
+        }
+        const double r = pearson(x, y);
+        EXPECT_GE(r, -1.0 - 1e-9);
+        EXPECT_LE(r, 1.0 + 1e-9);
+    }
+}
+
+TEST(Accumulator, Empty)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+    EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(Accumulator, TracksMinMaxMean)
+{
+    Accumulator a;
+    for (double v : {3.0, -1.0, 7.0, 5.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.min(), -1.0);
+    EXPECT_EQ(a.max(), 7.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(a.sum(), 14.0);
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,130 @@
+/** @file Tests for symbol-set parsing and formatting. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nfa/symbol_set.h"
+
+namespace sparseap {
+namespace {
+
+TEST(ParseSymbolSet, SingleCharacter)
+{
+    SymbolSet s = parseSymbolSet("a");
+    EXPECT_EQ(s.count(), 1);
+    EXPECT_TRUE(s.test('a'));
+}
+
+TEST(ParseSymbolSet, Dot)
+{
+    EXPECT_EQ(parseSymbolSet("."), SymbolSet::all());
+}
+
+TEST(ParseSymbolSet, Escapes)
+{
+    EXPECT_TRUE(parseSymbolSet("\\n").test('\n'));
+    EXPECT_TRUE(parseSymbolSet("\\t").test('\t'));
+    EXPECT_TRUE(parseSymbolSet("\\r").test('\r'));
+    EXPECT_TRUE(parseSymbolSet("\\0").test('\0'));
+    EXPECT_TRUE(parseSymbolSet("\\x41").test('A'));
+    EXPECT_TRUE(parseSymbolSet("\\xff").test(0xff));
+    EXPECT_TRUE(parseSymbolSet("\\\\").test('\\'));
+}
+
+TEST(ParseSymbolSet, BracketClass)
+{
+    SymbolSet s = parseSymbolSet("[abc]");
+    EXPECT_EQ(s.count(), 3);
+    EXPECT_TRUE(s.test('a'));
+    EXPECT_TRUE(s.test('b'));
+    EXPECT_TRUE(s.test('c'));
+}
+
+TEST(ParseSymbolSet, BracketRange)
+{
+    SymbolSet s = parseSymbolSet("[a-e]");
+    EXPECT_EQ(s.count(), 5);
+    EXPECT_TRUE(s.test('a'));
+    EXPECT_TRUE(s.test('e'));
+    EXPECT_FALSE(s.test('f'));
+}
+
+TEST(ParseSymbolSet, NegatedClass)
+{
+    SymbolSet s = parseSymbolSet("[^a-z]");
+    EXPECT_EQ(s.count(), 256 - 26);
+    EXPECT_FALSE(s.test('m'));
+    EXPECT_TRUE(s.test('A'));
+}
+
+TEST(ParseSymbolSet, MixedClassWithEscapes)
+{
+    SymbolSet s = parseSymbolSet("[\\x00-\\x1f0-9]");
+    EXPECT_EQ(s.count(), 32 + 10);
+    EXPECT_TRUE(s.test(0x00));
+    EXPECT_TRUE(s.test(0x1f));
+    EXPECT_TRUE(s.test('5'));
+    EXPECT_FALSE(s.test('a'));
+}
+
+TEST(ParseSymbolSet, ClassWithLeadingDashLikeMember)
+{
+    // '-' right before ']' is literal.
+    SymbolSet s = parseSymbolSet("[a-]");
+    EXPECT_TRUE(s.test('a'));
+    EXPECT_TRUE(s.test('-'));
+}
+
+TEST(ParseSymbolSet, MalformedDies)
+{
+    EXPECT_EXIT(parseSymbolSet(""), ::testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(parseSymbolSet("[abc"), ::testing::ExitedWithCode(1),
+                "unterminated");
+    EXPECT_EXIT(parseSymbolSet("[z-a]"), ::testing::ExitedWithCode(1),
+                "inverted");
+    EXPECT_EXIT(parseSymbolSet("\\xg1"), ::testing::ExitedWithCode(1),
+                "hex");
+    EXPECT_EXIT(parseSymbolSet("ab"), ::testing::ExitedWithCode(1),
+                "trailing");
+}
+
+TEST(FormatSymbolSet, CanonicalForms)
+{
+    EXPECT_EQ(formatSymbolSet(SymbolSet::all()), ".");
+    EXPECT_EQ(formatSymbolSet(SymbolSet::single('a')), "a");
+    EXPECT_EQ(formatSymbolSet(SymbolSet::range('a', 'c')), "[a-c]");
+}
+
+/** Property: parse(format(s)) == s for random sets. */
+TEST(FormatSymbolSet, PropertyRoundTrip)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 200; ++trial) {
+        SymbolSet s;
+        const int n = static_cast<int>(rng.uniform(1, 40));
+        for (int i = 0; i < n; ++i)
+            s.set(rng.byte());
+        const std::string text = formatSymbolSet(s);
+        EXPECT_EQ(parseSymbolSet(text), s) << "via '" << text << "'";
+    }
+}
+
+/** Property: round trip through ranges and complements. */
+TEST(FormatSymbolSet, PropertyRoundTripStructured)
+{
+    Rng rng(78);
+    for (int trial = 0; trial < 100; ++trial) {
+        uint8_t lo = rng.byte();
+        uint8_t hi = static_cast<uint8_t>(
+            lo + rng.uniform(0, 255 - lo));
+        SymbolSet s = SymbolSet::range(lo, hi);
+        if (rng.chance(0.5))
+            s = ~s;
+        if (s.empty())
+            continue; // formatting an empty set is unspecified
+        EXPECT_EQ(parseSymbolSet(formatSymbolSet(s)), s);
+    }
+}
+
+} // namespace
+} // namespace sparseap

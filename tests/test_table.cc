@@ -1,0 +1,66 @@
+/** @file Tests for the ASCII/CSV table writer. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace sparseap {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"app", "speedup"});
+    t.addRow({"CAV4k", "47.0"});
+    t.addRow({"HM", "1.2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("app    speedup"), std::string::npos);
+    EXPECT_NE(out.find("CAV4k  47.0"), std::string::npos);
+    EXPECT_NE(out.find("HM     1.2"), std::string::npos);
+}
+
+TEST(Table, CsvHasNoPadding)
+{
+    Table t({"a", "b"});
+    t.addRow({"x", "y"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"only"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(3.0, 0), "3");
+    EXPECT_EQ(Table::fmt(2.5, 1), "2.5");
+}
+
+TEST(Table, PctFormatsFractions)
+{
+    EXPECT_EQ(Table::pct(0.593, 1), "59.3%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+    EXPECT_EQ(Table::pct(0.0, 1), "0.0%");
+}
+
+using TableDeathTest = Table;
+
+TEST(TableDeathTest, WrongArityPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace sparseap

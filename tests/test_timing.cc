@@ -1,0 +1,73 @@
+/** @file Tests for the AP cycle/timing model. */
+
+#include <gtest/gtest.h>
+
+#include "ap/timing.h"
+#include "regex/glushkov.h"
+
+namespace sparseap {
+namespace {
+
+TEST(Timing, BaselineCyclesAreBatchesTimesInput)
+{
+    Application app("a", "A");
+    for (int i = 0; i < 5; ++i)
+        app.addNfa(compileRegex("abcdefgh", "p"));
+    ApConfig config;
+    config.capacity = 20; // two NFAs per batch -> 3 batches
+    BaselineTiming t = baselineTiming(app, config, 1000);
+    EXPECT_EQ(t.batches, 3u);
+    EXPECT_EQ(t.cycles, 3000u);
+    EXPECT_NEAR(t.seconds, 3000 * 7.5e-9, 1e-15);
+}
+
+TEST(Timing, CyclesToSeconds)
+{
+    ApConfig config;
+    EXPECT_NEAR(config.cyclesToSeconds(2.0), 15e-9, 1e-18);
+    config.cycleTimeNs = 10.0;
+    EXPECT_NEAR(config.cyclesToSeconds(5.0), 50e-9, 1e-18);
+}
+
+TEST(Timing, PerformancePerSte)
+{
+    // One symbol per cycle at capacity 100: 1/100 per STE.
+    EXPECT_DOUBLE_EQ(performancePerSte(1000, 1000, 100), 0.01);
+    // Two batches halve throughput.
+    EXPECT_DOUBLE_EQ(performancePerSte(1000, 2000, 100), 0.005);
+    // Zero cycles: defined as zero.
+    EXPECT_DOUBLE_EQ(performancePerSte(1000, 0, 100), 0.0);
+}
+
+TEST(Timing, PerfPerSteDecreasesWithCapacityWhenAppFits)
+{
+    // The same app on a bigger AP wastes STEs (Fig. 11's first finding).
+    const double small = performancePerSte(1000, 1000, 12288);
+    const double large = performancePerSte(1000, 1000, 49152);
+    EXPECT_GT(small, large);
+}
+
+TEST(Timing, IdealSpeedupModel)
+{
+    // Section III-C: speedup = ceil(S/C) / ceil((1-p)S/C).
+    EXPECT_DOUBLE_EQ(idealSpeedup(100, 0, 10), 1.0);
+    EXPECT_DOUBLE_EQ(idealSpeedup(100, 50, 10), 2.0);
+    EXPECT_DOUBLE_EQ(idealSpeedup(100, 90, 10), 10.0);
+    // Approaches 1/(1-p) for large S.
+    EXPECT_NEAR(idealSpeedup(1000000, 500000, 1000), 2.0, 0.01);
+    // All-cold degenerates to the one-batch floor, not division by zero.
+    EXPECT_GT(idealSpeedup(100, 100, 10), 0.0);
+}
+
+TEST(Timing, IdealSpeedupMonotoneInColdStates)
+{
+    double prev = 0.0;
+    for (size_t cold = 0; cold <= 900; cold += 100) {
+        const double s = idealSpeedup(1000, cold, 50);
+        EXPECT_GE(s, prev);
+        prev = s;
+    }
+}
+
+} // namespace
+} // namespace sparseap

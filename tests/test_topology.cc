@@ -1,0 +1,141 @@
+/** @file Tests for topological layering and normalized depth. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/topology.h"
+#include "support/random_nfa.h"
+
+namespace sparseap {
+namespace {
+
+Nfa
+fromEdges(size_t states, std::vector<std::pair<StateId, StateId>> edges)
+{
+    Nfa nfa("g");
+    for (size_t i = 0; i < states; ++i)
+        nfa.addState(SymbolSet::all(),
+                     i == 0 ? StartKind::AllInput : StartKind::None);
+    for (auto [u, v] : edges)
+        nfa.addEdge(u, v);
+    nfa.finalize();
+    return nfa;
+}
+
+TEST(Topology, ChainLayers)
+{
+    Nfa nfa = fromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+    Topology t = analyzeTopology(nfa);
+    EXPECT_EQ(t.order, (std::vector<uint32_t>{1, 2, 3, 4}));
+    EXPECT_EQ(t.maxOrder, 4u);
+}
+
+TEST(Topology, DiamondUsesLongestPath)
+{
+    //    0 -> 1 -> 3,  0 -> 3 : 3 sits at layer 3, not 2.
+    Nfa nfa = fromEdges(4, {{0, 1}, {1, 3}, {0, 3}, {0, 2}});
+    Topology t = analyzeTopology(nfa);
+    EXPECT_EQ(t.order[0], 1u);
+    EXPECT_EQ(t.order[1], 2u);
+    EXPECT_EQ(t.order[2], 2u);
+    EXPECT_EQ(t.order[3], 3u);
+}
+
+TEST(Topology, CycleSharesLayer)
+{
+    // Figure 4 of the paper: S4 <-> S5 share a layer.
+    Nfa nfa = fromEdges(6, {{0, 1},
+                            {0, 3},
+                            {1, 2},
+                            {3, 4},
+                            {4, 3},
+                            {4, 5},
+                            {2, 5}});
+    Topology t = analyzeTopology(nfa);
+    EXPECT_EQ(t.order[3], t.order[4]);
+    EXPECT_GT(t.order[5], t.order[4]);
+    EXPECT_GT(t.order[5], t.order[2]);
+}
+
+TEST(Topology, SelfLoopKeepsOwnLayer)
+{
+    Nfa nfa = fromEdges(3, {{0, 1}, {1, 1}, {1, 2}});
+    Topology t = analyzeTopology(nfa);
+    EXPECT_EQ(t.order, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(Topology, NormalizedDepthRange)
+{
+    Nfa nfa = fromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+    Topology t = analyzeTopology(nfa);
+    EXPECT_DOUBLE_EQ(t.normalizedDepth(0), 0.25);
+    EXPECT_DOUBLE_EQ(t.normalizedDepth(3), 1.0);
+}
+
+TEST(Topology, DepthBuckets)
+{
+    EXPECT_EQ(depthBucket(0.0), DepthBucket::Shallow);
+    EXPECT_EQ(depthBucket(0.29), DepthBucket::Shallow);
+    EXPECT_EQ(depthBucket(0.3), DepthBucket::Medium);
+    EXPECT_EQ(depthBucket(0.59), DepthBucket::Medium);
+    EXPECT_EQ(depthBucket(0.6), DepthBucket::Deep);
+    EXPECT_EQ(depthBucket(1.0), DepthBucket::Deep);
+    EXPECT_STREQ(depthBucketName(DepthBucket::Shallow), "shallow");
+    EXPECT_STREQ(depthBucketName(DepthBucket::Medium), "medium");
+    EXPECT_STREQ(depthBucketName(DepthBucket::Deep), "deep");
+}
+
+/**
+ * Property: cross-SCC edges go strictly deeper; intra-SCC edges stay on
+ * one layer. This is the invariant that makes the partition cut
+ * unidirectional (DESIGN.md invariant 2).
+ */
+TEST(Topology, PropertyEdgeMonotonicity)
+{
+    Rng rng(66);
+    for (int trial = 0; trial < 60; ++trial) {
+        testing::RandomNfaParams params;
+        params.backEdgeProb = 0.4;
+        params.maxStates = 40;
+        Nfa nfa = testing::randomNfa(rng, params);
+        Topology t = analyzeTopology(nfa);
+
+        for (StateId u = 0; u < nfa.size(); ++u) {
+            for (StateId v : nfa.state(u).successors) {
+                if (t.scc.component[u] == t.scc.component[v]) {
+                    EXPECT_EQ(t.order[u], t.order[v]);
+                } else {
+                    EXPECT_LT(t.order[u], t.order[v])
+                        << "edge " << u << "->" << v;
+                }
+            }
+        }
+        // Layers span [1, maxOrder] and normalized depth lies in (0, 1].
+        for (StateId s = 0; s < nfa.size(); ++s) {
+            EXPECT_GE(t.order[s], 1u);
+            EXPECT_LE(t.order[s], t.maxOrder);
+            EXPECT_GT(t.normalizedDepth(s), 0.0);
+            EXPECT_LE(t.normalizedDepth(s), 1.0);
+        }
+    }
+}
+
+/** Property: some state sits on layer 1 and some on maxOrder. */
+TEST(Topology, PropertyLayerExtremesOccupied)
+{
+    Rng rng(67);
+    for (int trial = 0; trial < 30; ++trial) {
+        Nfa nfa = testing::randomNfa(rng, {});
+        Topology t = analyzeTopology(nfa);
+        bool has_first = false, has_last = false;
+        for (StateId s = 0; s < nfa.size(); ++s) {
+            has_first = has_first || t.order[s] == 1;
+            has_last = has_last || t.order[s] == t.maxOrder;
+        }
+        EXPECT_TRUE(has_first);
+        EXPECT_TRUE(has_last);
+    }
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,277 @@
+/** @file Structural tests for the individual workload generators. */
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "partition/app_topology.h"
+#include "sim/engine.h"
+#include "sim/flat_automaton.h"
+#include "workloads/becchi.h"
+#include "workloads/brill.h"
+#include "workloads/clamav.h"
+#include "workloads/entity_resolution.h"
+#include "workloads/fermi.h"
+#include "workloads/hamming.h"
+#include "workloads/levenshtein.h"
+#include "workloads/poweren.h"
+#include "workloads/protomata.h"
+#include "workloads/random_forest.h"
+#include "workloads/snort.h"
+#include "workloads/spm.h"
+
+namespace sparseap {
+namespace {
+
+TEST(HammingNfa, GridStructure)
+{
+    Nfa nfa = buildHammingNfa("ACGTACGT", 2, "hm");
+    // Exactly two reporting states (the collapsed final column).
+    EXPECT_EQ(nfa.reportingCount(), 2u);
+    // Two always-enabled starts: first match and first mismatch states.
+    EXPECT_EQ(nfa.startStates().size(), 2u);
+    // Depth equals the pattern length.
+    Topology t = analyzeTopology(nfa);
+    EXPECT_EQ(t.maxOrder, 8u);
+    // The grid is a DAG.
+    EXPECT_EQ(t.scc.largestSize(), 1u);
+}
+
+TEST(HammingNfa, AcceptsWithinDistance)
+{
+    const std::string pattern = "AAAA";
+    Nfa nfa = buildHammingNfa(pattern, 2, "hm");
+    Application app("t", "T");
+    app.addNfa(std::move(nfa));
+    FlatAutomaton fa(app);
+    Engine engine(fa);
+
+    auto match_count = [&](const std::string &s) {
+        return engine
+            .run({reinterpret_cast<const uint8_t *>(s.data()), s.size()})
+            .reports.size();
+    };
+    EXPECT_GT(match_count("AAAA"), 0u); // exact
+    EXPECT_GT(match_count("AACA"), 0u); // 1 mismatch
+    EXPECT_GT(match_count("ACCA"), 0u); // 2 mismatches
+    EXPECT_EQ(match_count("ACCC"), 0u); // 3 mismatches: rejected
+}
+
+TEST(HammingWorkload, SizesAndInput)
+{
+    Rng rng(1);
+    HammingParams p;
+    p.nfaCount = 20;
+    Workload w = makeHamming(p, rng, "hm", "HM");
+    EXPECT_EQ(w.app.nfaCount(), 20u);
+    EXPECT_EQ(w.app.reportingStates(), 40u); // 2 per NFA
+    EXPECT_FALSE(w.fullInputAsTest);
+    EXPECT_EQ(w.input.base, InputSpec::Base::Alphabet);
+}
+
+TEST(LevenshteinNfa, HasLargeScc)
+{
+    Nfa nfa = buildLevenshteinNfa("ACGTACGTACGTACGTACGT", 2, "lv");
+    Topology t = analyzeTopology(nfa);
+    // Resync back edges must collapse a sizable region into one SCC.
+    EXPECT_GT(t.scc.largestSize(), nfa.size() / 4);
+}
+
+TEST(ClamAvWorkload, DeepChains)
+{
+    Rng rng(2);
+    ClamAvParams p;
+    p.nfaCount = 30;
+    p.meanLength = 60;
+    p.maxLength = 300;
+    Workload w = makeClamAv(p, rng, "cav", "CAV");
+    EXPECT_EQ(w.app.nfaCount(), 30u);
+    AppTopology topo(w.app);
+    // The pinned max-length signature sets the depth (wildcard gap
+    // detours may add a few layers on top).
+    EXPECT_GE(topo.maxOrder(), 300u);
+    EXPECT_LE(topo.maxOrder(), 320u);
+    EXPECT_GE(w.app.reportingStates(), 30u);
+    EXPECT_FALSE(w.input.plants.empty());
+}
+
+TEST(SnortWorkload, CompilesAndPlants)
+{
+    Rng rng(3);
+    SnortParams p;
+    p.nfaCount = 40;
+    p.deepRuleCount = 1;
+    p.deepRuleGap = 200;
+    Workload w = makeSnort(p, rng, "snort", "SN");
+    EXPECT_EQ(w.app.nfaCount(), 40u);
+    AppTopology topo(w.app);
+    EXPECT_GT(topo.maxOrder(), 200u); // the deep count rule
+    EXPECT_FALSE(w.input.plants.empty());
+}
+
+TEST(SpmWorkload, AnchoredWithSelfLoops)
+{
+    Rng rng(4);
+    SpmParams p;
+    p.nfaCount = 25;
+    Workload w = makeSpm(p, rng, "spm", "SPM");
+    EXPECT_TRUE(w.fullInputAsTest);
+    EXPECT_TRUE(w.app.startOfDataOnly());
+    // Every NFA has exactly one reporting state (the last item).
+    EXPECT_EQ(w.app.reportingStates(), 25u);
+    // Gap states self-loop: at least one state with a self-edge.
+    bool self_loop = false;
+    for (const auto &nfa : w.app.nfas()) {
+        for (StateId s = 0; s < nfa.size(); ++s) {
+            for (StateId d : nfa.state(s).successors)
+                self_loop = self_loop || d == s;
+        }
+    }
+    EXPECT_TRUE(self_loop);
+}
+
+TEST(FermiWorkload, AnchoredAndShallow)
+{
+    Rng rng(5);
+    FermiParams p;
+    p.nfaCount = 25;
+    Workload w = makeFermi(p, rng, "fermi", "Fermi");
+    EXPECT_TRUE(w.fullInputAsTest);
+    EXPECT_TRUE(w.app.startOfDataOnly());
+    AppTopology topo(w.app);
+    EXPECT_LE(topo.maxOrder(), 16u);
+}
+
+TEST(RandomForestWorkload, DepthThree)
+{
+    Rng rng(6);
+    RandomForestParams p;
+    p.nfaCount = 30;
+    Workload w = makeRandomForest(p, rng, "rf", "RF");
+    AppTopology topo(w.app);
+    EXPECT_EQ(topo.maxOrder(), 3u);
+    EXPECT_EQ(w.app.reportingStates(), 30u); // one label leaf per tree
+    // Every NFA has exactly `roots` start states.
+    for (const auto &nfa : w.app.nfas())
+        EXPECT_EQ(nfa.startStates().size(), p.roots);
+}
+
+TEST(EntityResolutionWorkload, GiantScc)
+{
+    Rng rng(7);
+    EntityResolutionParams p;
+    p.nfaCount = 10;
+    Workload w = makeEntityResolution(p, rng, "er", "ER");
+    AppTopology topo(w.app);
+    // The token loop holds most of each NFA in one SCC.
+    EXPECT_GT(topo.largestScc(),
+              w.app.nfa(0).size() / 2);
+    EXPECT_EQ(w.app.reportingStates(), 10u);
+    // The reporting state sits inside the SCC: its layer is pinned to
+    // the ring's, so one hot member forces the whole ring configured.
+    const Nfa &nfa = w.app.nfa(0);
+    StateId reporter = kInvalidState;
+    for (StateId s = 0; s < nfa.size(); ++s)
+        if (nfa.state(s).reporting)
+            reporter = s;
+    ASSERT_NE(reporter, kInvalidState);
+    const Topology &t = topo.nfa(0);
+    EXPECT_GT(t.scc.members[t.scc.component[reporter]].size(), 1u);
+}
+
+TEST(EntityResolutionWorkload, VerificationTailHangsOffTheRing)
+{
+    Rng rng(8);
+    EntityResolutionParams p;
+    p.nfaCount = 4;
+    p.exitLength = 6;
+    p.exitFanIn = 4;
+    Workload w = makeEntityResolution(p, rng, "er", "ER");
+    const Topology t = analyzeTopology(w.app.nfa(0));
+    // The tail adds layers below the ring.
+    EXPECT_GT(t.maxOrder, 5u);
+    // Openers come from a shared pool: with 4 NFAs and a 12-token pool,
+    // all openers are distinct but drawn from the pool (same length).
+    for (const auto &nfa : w.app.nfas())
+        EXPECT_EQ(nfa.state(0).symbols.count(), 1);
+}
+
+TEST(PowerEnWorkload, StormLayerShape)
+{
+    Rng rng(8);
+    PowerEnParams p;
+    p.nfaCount = 20;
+    Workload w = makePowerEn(p, rng, "pen", "PEN");
+    EXPECT_EQ(w.app.nfaCount(), 20u);
+    // Input model: digits are late-only.
+    EXPECT_EQ(w.input.lateBytes, "0123456789");
+    EXPECT_GT(w.input.lateRate, 0.0);
+    // Layer-3 of every NFA is the digit class.
+    for (const auto &nfa : w.app.nfas()) {
+        EXPECT_TRUE(nfa.state(2).symbols.test('5'));
+        EXPECT_FALSE(nfa.state(2).symbols.test('a'));
+    }
+}
+
+TEST(BrillWorkload, ChainsOverTagAlphabet)
+{
+    Rng rng(9);
+    BrillParams p;
+    p.nfaCount = 15;
+    Workload w = makeBrill(p, rng, "brill", "Brill");
+    EXPECT_EQ(w.app.nfaCount(), 15u);
+    EXPECT_EQ(w.app.reportingStates(), 15u);
+    EXPECT_FALSE(w.input.plants.empty());
+}
+
+TEST(ProtomataWorkload, AminoAlphabet)
+{
+    Rng rng(10);
+    ProtomataParams p;
+    p.nfaCount = 30;
+    p.longMotifProb = 0.2;
+    Workload w = makeProtomata(p, rng, "pro", "Pro");
+    EXPECT_EQ(w.app.nfaCount(), 30u);
+    AppTopology topo(w.app);
+    EXPECT_GT(topo.maxOrder(), 50u); // some long motif was drawn
+}
+
+TEST(BecchiWorkload, DotStarProbabilityControlsSelfLoops)
+{
+    Rng rng(11);
+    BecchiParams no_ds;
+    no_ds.nfaCount = 20;
+    no_ds.dotStarProb = 0.0;
+    Workload w0 = makeBecchi(no_ds, rng, "em", "EM");
+
+    BecchiParams all_ds;
+    all_ds.nfaCount = 20;
+    all_ds.dotStarProb = 1.0;
+    Workload w1 = makeBecchi(all_ds, rng, "ds", "DS");
+
+    auto self_loops = [](const Application &app) {
+        size_t n = 0;
+        for (const auto &nfa : app.nfas())
+            for (StateId s = 0; s < nfa.size(); ++s)
+                for (StateId d : nfa.state(s).successors)
+                    n += d == s;
+        return n;
+    };
+    EXPECT_EQ(self_loops(w0.app), 0u);
+    EXPECT_GT(self_loops(w1.app), 0u);
+}
+
+TEST(BecchiWorkload, RangeFraction)
+{
+    Rng rng(12);
+    BecchiParams p;
+    p.nfaCount = 10;
+    p.rangeFraction = 1.0;
+    Workload w = makeBecchi(p, rng, "rg", "Rg1");
+    // With rangeFraction 1, every state accepts more than one byte.
+    for (const auto &nfa : w.app.nfas())
+        for (const auto &st : nfa.states())
+            EXPECT_GT(st.symbols.count(), 1);
+}
+
+} // namespace
+} // namespace sparseap
