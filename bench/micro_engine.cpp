@@ -37,6 +37,28 @@ BM_EngineThroughput(benchmark::State &state, const char *abbr)
                             static_cast<int64_t>(input.size()));
 }
 
+/**
+ * Same workload through a pinned stepping core — the dense-vs-sparse
+ * comparison. On dense live sets (the HM Hamming grid, LV Levenshtein)
+ * the bit-parallel core should win by multiples; on sparse live sets
+ * (Snort) the sparse core should hold its lead.
+ */
+void
+BM_EngineCore(benchmark::State &state, const char *abbr, EngineMode mode)
+{
+    const LoadedApp &app = sharedApp(abbr);
+    FlatAutomaton fa(app.workload.app);
+    Engine engine(fa, mode);
+    const std::span<const uint8_t> input(app.input.data(),
+                                         std::min<size_t>(
+                                             app.input.size(), 65536));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(input).reports.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(input.size()));
+}
+
 void
 BM_RegexCompile(benchmark::State &state)
 {
@@ -78,6 +100,16 @@ BENCHMARK_CAPTURE(BM_EngineThroughput, bro217, "Bro217");
 BENCHMARK_CAPTURE(BM_EngineThroughput, em, "EM");
 BENCHMARK_CAPTURE(BM_EngineThroughput, lv, "LV");
 BENCHMARK_CAPTURE(BM_EngineThroughput, tcp, "TCP");
+BENCHMARK_CAPTURE(BM_EngineCore, hm_sparse, "HM", EngineMode::Sparse);
+BENCHMARK_CAPTURE(BM_EngineCore, hm_dense, "HM", EngineMode::Dense);
+BENCHMARK_CAPTURE(BM_EngineCore, hm_auto, "HM", EngineMode::Auto);
+BENCHMARK_CAPTURE(BM_EngineCore, lv_sparse, "LV", EngineMode::Sparse);
+BENCHMARK_CAPTURE(BM_EngineCore, lv_dense, "LV", EngineMode::Dense);
+BENCHMARK_CAPTURE(BM_EngineCore, snort_sparse, "Snort",
+                  EngineMode::Sparse);
+BENCHMARK_CAPTURE(BM_EngineCore, snort_dense, "Snort",
+                  EngineMode::Dense);
+BENCHMARK_CAPTURE(BM_EngineCore, snort_auto, "Snort", EngineMode::Auto);
 BENCHMARK(BM_RegexCompile);
 BENCHMARK_CAPTURE(BM_Topology, tcp, "TCP");
 BENCHMARK_CAPTURE(BM_Partition, tcp, "TCP");

@@ -1,10 +1,27 @@
 #include "common/options.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 
 namespace sparseap {
+
+const char *
+engineModeName(EngineMode mode)
+{
+    switch (mode) {
+    case EngineMode::Sparse:
+        return "sparse";
+    case EngineMode::Dense:
+        return "dense";
+    case EngineMode::Auto:
+        return "auto";
+    }
+    return "auto";
+}
 
 std::vector<std::string>
 splitString(const std::string &s, char sep)
@@ -49,6 +66,30 @@ parseEnvironment()
             fatal("SPARSEAP_SCALE must be in (0, 400], got '", v, "'");
         opt.scalePercent = static_cast<unsigned>(pct);
     }
+    if (const char *v = std::getenv("SPARSEAP_ENGINE")) {
+        if (std::strcmp(v, "sparse") == 0)
+            opt.engineMode = EngineMode::Sparse;
+        else if (std::strcmp(v, "dense") == 0)
+            opt.engineMode = EngineMode::Dense;
+        else if (std::strcmp(v, "auto") == 0)
+            opt.engineMode = EngineMode::Auto;
+        else
+            fatal("SPARSEAP_ENGINE must be sparse, dense or auto, got '",
+                  v, "'");
+    }
+    if (const char *v = std::getenv("SPARSEAP_JOBS")) {
+        long jobs = std::atol(v);
+        if (jobs < 0)
+            fatal("SPARSEAP_JOBS must be >= 0, got '", v, "'");
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        // Clamp to the core count: the batch loop is CPU-bound, so
+        // oversubscribing only adds scheduling contention.
+        opt.jobs = jobs == 0 ? hw
+                             : std::min(static_cast<unsigned>(jobs), hw);
+    }
+    if (const char *v = std::getenv("SPARSEAP_JSON"))
+        opt.jsonPath = v;
     return opt;
 }
 

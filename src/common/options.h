@@ -10,6 +10,13 @@
  *   SPARSEAP_CSV        when set to 1, tables print CSV instead of ASCII
  *   SPARSEAP_APPS       comma-separated list of app abbreviations to run
  *   SPARSEAP_SCALE      workload scale factor in percent (default 100)
+ *   SPARSEAP_ENGINE     functional-engine core: sparse|dense|auto
+ *                       (default auto; see docs/PERFORMANCE.md)
+ *   SPARSEAP_JOBS       threads for batch-level parallelism (default 1;
+ *                       0 means all hardware threads; clamped to the
+ *                       hardware thread count)
+ *   SPARSEAP_JSON       when set, benchmark binaries append their tables
+ *                       as machine-readable JSON to this file
  */
 
 #ifndef SPARSEAP_COMMON_OPTIONS_H
@@ -20,6 +27,16 @@
 #include <vector>
 
 namespace sparseap {
+
+/** Which stepping core the functional engine uses. */
+enum class EngineMode {
+    Sparse, ///< dynamic enabled-list core (latched/permanent opt)
+    Dense,  ///< bit-parallel word-vector core
+    Auto,   ///< sparse, switching to dense when the live set is dense
+};
+
+/** @return "sparse", "dense" or "auto". */
+const char *engineModeName(EngineMode mode);
 
 /** Parsed global options; read once per process via globalOptions(). */
 struct Options
@@ -34,6 +51,12 @@ struct Options
     std::vector<std::string> apps;
     /** Workload scale in percent; 100 reproduces paper-sized automata. */
     unsigned scalePercent = 100;
+    /** Functional-engine core selection. */
+    EngineMode engineMode = EngineMode::Auto;
+    /** Threads for batch-level parallelism (resolved; >= 1). */
+    unsigned jobs = 1;
+    /** If non-empty, benches append JSON results to this file. */
+    std::string jsonPath;
 };
 
 /** @return process-wide options parsed from the environment (cached). */

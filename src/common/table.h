@@ -32,6 +32,16 @@ class Table
 
     size_t rowCount() const { return rows.size(); }
 
+    /** Column names, for machine-readable serialization. */
+    const std::vector<std::string> &columns() const { return header; }
+
+    /** Row cells, for machine-readable serialization. */
+    const std::vector<std::vector<std::string>> &
+    rowData() const
+    {
+        return rows;
+    }
+
     /** Format a double with @p precision digits after the point. */
     static std::string fmt(double v, int precision = 2);
 

@@ -1,0 +1,145 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace sparseap {
+
+ThreadPool::ThreadPool(size_t worker_count)
+{
+    workers_.reserve(worker_count);
+    for (size_t i = 0; i < worker_count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        queue_.clear();
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_)
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool([] {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 1 ? static_cast<size_t>(hw - 1) : size_t{0};
+    }());
+    return pool;
+}
+
+namespace {
+
+/** Shared state of one parallelFor call. */
+struct ParallelRange
+{
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> finished{0};
+    size_t total = 0;
+    const std::function<void(size_t)> *fn = nullptr;
+
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+
+    /** Grab-and-run loop shared by the caller and the pool workers. */
+    void
+    pump()
+    {
+        for (;;) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                return;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+            if (finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                total) {
+                std::lock_guard<std::mutex> lock(mutex);
+                done_cv.notify_all();
+            }
+        }
+    }
+};
+
+} // namespace
+
+void
+parallelFor(size_t jobs, size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    auto range = std::make_shared<ParallelRange>();
+    range->total = n;
+    range->fn = &fn;
+
+    // The caller is one lane; add up to jobs-1 pool lanes (bounded by the
+    // range size: extra lanes would find the cursor exhausted anyway).
+    ThreadPool &pool = ThreadPool::global();
+    const size_t extra =
+        std::min({jobs - 1, n - 1, pool.workerCount()});
+    for (size_t i = 0; i < extra; ++i)
+        pool.submit([range] { range->pump(); });
+
+    range->pump();
+
+    // The caller ran out of indices, but pool lanes may still be running
+    // their last iteration; wait for every index to finish.
+    {
+        std::unique_lock<std::mutex> lock(range->mutex);
+        range->done_cv.wait(lock, [&] {
+            return range->finished.load(std::memory_order_acquire) ==
+                   range->total;
+        });
+        if (range->error)
+            std::rethrow_exception(range->error);
+    }
+}
+
+} // namespace sparseap

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A small fixed-size thread pool and a parallel-for helper for
+ * batch-level parallelism.
+ *
+ * AP batches are independent by construction — every batch re-consumes
+ * the whole input and cycle accounting is summed per batch — so the
+ * executors fan batches out over worker threads. There is no work
+ * stealing and no task dependency graph: callers submit an index range,
+ * workers grab indices from a shared atomic cursor, and the caller
+ * thread participates until the range drains. Results must be written to
+ * per-index slots so the merge order (and thus all output) is
+ * independent of the thread count.
+ */
+
+#ifndef SPARSEAP_COMMON_THREAD_POOL_H
+#define SPARSEAP_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sparseap {
+
+/** Fixed-size pool of worker threads consuming a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p worker_count workers (0 is legal: tasks never run). */
+    explicit ThreadPool(size_t worker_count);
+
+    /** Drains nothing: pending tasks are discarded, running ones joined. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Process-wide pool shared by all executors, sized to
+     * hardware_concurrency - 1 workers (the caller thread is the +1).
+     * Created on first use; cheap to call afterwards.
+     */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run @p fn(i) for every i in [0, n) using up to @p jobs threads (the
+ * caller plus jobs-1 pool workers). jobs <= 1 runs everything inline on
+ * the caller thread with no synchronization. Iteration order within a
+ * thread is increasing, but cross-thread interleaving is arbitrary —
+ * callers must write results into per-index slots and merge afterwards
+ * for deterministic output. The first exception thrown by any iteration
+ * is rethrown on the caller thread after the range drains.
+ */
+void parallelFor(size_t jobs, size_t n,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace sparseap
+
+#endif // SPARSEAP_COMMON_THREAD_POOL_H

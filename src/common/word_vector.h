@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cache-line-aligned 64-bit word vectors and set-bit iteration, the
+ * building blocks of the bit-parallel dense execution core.
+ *
+ * A word vector of ceil(N/64) words represents a set over [0, N): bit
+ * (w*64 + b) of word w is element w*64+b. The dense engine sweeps such
+ * vectors with word-wide AND/OR, so the storage is aligned to 64 bytes
+ * to keep each sweep on full cache lines.
+ */
+
+#ifndef SPARSEAP_COMMON_WORD_VECTOR_H
+#define SPARSEAP_COMMON_WORD_VECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <span>
+#include <vector>
+
+namespace sparseap {
+
+/** Minimal 64-byte-aligned allocator for word storage. */
+template <typename T> struct AlignedWordAllocator
+{
+    using value_type = T;
+    static constexpr std::align_val_t kAlign{64};
+
+    AlignedWordAllocator() = default;
+    template <typename U>
+    AlignedWordAllocator(const AlignedWordAllocator<U> &)
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        return static_cast<T *>(
+            ::operator new(n * sizeof(T), kAlign));
+    }
+
+    void
+    deallocate(T *p, size_t) noexcept
+    {
+        ::operator delete(p, kAlign);
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedWordAllocator<U> &) const
+    {
+        return true;
+    }
+};
+
+/** 64-byte-aligned vector of 64-bit words. */
+using WordVector = std::vector<uint64_t, AlignedWordAllocator<uint64_t>>;
+
+/** Number of 64-bit words needed to hold @p bits bits. */
+constexpr size_t
+wordsForBits(size_t bits)
+{
+    return (bits + 63) / 64;
+}
+
+/** Set bit @p i of @p words. */
+inline void
+setWordBit(uint64_t *words, size_t i)
+{
+    words[i >> 6] |= 1ull << (i & 63);
+}
+
+/** @return bit @p i of @p words. */
+inline bool
+testWordBit(const uint64_t *words, size_t i)
+{
+    return (words[i >> 6] >> (i & 63)) & 1;
+}
+
+/**
+ * Invoke @p fn(index) for every set bit of @p words, in increasing index
+ * order, using ctz to skip zero runs.
+ */
+template <typename Fn>
+inline void
+forEachSetBit(std::span<const uint64_t> words, Fn &&fn)
+{
+    for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t bits = words[w];
+        while (bits != 0) {
+            const unsigned b =
+                static_cast<unsigned>(__builtin_ctzll(bits));
+            fn(w * 64 + b);
+            bits &= bits - 1;
+        }
+    }
+}
+
+} // namespace sparseap
+
+#endif // SPARSEAP_COMMON_WORD_VECTOR_H

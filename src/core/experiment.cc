@@ -1,6 +1,8 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "common/logging.h"
@@ -8,6 +10,43 @@
 #include "workloads/inputs.h"
 
 namespace sparseap {
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
 
 const AppTopology &
 LoadedApp::topology() const
@@ -17,7 +56,10 @@ LoadedApp::topology() const
     return *topo_;
 }
 
-ExperimentRunner::ExperimentRunner() : opts_(globalOptions()) {}
+ExperimentRunner::ExperimentRunner()
+    : opts_(globalOptions()), start_(std::chrono::steady_clock::now())
+{
+}
 
 const LoadedApp &
 ExperimentRunner::load(const std::string &abbr)
@@ -73,6 +115,48 @@ ExperimentRunner::printTable(const Table &table) const
     else
         table.print(std::cout);
     std::cout.flush();
+    if (!opts_.jsonPath.empty())
+        appendJson(table);
+    ++tables_printed_;
+}
+
+void
+ExperimentRunner::appendJson(const Table &table) const
+{
+    std::ofstream out(opts_.jsonPath, std::ios::app);
+    if (!out) {
+        warn("SPARSEAP_JSON: cannot open '", opts_.jsonPath,
+             "' for append");
+        return;
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+
+    // One self-contained JSON object per line (JSON Lines), so a shell
+    // loop over bench binaries can share one trajectory file.
+    out << "{\"table_index\":" << tables_printed_
+        << ",\"engine_mode\":\"" << engineModeName(opts_.engineMode)
+        << "\",\"jobs\":" << opts_.jobs << ",\"seed\":" << opts_.seed
+        << ",\"input_bytes\":" << opts_.inputBytes
+        << ",\"scale_percent\":" << opts_.scalePercent
+        << ",\"wall_seconds\":" << wall << ",\"columns\":[";
+    const auto &cols = table.columns();
+    for (size_t c = 0; c < cols.size(); ++c) {
+        out << (c ? "," : "") << '"' << jsonEscape(cols[c]) << '"';
+    }
+    out << "],\"rows\":[";
+    const auto &rows = table.rowData();
+    for (size_t r = 0; r < rows.size(); ++r) {
+        out << (r ? ",{" : "{");
+        for (size_t c = 0; c < rows[r].size(); ++c) {
+            out << (c ? "," : "") << '"' << jsonEscape(cols[c])
+                << "\":\"" << jsonEscape(rows[r][c]) << '"';
+        }
+        out << '}';
+    }
+    out << "]}\n";
 }
 
 void

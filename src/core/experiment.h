@@ -11,6 +11,7 @@
 #ifndef SPARSEAP_CORE_EXPERIMENT_H
 #define SPARSEAP_CORE_EXPERIMENT_H
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,14 +69,23 @@ class ExperimentRunner
      */
     std::vector<std::string> selectApps(const std::string &groups) const;
 
-    /** Print @p table as ASCII or CSV per SPARSEAP_CSV. */
+    /**
+     * Print @p table as ASCII or CSV per SPARSEAP_CSV. When
+     * SPARSEAP_JSON=<path> is set, also append the table as one JSON
+     * line (columns, per-app rows, engine mode, jobs, wall time) to that
+     * file, so perf trajectories are machine-trackable across runs.
+     */
     void printTable(const Table &table) const;
 
     const Options &options() const { return opts_; }
 
   private:
+    void appendJson(const Table &table) const;
+
     Options opts_;
     std::map<std::string, LoadedApp> cache_;
+    std::chrono::steady_clock::time_point start_;
+    mutable size_t tables_printed_ = 0;
 };
 
 /** Print a "### <title>" section header for bench output. */

@@ -1,0 +1,84 @@
+#include "sim/dense_core.h"
+
+#include <algorithm>
+
+namespace sparseap {
+
+DenseCore::DenseCore(const FlatAutomaton &fa)
+    : fa_(fa), dv_(fa.denseView()), words_(dv_.words),
+      enabled_(words_, 0), active_(words_, 0), next_(words_, 0)
+{
+}
+
+void
+DenseCore::reset(bool install_starts)
+{
+    std::fill(enabled_.begin(), enabled_.end(), 0);
+    if (!install_starts)
+        return;
+    for (size_t w = 0; w < words_; ++w)
+        enabled_[w] = dv_.allInputStarts[w] | dv_.sodStarts[w];
+}
+
+void
+DenseCore::seed(std::span<const GlobalStateId> states)
+{
+    for (GlobalStateId s : states)
+        setWordBit(enabled_.data(), s);
+}
+
+bool
+DenseCore::idle() const
+{
+    for (uint64_t w : enabled_)
+        if (w != 0)
+            return false;
+    return true;
+}
+
+void
+DenseCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
+{
+    const uint64_t *accept = dv_.acceptRow(symbol);
+    for (size_t w = 0; w < words_; ++w)
+        active_[w] = enabled_[w] & accept[w];
+
+    if (reports) {
+        for (size_t w = 0; w < words_; ++w) {
+            uint64_t hits = active_[w] & dv_.reporting[w];
+            while (hits != 0) {
+                const unsigned b =
+                    static_cast<unsigned>(__builtin_ctzll(hits));
+                reports->push_back(
+                    {position, static_cast<GlobalStateId>(w * 64 + b)});
+                hits &= hits - 1;
+            }
+        }
+    }
+
+    // Successor propagation: iterate set bits of the active vector and
+    // OR their word-grouped successor masks into the next-enabled
+    // vector.
+    std::fill(next_.begin(), next_.end(), 0);
+    const uint32_t *begin = dv_.succBegin.data();
+    const uint32_t *idx = dv_.succWordIdx.data();
+    const uint64_t *mask = dv_.succWordMask.data();
+    for (size_t w = 0; w < words_; ++w) {
+        uint64_t bits = active_[w];
+        while (bits != 0) {
+            const unsigned b =
+                static_cast<unsigned>(__builtin_ctzll(bits));
+            const auto s = static_cast<GlobalStateId>(w * 64 + b);
+            for (uint32_t k = begin[s]; k < begin[s + 1]; ++k)
+                next_[idx[k]] |= mask[k];
+            bits &= bits - 1;
+        }
+    }
+    // Always-enabled starts are enabled on every cycle by definition.
+    for (size_t w = 0; w < words_; ++w)
+        next_[w] |= dv_.allInputStarts[w];
+
+    enabled_.swap(next_);
+}
+
+} // namespace sparseap

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bit-parallel dense stepping core.
+ *
+ * Where ExecCore walks a dynamic enabled list and probes one 256-bit
+ * symbol set per live state per cycle, this core keeps the enabled set
+ * as a ⌈N/64⌉-word bit vector and consumes one symbol with three word
+ * sweeps:
+ *
+ *   active  = enabled & acceptRow(symbol)        (who matches this byte)
+ *   reports = active & reportingMask             (emit set bits)
+ *   next    = OR of successor rows of active     (ctz over set bits,
+ *             CSR word-at-a-time)  |  always-enabled starts
+ *
+ * Cost per cycle is O(N/64 + matches) independent of how many states are
+ * live, so it wins exactly where the sparse core loses: dense live sets
+ * (Hamming / Levenshtein grids, Fermi). It implements the *plain* AP
+ * semantics with no latched/permanent machinery — a universal self-loop
+ * state simply re-enables itself through its own transition every cycle,
+ * which costs nothing extra here. Both cores are property-tested to emit
+ * identical report multisets.
+ */
+
+#ifndef SPARSEAP_SIM_DENSE_CORE_H
+#define SPARSEAP_SIM_DENSE_CORE_H
+
+#include <cstdint>
+#include <span>
+
+#include "common/word_vector.h"
+#include "sim/flat_automaton.h"
+#include "sim/report.h"
+
+namespace sparseap {
+
+/** Reusable bit-parallel stepping core bound to one FlatAutomaton. */
+class DenseCore
+{
+  public:
+    explicit DenseCore(const FlatAutomaton &fa);
+
+    /**
+     * Prepare for a run. When @p install_starts, start-of-data and
+     * always-enabled starts are enabled for the first cycle; otherwise
+     * the core starts empty (SpAP-style external driving via seed()).
+     */
+    void reset(bool install_starts);
+
+    /**
+     * Enable @p states for the next step() call — used to hand over an
+     * in-flight run from the sparse core (see Engine's auto mode).
+     * Permanently-enabled sparse states need no special treatment: once
+     * seeded, a universal self-loop state keeps itself enabled through
+     * its own transitions.
+     */
+    void seed(std::span<const GlobalStateId> states);
+
+    /** Consume one input symbol (see file comment for the sweep). */
+    void step(uint8_t symbol, uint32_t position, ReportList *reports);
+
+    /** True iff no state is enabled for the next step. */
+    bool idle() const;
+
+  private:
+    const FlatAutomaton &fa_;
+    const FlatAutomaton::DenseView &dv_;
+    size_t words_;
+
+    WordVector enabled_; ///< enabled for the upcoming step
+    WordVector active_;  ///< scratch: activated this step
+    WordVector next_;    ///< scratch: enabled for the following step
+};
+
+} // namespace sparseap
+
+#endif // SPARSEAP_SIM_DENSE_CORE_H

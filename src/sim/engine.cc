@@ -1,13 +1,19 @@
 #include "sim/engine.h"
 
 #include "common/logging.h"
+#include "sim/dense_core.h"
 #include "sim/exec_core.h"
 #include "sim/profiler.h"
 
 namespace sparseap {
 
 Engine::Engine(const FlatAutomaton &fa)
-    : fa_(fa), core_(std::make_unique<ExecCore>(fa))
+    : Engine(fa, globalOptions().engineMode)
+{
+}
+
+Engine::Engine(const FlatAutomaton &fa, EngineMode mode)
+    : fa_(fa), mode_(mode), core_(std::make_unique<ExecCore>(fa))
 {
 }
 
@@ -18,13 +24,63 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
 {
     SimResult result;
     result.cycles = input.size();
+    const size_t n = input.size();
 
     if (profiler)
         profiler->markStarts(fa_);
 
+    // Profiling needs the per-state enable hooks only the sparse core
+    // has; profile prefixes are short, so this costs nothing measurable.
+    const EngineMode mode =
+        profiler != nullptr ? EngineMode::Sparse : mode_;
+
+    if (mode == EngineMode::Dense) {
+        if (!dense_)
+            dense_ = std::make_unique<DenseCore>(fa_);
+        dense_->reset(/*install_starts=*/true);
+        for (size_t i = 0; i < n; ++i) {
+            dense_->step(input[i], static_cast<uint32_t>(i),
+                         &result.reports);
+        }
+        result.usedDenseCore = true;
+        return result;
+    }
+
     core_->reset(ExecCore::distinctBytes(input), profiler,
                  /*install_starts=*/true);
-    for (size_t i = 0; i < input.size(); ++i) {
+
+    size_t i = 0;
+    if (mode == EngineMode::Auto && fa_.size() >= kMinDenseStates &&
+        n > kProbeCycles) {
+        // Probe: run the sparse core for a prefix while accumulating the
+        // per-cycle work it actually pays.
+        uint64_t work_acc = 0;
+        for (; i < kProbeCycles; ++i) {
+            core_->step(input[i], static_cast<uint32_t>(i),
+                        &result.reports);
+            work_acc += core_->lastStepWork();
+        }
+        const uint64_t threshold =
+            static_cast<uint64_t>(kProbeCycles) * kDenseWorkPerWord *
+            wordsForBits(fa_.size());
+        if (work_acc >= threshold) {
+            // Dense from here on: hand the in-flight enabled set over.
+            std::vector<GlobalStateId> live;
+            core_->snapshotEnabled(&live);
+            if (!dense_)
+                dense_ = std::make_unique<DenseCore>(fa_);
+            dense_->reset(/*install_starts=*/false);
+            dense_->seed(live);
+            for (; i < n; ++i) {
+                dense_->step(input[i], static_cast<uint32_t>(i),
+                             &result.reports);
+            }
+            result.usedDenseCore = true;
+            return result;
+        }
+    }
+
+    for (; i < n; ++i) {
         core_->step(input[i], static_cast<uint32_t>(i), &result.reports);
     }
     return result;

@@ -5,10 +5,22 @@
  * Executes an automaton over a byte stream with the AP semantics: each
  * cycle, every enabled state whose symbol-set contains the input byte
  * *activates*; activation of a reporting state emits a report; successors
- * of activated states are *enabled* for the next cycle. Always-enabled
- * start states are dispatched through a 256-entry table instead of living
- * in the dynamic enabled set, so per-cycle cost is proportional to the
- * number of matching states, not the number of NFAs.
+ * of activated states are *enabled* for the next cycle.
+ *
+ * Two interchangeable stepping cores implement these semantics (property
+ * tests prove they emit identical report multisets):
+ *
+ *  - **sparse** (ExecCore): dynamic enabled list with the latched/
+ *    permanent optimization — cost proportional to the live set. Wins
+ *    when few states are live (Snort, ClamAV, Dotstar).
+ *  - **dense** (DenseCore): bit-parallel word vectors — cost O(N/64)
+ *    per cycle regardless of live-set size. Wins when the live set is a
+ *    sizable fraction of the automaton (Hamming / Levenshtein grids).
+ *
+ * The default *auto* mode probes the live-set density over the first
+ * cycles on the sparse core and hands the in-flight run over to the
+ * dense core when the automaton runs dense (see docs/PERFORMANCE.md);
+ * SPARSEAP_ENGINE=sparse|dense|auto overrides.
  */
 
 #ifndef SPARSEAP_SIM_ENGINE_H
@@ -19,11 +31,13 @@
 #include <span>
 #include <vector>
 
+#include "common/options.h"
 #include "sim/flat_automaton.h"
 #include "sim/report.h"
 
 namespace sparseap {
 
+class DenseCore;
 class ExecCore;
 class HotStateProfiler;
 
@@ -34,6 +48,8 @@ struct SimResult
     ReportList reports;
     /** Symbols consumed (== input length for a plain run). */
     uint64_t cycles = 0;
+    /** True when (part of) the run executed on the dense core. */
+    bool usedDenseCore = false;
 };
 
 /**
@@ -43,22 +59,45 @@ struct SimResult
 class Engine
 {
   public:
+    /** Core selection from globalOptions().engineMode. */
     explicit Engine(const FlatAutomaton &fa);
+
+    /** Core selection pinned to @p mode. */
+    Engine(const FlatAutomaton &fa, EngineMode mode);
+
     ~Engine();
 
     /**
      * Run the whole input.
      * @param input the symbol stream
-     * @param profiler optional hot-state recorder
+     * @param profiler optional hot-state recorder; profiling runs always
+     *        use the sparse core, whose enable hooks feed the profiler
      */
     SimResult run(std::span<const uint8_t> input,
                   HotStateProfiler *profiler = nullptr);
 
     const FlatAutomaton &automaton() const { return fa_; }
 
+    EngineMode mode() const { return mode_; }
+
+    /** Auto-mode heuristic constants (documented in PERFORMANCE.md). */
+    /** Cycles sampled on the sparse core before deciding. */
+    static constexpr size_t kProbeCycles = 128;
+    /**
+     * Hand over when the sparse core's measured per-cycle work (dynamic
+     * enabled states + dispatch-table matches) exceeds this many units
+     * per 64-state word — the point where the dense core's fixed sweep
+     * is cheaper than the sparse core's pointer chasing.
+     */
+    static constexpr size_t kDenseWorkPerWord = 2;
+    /** Never hand over below this size: one word sweep covers it. */
+    static constexpr size_t kMinDenseStates = 256;
+
   private:
     const FlatAutomaton &fa_;
+    EngineMode mode_;
     std::unique_ptr<ExecCore> core_;
+    std::unique_ptr<DenseCore> dense_; ///< created on first dense use
 };
 
 } // namespace sparseap

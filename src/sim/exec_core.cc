@@ -1,13 +1,23 @@
 #include "sim/exec_core.h"
 
 #include "common/logging.h"
+#include "common/word_vector.h"
 #include "sim/profiler.h"
 
 namespace sparseap {
 
 ExecCore::ExecCore(const FlatAutomaton &fa)
-    : fa_(fa), status_(fa.size(), Status::Normal), mark_(fa.size(), 0)
+    : fa_(fa), self_loop_(fa.size(), 0), status_(fa.size(), Status::Normal),
+      mark_(fa.size(), 0)
 {
+    for (GlobalStateId s = 0; s < fa.size(); ++s) {
+        for (GlobalStateId t : fa.successors(s)) {
+            if (t == s) {
+                self_loop_[s] = 1;
+                break;
+            }
+        }
+    }
 }
 
 Bitset256
@@ -25,16 +35,6 @@ ExecCore::universal(GlobalStateId s) const
     // symbols(s) covers every byte of the stream: alphabet & ~symbols
     // must be empty.
     return (input_alphabet_ & ~fa_.symbols(s)).empty();
-}
-
-bool
-ExecCore::hasSelfLoop(GlobalStateId s) const
-{
-    for (GlobalStateId t : fa_.successors(s)) {
-        if (t == s)
-            return true;
-    }
-    return false;
 }
 
 void
@@ -87,12 +87,22 @@ ExecCore::makePermanent(GlobalStateId s)
         latched_pending_.push_back(s);
     } else {
         status_[s] = Status::Permanent;
-        for (unsigned b = 0; b < 256; ++b) {
-            if (input_alphabet_.test(static_cast<uint8_t>(b)) &&
-                fa_.symbols(s).test(static_cast<uint8_t>(b))) {
-                perm_table_[b].push_back(s);
-            }
-        }
+        const Bitset256 accepted = input_alphabet_ & fa_.symbols(s);
+        forEachSetBit(std::span<const uint64_t>(accepted.words),
+                      [&](size_t b) { perm_table_[b].push_back(s); });
+    }
+}
+
+void
+ExecCore::snapshotEnabled(std::vector<GlobalStateId> *out) const
+{
+    for (GlobalStateId s : enabled_) {
+        if (status_[s] == Status::Normal && mark_[s] == epoch_)
+            out->push_back(s);
+    }
+    for (GlobalStateId s = 0; s < status_.size(); ++s) {
+        if (status_[s] != Status::Normal)
+            out->push_back(s);
     }
 }
 
@@ -181,6 +191,7 @@ ExecCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
     }
 
     next_enabled_.clear();
+    last_step_work_ = perm_table_[symbol].size() + enabled_.size();
 
     for (GlobalStateId s : perm_table_[symbol])
         activate(s, position, reports);

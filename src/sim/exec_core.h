@@ -80,6 +80,24 @@ class ExecCore
     /** Compute the set of distinct bytes in @p input. */
     static Bitset256 distinctBytes(std::span<const uint8_t> input);
 
+    /**
+     * Work this core paid for the most recent step(): states dispatched
+     * from the permanent symbol table plus dynamic enabled states
+     * walked. Latched states cost nothing per cycle and are excluded —
+     * this is the honest sparse-cost measure the engine's density
+     * heuristic weighs against the dense core's fixed word-sweep cost.
+     */
+    size_t lastStepWork() const { return last_step_work_; }
+
+    /**
+     * Append every state enabled for the upcoming step to @p out:
+     * the dynamic enabled set plus all permanently-enabled (latched or
+     * dispatched) states. Together with the plain AP semantics this is
+     * the complete execution state, so the dense core can take over an
+     * in-flight run from this snapshot.
+     */
+    void snapshotEnabled(std::vector<GlobalStateId> *out) const;
+
   private:
     enum class Status : uint8_t {
         Normal,    ///< ordinary dynamic state
@@ -92,13 +110,23 @@ class ExecCore
     void enableForNext(GlobalStateId t);
     void makePermanent(GlobalStateId s);
     bool universal(GlobalStateId s) const;
-    bool hasSelfLoop(GlobalStateId s) const;
+
+    bool
+    hasSelfLoop(GlobalStateId s) const
+    {
+        return self_loop_[s] != 0;
+    }
+
     void expandLatched(uint32_t position);
     void flushPending();
 
     const FlatAutomaton &fa_;
     Bitset256 input_alphabet_;
     HotStateProfiler *profiler_ = nullptr;
+
+    /** Per-state self-loop flag, precomputed so enableForNext of a
+     *  universal state doesn't re-scan its CSR successor list. */
+    std::vector<uint8_t> self_loop_;
 
     std::vector<Status> status_;
     std::vector<uint32_t> mark_;
@@ -117,6 +145,8 @@ class ExecCore
 
     /** States scheduled to become permanent after the current step. */
     std::vector<GlobalStateId> pending_permanent_;
+
+    size_t last_step_work_ = 0;
 };
 
 } // namespace sparseap

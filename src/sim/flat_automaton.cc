@@ -1,5 +1,7 @@
 #include "sim/flat_automaton.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace sparseap {
@@ -43,6 +45,60 @@ FlatAutomaton::FlatAutomaton(const Application &app)
         }
     }
     succ_begin_.push_back(static_cast<uint32_t>(succ_.size()));
+}
+
+const FlatAutomaton::DenseView &
+FlatAutomaton::denseView() const
+{
+    std::call_once(dense_once_, [this] {
+        auto dv = std::make_unique<DenseView>();
+        const size_t n = size();
+        dv->words = wordsForBits(n);
+        dv->accept.assign(256 * dv->words, 0);
+        dv->reporting.assign(dv->words, 0);
+        dv->allInputStarts.assign(dv->words, 0);
+        dv->sodStarts.assign(dv->words, 0);
+
+        for (GlobalStateId s = 0; s < n; ++s) {
+            // Transpose the 256-bit symbol set: for every accepted byte
+            // b, set bit s of accept row b. Iterate set bits of the four
+            // symbol-set words instead of probing all 256 symbols.
+            const Bitset256 &sym = symbols_[s];
+            forEachSetBit(std::span<const uint64_t>(sym.words), [&](size_t b) {
+                setWordBit(dv->accept.data() + b * dv->words, s);
+            });
+            if (reporting_[s])
+                setWordBit(dv->reporting.data(), s);
+        }
+        for (GlobalStateId s : all_input_starts_)
+            setWordBit(dv->allInputStarts.data(), s);
+        for (GlobalStateId s : sod_starts_)
+            setWordBit(dv->sodStarts.data(), s);
+
+        // Word-level successor CSR. Successor lists are built in NFA
+        // state order, which is nondecreasing in target word per state
+        // often enough that grouping is a single linear merge.
+        dv->succBegin.reserve(n + 1);
+        dv->succBegin.push_back(0);
+        std::vector<GlobalStateId> sorted;
+        for (GlobalStateId s = 0; s < n; ++s) {
+            const auto succ = successors(s);
+            sorted.assign(succ.begin(), succ.end());
+            std::sort(sorted.begin(), sorted.end());
+            for (size_t k = 0; k < sorted.size();) {
+                const uint32_t word = sorted[k] >> 6;
+                uint64_t mask = 0;
+                for (; k < sorted.size() && (sorted[k] >> 6) == word; ++k)
+                    mask |= 1ull << (sorted[k] & 63);
+                dv->succWordIdx.push_back(word);
+                dv->succWordMask.push_back(mask);
+            }
+            dv->succBegin.push_back(
+                static_cast<uint32_t>(dv->succWordIdx.size()));
+        }
+        dense_ = std::move(dv);
+    });
+    return *dense_;
 }
 
 } // namespace sparseap

@@ -13,9 +13,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/word_vector.h"
 #include "nfa/application.h"
 
 namespace sparseap {
@@ -64,6 +67,47 @@ class FlatAutomaton
         return all_input_starts_;
     }
 
+    /**
+     * Column-major bit-parallel view for the dense execution core. Where
+     * the row-major symbols() array answers "which bytes does state s
+     * accept", the accept table answers "which states accept byte b" as
+     * one ⌈N/64⌉-word row per symbol — the word-AND analogue of the AP
+     * row decoder driving all matching STE columns at once.
+     */
+    struct DenseView
+    {
+        /** Words per state-set row: ceil(size() / 64). */
+        size_t words = 0;
+        /** 256 rows x words: bit s of row b set iff s accepts byte b. */
+        WordVector accept;
+        /** Reporting states, one row. */
+        WordVector reporting;
+        /** Always-enabled (all-input) start states, one row. */
+        WordVector allInputStarts;
+        /** Start-of-data start states, one row. */
+        WordVector sodStarts;
+
+        /**
+         * Word-level successor CSR: state s's successors, grouped by
+         * target word, as (word index, bit mask) pairs in
+         * [succBegin[s], succBegin[s+1]). Propagation ORs whole masks
+         * instead of setting successor bits one at a time — grid
+         * automata put most successors in one or two words.
+         */
+        std::vector<uint32_t> succBegin; ///< size()+1 entries
+        std::vector<uint32_t> succWordIdx;
+        WordVector succWordMask;
+
+        const uint64_t *
+        acceptRow(uint8_t symbol) const
+        {
+            return accept.data() + static_cast<size_t>(symbol) * words;
+        }
+    };
+
+    /** Dense view, built on first use (thread-safe, then immutable). */
+    const DenseView &denseView() const;
+
   private:
     std::vector<SymbolSet> symbols_;
     std::vector<uint8_t> reporting_; // bool, stored flat for cache locality
@@ -73,6 +117,9 @@ class FlatAutomaton
     std::array<std::vector<GlobalStateId>, 256> start_table_;
     std::vector<GlobalStateId> sod_starts_;
     std::vector<GlobalStateId> all_input_starts_;
+
+    mutable std::once_flag dense_once_;
+    mutable std::unique_ptr<DenseView> dense_;
 };
 
 } // namespace sparseap

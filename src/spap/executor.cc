@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace sparseap {
+
+unsigned
+ExecutionOptions::resolvedJobs() const
+{
+    const unsigned j = jobs == 0 ? globalOptions().jobs : jobs;
+    return j == 0 ? 1 : j;
+}
 
 BaselineResult
 runBaseline(const Application &app, const ApConfig &config,
@@ -152,13 +160,34 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
             nfa_has_event[part.cold.resolve(cold_id).nfa] = true;
         }
 
-        for (const auto &batch : batches) {
+        std::vector<size_t> active_batches;
+        for (size_t bi = 0; bi < batches.size(); ++bi) {
             bool active = false;
-            for (uint32_t ci : batch)
+            for (uint32_t ci : batches[bi])
                 active = active || nfa_has_event[ci];
-            if (!active)
-                continue;
-            ++stats.spApBatches;
+            if (active)
+                active_batches.push_back(bi);
+        }
+        stats.spApBatches = active_batches.size();
+
+        // Batches are independent — each replays the whole input against
+        // its own cold fragment — so they fan out over the thread pool.
+        // Per-batch results land in per-index slots and are merged below
+        // in batch order, keeping all output (reports, summed cycle
+        // stats) bit-identical at any thread count.
+        struct BatchOutcome
+        {
+            uint64_t totalCycles = 0;
+            uint64_t consumedCycles = 0;
+            uint64_t enableStalls = 0;
+            ReportList reports; ///< translated to original global ids
+        };
+        std::vector<BatchOutcome> outcomes(active_batches.size());
+
+        parallelFor(opts.resolvedJobs(), active_batches.size(),
+                    [&](size_t k) {
+            const std::vector<uint32_t> &batch =
+                batches[active_batches[k]];
             // Build the batch application and its id maps.
             Application batch_app;
             std::vector<GlobalStateId> batch_to_cold;
@@ -192,16 +221,26 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
 
             const FlatAutomaton batch_fa(batch_app);
             const SpapResult r = runSpapMode(batch_fa, test, batch_events);
-            stats.spApCycles += r.totalCycles();
-            stats.spApConsumedCycles += r.consumedCycles;
-            stats.enableStalls += r.enableStalls;
+            BatchOutcome &out = outcomes[k];
+            out.totalCycles = r.totalCycles();
+            out.consumedCycles = r.consumedCycles;
+            out.enableStalls = r.enableStalls;
             if (collect_reports) {
+                out.reports.reserve(r.reports.size());
                 for (const Report &rep : r.reports) {
-                    final_reports.push_back(
+                    out.reports.push_back(
                         {rep.position,
                          part.coldToOriginal[batch_to_cold[rep.state]]});
                 }
             }
+        });
+
+        for (const BatchOutcome &out : outcomes) {
+            stats.spApCycles += out.totalCycles;
+            stats.spApConsumedCycles += out.consumedCycles;
+            stats.enableStalls += out.enableStalls;
+            final_reports.insert(final_reports.end(),
+                                 out.reports.begin(), out.reports.end());
         }
 
         if (stats.spApBatches > 0 && test.size() > 0) {

@@ -52,6 +52,16 @@ struct ExecutionOptions
      * the test stream is the remainder after the profiling prefix.
      */
     bool fullInputAsTest = false;
+    /**
+     * Threads for batch-level parallelism (SpAP cold batches are
+     * independent: each replays the whole input and is merged in batch
+     * order, so results are identical at any thread count). 0 means use
+     * the SPARSEAP_JOBS global; 1 disables parallelism.
+     */
+    unsigned jobs = 0;
+
+    /** @return the thread count this option set resolves to (>= 1). */
+    unsigned resolvedJobs() const;
 };
 
 /** Result of the plain baseline AP execution. */

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Property tests pitting the bit-parallel dense core against the sparse
+ * core (and the naive oracle): both engine cores must emit identical
+ * (position, state) report multisets on random automata and on every
+ * registered workload, and the auto heuristic's mid-run handover must be
+ * invisible in the output.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "regex/glushkov.h"
+#include "sim/engine.h"
+#include "support/naive_sim.h"
+#include "support/random_nfa.h"
+#include "workloads/registry.h"
+
+namespace sparseap {
+namespace {
+
+ReportList
+sortedReports(Engine &engine, std::span<const uint8_t> input)
+{
+    ReportList r = engine.run(input).reports;
+    std::sort(r.begin(), r.end());
+    return r;
+}
+
+/** Dense == sparse == naive oracle on random automata. */
+TEST(DenseCore, PropertyMatchesSparseAndNaiveOnRandomAutomata)
+{
+    Rng rng(427);
+    for (int trial = 0; trial < 60; ++trial) {
+        testing::RandomNfaParams params;
+        params.backEdgeProb = 0.3;
+        params.reportProb = 0.3;
+        params.sodProb = trial % 3 == 0 ? 0.5 : 0.0;
+        params.universalProb = trial % 2 == 0 ? 0.3 : 0.12;
+        Application app = testing::randomApplication(
+            rng, 1 + rng.index(5), params);
+        std::vector<uint8_t> input =
+            testing::randomInput(rng, 250, params.alphabetSize);
+
+        FlatAutomaton fa(app);
+        Engine sparse(fa, EngineMode::Sparse);
+        Engine dense(fa, EngineMode::Dense);
+        const ReportList want_sparse = sortedReports(sparse, input);
+        const ReportList got_dense = sortedReports(dense, input);
+        EXPECT_EQ(got_dense, want_sparse) << "trial " << trial;
+        EXPECT_EQ(got_dense, testing::naiveSimulate(app, input))
+            << "trial " << trial;
+    }
+}
+
+/** Auto mode (with possible mid-run handover) == sparse. */
+TEST(DenseCore, PropertyAutoModeMatchesSparse)
+{
+    Rng rng(428);
+    for (int trial = 0; trial < 20; ++trial) {
+        testing::RandomNfaParams params;
+        params.backEdgeProb = 0.3;
+        params.reportProb = 0.3;
+        params.universalProb = 0.3; // keep the live set dense
+        params.extraStartProb = 0.5;
+        // Enough NFAs to clear the auto heuristic's minimum size.
+        Application app = testing::randomApplication(rng, 30, params);
+        ASSERT_GE(app.totalStates(), Engine::kMinDenseStates);
+        std::vector<uint8_t> input =
+            testing::randomInput(rng, 400, params.alphabetSize);
+
+        FlatAutomaton fa(app);
+        Engine sparse(fa, EngineMode::Sparse);
+        Engine aut(fa, EngineMode::Auto);
+        EXPECT_EQ(sortedReports(aut, input), sortedReports(sparse, input))
+            << "trial " << trial;
+    }
+}
+
+/** The heuristic actually fires on a clearly dense automaton. */
+TEST(DenseCore, AutoHandsOverOnDenseLiveSet)
+{
+    // Hundreds of always-enabled starts: the live set is half the
+    // automaton from cycle 0, far above the handover threshold.
+    Application app("dense", "D");
+    for (int i = 0; i < 300; ++i)
+        app.addNfa(compileRegex("ab", "p" + std::to_string(i)));
+    FlatAutomaton fa(app);
+    ASSERT_GE(fa.size(), Engine::kMinDenseStates);
+
+    std::vector<uint8_t> input(1000, 'a');
+    for (size_t i = 1; i < input.size(); i += 2)
+        input[i] = 'b';
+
+    Engine aut(fa, EngineMode::Auto);
+    SimResult auto_run = aut.run(input);
+    EXPECT_TRUE(auto_run.usedDenseCore);
+
+    Engine sparse(fa, EngineMode::Sparse);
+    SimResult sparse_run = sparse.run(input);
+    EXPECT_FALSE(sparse_run.usedDenseCore);
+
+    std::sort(auto_run.reports.begin(), auto_run.reports.end());
+    std::sort(sparse_run.reports.begin(), sparse_run.reports.end());
+    EXPECT_EQ(auto_run.reports, sparse_run.reports);
+}
+
+/** ...and stays sparse on a clearly sparse automaton. */
+TEST(DenseCore, AutoStaysSparseOnSparseLiveSet)
+{
+    Application app("sparse", "S");
+    for (int i = 0; i < 300; ++i) {
+        app.addNfa(compileRegex("q" + std::to_string(i % 10) + "xyzw",
+                                "p" + std::to_string(i)));
+    }
+    FlatAutomaton fa(app);
+    std::vector<uint8_t> input(1000, 'z'); // nothing past the starts
+    Engine aut(fa, EngineMode::Auto);
+    EXPECT_FALSE(aut.run(input).usedDenseCore);
+}
+
+/** Dense == sparse on every registered workload (small scale/input). */
+TEST(DenseCore, PropertyMatchesSparseOnAllRegisteredWorkloads)
+{
+    Rng input_rng(20180620);
+    for (const auto &entry : appCatalog()) {
+        // 5% scale keeps generation fast while covering every generator.
+        Workload w = generateWorkload(entry.abbr, 7, 5);
+        size_t bytes = 1536;
+        if (w.inputBytesCap > 0)
+            bytes = std::min(bytes, w.inputBytesCap);
+        const std::vector<uint8_t> input =
+            synthesizeInput(w.input, bytes, input_rng);
+
+        FlatAutomaton fa(w.app);
+        Engine sparse(fa, EngineMode::Sparse);
+        Engine dense(fa, EngineMode::Dense);
+        Engine aut(fa, EngineMode::Auto);
+        const ReportList want = sortedReports(sparse, input);
+        EXPECT_EQ(sortedReports(dense, input), want) << entry.abbr;
+        EXPECT_EQ(sortedReports(aut, input), want) << entry.abbr;
+    }
+}
+
+/** Dense handles empty input and empty automata without tripping. */
+TEST(DenseCore, EdgeCases)
+{
+    Application app("a", "A");
+    app.addNfa(compileRegex("ab", "p"));
+    FlatAutomaton fa(app);
+    Engine dense(fa, EngineMode::Dense);
+    EXPECT_TRUE(dense.run({}).reports.empty());
+
+    const std::string s = "abxab";
+    const std::span<const uint8_t> input(
+        reinterpret_cast<const uint8_t *>(s.data()), s.size());
+    EXPECT_EQ(dense.run(input).reports.size(), 2u);
+    // Reusable across runs, like the sparse engine.
+    EXPECT_EQ(dense.run(input).reports.size(), 2u);
+}
+
+} // namespace
+} // namespace sparseap

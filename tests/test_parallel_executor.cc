@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Executor-under-parallelism tests: running the BaseAP/SpAP pipeline
+ * with 1 and 4 jobs must produce byte-identical report streams and
+ * identical Table-IV statistics — the merge is deterministic by batch
+ * order, so the thread count is invisible in all output. This is also
+ * the test the TSan build (-DSPARSEAP_SANITIZE=thread) exercises for
+ * data races.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "spap/executor.h"
+#include "workloads/inputs.h"
+#include "workloads/registry.h"
+
+namespace sparseap {
+namespace {
+
+/** All Table-IV fields of two runs must match exactly. */
+void
+expectIdenticalStats(const SpapRunStats &a, const SpapRunStats &b,
+                     const std::string &label)
+{
+    EXPECT_EQ(a.baselineBatches, b.baselineBatches) << label;
+    EXPECT_EQ(a.baseApBatches, b.baseApBatches) << label;
+    EXPECT_EQ(a.spApBatches, b.spApBatches) << label;
+    EXPECT_EQ(a.spApConfiguredBatches, b.spApConfiguredBatches) << label;
+    EXPECT_EQ(a.testLength, b.testLength) << label;
+    EXPECT_EQ(a.baselineCycles, b.baselineCycles) << label;
+    EXPECT_EQ(a.baseApCycles, b.baseApCycles) << label;
+    EXPECT_EQ(a.spApCycles, b.spApCycles) << label;
+    EXPECT_EQ(a.spApConsumedCycles, b.spApConsumedCycles) << label;
+    EXPECT_EQ(a.enableStalls, b.enableStalls) << label;
+    EXPECT_EQ(a.totalStates, b.totalStates) << label;
+    EXPECT_EQ(a.baseApStates, b.baseApStates) << label;
+    EXPECT_EQ(a.intermediateStates, b.intermediateStates) << label;
+    EXPECT_EQ(a.intermediateReports, b.intermediateReports) << label;
+    EXPECT_DOUBLE_EQ(a.resourceSavings, b.resourceSavings) << label;
+    EXPECT_DOUBLE_EQ(a.jumpRatio, b.jumpRatio) << label;
+    EXPECT_DOUBLE_EQ(a.speedup, b.speedup) << label;
+    // Byte-identical report streams, not just equal multisets.
+    ASSERT_EQ(a.reports.size(), b.reports.size()) << label;
+    for (size_t i = 0; i < a.reports.size(); ++i) {
+        ASSERT_EQ(a.reports[i], b.reports[i])
+            << label << " report " << i;
+    }
+}
+
+TEST(ParallelExecutor, JobsCountInvisibleOnRegisteredApps)
+{
+    // Three H/M apps with distinct structure (ClamAV chains, Snort
+    // regexes, PowerEN rules), generated at test scale.
+    const char *apps[] = {"CAV", "Snort", "PEN"};
+    size_t spap_batches_total = 0;
+
+    for (const char *abbr : apps) {
+        Workload w = generateWorkload(abbr, 11, 5);
+        Rng rng(991);
+        const std::vector<uint8_t> input =
+            synthesizeInput(w.input, 8192, rng);
+        AppTopology topo(w.app);
+
+        ExecutionOptions opts;
+        // Small capacity relative to the scaled app so the cold set
+        // spans several SpAP batches — the code path being parallelized.
+        opts.ap.capacity = std::max<size_t>(w.app.totalStates() / 6, 64);
+        opts.profileFraction = 0.001;
+        opts.fullInputAsTest = w.fullInputAsTest;
+
+        const PreparedPartition prep =
+            preparePartition(topo, opts, input);
+
+        opts.jobs = 1;
+        const SpapRunStats serial =
+            runBaseApSpap(topo, opts, prep, /*collect_reports=*/true);
+        opts.jobs = 4;
+        const SpapRunStats parallel =
+            runBaseApSpap(topo, opts, prep, /*collect_reports=*/true);
+
+        expectIdenticalStats(serial, parallel, abbr);
+        spap_batches_total += serial.spApBatches;
+    }
+    // The comparison is only meaningful if SpAP mode actually ran.
+    EXPECT_GT(spap_batches_total, 0u);
+}
+
+TEST(ParallelExecutor, RepeatedParallelRunsAreStable)
+{
+    Workload w = generateWorkload("Brill", 3, 5);
+    Rng rng(17);
+    const std::vector<uint8_t> input = synthesizeInput(w.input, 4096, rng);
+    AppTopology topo(w.app);
+
+    ExecutionOptions opts;
+    opts.ap.capacity = std::max<size_t>(w.app.totalStates() / 5, 64);
+    opts.profileFraction = 0.001;
+    const PreparedPartition prep = preparePartition(topo, opts, input);
+
+    opts.jobs = 4;
+    const SpapRunStats first = runBaseApSpap(topo, opts, prep, true);
+    for (int round = 0; round < 3; ++round) {
+        const SpapRunStats again = runBaseApSpap(topo, opts, prep, true);
+        expectIdenticalStats(first, again,
+                             "round " + std::to_string(round));
+    }
+}
+
+} // namespace
+} // namespace sparseap
