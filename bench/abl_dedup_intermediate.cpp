@@ -19,31 +19,39 @@ main()
     printSection("Ablation: intermediate-state dedup (1% profiling, "
                  "24K capacity)");
 
-    Table table({"App", "IM(per-edge)", "IM(dedup)", "Stalls(per-edge)",
-                 "Stalls(dedup)", "Speedup(per-edge)", "Speedup(dedup)"});
+    struct Row
+    {
+        std::string abbr;
+        SpapRunStats edge;
+        SpapRunStats dedup;
+    };
+    std::vector<Row> rows(runner.selectApps("HM").size());
 
-    std::vector<double> s_edge, s_dedup;
-    for (const std::string &abbr : runner.selectApps("HM")) {
-        const LoadedApp &app = runner.load(abbr);
-
+    runner.forEachApp("HM", [&](const LoadedApp &app, size_t i) {
+        // Both variants share one cached profile; only the partition
+        // (and thus the prep) differs.
         PartitionOptions per_edge;
         per_edge.dedupeIntermediates = false;
-        SpapRunStats a =
-            runAppConfig(app, 0.01, ApConfig::kHalfCore, per_edge);
-
         PartitionOptions dedup;
         dedup.dedupeIntermediates = true;
-        SpapRunStats b =
-            runAppConfig(app, 0.01, ApConfig::kHalfCore, dedup);
+        rows[i] = {app.entry.abbr,
+                   runAppConfig(app, 0.01, ApConfig::kHalfCore, per_edge),
+                   runAppConfig(app, 0.01, ApConfig::kHalfCore, dedup)};
+    });
 
-        table.addRow({abbr, std::to_string(a.intermediateStates),
+    Table table({"App", "IM(per-edge)", "IM(dedup)", "Stalls(per-edge)",
+                 "Stalls(dedup)", "Speedup(per-edge)", "Speedup(dedup)"});
+    std::vector<double> s_edge, s_dedup;
+    for (const Row &row : rows) {
+        const SpapRunStats &a = row.edge;
+        const SpapRunStats &b = row.dedup;
+        table.addRow({row.abbr, std::to_string(a.intermediateStates),
                       std::to_string(b.intermediateStates),
                       std::to_string(a.enableStalls),
                       std::to_string(b.enableStalls),
                       Table::fmt(a.speedup, 2), Table::fmt(b.speedup, 2)});
         s_edge.push_back(a.speedup);
         s_dedup.push_back(b.speedup);
-        runner.unload(abbr);
     }
     table.addRow({"GEOMEAN", "-", "-", "-", "-",
                   Table::fmt(geomean(s_edge), 2),

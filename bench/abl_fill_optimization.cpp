@@ -20,17 +20,29 @@ main()
     printSection("Ablation: batch-fill optimization (1% profiling, 24K "
                  "capacity)");
 
+    struct Row
+    {
+        std::string abbr;
+        SpapRunStats off;
+        SpapRunStats on;
+    };
+    std::vector<Row> rows(runner.selectApps("HM").size());
+
+    runner.forEachApp("HM", [&](const LoadedApp &app, size_t i) {
+        rows[i] = {app.entry.abbr,
+                   runAppConfig(app, 0.01, ApConfig::kHalfCore, {},
+                                /*fill=*/false),
+                   runAppConfig(app, 0.01, ApConfig::kHalfCore, {},
+                                /*fill=*/true)};
+    });
+
     Table table({"App", "Events(off)", "Events(on)", "Savings(off)",
                  "Savings(on)", "Speedup(off)", "Speedup(on)"});
-
     std::vector<double> s_off, s_on;
-    for (const std::string &abbr : runner.selectApps("HM")) {
-        const LoadedApp &app = runner.load(abbr);
-        SpapRunStats off = runAppConfig(app, 0.01, ApConfig::kHalfCore,
-                                        {}, /*fill=*/false);
-        SpapRunStats on = runAppConfig(app, 0.01, ApConfig::kHalfCore,
-                                       {}, /*fill=*/true);
-        table.addRow({abbr, std::to_string(off.intermediateReports),
+    for (const Row &row : rows) {
+        const SpapRunStats &off = row.off;
+        const SpapRunStats &on = row.on;
+        table.addRow({row.abbr, std::to_string(off.intermediateReports),
                       std::to_string(on.intermediateReports),
                       Table::pct(off.resourceSavings),
                       Table::pct(on.resourceSavings),
@@ -38,7 +50,6 @@ main()
                       Table::fmt(on.speedup, 2)});
         s_off.push_back(off.speedup);
         s_on.push_back(on.speedup);
-        runner.unload(abbr);
     }
     table.addRow({"GEOMEAN", "-", "-", "-", "-",
                   Table::fmt(geomean(s_off), 2),

@@ -21,22 +21,29 @@ main()
     printSection("Ablation: cross-rule prefix merging (states and "
                  "baseline batches)");
 
+    struct Row
+    {
+        std::string abbr;
+        OptimizeStats stats;
+    };
+    std::vector<Row> rows(runner.selectApps("HML").size());
+
+    runner.forEachApp("HML", [&](const LoadedApp &app, size_t i) {
+        rows[i] = {app.entry.abbr, measurePrefixMerging(app.workload.app)};
+    });
+
     Table table({"App", "States", "Merged", "Reduction", "Batches",
                  "MergedBatches"});
-
-    for (const std::string &abbr : runner.selectApps("HML")) {
-        const LoadedApp &app = runner.load(abbr);
-        const OptimizeStats stats =
-            measurePrefixMerging(app.workload.app);
+    for (const Row &row : rows) {
+        const OptimizeStats &stats = row.stats;
         const size_t before = analyticBatchCount(stats.statesBefore,
                                                  ApConfig::kHalfCore);
         const size_t after = analyticBatchCount(stats.statesAfter,
                                                 ApConfig::kHalfCore);
-        table.addRow({abbr, std::to_string(stats.statesBefore),
+        table.addRow({row.abbr, std::to_string(stats.statesBefore),
                       std::to_string(stats.statesAfter),
                       Table::pct(stats.reduction()),
                       std::to_string(before), std::to_string(after)});
-        runner.unload(abbr);
     }
     runner.printTable(table);
     std::cout << "\nPrefix merging alone cannot remove input-dependent "

@@ -23,14 +23,11 @@ main()
         std::string abbr;
         double hot;
     };
-    std::vector<Row> rows;
+    std::vector<Row> rows(runner.selectApps("HML").size());
 
-    for (const std::string &abbr : runner.selectApps("HML")) {
-        const LoadedApp &app = runner.load(abbr);
-        const HotColdProfile oracle = oracleProfile(app);
-        rows.push_back({abbr, oracle.hotFraction()});
-        runner.unload(abbr);
-    }
+    runner.forEachApp("HML", [&](const LoadedApp &app, size_t i) {
+        rows[i] = {app.entry.abbr, oracleProfile(app).hotFraction()};
+    });
     std::sort(rows.begin(), rows.end(),
               [](const Row &a, const Row &b) { return a.hot < b.hot; });
 

@@ -19,22 +19,29 @@ main()
     printSection("Figure 5: normalized-depth distribution of hot and "
                  "cold states");
 
+    struct Row
+    {
+        std::string abbr;
+        DepthDistribution d;
+    };
+    std::vector<Row> rows(runner.selectApps("HML").size());
+
+    runner.forEachApp("HML", [&](const LoadedApp &app, size_t i) {
+        rows[i] = {app.entry.abbr,
+                   depthDistribution(app.topology(), oracleProfile(app))};
+    });
+
     Table table({"App", "hot:shallow", "hot:med", "hot:deep",
                  "cold:shallow", "cold:med", "cold:deep", "corr(depth,hot)"});
-
     std::vector<double> correlations;
-    for (const std::string &abbr : runner.selectApps("HML")) {
-        const LoadedApp &app = runner.load(abbr);
-        const HotColdProfile oracle = oracleProfile(app);
-        const DepthDistribution d =
-            depthDistribution(app.topology(), oracle);
-        table.addRow({abbr, Table::pct(d.hot[0]), Table::pct(d.hot[1]),
+    for (const Row &r : rows) {
+        const DepthDistribution &d = r.d;
+        table.addRow({r.abbr, Table::pct(d.hot[0]), Table::pct(d.hot[1]),
                       Table::pct(d.hot[2]), Table::pct(d.cold[0]),
                       Table::pct(d.cold[1]), Table::pct(d.cold[2]),
                       Table::fmt(d.depthHotCorrelation, 2)});
-        if (abbr != "ER") // the paper excludes ER from the average
+        if (r.abbr != "ER") // the paper excludes ER from the average
             correlations.push_back(d.depthHotCorrelation);
-        runner.unload(abbr);
     }
     runner.printTable(table);
 

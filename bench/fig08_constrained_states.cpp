@@ -19,22 +19,29 @@ main()
     printSection("Figure 8: constrained states of topological-order "
                  "perfect partitioning");
 
+    struct Row
+    {
+        std::string abbr;
+        ConstrainedStats s;
+    };
+    std::vector<Row> rows(runner.selectApps("HML").size());
+
+    runner.forEachApp("HML", [&](const LoadedApp &app, size_t i) {
+        rows[i] = {app.entry.abbr,
+                   constrainedStates(app.topology(), oracleProfile(app))};
+    });
+
     Table table({"App", "OracleHot", "TopoConfigured", "Constrained"});
     std::vector<double> constrained;
-
-    for (const std::string &abbr : runner.selectApps("HML")) {
-        const LoadedApp &app = runner.load(abbr);
-        const HotColdProfile oracle = oracleProfile(app);
-        const ConstrainedStats s =
-            constrainedStates(app.topology(), oracle);
-        table.addRow({abbr,
+    for (const Row &r : rows) {
+        const ConstrainedStats &s = r.s;
+        table.addRow({r.abbr,
                       Table::pct(static_cast<double>(s.oracleHot) /
                                  static_cast<double>(s.total)),
                       Table::pct(static_cast<double>(s.topoConfigured) /
                                  static_cast<double>(s.total)),
                       Table::pct(s.constrainedFraction())});
         constrained.push_back(s.constrainedFraction());
-        runner.unload(abbr);
     }
     runner.printTable(table);
     std::cout << "\naverage constrained: "

@@ -26,35 +26,46 @@ main()
                              ApConfig::kFullChip};
     const char *const kNames[] = {"12K", "24K", "49K"};
 
-    Table table({"App", "base@12K", "ours@12K", "base@24K", "ours@24K",
-                 "base@49K", "ours@49K"});
+    struct Row
+    {
+        std::string abbr;
+        double base[3];
+        double ours[3];
+    };
+    std::vector<Row> rows(runner.selectApps("HML").size());
 
-    std::vector<double> gain[3];
-
-    for (const std::string &abbr : runner.selectApps("HML")) {
-        const LoadedApp &app = runner.load(abbr);
-        std::vector<std::string> cells = {abbr};
+    runner.forEachApp("HML", [&](const LoadedApp &app, size_t i) {
+        Row &row = rows[i];
+        row.abbr = app.entry.abbr;
+        // One profiling run serves all three capacities: the profile
+        // depends only on the prefix, and the per-app cache keeps it.
         for (int s = 0; s < 3; ++s) {
             const size_t capacity = kSizes[s];
-            ExecutionOptions opts = app.execOptions(0.01, capacity);
-            PreparedPartition prep =
-                preparePartition(app.topology(), opts, app.input);
-            SpapRunStats stats =
+            const ExecutionOptions opts = app.execOptions(0.01, capacity);
+            const PreparedPartition prep = preparePartition(app, opts);
+            const SpapRunStats stats =
                 runBaseApSpap(app.topology(), opts, prep);
-
-            const double base = performancePerSte(
+            row.base[s] = performancePerSte(
                 stats.testLength, stats.baselineCycles, capacity);
-            const double ours = performancePerSte(
+            row.ours[s] = performancePerSte(
                 stats.testLength, stats.baseApCycles + stats.spApCycles,
                 capacity);
+        }
+    });
+
+    Table table({"App", "base@12K", "ours@12K", "base@24K", "ours@24K",
+                 "base@49K", "ours@49K"});
+    std::vector<double> gain[3];
+    for (const Row &row : rows) {
+        std::vector<std::string> cells = {row.abbr};
+        for (int s = 0; s < 3; ++s) {
             // Scaled by 1e6 for readability (symbols/cycle/MSTE).
-            cells.push_back(Table::fmt(base * 1e6, 2));
-            cells.push_back(Table::fmt(ours * 1e6, 2));
-            if (base > 0)
-                gain[s].push_back(ours / base);
+            cells.push_back(Table::fmt(row.base[s] * 1e6, 2));
+            cells.push_back(Table::fmt(row.ours[s] * 1e6, 2));
+            if (row.base[s] > 0)
+                gain[s].push_back(row.ours[s] / row.base[s]);
         }
         table.addRow(cells);
-        runner.unload(abbr);
     }
     runner.printTable(table);
 

@@ -19,23 +19,38 @@ runPanel(ExperimentRunner &runner, const char *title,
          const std::string &groups, size_t capacity)
 {
     printSection(title);
+
+    const double kFracs[] = {0.001, 0.01};
+
+    struct Row
+    {
+        std::string abbr;
+        double speedup[2];
+        double savings1;
+    };
+    std::vector<Row> rows(runner.selectApps(groups).size());
+
+    runner.forEachApp(groups, [&](const LoadedApp &app, size_t i) {
+        Row &row = rows[i];
+        row.abbr = app.entry.abbr;
+        app.prewarmProfiles(kFracs);
+        for (int f = 0; f < 2; ++f) {
+            const SpapRunStats stats =
+                runAppConfig(app, kFracs[f], capacity);
+            row.speedup[f] = stats.speedup;
+            if (f == 1)
+                row.savings1 = stats.resourceSavings;
+        }
+    });
+
     Table table({"App", "SpAP@0.1%", "SpAP@1%", "Savings@1%"});
     std::vector<double> s01, s1;
-
-    for (const std::string &abbr : runner.selectApps(groups)) {
-        const LoadedApp &app = runner.load(abbr);
-        std::vector<std::string> cells = {abbr};
-        double savings1 = 0.0;
-        for (double frac : {0.001, 0.01}) {
-            SpapRunStats stats = runAppConfig(app, frac, capacity);
-            cells.push_back(Table::fmt(stats.speedup, 2));
-            (frac == 0.001 ? s01 : s1).push_back(stats.speedup);
-            if (frac == 0.01)
-                savings1 = stats.resourceSavings;
-        }
-        cells.push_back(Table::pct(savings1));
-        table.addRow(cells);
-        runner.unload(abbr);
+    for (const Row &row : rows) {
+        table.addRow({row.abbr, Table::fmt(row.speedup[0], 2),
+                      Table::fmt(row.speedup[1], 2),
+                      Table::pct(row.savings1)});
+        s01.push_back(row.speedup[0]);
+        s1.push_back(row.speedup[1]);
     }
     table.addRow({"GEOMEAN", Table::fmt(geomean(s01), 2),
                   Table::fmt(geomean(s1), 2), "-"});

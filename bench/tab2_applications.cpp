@@ -18,26 +18,45 @@ main()
     printSection("Table II: list of evaluated applications "
                  "(ours vs paper)");
 
-    Table table({"App", "Grp", "#States", "paper", "#NFAs", "paper",
-                 "MaxTopo", "paper", "#RStates", "paper"});
+    struct Row
+    {
+        std::string abbr;
+        char group;
+        size_t states, nfas, maxTopo, rstates;
+        size_t paperStates, paperNfas, paperMaxTopo, paperRStates;
+    };
+    std::vector<Row> rows(runner.selectApps("HML").size());
 
-    for (const std::string &abbr : runner.selectApps("HML")) {
-        const LoadedApp &loaded = runner.load(abbr);
+    runner.forEachApp("HML", [&](const LoadedApp &loaded, size_t i) {
         const Application &app = loaded.workload.app;
         const CatalogEntry &e = loaded.entry;
+        rows[i] = {e.abbr,
+                   e.group,
+                   app.totalStates(),
+                   app.nfaCount(),
+                   loaded.topology().maxOrder(),
+                   app.reportingStates(),
+                   e.paperStates,
+                   e.paperNfas,
+                   e.paperMaxTopo,
+                   e.paperRStates};
+    });
+
+    Table table({"App", "Grp", "#States", "paper", "#NFAs", "paper",
+                 "MaxTopo", "paper", "#RStates", "paper"});
+    for (const Row &r : rows) {
         table.addRow({
-            abbr,
-            std::string(1, e.group),
-            std::to_string(app.totalStates()),
-            std::to_string(e.paperStates),
-            std::to_string(app.nfaCount()),
-            std::to_string(e.paperNfas),
-            std::to_string(loaded.topology().maxOrder()),
-            std::to_string(e.paperMaxTopo),
-            std::to_string(app.reportingStates()),
-            std::to_string(e.paperRStates),
+            r.abbr,
+            std::string(1, r.group),
+            std::to_string(r.states),
+            std::to_string(r.paperStates),
+            std::to_string(r.nfas),
+            std::to_string(r.paperNfas),
+            std::to_string(r.maxTopo),
+            std::to_string(r.paperMaxTopo),
+            std::to_string(r.rstates),
+            std::to_string(r.paperRStates),
         });
-        runner.unload(abbr);
     }
     runner.printTable(table);
     return 0;

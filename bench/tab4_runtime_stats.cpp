@@ -18,19 +18,28 @@ main()
     printSection("Table IV: runtime statistics (1% profiling, 24K "
                  "capacity)");
 
+    struct Row
+    {
+        std::string abbr;
+        SpapRunStats s;
+    };
+    std::vector<Row> rows(runner.selectApps("HM").size());
+
+    runner.forEachApp("HM", [&](const LoadedApp &app, size_t i) {
+        rows[i] = {app.entry.abbr,
+                   runAppConfig(app, 0.01, ApConfig::kHalfCore)};
+    });
+
     Table table({"App", "AP", "BaseAP", "SpAP", "#IntermReports",
                  "#EStalls", "JumpRatio"});
-
-    for (const std::string &abbr : runner.selectApps("HM")) {
-        const LoadedApp &app = runner.load(abbr);
-        SpapRunStats s = runAppConfig(app, 0.01, ApConfig::kHalfCore);
-        table.addRow({abbr, std::to_string(s.baselineBatches),
+    for (const Row &row : rows) {
+        const SpapRunStats &s = row.s;
+        table.addRow({row.abbr, std::to_string(s.baselineBatches),
                       std::to_string(s.baseApBatches),
                       std::to_string(s.spApBatches),
                       std::to_string(s.intermediateReports),
                       std::to_string(s.enableStalls),
                       s.jumpRatio < 0 ? "-" : Table::pct(s.jumpRatio)});
-        runner.unload(abbr);
     }
     runner.printTable(table);
 

@@ -24,6 +24,35 @@ verbosity()
     return level;
 }
 
+namespace {
+
+/** Per-thread log sink installed by ScopedLogCapture (null = stderr). */
+thread_local std::string *t_log_sink = nullptr;
+
+/** Emit one already-formatted log line to the sink or stderr. */
+void
+emitLine(const std::string &line)
+{
+    if (t_log_sink) {
+        t_log_sink->append(line);
+        t_log_sink->push_back('\n');
+    } else {
+        std::cerr << line << std::endl;
+    }
+}
+
+} // namespace
+
+ScopedLogCapture::ScopedLogCapture(std::string *sink)
+{
+    t_log_sink = sink;
+}
+
+ScopedLogCapture::~ScopedLogCapture()
+{
+    t_log_sink = nullptr;
+}
+
 namespace detail {
 
 void
@@ -45,14 +74,14 @@ void
 warnImpl(const std::string &msg)
 {
     if (verbosity() != Verbosity::Quiet)
-        std::cerr << "warn: " << msg << std::endl;
+        emitLine("warn: " + msg);
 }
 
 void
 informImpl(const std::string &msg, Verbosity level)
 {
     if (static_cast<int>(verbosity()) >= static_cast<int>(level))
-        std::cerr << "info: " << msg << std::endl;
+        emitLine("info: " + msg);
 }
 
 } // namespace detail

@@ -23,6 +23,24 @@ enum class Verbosity { Quiet = 0, Normal = 1, Debug = 2 };
 /** @return the process-wide verbosity (read once from the environment). */
 Verbosity verbosity();
 
+/**
+ * While alive, redirects this thread's warn()/inform()/debugLog() lines
+ * into @p sink (each line formatted exactly as it would have hit stderr,
+ * trailing newline included) instead of writing them to stderr. The
+ * parallel app-sweep driver gives every app a sink and replays them in
+ * catalog order, so log output is byte-identical at any thread count.
+ * fatal() and panic() still write to stderr directly. Not reentrant.
+ */
+class ScopedLogCapture
+{
+  public:
+    explicit ScopedLogCapture(std::string *sink);
+    ~ScopedLogCapture();
+
+    ScopedLogCapture(const ScopedLogCapture &) = delete;
+    ScopedLogCapture &operator=(const ScopedLogCapture &) = delete;
+};
+
 namespace detail {
 [[noreturn]] void fatalImpl(const std::string &msg);
 [[noreturn]] void panicImpl(const std::string &msg, const char *file,

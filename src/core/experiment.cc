@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "workloads/inputs.h"
 
 namespace sparseap {
@@ -56,18 +56,69 @@ LoadedApp::topology() const
     return *topo_;
 }
 
+const FlatAutomaton &
+LoadedApp::flat() const
+{
+    if (!flat_)
+        flat_ = std::make_unique<FlatAutomaton>(workload.app);
+    return *flat_;
+}
+
+const HotColdProfile &
+LoadedApp::profile(size_t prefix_len) const
+{
+    auto it = profiles_.find(prefix_len);
+    if (it == profiles_.end()) {
+        it = profiles_
+                 .emplace(prefix_len,
+                          profileApplication(
+                              flat(), std::span<const uint8_t>(
+                                          input.data(), prefix_len)))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+LoadedApp::prewarmProfiles(std::span<const double> fractions) const
+{
+    std::vector<size_t> lens;
+    lens.reserve(fractions.size());
+    for (double f : fractions) {
+        const size_t len =
+            profilePrefixLength(execOptions(f, 1), input.size());
+        if (!profiles_.count(len))
+            lens.push_back(len);
+    }
+    std::sort(lens.begin(), lens.end());
+    lens.erase(std::unique(lens.begin(), lens.end()), lens.end());
+    if (lens.empty())
+        return;
+    std::vector<HotColdProfile> profs =
+        profileApplication(flat(), input, lens);
+    for (size_t i = 0; i < lens.size(); ++i)
+        profiles_.emplace(lens[i], std::move(profs[i]));
+}
+
+const ReportList &
+LoadedApp::referenceReports() const
+{
+    if (!reference_reports_) {
+        Engine engine(flat());
+        reference_reports_ =
+            std::make_unique<ReportList>(engine.run(input).reports);
+    }
+    return *reference_reports_;
+}
+
 ExperimentRunner::ExperimentRunner()
     : opts_(globalOptions()), start_(std::chrono::steady_clock::now())
 {
 }
 
-const LoadedApp &
-ExperimentRunner::load(const std::string &abbr)
+LoadedApp
+ExperimentRunner::generate(const std::string &abbr) const
 {
-    auto it = cache_.find(abbr);
-    if (it != cache_.end())
-        return it->second;
-
     LoadedApp loaded;
     loaded.entry = findApp(abbr);
     loaded.workload =
@@ -81,7 +132,16 @@ ExperimentRunner::load(const std::string &abbr)
         synthesizeInput(loaded.workload.input, bytes, input_rng);
     inform("generated ", abbr, ": ", loaded.workload.app.totalStates(),
            " states, ", loaded.workload.app.nfaCount(), " NFAs");
-    return cache_.emplace(abbr, std::move(loaded)).first->second;
+    return loaded;
+}
+
+const LoadedApp &
+ExperimentRunner::load(const std::string &abbr)
+{
+    auto it = cache_.find(abbr);
+    if (it != cache_.end())
+        return it->second;
+    return cache_.emplace(abbr, generate(abbr)).first->second;
 }
 
 void
@@ -108,6 +168,31 @@ ExperimentRunner::selectApps(const std::string &groups) const
 }
 
 void
+ExperimentRunner::forEachApp(
+    const std::string &groups,
+    const std::function<void(const LoadedApp &, size_t)> &fn,
+    unsigned jobs)
+{
+    const std::vector<std::string> apps = selectApps(groups);
+    if (apps.empty())
+        return;
+    const unsigned lanes = std::max(1u, jobs == 0 ? opts_.jobs : jobs);
+
+    // Every app gets a private LoadedApp (so the per-app caches need no
+    // locks) and a private log buffer; fn writes results into per-index
+    // slots, and the buffered logs are replayed in catalog order below —
+    // the lane count is invisible in all output.
+    std::vector<std::string> logs(apps.size());
+    parallelFor(lanes, apps.size(), [&](size_t i) {
+        ScopedLogCapture capture(&logs[i]);
+        const LoadedApp app = generate(apps[i]);
+        fn(app, i);
+    });
+    for (const std::string &log : logs)
+        std::cerr << log;
+}
+
+void
 ExperimentRunner::printTable(const Table &table) const
 {
     if (opts_.csv)
@@ -123,12 +208,20 @@ ExperimentRunner::printTable(const Table &table) const
 void
 ExperimentRunner::appendJson(const Table &table) const
 {
-    std::ofstream out(opts_.jsonPath, std::ios::app);
-    if (!out) {
-        warn("SPARSEAP_JSON: cannot open '", opts_.jsonPath,
-             "' for append");
-        return;
+    if (!json_out_) {
+        if (json_failed_)
+            return;
+        json_out_ = std::make_unique<std::ofstream>(opts_.jsonPath,
+                                                    std::ios::app);
+        if (!*json_out_) {
+            warn("SPARSEAP_JSON: cannot open '", opts_.jsonPath,
+                 "' for append");
+            json_out_.reset();
+            json_failed_ = true; // warn once, not once per table
+            return;
+        }
     }
+    std::ofstream &out = *json_out_;
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
@@ -157,12 +250,22 @@ ExperimentRunner::appendJson(const Table &table) const
         out << '}';
     }
     out << "]}\n";
+    out.flush();
 }
 
 void
 printSection(const std::string &title)
 {
     std::cout << "\n### " << title << "\n\n";
+}
+
+PreparedPartition
+preparePartition(const LoadedApp &app, const ExecutionOptions &opts)
+{
+    const size_t profile_len =
+        profilePrefixLength(opts, app.input.size());
+    return preparePartition(app.topology(), opts, app.input,
+                            app.profile(profile_len));
 }
 
 SpapRunStats
@@ -173,14 +276,14 @@ runAppConfig(const LoadedApp &app, double profile_fraction,
     ExecutionOptions opts = app.execOptions(profile_fraction, capacity);
     opts.partition = partition;
     opts.fillOptimization = fill_optimization;
-    return runBaseApSpap(app.topology(), opts, app.input);
+    const PreparedPartition prep = preparePartition(app, opts);
+    return runBaseApSpap(app.topology(), opts, prep);
 }
 
-HotColdProfile
+const HotColdProfile &
 oracleProfile(const LoadedApp &app)
 {
-    const FlatAutomaton fa(app.workload.app);
-    return profileApplication(fa, app.input);
+    return app.profile(app.input.size());
 }
 
 } // namespace sparseap

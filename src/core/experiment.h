@@ -3,17 +3,22 @@
  * Shared experiment driver for the benchmark harness.
  *
  * Loads (generates) the 26 applications on demand, synthesizes their
- * inputs, caches topologies, and provides the group filters and printing
- * conveniences every paper-figure bench uses. All knobs come from the
- * environment (see common/options.h).
+ * inputs, caches per-app derived artifacts (topology, flat automaton,
+ * hot/cold profiles, reference reports), and provides the group filters,
+ * the parallel per-app sweep driver and the printing conveniences every
+ * paper-figure bench uses. All knobs come from the environment (see
+ * common/options.h).
  */
 
 #ifndef SPARSEAP_CORE_EXPERIMENT_H
 #define SPARSEAP_CORE_EXPERIMENT_H
 
 #include <chrono>
+#include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,7 +30,11 @@
 
 namespace sparseap {
 
-/** One generated application with its input and (lazy) topology. */
+/**
+ * One generated application with its input and lazily-computed, cached
+ * derived artifacts. Every cache is per-instance: a sweep gives each app
+ * (or each worker) its own LoadedApp, so no locking is needed.
+ */
 struct LoadedApp
 {
     CatalogEntry entry;
@@ -34,6 +43,33 @@ struct LoadedApp
 
     /** Topology (computed on first use, cached). */
     const AppTopology &topology() const;
+
+    /** Flat automaton of the whole application (cached). The bench
+     *  pipeline previously re-flattened the app on every profiling,
+     *  baseline and partition call — 4+ times per app per table. */
+    const FlatAutomaton &flat() const;
+
+    /**
+     * Hot/cold profile of the first @p prefix_len input bytes (cached
+     * per length). Sweeping several profile fractions over one app hits
+     * one profiling run per distinct prefix length instead of one per
+     * (fraction, capacity) configuration.
+     */
+    const HotColdProfile &profile(size_t prefix_len) const;
+
+    /**
+     * Precompute the profiles several profile fractions imply, in ONE
+     * checkpointed engine pass (hot sets are monotone in the prefix).
+     * Subsequent profile() / preparePartition() calls hit the cache.
+     */
+    void prewarmProfiles(std::span<const double> fractions) const;
+
+    /**
+     * Reports of functionally executing the whole input on the full
+     * application (cached) — the reference stream equivalence checks and
+     * report-collecting baselines compare against, simulated once.
+     */
+    const ReportList &referenceReports() const;
 
     /** Default ExecutionOptions for this app at @p profile_fraction. */
     ExecutionOptions
@@ -48,6 +84,9 @@ struct LoadedApp
 
   private:
     mutable std::unique_ptr<AppTopology> topo_;
+    mutable std::unique_ptr<FlatAutomaton> flat_;
+    mutable std::map<size_t, HotColdProfile> profiles_;
+    mutable std::unique_ptr<ReportList> reference_reports_;
 };
 
 /** Caching loader/driver shared by bench binaries. */
@@ -70,6 +109,21 @@ class ExperimentRunner
     std::vector<std::string> selectApps(const std::string &groups) const;
 
     /**
+     * Parallel per-app sweep driver: runs @p fn(app, index) for every
+     * app of selectApps(groups), fanned out over the thread pool
+     * (SPARSEAP_JOBS lanes; @p jobs overrides when nonzero). Each lane
+     * generates its own private LoadedApp (the shared cache is
+     * untouched), @p fn must write its results into the per-@p index
+     * slot of caller-owned vectors, and per-app warn()/inform() output
+     * is buffered and replayed in catalog order afterwards — so every
+     * byte of output is identical at any thread count.
+     */
+    void forEachApp(
+        const std::string &groups,
+        const std::function<void(const LoadedApp &, size_t)> &fn,
+        unsigned jobs = 0);
+
+    /**
      * Print @p table as ASCII or CSV per SPARSEAP_CSV. When
      * SPARSEAP_JSON=<path> is set, also append the table as one JSON
      * line (columns, per-app rows, engine mode, jobs, wall time) to that
@@ -80,12 +134,16 @@ class ExperimentRunner
     const Options &options() const { return opts_; }
 
   private:
+    LoadedApp generate(const std::string &abbr) const;
     void appendJson(const Table &table) const;
 
     Options opts_;
     std::map<std::string, LoadedApp> cache_;
     std::chrono::steady_clock::time_point start_;
     mutable size_t tables_printed_ = 0;
+    /** JSON Lines stream, opened once on first table (not per table). */
+    mutable std::unique_ptr<std::ofstream> json_out_;
+    mutable bool json_failed_ = false;
 };
 
 /** Print a "### <title>" section header for bench output. */
@@ -93,7 +151,8 @@ void printSection(const std::string &title);
 
 /**
  * Run one BaseAP/SpAP configuration of a loaded app: profile fraction,
- * capacity, fill/dedupe options from @p opts overrides.
+ * capacity, fill/dedupe options from @p opts overrides. Uses the app's
+ * cached profile for the implied prefix length.
  */
 SpapRunStats runAppConfig(const LoadedApp &app, double profile_fraction,
                           size_t capacity,
@@ -101,9 +160,18 @@ SpapRunStats runAppConfig(const LoadedApp &app, double profile_fraction,
                           bool fill_optimization = true);
 
 /**
- * Oracle hot/cold profile of the whole input (used by Figs. 1, 5, 8).
+ * Build the partition for @p app under @p opts, reusing the app's cached
+ * flat automaton and profile (profiling runs only on the first call for
+ * a given prefix length).
  */
-HotColdProfile oracleProfile(const LoadedApp &app);
+PreparedPartition preparePartition(const LoadedApp &app,
+                                   const ExecutionOptions &opts);
+
+/**
+ * Oracle hot/cold profile of the whole input (used by Figs. 1, 5, 8);
+ * cached inside @p app.
+ */
+const HotColdProfile &oracleProfile(const LoadedApp &app);
 
 } // namespace sparseap
 

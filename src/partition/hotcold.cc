@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/word_vector.h"
+#include "sim/dense_core.h"
+#include "sim/exec_core.h"
 
 namespace sparseap {
 
@@ -15,12 +18,126 @@ HotColdProfile::hotCount() const
 HotColdProfile
 profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input)
 {
+    const size_t len = input.size();
+    return std::move(
+        profileApplication(fa, input, std::span<const size_t>(&len, 1))
+            .front());
+}
+
+std::vector<HotColdProfile>
+profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
+                   std::span<const size_t> checkpoints)
+{
+    return profileApplication(fa, input, checkpoints,
+                              globalOptions().engineMode);
+}
+
+std::vector<HotColdProfile>
+profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
+                   std::span<const size_t> checkpoints, EngineMode mode)
+{
+    std::vector<HotColdProfile> profiles;
+    profiles.reserve(checkpoints.size());
+    if (checkpoints.empty())
+        return profiles;
+    for (size_t c = 0; c < checkpoints.size(); ++c) {
+        SPARSEAP_ASSERT(checkpoints[c] <= input.size(),
+                        "profiling checkpoint ", checkpoints[c],
+                        " exceeds the input length ", input.size());
+        SPARSEAP_ASSERT(c == 0 || checkpoints[c - 1] <= checkpoints[c],
+                        "profiling checkpoints must be sorted ascending");
+    }
+    const size_t longest = checkpoints.back();
+
+    // Profiling starts on the sparse core: its per-state enable hooks
+    // feed the profiler. The universality alphabet covers the whole
+    // profiled prefix; for earlier checkpoints it is a superset of the
+    // bytes actually consumed, which only makes the latching optimization
+    // more conservative — the enabled-set trace, and hence every
+    // snapshot, is unchanged.
     HotStateProfiler profiler(fa.size());
-    Engine engine(fa);
-    engine.run(input, &profiler);
-    HotColdProfile profile;
-    profile.hot = profiler.hotSet();
-    return profile;
+    profiler.markStarts(fa);
+    ExecCore core(fa);
+    core.reset(ExecCore::distinctBytes(input.subspan(0, longest)),
+               &profiler, /*install_starts=*/true);
+
+    size_t next = 0;
+    auto snapshotSparse = [&](size_t i) {
+        while (next < checkpoints.size() && checkpoints[next] == i) {
+            HotColdProfile p;
+            p.hot = profiler.hotSet();
+            profiles.push_back(std::move(p));
+            ++next;
+        }
+    };
+
+    // Decide the core exactly like Engine::run: dense when forced, or
+    // when the sparse core's measured probe work exceeds a word sweep.
+    size_t i = 0;
+    bool go_dense = mode == EngineMode::Dense;
+    if (mode == EngineMode::Auto && fa.size() >= Engine::kMinDenseStates &&
+        longest > Engine::kProbeCycles) {
+        uint64_t work_acc = 0;
+        for (; i < Engine::kProbeCycles; ++i) {
+            snapshotSparse(i);
+            core.step(input[i], static_cast<uint32_t>(i), nullptr);
+            work_acc += core.lastStepWork();
+        }
+        const uint64_t threshold =
+            static_cast<uint64_t>(Engine::kProbeCycles) *
+            Engine::kDenseWorkPerWord * wordsForBits(fa.size());
+        go_dense = work_acc >= threshold;
+    }
+
+    if (go_dense) {
+        // Hand the in-flight enabled set over to the dense core. States
+        // hot so far stay recorded in the profiler; from here on, hotness
+        // is accumulated by ORing the enabled bit vector after each step
+        // — the same "enabled at least once" set, one word sweep per
+        // cycle instead of per-state hooks (this is what lets dense-heavy
+        // automata profile at dense-core speed).
+        std::vector<GlobalStateId> live;
+        core.snapshotEnabled(&live);
+        DenseCore dense(fa);
+        dense.reset(/*install_starts=*/false);
+        dense.seed(live);
+
+        const size_t words = wordsForBits(fa.size());
+        WordVector hot(words, 0);
+        auto snapshotDense = [&](size_t j) {
+            while (next < checkpoints.size() && checkpoints[next] == j) {
+                HotColdProfile p;
+                p.hot = profiler.hotSet();
+                for (size_t w = 0; w < words; ++w) {
+                    uint64_t bits = hot[w];
+                    while (bits != 0) {
+                        const unsigned b = static_cast<unsigned>(
+                            __builtin_ctzll(bits));
+                        p.hot[w * 64 + b] = true;
+                        bits &= bits - 1;
+                    }
+                }
+                profiles.push_back(std::move(p));
+                ++next;
+            }
+        };
+        for (; i < longest; ++i) {
+            snapshotDense(i);
+            dense.step(input[i], static_cast<uint32_t>(i), nullptr);
+            const std::span<const uint64_t> enabled = dense.enabledWords();
+            for (size_t w = 0; w < words; ++w)
+                hot[w] |= enabled[w];
+        }
+        snapshotDense(longest);
+        return profiles;
+    }
+
+    for (; i < longest; ++i) {
+        snapshotSparse(i);
+        core.step(input[i], static_cast<uint32_t>(i), nullptr);
+    }
+    snapshotSparse(longest);
+    return profiles;
 }
 
 PartitionLayers

@@ -47,6 +47,33 @@ struct HotColdProfile
 HotColdProfile profileApplication(const FlatAutomaton &fa,
                                   std::span<const uint8_t> input);
 
+/**
+ * Checkpointed profiling: one engine pass over the longest prefix,
+ * snapshotting the hot set at every requested prefix length. Because a
+ * state once enabled stays hot, the hot set after n symbols equals the
+ * profile of the n-byte prefix — so profiling k prefixes of the same
+ * input (Table I's 0.1/1/10/50% sweep) costs one run instead of k.
+ *
+ * @param checkpoints prefix lengths in bytes, sorted ascending, each
+ *        <= input.size() (duplicates allowed)
+ * @return one profile per checkpoint, in order; profiles[i] is
+ *         bit-identical to profileApplication(fa, input[0:checkpoints[i]])
+ */
+std::vector<HotColdProfile>
+profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
+                   std::span<const size_t> checkpoints);
+
+/**
+ * Variant with an explicit stepping-core selection instead of the
+ * SPARSEAP_ENGINE global. All modes produce bit-identical profiles
+ * (property-tested): Sparse uses the per-state enable hooks; Dense
+ * accumulates the enabled bit vector after every step; Auto probes on
+ * the sparse core and hands over mid-run exactly like Engine::run.
+ */
+std::vector<HotColdProfile>
+profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
+                   std::span<const size_t> checkpoints, EngineMode mode);
+
 /** Per-NFA partition layers k_U. */
 struct PartitionLayers
 {

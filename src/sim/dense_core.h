@@ -61,6 +61,17 @@ class DenseCore
     /** True iff no state is enabled for the next step. */
     bool idle() const;
 
+    /**
+     * Word view of the enabled-for-next-step set. The dense profiling
+     * path ORs this into a hot accumulator after every step — the
+     * word-sweep analogue of the sparse core's per-state enable hooks.
+     */
+    std::span<const uint64_t>
+    enabledWords() const
+    {
+        return {enabled_.data(), words_};
+    }
+
   private:
     const FlatAutomaton &fa_;
     const FlatAutomaton::DenseView &dv_;

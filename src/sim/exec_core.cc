@@ -52,6 +52,7 @@ ExecCore::reset(const Bitset256 &input_alphabet,
     for (auto &bucket : perm_table_)
         bucket.clear();
     permanent_count_ = 0;
+    permanent_states_.clear();
     latched_pending_.clear();
     latched_reporting_.clear();
     pending_permanent_.clear();
@@ -82,6 +83,7 @@ ExecCore::makePermanent(GlobalStateId s)
     if (profiler_)
         profiler_->markEnabled(s);
     ++permanent_count_;
+    permanent_states_.push_back(s);
     if (universal(s)) {
         status_[s] = Status::Latched;
         latched_pending_.push_back(s);
@@ -100,10 +102,8 @@ ExecCore::snapshotEnabled(std::vector<GlobalStateId> *out) const
         if (status_[s] == Status::Normal && mark_[s] == epoch_)
             out->push_back(s);
     }
-    for (GlobalStateId s = 0; s < status_.size(); ++s) {
-        if (status_[s] != Status::Normal)
-            out->push_back(s);
-    }
+    out->insert(out->end(), permanent_states_.begin(),
+                permanent_states_.end());
 }
 
 void

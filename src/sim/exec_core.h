@@ -137,6 +137,10 @@ class ExecCore
     /** Permanent non-universal states accepting each symbol. */
     std::array<std::vector<GlobalStateId>, 256> perm_table_;
     size_t permanent_count_ = 0;
+    /** Every permanently-enabled state (Permanent or Latched), in the
+     *  order it was promoted — so snapshotEnabled doesn't scan all N
+     *  states for non-normal status on every handover. */
+    std::vector<GlobalStateId> permanent_states_;
 
     /** Latched states whose successors still need permanence. */
     std::vector<GlobalStateId> latched_pending_;

@@ -29,9 +29,7 @@ runApCpu(const AppTopology &topo, const ExecutionOptions &opts,
         static_cast<double>(test.size()));
 
     // BaseAP mode (functional): collect events and final reports.
-    const FlatAutomaton hot_fa(part.hot);
-    Engine hot_engine(hot_fa);
-    const SimResult hot_run = hot_engine.run(test);
+    const SimResult &hot_run = prep.hotRunResult();
 
     ReportList final_reports;
     std::vector<SpapEvent> events;
@@ -53,7 +51,7 @@ runApCpu(const AppTopology &topo, const ExecutionOptions &opts,
     // the whole cold set at once (no batching) and may skip idle spans —
     // software is free to do both.
     if (!events.empty() && part.cold.nfaCount() > 0) {
-        const FlatAutomaton cold_fa(part.cold);
+        const FlatAutomaton &cold_fa = prep.coldAutomaton();
         const auto t0 = std::chrono::steady_clock::now();
         const SpapResult r = runSpapMode(cold_fa, test, events);
         const auto t1 = std::chrono::steady_clock::now();

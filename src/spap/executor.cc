@@ -14,46 +14,94 @@ ExecutionOptions::resolvedJobs() const
     return j == 0 ? 1 : j;
 }
 
+const FlatAutomaton &
+PreparedPartition::hotAutomaton() const
+{
+    if (!hotFa)
+        hotFa = std::make_shared<const FlatAutomaton>(part.hot);
+    return *hotFa;
+}
+
+const FlatAutomaton &
+PreparedPartition::coldAutomaton() const
+{
+    if (!coldFa)
+        coldFa = std::make_shared<const FlatAutomaton>(part.cold);
+    return *coldFa;
+}
+
+const SimResult &
+PreparedPartition::hotRunResult() const
+{
+    if (!hotRun) {
+        Engine engine(hotAutomaton());
+        hotRun =
+            std::make_shared<const SimResult>(engine.run(testInput));
+    }
+    return *hotRun;
+}
+
 BaselineResult
 runBaseline(const Application &app, const ApConfig &config,
-            std::span<const uint8_t> test_input, bool collect_reports)
+            std::span<const uint8_t> test_input, bool collect_reports,
+            const FlatAutomaton *app_fa)
 {
     BaselineResult r;
     r.batches = packWholeNfas(app, config.capacity).batchCount();
     r.cycles = static_cast<uint64_t>(r.batches) * test_input.size();
     if (collect_reports) {
-        FlatAutomaton fa(app);
-        Engine engine(fa);
+        std::unique_ptr<FlatAutomaton> local;
+        if (!app_fa) {
+            local = std::make_unique<FlatAutomaton>(app);
+            app_fa = local.get();
+        }
+        Engine engine(*app_fa);
         r.reports = engine.run(test_input).reports;
     }
     return r;
+}
+
+size_t
+profilePrefixLength(const ExecutionOptions &opts, size_t input_size)
+{
+    SPARSEAP_ASSERT(opts.profileFraction > 0.0 &&
+                        opts.profileFraction < 1.0,
+                    "profileFraction must be in (0, 1), got ",
+                    opts.profileFraction);
+    const double reference =
+        opts.profileReferenceBytes > 0
+            ? static_cast<double>(opts.profileReferenceBytes)
+            : static_cast<double>(input_size);
+    size_t profile_len =
+        static_cast<size_t>(reference * opts.profileFraction);
+    profile_len = std::min(profile_len, input_size / 2);
+    return std::max<size_t>(profile_len, 1);
 }
 
 PreparedPartition
 preparePartition(const AppTopology &topo, const ExecutionOptions &opts,
                  std::span<const uint8_t> full_input)
 {
-    SPARSEAP_ASSERT(opts.profileFraction > 0.0 &&
-                        opts.profileFraction < 1.0,
-                    "profileFraction must be in (0, 1), got ",
-                    opts.profileFraction);
-    PreparedPartition prep;
-
-    const double reference =
-        opts.profileReferenceBytes > 0
-            ? static_cast<double>(opts.profileReferenceBytes)
-            : static_cast<double>(full_input.size());
-    size_t profile_len =
-        static_cast<size_t>(reference * opts.profileFraction);
-    profile_len = std::min(profile_len, full_input.size() / 2);
-    profile_len = std::max<size_t>(profile_len, 1);
-    prep.profileInput = full_input.subspan(0, profile_len);
-    prep.testInput = opts.fullInputAsTest ? full_input
-                                          : full_input.subspan(profile_len);
-
+    const size_t profile_len =
+        profilePrefixLength(opts, full_input.size());
     const FlatAutomaton fa(topo.app());
     const HotColdProfile profile =
-        profileApplication(fa, prep.profileInput);
+        profileApplication(fa, full_input.subspan(0, profile_len));
+    return preparePartition(topo, opts, full_input, profile);
+}
+
+PreparedPartition
+preparePartition(const AppTopology &topo, const ExecutionOptions &opts,
+                 std::span<const uint8_t> full_input,
+                 const HotColdProfile &profile)
+{
+    PreparedPartition prep;
+    const size_t profile_len =
+        profilePrefixLength(opts, full_input.size());
+    prep.profileInput = full_input.subspan(0, profile_len);
+    prep.testInput = opts.fullInputAsTest
+                         ? full_input
+                         : full_input.subspan(profile_len);
 
     prep.layers = chooseLayers(topo, profile);
     if (opts.fillOptimization) {
@@ -97,6 +145,53 @@ packColdBatches(const Application &cold, size_t capacity)
     return batches;
 }
 
+/**
+ * Fetch (or build) the prep's cold execution plan for @p capacity:
+ * batch composition plus the cold-NFA -> (batch, local-id base) index
+ * that lets the event dispatch bucket events in one pass instead of
+ * rescanning the full event list per batch.
+ */
+PreparedPartition::ColdPlan &
+coldPlanFor(const PreparedPartition &prep, size_t capacity)
+{
+    if (prep.coldPlan && prep.coldPlan->capacity == capacity)
+        return *prep.coldPlan;
+
+    auto plan = std::make_shared<PreparedPartition::ColdPlan>();
+    plan->capacity = capacity;
+    plan->batches = packColdBatches(prep.part.cold, capacity);
+    plan->nfaBatch.resize(prep.part.cold.nfaCount());
+    plan->nfaLocalBase.resize(prep.part.cold.nfaCount());
+    for (size_t bi = 0; bi < plan->batches.size(); ++bi) {
+        GlobalStateId base = 0;
+        for (uint32_t ci : plan->batches[bi]) {
+            plan->nfaBatch[ci] = static_cast<uint32_t>(bi);
+            plan->nfaLocalBase[ci] = base;
+            base += static_cast<GlobalStateId>(
+                prep.part.cold.nfa(ci).size());
+        }
+    }
+    plan->batchApps.resize(plan->batches.size());
+    plan->batchFas.resize(plan->batches.size());
+    prep.coldPlan = std::move(plan);
+    return *prep.coldPlan;
+}
+
+/** Build batch @p bi's fragment application and flat automaton once. */
+const FlatAutomaton &
+batchAutomaton(PreparedPartition::ColdPlan &plan, const Application &cold,
+               size_t bi)
+{
+    if (!plan.batchFas[bi]) {
+        auto app = std::make_unique<Application>();
+        for (uint32_t ci : plan.batches[bi])
+            app->addNfa(cold.nfa(ci));
+        plan.batchFas[bi] = std::make_unique<FlatAutomaton>(*app);
+        plan.batchApps[bi] = std::move(app);
+    }
+    return *plan.batchFas[bi];
+}
+
 } // namespace
 
 SpapRunStats
@@ -127,9 +222,7 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
     stats.baseApCycles =
         static_cast<uint64_t>(stats.baseApBatches) * test.size();
 
-    const FlatAutomaton hot_fa(part.hot);
-    Engine hot_engine(hot_fa);
-    const SimResult hot_run = hot_engine.run(test);
+    const SimResult &hot_run = prep.hotRunResult();
 
     // Split BaseAP reports into final reports and intermediate events.
     ReportList final_reports;
@@ -147,25 +240,31 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
 
     // ----- SpAP mode: execute the predicted cold set. -----
     if (part.cold.nfaCount() > 0) {
-        const auto batches = packColdBatches(part.cold, opts.ap.capacity);
-        stats.spApConfiguredBatches = batches.size();
+        PreparedPartition::ColdPlan &plan =
+            coldPlanFor(prep, opts.ap.capacity);
+        stats.spApConfiguredBatches = plan.batches.size();
 
-        // Cold NFAs that actually receive events; a batch with none
-        // never starts (its SpAP run would jump straight past the end).
-        std::vector<bool> nfa_has_event(part.cold.nfaCount(), false);
+        // One bucketing pass groups the events by target batch, already
+        // translated to batch-local ids. The single position-ordered scan
+        // keeps every bucket sorted by position (runSpapMode's
+        // precondition), and a batch with no events never starts (its
+        // SpAP run would jump straight past the end).
+        std::vector<std::vector<SpapEvent>> batch_events(
+            plan.batches.size());
         for (const SpapEvent &e : events) {
             const GlobalStateId cold_id = part.originalToCold[e.state];
             SPARSEAP_ASSERT(cold_id != kInvalidGlobal,
                             "intermediate event targets a non-cold state");
-            nfa_has_event[part.cold.resolve(cold_id).nfa] = true;
+            const uint32_t ci = part.cold.resolve(cold_id).nfa;
+            const GlobalStateId local =
+                plan.nfaLocalBase[ci] +
+                (cold_id - part.cold.nfaOffset(ci));
+            batch_events[plan.nfaBatch[ci]].push_back({e.position, local});
         }
 
         std::vector<size_t> active_batches;
-        for (size_t bi = 0; bi < batches.size(); ++bi) {
-            bool active = false;
-            for (uint32_t ci : batches[bi])
-                active = active || nfa_has_event[ci];
-            if (active)
+        for (size_t bi = 0; bi < plan.batches.size(); ++bi) {
+            if (!batch_events[bi].empty())
                 active_batches.push_back(bi);
         }
         stats.spApBatches = active_batches.size();
@@ -186,51 +285,26 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
 
         parallelFor(opts.resolvedJobs(), active_batches.size(),
                     [&](size_t k) {
-            const std::vector<uint32_t> &batch =
-                batches[active_batches[k]];
-            // Build the batch application and its id maps.
-            Application batch_app;
-            std::vector<GlobalStateId> batch_to_cold;
-            std::vector<GlobalStateId> cold_to_batch(
-                part.cold.totalStates(), kInvalidGlobal);
-            for (uint32_t ci : batch) {
-                const GlobalStateId cold_base = part.cold.nfaOffset(ci);
-                const size_t sz = part.cold.nfa(ci).size();
-                const GlobalStateId batch_base =
-                    static_cast<GlobalStateId>(batch_to_cold.size());
-                batch_app.addNfa(part.cold.nfa(ci));
-                for (size_t s = 0; s < sz; ++s) {
-                    batch_to_cold.push_back(
-                        cold_base + static_cast<GlobalStateId>(s));
-                    cold_to_batch[cold_base + s] =
-                        batch_base + static_cast<GlobalStateId>(s);
-                }
-            }
-
-            // Events whose target lives in this batch, in batch-local ids.
-            std::vector<SpapEvent> batch_events;
-            for (const SpapEvent &e : events) {
-                const GlobalStateId cold_id = part.originalToCold[e.state];
-                SPARSEAP_ASSERT(cold_id != kInvalidGlobal,
-                                "intermediate event targets a non-cold "
-                                "state");
-                const GlobalStateId local = cold_to_batch[cold_id];
-                if (local != kInvalidGlobal)
-                    batch_events.push_back({e.position, local});
-            }
-
-            const FlatAutomaton batch_fa(batch_app);
-            const SpapResult r = runSpapMode(batch_fa, test, batch_events);
+            const size_t bi = active_batches[k];
+            const FlatAutomaton &batch_fa =
+                batchAutomaton(plan, part.cold, bi);
+            const SpapResult r =
+                runSpapMode(batch_fa, test, batch_events[bi]);
             BatchOutcome &out = outcomes[k];
             out.totalCycles = r.totalCycles();
             out.consumedCycles = r.consumedCycles;
             out.enableStalls = r.enableStalls;
             if (collect_reports) {
                 out.reports.reserve(r.reports.size());
+                const Application &batch_app = *plan.batchApps[bi];
                 for (const Report &rep : r.reports) {
+                    // batch-local id -> cold gid -> original gid.
+                    const GlobalStateRef ref = batch_app.resolve(rep.state);
+                    const GlobalStateId cold_id =
+                        part.cold.nfaOffset(plan.batches[bi][ref.nfa]) +
+                        ref.state;
                     out.reports.push_back(
-                        {rep.position,
-                         part.coldToOriginal[batch_to_cold[rep.state]]});
+                        {rep.position, part.coldToOriginal[cold_id]});
                 }
             }
         });

@@ -16,7 +16,9 @@
 #ifndef SPARSEAP_SPAP_EXECUTOR_H
 #define SPARSEAP_SPAP_EXECUTOR_H
 
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "ap/config.h"
 #include "ap/timing.h"
@@ -136,11 +138,14 @@ struct ApCpuStats
  * Run the baseline AP execution.
  *
  * @param collect_reports when true, also functionally execute the
- * application to produce the report stream (one extra simulation).
+ * application to produce the report stream (one extra simulation)
+ * @param app_fa optional pre-built FlatAutomaton of @p app, so callers
+ * holding one (e.g. a LoadedApp cache) avoid re-flattening
  */
 BaselineResult runBaseline(const Application &app, const ApConfig &config,
                            std::span<const uint8_t> test_input,
-                           bool collect_reports);
+                           bool collect_reports,
+                           const FlatAutomaton *app_fa = nullptr);
 
 /**
  * Shared front end: profile, choose layers, fill, partition. Exposed so
@@ -154,12 +159,73 @@ struct PreparedPartition
     std::span<const uint8_t> testInput;
     /** Profile stream (prefix of the input). */
     std::span<const uint8_t> profileInput;
+
+    /**
+     * Lazily-built execution plan for the cold side at one capacity:
+     * batch composition, the per-NFA batch/local-id index the event
+     * dispatch uses, and the per-batch applications and flat automata —
+     * so repeated executions of the same partition (parallel-determinism
+     * tests, multi-jobs sweeps) reuse them instead of rebuilding. Built
+     * by runBaseApSpap on first use; rebuilt only when the capacity
+     * changes. A PreparedPartition must be executed by one thread at a
+     * time (the batch workers only read the plan).
+     */
+    struct ColdPlan
+    {
+        size_t capacity = 0;
+        /** Cold NFA indices of each batch. */
+        std::vector<std::vector<uint32_t>> batches;
+        /** cold NFA index -> containing batch. */
+        std::vector<uint32_t> nfaBatch;
+        /** cold NFA index -> first batch-local state id. */
+        std::vector<GlobalStateId> nfaLocalBase;
+        /** Per-batch fragment application (built when first active). */
+        std::vector<std::unique_ptr<Application>> batchApps;
+        /** Per-batch flat automaton (built when first active). */
+        std::vector<std::unique_ptr<FlatAutomaton>> batchFas;
+    };
+    /** @see ColdPlan. Shared so copies of a prep reuse one plan. */
+    mutable std::shared_ptr<ColdPlan> coldPlan;
+
+    /** Flat automaton of part.hot, built on first execution and shared
+     *  by every pipeline run over this partition. */
+    mutable std::shared_ptr<const FlatAutomaton> hotFa;
+    /** Flat automaton of part.cold (AP-CPU runs the whole cold set). */
+    mutable std::shared_ptr<const FlatAutomaton> coldFa;
+    /** BaseAP-mode functional run of the hot automaton over testInput —
+     *  identical for every back end over this partition (BaseAP/SpAP and
+     *  AP-CPU both start from it), so it is simulated once. */
+    mutable std::shared_ptr<const SimResult> hotRun;
+
+    /** @return hotFa, building it on first use. */
+    const FlatAutomaton &hotAutomaton() const;
+    /** @return coldFa, building it on first use. */
+    const FlatAutomaton &coldAutomaton() const;
+    /** @return hotRun, simulating on first use. */
+    const SimResult &hotRunResult() const;
 };
+
+/**
+ * Profiling prefix length (bytes) @p opts imply for an input of
+ * @p input_size bytes — the fraction of the reference stream length,
+ * clamped to [1, input_size / 2].
+ */
+size_t profilePrefixLength(const ExecutionOptions &opts, size_t input_size);
 
 /** Build the partition for @p app under @p opts over @p full_input. */
 PreparedPartition preparePartition(const AppTopology &topo,
                                    const ExecutionOptions &opts,
                                    std::span<const uint8_t> full_input);
+
+/**
+ * Variant taking a precomputed hot/cold @p profile of the profiling
+ * prefix (profilePrefixLength bytes), skipping the profiling simulation —
+ * the checkpointed profiler and the per-app profile cache feed this.
+ */
+PreparedPartition preparePartition(const AppTopology &topo,
+                                   const ExecutionOptions &opts,
+                                   std::span<const uint8_t> full_input,
+                                   const HotColdProfile &profile);
 
 /**
  * Run the full BaseAP/SpAP pipeline.

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The parallel per-app sweep driver (ExperimentRunner::forEachApp) must
+ * be invisible in all output: tables, CSV renderings and captured log
+ * lines are byte-identical whether the sweep runs on 1 lane or 8.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/sparseap.h"
+
+namespace sparseap {
+namespace {
+
+// globalOptions() is parsed once per process, so pin the environment to a
+// small deterministic configuration before the first ExperimentRunner.
+const bool kEnvReady = [] {
+    setenv("SPARSEAP_INPUT_KB", "4", 1);
+    setenv("SPARSEAP_SCALE", "3", 1);
+    setenv("SPARSEAP_APPS", "EM,Rg05,DS03,RF2,LV,CAV", 1);
+    setenv("SPARSEAP_VERBOSE", "1", 1);
+    return true;
+}();
+
+struct SweepOutput
+{
+    std::string ascii;
+    std::string csv;
+    std::string logs;
+};
+
+/** A fig10-shaped sweep: partition + run every app, render the table. */
+SweepOutput
+runSweep(unsigned jobs)
+{
+    EXPECT_TRUE(kEnvReady);
+    ExperimentRunner runner;
+
+    struct Row
+    {
+        std::string abbr;
+        double speedup = 0.0;
+        double savings = 0.0;
+        size_t stalls = 0;
+    };
+    std::vector<Row> rows(runner.selectApps("HML").size());
+    EXPECT_EQ(rows.size(), 6u);
+
+    std::ostringstream errs;
+    std::streambuf *old = std::cerr.rdbuf(errs.rdbuf());
+    runner.forEachApp(
+        "HML",
+        [&](const LoadedApp &app, size_t i) {
+            const size_t capacity =
+                app.workload.app.totalStates() / 4 + 8;
+            const SpapRunStats s = runAppConfig(app, 0.01, capacity);
+            rows[i] = {app.entry.abbr, s.speedup, s.resourceSavings,
+                       s.enableStalls};
+        },
+        jobs);
+    std::cerr.rdbuf(old);
+
+    Table table({"App", "Speedup", "Savings", "Stalls"});
+    for (const Row &r : rows) {
+        table.addRow({r.abbr, Table::fmt(r.speedup, 2),
+                      Table::pct(r.savings), std::to_string(r.stalls)});
+    }
+    std::ostringstream ascii, csv;
+    table.print(ascii);
+    table.printCsv(csv);
+    return {ascii.str(), csv.str(), errs.str()};
+}
+
+TEST(ExperimentSweep, ByteIdenticalOutputAcrossJobCounts)
+{
+    const SweepOutput seq = runSweep(1);
+    const SweepOutput par = runSweep(8);
+
+    EXPECT_EQ(seq.ascii, par.ascii);
+    EXPECT_EQ(seq.csv, par.csv);
+    EXPECT_EQ(seq.logs, par.logs);
+
+    // Sanity: the sweep actually produced a populated table and logs.
+    for (const char *abbr : {"EM", "Rg05", "DS03", "RF2", "LV", "CAV"})
+        EXPECT_NE(seq.ascii.find(abbr), std::string::npos) << abbr;
+    EXPECT_NE(seq.logs.find("generated EM"), std::string::npos);
+}
+
+TEST(ExperimentSweep, MatchesSequentialLoadResults)
+{
+    ExperimentRunner runner;
+    std::vector<double> swept(runner.selectApps("HML").size(), -1.0);
+    runner.forEachApp(
+        "HML",
+        [&](const LoadedApp &app, size_t i) {
+            const size_t capacity =
+                app.workload.app.totalStates() / 4 + 8;
+            swept[i] = runAppConfig(app, 0.01, capacity).speedup;
+        },
+        8);
+
+    const std::vector<std::string> apps = runner.selectApps("HML");
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const LoadedApp &app = runner.load(apps[i]);
+        const size_t capacity = app.workload.app.totalStates() / 4 + 8;
+        EXPECT_EQ(swept[i], runAppConfig(app, 0.01, capacity).speedup)
+            << apps[i];
+    }
+}
+
+TEST(ExperimentSweep, CachedArtifactsAreStableAndCorrect)
+{
+    ExperimentRunner runner;
+    const LoadedApp &app = runner.load("EM");
+
+    // referenceReports simulates once and caches; it matches a fresh
+    // engine run and later calls return the same object.
+    const ReportList &reports = app.referenceReports();
+    Engine engine(app.flat());
+    EXPECT_EQ(reports, engine.run(app.input).reports);
+    EXPECT_EQ(&reports, &app.referenceReports());
+
+    // The cached flat automaton is also handed to runBaseline so report
+    // collection skips re-flattening; results are unchanged.
+    const ApConfig config;
+    const BaselineResult with_fa =
+        runBaseline(app.workload.app, config, app.input, true, &app.flat());
+    const BaselineResult without_fa =
+        runBaseline(app.workload.app, config, app.input, true);
+    EXPECT_EQ(with_fa.reports, without_fa.reports);
+    EXPECT_EQ(with_fa.reports, reports);
+    EXPECT_EQ(with_fa.batches, without_fa.batches);
+
+    // Profile objects are cached per prefix length.
+    const HotColdProfile &p = app.profile(app.input.size() / 2);
+    EXPECT_EQ(&p, &app.profile(app.input.size() / 2));
+}
+
+TEST(ExperimentSweep, CapturedLogsReplayInCatalogOrder)
+{
+    ExperimentRunner runner;
+    std::ostringstream errs;
+    std::streambuf *old = std::cerr.rdbuf(errs.rdbuf());
+    runner.forEachApp("HML", [](const LoadedApp &, size_t) {}, 8);
+    std::cerr.rdbuf(old);
+
+    // The "generated <abbr>" lines must appear in catalog order even
+    // though 8 lanes raced to produce them.
+    const std::string logs = errs.str();
+    size_t pos = 0;
+    for (const std::string &abbr : runner.selectApps("HML")) {
+        const size_t at = logs.find("generated " + abbr, pos);
+        ASSERT_NE(at, std::string::npos) << abbr << " in:\n" << logs;
+        pos = at + 1;
+    }
+}
+
+} // namespace
+} // namespace sparseap
