@@ -5,6 +5,8 @@
  * regex compiler, topology analysis, and partition construction.
  */
 
+#include <cmath>
+
 #include <benchmark/benchmark.h>
 
 #include "core/sparseap.h"
@@ -59,6 +61,33 @@ BM_EngineCore(benchmark::State &state, const char *abbr, EngineMode mode)
                             static_cast<int64_t>(input.size()));
 }
 
+/**
+ * Dense kernel with the class-compressed accept table against the raw
+ * 256-row layout — what the byte→equivalence-class map buys on each
+ * workload family. Counters record the class count and accept-table
+ * footprint of the chosen layout.
+ */
+void
+BM_DenseKernel(benchmark::State &state, const char *abbr,
+               FlatAutomaton::DenseCompression compression)
+{
+    const LoadedApp &app = sharedApp(abbr);
+    FlatAutomaton fa(app.workload.app, compression);
+    Engine engine(fa, EngineMode::Dense);
+    const std::span<const uint8_t> input(app.input.data(),
+                                         std::min<size_t>(
+                                             app.input.size(), 65536));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(input).reports.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(input.size()));
+    state.counters["classes"] = static_cast<double>(
+        fa.denseView().classes);
+    state.counters["accept_KiB"] = static_cast<double>(
+        fa.denseView().acceptBytes()) / 1024.0;
+}
+
 void
 BM_RegexCompile(benchmark::State &state)
 {
@@ -94,6 +123,46 @@ BM_Partition(benchmark::State &state, const char *abbr)
     }
 }
 
+/**
+ * Per-workload symbol-class census: class count, compressed vs raw
+ * accept-table bytes and the compression ratio, plus the geometric mean
+ * over all selected apps. Printed through ExperimentRunner::printTable so
+ * the numbers also land in the SPARSEAP_JSON JSON Lines stream.
+ */
+void
+printSymbolClassTable()
+{
+    printSection("Symbol classes / dense accept-table compression");
+    static ExperimentRunner runner;
+    Table table({"App", "States", "Classes", "Accept KiB", "Raw KiB",
+                 "Ratio"});
+    const size_t apps = runner.selectApps("HML").size();
+    std::vector<std::vector<std::string>> rows(apps);
+    std::vector<double> ratios(apps, 0.0);
+    runner.forEachApp("HML", [&](const LoadedApp &app, size_t i) {
+        const FlatAutomaton &fa = app.flat();
+        const FlatAutomaton::DenseView &dv = fa.denseView();
+        const double ratio = static_cast<double>(dv.rawAcceptBytes()) /
+                             static_cast<double>(dv.acceptBytes());
+        rows[i] = {app.entry.abbr,
+                   std::to_string(fa.size()),
+                   std::to_string(dv.classes),
+                   Table::fmt(dv.acceptBytes() / 1024.0, 1),
+                   Table::fmt(dv.rawAcceptBytes() / 1024.0, 1),
+                   Table::fmt(ratio, 2)};
+        ratios[i] = ratio;
+    });
+    double log_ratio_sum = 0;
+    for (double r : ratios)
+        log_ratio_sum += std::log(r);
+    for (auto &row : rows)
+        table.addRow(std::move(row));
+    if (apps > 0)
+        table.addRow({"geo-mean", "", "", "", "",
+                      Table::fmt(std::exp(log_ratio_sum / apps), 2)});
+    runner.printTable(table);
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_EngineThroughput, bro217, "Bro217");
@@ -110,8 +179,38 @@ BENCHMARK_CAPTURE(BM_EngineCore, snort_sparse, "Snort",
 BENCHMARK_CAPTURE(BM_EngineCore, snort_dense, "Snort",
                   EngineMode::Dense);
 BENCHMARK_CAPTURE(BM_EngineCore, snort_auto, "Snort", EngineMode::Auto);
+BENCHMARK_CAPTURE(BM_DenseKernel, snort_classes, "Snort",
+                  FlatAutomaton::DenseCompression::Classes);
+BENCHMARK_CAPTURE(BM_DenseKernel, snort_raw, "Snort",
+                  FlatAutomaton::DenseCompression::Raw);
+BENCHMARK_CAPTURE(BM_DenseKernel, cav_classes, "CAV",
+                  FlatAutomaton::DenseCompression::Classes);
+BENCHMARK_CAPTURE(BM_DenseKernel, cav_raw, "CAV",
+                  FlatAutomaton::DenseCompression::Raw);
+BENCHMARK_CAPTURE(BM_DenseKernel, pen_classes, "PEN",
+                  FlatAutomaton::DenseCompression::Classes);
+BENCHMARK_CAPTURE(BM_DenseKernel, pen_raw, "PEN",
+                  FlatAutomaton::DenseCompression::Raw);
+BENCHMARK_CAPTURE(BM_DenseKernel, brill_classes, "Brill",
+                  FlatAutomaton::DenseCompression::Classes);
+BENCHMARK_CAPTURE(BM_DenseKernel, brill_raw, "Brill",
+                  FlatAutomaton::DenseCompression::Raw);
+BENCHMARK_CAPTURE(BM_DenseKernel, hm_classes, "HM",
+                  FlatAutomaton::DenseCompression::Classes);
+BENCHMARK_CAPTURE(BM_DenseKernel, hm_raw, "HM",
+                  FlatAutomaton::DenseCompression::Raw);
 BENCHMARK(BM_RegexCompile);
 BENCHMARK_CAPTURE(BM_Topology, tcp, "TCP");
 BENCHMARK_CAPTURE(BM_Partition, tcp, "TCP");
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    printSymbolClassTable();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -105,6 +105,16 @@ profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
         const size_t words = wordsForBits(fa.size());
         WordVector hot(words, 0);
         auto snapshotDense = [&](size_t j) {
+            if (next < checkpoints.size() && checkpoints[next] == j) {
+                // Latched states leave the dynamic enabled vector, but
+                // each was enabled on the cycle it latched; the
+                // permanent set is monotone, so folding it in at
+                // checkpoint time reconstructs "enabled at least once".
+                const std::span<const uint64_t> perm =
+                    dense.permanentWords();
+                for (size_t w = 0; w < words; ++w)
+                    hot[w] |= perm[w];
+            }
             while (next < checkpoints.size() && checkpoints[next] == j) {
                 HotColdProfile p;
                 p.hot = profiler.hotSet();
@@ -124,9 +134,12 @@ profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
         for (; i < longest; ++i) {
             snapshotDense(i);
             dense.step(input[i], static_cast<uint32_t>(i), nullptr);
+            // Accumulate through the core's live-word summary: only
+            // words with enabled states are ORed, so the per-cycle
+            // profiling cost tracks the live region like step() itself.
             const std::span<const uint64_t> enabled = dense.enabledWords();
-            for (size_t w = 0; w < words; ++w)
-                hot[w] |= enabled[w];
+            forEachSetBit(dense.enabledSummary(),
+                          [&](size_t w) { hot[w] |= enabled[w]; });
         }
         snapshotDense(longest);
         return profiles;

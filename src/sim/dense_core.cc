@@ -4,9 +4,30 @@
 
 namespace sparseap {
 
+namespace {
+
+inline void
+markWord(uint64_t *sum, uint64_t *sum2, size_t w)
+{
+    sum[w >> 6] |= 1ull << (w & 63);
+    sum2[w >> 12] |= 1ull << ((w >> 6) & 63);
+}
+
+} // namespace
+
 DenseCore::DenseCore(const FlatAutomaton &fa)
     : fa_(fa), dv_(fa.denseView()), words_(dv_.words),
-      enabled_(words_, 0), active_(words_, 0), next_(words_, 0)
+      sum_words_(wordsForBits(words_)),
+      sum2_words_(wordsForBits(sum_words_)),
+      has_starts_(!fa.allInputStarts().empty()),
+      has_latchable_(std::any_of(dv_.latchable.begin(),
+                                 dv_.latchable.end(),
+                                 [](uint64_t w) { return w != 0; })),
+      enabled_(words_, 0), enabled_sum_(sum_words_, 0),
+      enabled_sum2_(sum2_words_, 0), next_(words_, 0),
+      next_sum_(sum_words_, 0), next_sum2_(sum2_words_, 0),
+      active_(words_, 0), perm_(words_, 0), perm_next_(words_, 0),
+      perm_next_sum_(sum_words_, 0)
 {
 }
 
@@ -14,38 +35,212 @@ void
 DenseCore::reset(bool install_starts)
 {
     std::fill(enabled_.begin(), enabled_.end(), 0);
+    std::fill(enabled_sum_.begin(), enabled_sum_.end(), 0);
+    std::fill(enabled_sum2_.begin(), enabled_sum2_.end(), 0);
+    std::fill(next_.begin(), next_.end(), 0);
+    std::fill(next_sum_.begin(), next_sum_.end(), 0);
+    std::fill(next_sum2_.begin(), next_sum2_.end(), 0);
+    if (has_perm_) {
+        std::fill(perm_.begin(), perm_.end(), 0);
+        std::fill(perm_next_.begin(), perm_next_.end(), 0);
+        std::fill(perm_next_sum_.begin(), perm_next_sum_.end(), 0);
+        has_perm_ = false;
+    }
     if (!install_starts)
         return;
-    for (size_t w = 0; w < words_; ++w)
-        enabled_[w] = dv_.allInputStarts[w] | dv_.sodStarts[w];
+    // Only start-of-data starts enter the dynamic vector; always-enabled
+    // starts are served from the per-class dispatch on every cycle (they
+    // are a property of the automaton, not of the reset: a mid-run
+    // handover resets without reinstalling position-0 starts but still
+    // needs the dispatch live).
+    for (size_t w = 0; w < words_; ++w) {
+        const uint64_t v = dv_.sodStarts[w];
+        if (v != 0) {
+            enabled_[w] = v;
+            markWord(enabled_sum_.data(), enabled_sum2_.data(), w);
+        }
+    }
 }
 
 void
 DenseCore::seed(std::span<const GlobalStateId> states)
 {
-    for (GlobalStateId s : states)
+    for (GlobalStateId s : states) {
+        if (has_starts_ && testWordBit(dv_.allInputStarts.data(), s))
+            continue; // implicitly enabled via the start dispatch
         setWordBit(enabled_.data(), s);
+        markWord(enabled_sum_.data(), enabled_sum2_.data(), s >> 6);
+    }
 }
 
 bool
 DenseCore::idle() const
 {
-    for (uint64_t w : enabled_)
+    if (has_starts_ || has_perm_)
+        return false; // starts and latched states always activate
+    for (uint64_t w : enabled_sum2_)
         if (w != 0)
             return false;
     return true;
+}
+
+/** OR the pooled successor contribution of all latched states into
+ *  next_, visiting only its (superset-summarized) nonzero words. */
+void
+DenseCore::orPermanentsIntoNext(bool mark)
+{
+    uint64_t *next = next_.data();
+    const uint64_t *pn = perm_next_.data();
+    for (size_t sw = 0; sw < sum_words_; ++sw) {
+        uint64_t bits = perm_next_sum_[sw];
+        while (bits != 0) {
+            const size_t w =
+                sw * 64 + static_cast<unsigned>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            const uint64_t v = pn[w];
+            if (v != 0) {
+                next[w] |= v;
+                if (mark)
+                    markWord(next_sum_.data(), next_sum2_.data(), w);
+            }
+        }
+    }
+}
+
+/**
+ * Latch-maintain one word of next_: latch fresh latchable bits and
+ * return the word with every latchable bit (now all permanent) removed
+ * from the dynamic vector.
+ */
+uint64_t
+DenseCore::latchWord(size_t w, uint64_t v)
+{
+    const uint64_t lat = v & dv_.latchable[w];
+    if (lat == 0)
+        return v;
+    const uint64_t fresh = lat & ~perm_[w];
+    if (fresh != 0)
+        latch(w, fresh);
+    return v & ~lat;
+}
+
+/** Move the @p fresh states of word @p w into the permanent set and
+ *  pool their successor masks into perm_next_ (disjoint from perm_). */
+void
+DenseCore::latch(size_t w, uint64_t fresh)
+{
+    has_perm_ = true;
+    perm_[w] |= fresh;
+    const uint32_t *begin = dv_.succBegin.data();
+    const uint32_t *idx = dv_.succWordIdx.data();
+    const uint64_t *mask = dv_.succWordMask.data();
+    uint64_t bits = fresh;
+    while (bits != 0) {
+        const unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+        const auto s = static_cast<GlobalStateId>(w * 64 + b);
+        for (uint32_t k = begin[s]; k < begin[s + 1]; ++k) {
+            const uint32_t tw = idx[k];
+            const uint64_t m = mask[k] & ~perm_[tw];
+            if (m != 0) {
+                perm_next_[tw] |= m;
+                setWordBit(perm_next_sum_.data(), tw);
+            }
+        }
+        bits &= bits - 1;
+    }
+    // The states themselves are permanent now: no contribution may
+    // re-enter them into the dynamic vector.
+    perm_next_[w] &= ~fresh;
+}
+
+void
+DenseCore::clearNext()
+{
+    // next_ holds the *previous* cycle's enabled set (swapped out at the
+    // end of step); its summaries name exactly the dirty words, so the
+    // wipe costs O(previously live words), not O(N/64).
+    for (size_t sw2 = 0; sw2 < sum2_words_; ++sw2) {
+        uint64_t b2 = next_sum2_[sw2];
+        next_sum2_[sw2] = 0;
+        while (b2 != 0) {
+            const size_t sw =
+                sw2 * 64 +
+                static_cast<unsigned>(__builtin_ctzll(b2));
+            b2 &= b2 - 1;
+            uint64_t b1 = next_sum_[sw];
+            next_sum_[sw] = 0;
+            while (b1 != 0) {
+                next_[sw * 64 +
+                      static_cast<unsigned>(__builtin_ctzll(b1))] = 0;
+                b1 &= b1 - 1;
+            }
+        }
+    }
 }
 
 void
 DenseCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
 {
     const uint64_t *accept = dv_.acceptRow(symbol);
-    for (size_t w = 0; w < words_; ++w)
-        active_[w] = enabled_[w] & accept[w];
 
-    if (reports) {
-        for (size_t w = 0; w < words_; ++w) {
-            uint64_t hits = active_[w] & dv_.reporting[w];
+    uint32_t sk = 0;
+    uint32_t s_end = 0;
+    uint32_t ssk = 0;
+    uint32_t ss_end = 0;
+    if (has_starts_) {
+        const uint8_t cls = dv_.classOf[symbol];
+        sk = dv_.startBegin[cls];
+        s_end = dv_.startBegin[cls + 1];
+        ssk = dv_.startSuccBegin[cls];
+        ss_end = dv_.startSuccBegin[cls + 1];
+    }
+
+    // Pick the path per cycle: count live words (dynamic, via a popcount
+    // of the level-1 summary, plus the symbol's start-dispatch entries)
+    // and skip only while they are a small fraction of the vector.
+    size_t live = (s_end - sk) + (ss_end - ssk);
+    for (size_t i = 0; i < sum_words_; ++i)
+        live += static_cast<size_t>(__builtin_popcountll(enabled_sum_[i]));
+
+    if (live * kSkipDivisor < words_)
+        stepSkip(accept, sk, s_end, ssk, ss_end, position, reports);
+    else
+        stepFlat(accept, sk, s_end, ssk, ss_end, position, reports);
+
+    enabled_.swap(next_);
+    enabled_sum_.swap(next_sum_);
+    enabled_sum2_.swap(next_sum2_);
+}
+
+void
+DenseCore::stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
+                    uint32_t ssk, uint32_t ss_end, uint32_t position,
+                    ReportList *reports)
+{
+    const uint32_t *begin = dv_.succBegin.data();
+    const uint32_t *idx = dv_.succWordIdx.data();
+    const uint64_t *mask = dv_.succWordMask.data();
+    const uint32_t *s_idx = dv_.startWordIdx.data();
+    const uint64_t *s_mask = dv_.startWordMask.data();
+
+    clearNext();
+
+    uint64_t *next = next_.data();
+    uint64_t *next_sum = next_sum_.data();
+    uint64_t *next_sum2 = next_sum2_.data();
+
+    // Matching non-reporting starts enable their successors wholesale
+    // from the per-class pooled contribution — no per-bit propagation.
+    for (uint32_t k = ssk; k < ss_end; ++k) {
+        const uint32_t w = dv_.startSuccWordIdx[k];
+        next[w] |= dv_.startSuccWordMask[k];
+        markWord(next_sum, next_sum2, w);
+    }
+
+    // Process one live word's activations: report, then propagate.
+    auto sweepWord = [&](size_t w, uint64_t act) {
+        if (reports) {
+            uint64_t hits = act & dv_.reporting[w];
             while (hits != 0) {
                 const unsigned b =
                     static_cast<unsigned>(__builtin_ctzll(hits));
@@ -54,31 +249,177 @@ DenseCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
                 hits &= hits - 1;
             }
         }
-    }
+        while (act != 0) {
+            const unsigned b =
+                static_cast<unsigned>(__builtin_ctzll(act));
+            const auto s = static_cast<GlobalStateId>(w * 64 + b);
+            for (uint32_t k = begin[s]; k < begin[s + 1]; ++k) {
+                const uint32_t tw = idx[k];
+                next[tw] |= mask[k];
+                markWord(next_sum, next_sum2, tw);
+            }
+            act &= act - 1;
+        }
+    };
 
-    // Successor propagation: iterate set bits of the active vector and
-    // OR their word-grouped successor masks into the next-enabled
-    // vector.
-    std::fill(next_.begin(), next_.end(), 0);
+    // Start-dispatch entries strictly below word @p w (they are stored
+    // in ascending word order per class, disjoint from the dynamic
+    // vector, and already intersected with the accept row).
+    auto flushStartsBelow = [&](size_t w) {
+        while (sk < s_end && s_idx[sk] < w) {
+            sweepWord(s_idx[sk], s_mask[sk]);
+            ++sk;
+        }
+    };
+
+    // Hierarchical sweep in ascending word order: level-2 bits name live
+    // summary words, summary bits name live enabled words, and the
+    // symbol's start-dispatch list is merged in so reports still come
+    // out in exact state order. Dead regions cost one word test per
+    // 4096 states.
+    for (size_t sw2 = 0; sw2 < sum2_words_; ++sw2) {
+        uint64_t b2 = enabled_sum2_[sw2];
+        while (b2 != 0) {
+            const size_t sw =
+                sw2 * 64 +
+                static_cast<unsigned>(__builtin_ctzll(b2));
+            b2 &= b2 - 1;
+            const uint64_t b1 = enabled_sum_[sw];
+            const size_t base = sw * 64;
+            if (b1 == ~0ull && base + 64 <= words_) {
+                // Fully live block: straight unrolled AND sweep (auto-
+                // vectorizes), then scan the nonzero activations.
+                flushStartsBelow(base);
+                alignas(64) uint64_t act[64];
+                for (size_t j = 0; j < 64; ++j)
+                    act[j] = enabled_[base + j] & accept[base + j];
+                while (sk < s_end && s_idx[sk] < base + 64) {
+                    act[s_idx[sk] - base] |= s_mask[sk];
+                    ++sk;
+                }
+                for (size_t j = 0; j < 64; ++j) {
+                    if (act[j] != 0)
+                        sweepWord(base + j, act[j]);
+                }
+            } else {
+                uint64_t bits = b1;
+                while (bits != 0) {
+                    const size_t w =
+                        base +
+                        static_cast<unsigned>(__builtin_ctzll(bits));
+                    bits &= bits - 1;
+                    flushStartsBelow(w);
+                    uint64_t act = enabled_[w] & accept[w];
+                    if (sk < s_end && s_idx[sk] == w) {
+                        act |= s_mask[sk];
+                        ++sk;
+                    }
+                    if (act != 0)
+                        sweepWord(w, act);
+                }
+            }
+        }
+    }
+    flushStartsBelow(words_);
+
+    // Latched states activate on every symbol: OR their pooled successor
+    // contribution, then latch any freshly enabled universal self-loop
+    // states out of the dynamic vector (the next summary names a
+    // superset of the live words).
+    if (has_perm_)
+        orPermanentsIntoNext(/*mark=*/true);
+    if (has_latchable_) {
+        for (size_t sw2 = 0; sw2 < sum2_words_; ++sw2) {
+            uint64_t b2 = next_sum2_[sw2];
+            while (b2 != 0) {
+                const size_t sw =
+                    sw2 * 64 +
+                    static_cast<unsigned>(__builtin_ctzll(b2));
+                b2 &= b2 - 1;
+                uint64_t b1 = next_sum_[sw];
+                while (b1 != 0) {
+                    const size_t w =
+                        sw * 64 +
+                        static_cast<unsigned>(__builtin_ctzll(b1));
+                    b1 &= b1 - 1;
+                    const uint64_t v = next[w];
+                    if (v != 0)
+                        next[w] = latchWord(w, v);
+                }
+            }
+        }
+    }
+}
+
+void
+DenseCore::stepFlat(const uint64_t *accept, uint32_t sk, uint32_t s_end,
+                    uint32_t ssk, uint32_t ss_end, uint32_t position,
+                    ReportList *reports)
+{
     const uint32_t *begin = dv_.succBegin.data();
     const uint32_t *idx = dv_.succWordIdx.data();
     const uint64_t *mask = dv_.succWordMask.data();
+    const uint32_t *s_idx = dv_.startWordIdx.data();
+    const uint64_t *s_mask = dv_.startWordMask.data();
+
+    std::fill(next_.begin(), next_.end(), 0);
+    std::fill(next_sum_.begin(), next_sum_.end(), 0);
+    std::fill(next_sum2_.begin(), next_sum2_.end(), 0);
+
+    uint64_t *act = active_.data();
+    for (size_t w = 0; w < words_; ++w)
+        act[w] = enabled_[w] & accept[w];
+    // Reporting starts join the activation vector (per-bit handling for
+    // state-ordered reports); non-reporting starts contribute their
+    // pooled successors directly.
+    for (uint32_t k = sk; k < s_end; ++k)
+        act[s_idx[k]] |= s_mask[k];
+
+    uint64_t *next = next_.data();
+    for (uint32_t k = ssk; k < ss_end; ++k)
+        next[dv_.startSuccWordIdx[k]] |= dv_.startSuccWordMask[k];
     for (size_t w = 0; w < words_; ++w) {
-        uint64_t bits = active_[w];
-        while (bits != 0) {
+        uint64_t a = act[w];
+        if (a == 0)
+            continue;
+        if (reports) {
+            uint64_t hits = a & dv_.reporting[w];
+            while (hits != 0) {
+                const unsigned b =
+                    static_cast<unsigned>(__builtin_ctzll(hits));
+                reports->push_back(
+                    {position, static_cast<GlobalStateId>(w * 64 + b)});
+                hits &= hits - 1;
+            }
+        }
+        while (a != 0) {
             const unsigned b =
-                static_cast<unsigned>(__builtin_ctzll(bits));
+                static_cast<unsigned>(__builtin_ctzll(a));
             const auto s = static_cast<GlobalStateId>(w * 64 + b);
             for (uint32_t k = begin[s]; k < begin[s + 1]; ++k)
-                next_[idx[k]] |= mask[k];
-            bits &= bits - 1;
+                next[idx[k]] |= mask[k];
+            a &= a - 1;
         }
     }
-    // Always-enabled starts are enabled on every cycle by definition.
-    for (size_t w = 0; w < words_; ++w)
-        next_[w] |= dv_.allInputStarts[w];
 
-    enabled_.swap(next_);
+    // OR the latched states' pooled contribution, then rebuild the
+    // summaries linearly (latching freshly enabled universal self-loop
+    // states on the way) so a later cycle can return to the skip path
+    // (and its clearNext) with exact bookkeeping.
+    if (has_perm_)
+        orPermanentsIntoNext(/*mark=*/false);
+    for (size_t w = 0; w < words_; ++w) {
+        uint64_t v = next[w];
+        if (v == 0)
+            continue;
+        if (has_latchable_) {
+            v = latchWord(w, v);
+            next[w] = v;
+            if (v == 0)
+                continue;
+        }
+        markWord(next_sum_.data(), next_sum2_.data(), w);
+    }
 }
 
 } // namespace sparseap

@@ -4,21 +4,41 @@
  *
  * Where ExecCore walks a dynamic enabled list and probes one 256-bit
  * symbol set per live state per cycle, this core keeps the enabled set
- * as a ⌈N/64⌉-word bit vector and consumes one symbol with three word
- * sweeps:
+ * as a ⌈N/64⌉-word bit vector and consumes one symbol with word sweeps:
  *
- *   active  = enabled & acceptRow(symbol)        (who matches this byte)
+ *   active  = enabled & acceptRow(symbol)  |  starts matching symbol
  *   reports = active & reportingMask             (emit set bits)
  *   next    = OR of successor rows of active     (ctz over set bits,
- *             CSR word-at-a-time)  |  always-enabled starts
+ *             CSR word-at-a-time)
  *
- * Cost per cycle is O(N/64 + matches) independent of how many states are
- * live, so it wins exactly where the sparse core loses: dense live sets
- * (Hamming / Levenshtein grids, Fermi). It implements the *plain* AP
- * semantics with no latched/permanent machinery — a universal self-loop
- * state simply re-enables itself through its own transition every cycle,
- * which costs nothing extra here. Both cores are property-tested to emit
- * identical report multisets.
+ * Three structures keep those sweeps on the live part of the automaton:
+ *
+ *  - the accept row is selected through the flattener's byte→class map,
+ *    so the table is #classes rows instead of 256 and the hot rows fit
+ *    in cache even at 10⁵ states;
+ *  - always-enabled start states never enter the dynamic enabled vector
+ *    (their bits are pre-cleared from the successor CSR): the ones that
+ *    match the current symbol activate straight from the flattener's
+ *    per-class start dispatch list. Rule sets scatter thousands of
+ *    start states across the id space — kept in the enabled vector they
+ *    make every word permanently live;
+ *  - the enabled set carries a two-level summary — bit w of the first
+ *    level set iff enabled word w is nonzero, bit v of the second level
+ *    set iff summary word v is nonzero — so the sweep visits only live
+ *    words via ctz and a dead 4096-state block costs one word test.
+ *
+ * When the live fraction is high (grid automata: Hamming, Levenshtein,
+ * Fermi), summary maintenance costs more than it skips, so step()
+ * falls back to a flat SIMD-friendly linear sweep chosen per cycle from
+ * a popcount of the summary — O(N/64) but with no per-word bookkeeping.
+ *
+ * Like the sparse core, the dense core latches universal self-loop
+ * states: once enabled they activate forever, so rule-set `.*` gaps
+ * would otherwise accumulate thousands of permanently-live scattered
+ * bits and defeat the skip. Latched states move to a permanent set
+ * whose pooled successor contribution is ORed into next wholesale (see
+ * perm_next_ below). Both cores are property-tested to emit identical
+ * report multisets.
  */
 
 #ifndef SPARSEAP_SIM_DENSE_CORE_H
@@ -26,6 +46,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/word_vector.h"
 #include "sim/flat_automaton.h"
@@ -40,31 +61,42 @@ class DenseCore
     explicit DenseCore(const FlatAutomaton &fa);
 
     /**
-     * Prepare for a run. When @p install_starts, start-of-data and
-     * always-enabled starts are enabled for the first cycle; otherwise
-     * the core starts empty (SpAP-style external driving via seed()).
+     * Prepare for a run. When @p install_starts, start-of-data starts
+     * are enabled for the first cycle and always-enabled starts are
+     * served from the per-class dispatch on every cycle; otherwise the
+     * core starts empty (SpAP-style external driving via seed()).
      */
     void reset(bool install_starts);
 
     /**
      * Enable @p states for the next step() call — used to hand over an
      * in-flight run from the sparse core (see Engine's auto mode).
-     * Permanently-enabled sparse states need no special treatment: once
-     * seeded, a universal self-loop state keeps itself enabled through
-     * its own transitions.
+     * Always-enabled start states are skipped: they are implicitly
+     * enabled through the start dispatch and must stay out of the
+     * dynamic vector. Permanently-enabled sparse states need no special
+     * treatment: once seeded, a universal self-loop state keeps itself
+     * enabled through its own transitions.
      */
     void seed(std::span<const GlobalStateId> states);
+
+    /** Enable one state for the next step() (an SpAP enable). */
+    void
+    seed(GlobalStateId state)
+    {
+        seed(std::span<const GlobalStateId>(&state, 1));
+    }
 
     /** Consume one input symbol (see file comment for the sweep). */
     void step(uint8_t symbol, uint32_t position, ReportList *reports);
 
-    /** True iff no state is enabled for the next step. */
+    /** True iff no state can activate on the next step. */
     bool idle() const;
 
     /**
-     * Word view of the enabled-for-next-step set. The dense profiling
-     * path ORs this into a hot accumulator after every step — the
-     * word-sweep analogue of the sparse core's per-state enable hooks.
+     * Word view of the dynamically enabled set (always-enabled starts
+     * excluded — consumers that need them covered mark them once up
+     * front, they are enabled on every cycle by definition). The dense
+     * profiling path ORs this into a hot accumulator after every step.
      */
     std::span<const uint64_t>
     enabledWords() const
@@ -72,14 +104,78 @@ class DenseCore
         return {enabled_.data(), words_};
     }
 
+    /**
+     * First-level summary of enabledWords(): bit w set iff word w is
+     * nonzero. Lets consumers (the dense profiling OR-sweep) visit only
+     * live words instead of sweeping all ⌈N/64⌉.
+     */
+    std::span<const uint64_t>
+    enabledSummary() const
+    {
+        return {enabled_sum_.data(), sum_words_};
+    }
+
+    /**
+     * Word view of the permanently-enabled (latched) set, monotone
+     * within a run. Latched states leave the dynamic vector, so
+     * consumers reconstructing "enabled at least once" (the dense
+     * profiling path) must union this in.
+     */
+    std::span<const uint64_t>
+    permanentWords() const
+    {
+        return {perm_.data(), words_};
+    }
+
+    /**
+     * Flat-sweep crossover: the hierarchical skip path runs only while
+     * live words (dynamic + start dispatch) are under 1/kSkipDivisor of
+     * the vector; above that the per-word bookkeeping outweighs the
+     * skipped work and a linear SIMD sweep wins.
+     */
+    static constexpr size_t kSkipDivisor = 4;
+
   private:
+    void clearNext();
+    void stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
+                  uint32_t ssk, uint32_t ss_end, uint32_t position,
+                  ReportList *reports);
+    void stepFlat(const uint64_t *accept, uint32_t sk, uint32_t s_end,
+                  uint32_t ssk, uint32_t ss_end, uint32_t position,
+                  ReportList *reports);
+    void orPermanentsIntoNext(bool mark);
+    uint64_t latchWord(size_t w, uint64_t v);
+    void latch(size_t w, uint64_t fresh);
+
     const FlatAutomaton &fa_;
     const FlatAutomaton::DenseView &dv_;
-    size_t words_;
+    size_t words_;      ///< enabled-set words: ceil(N / 64)
+    size_t sum_words_;  ///< level-1 summary words: ceil(words_ / 64)
+    size_t sum2_words_; ///< level-2 summary words: ceil(sum_words_ / 64)
+    bool has_starts_;   ///< automaton has always-enabled starts
+    bool has_latchable_; ///< automaton has latchable states (see DenseView)
+    bool has_perm_ = false; ///< some state has been latched this run
 
     WordVector enabled_; ///< enabled for the upcoming step
-    WordVector active_;  ///< scratch: activated this step
-    WordVector next_;    ///< scratch: enabled for the following step
+    WordVector enabled_sum_;
+    WordVector enabled_sum2_;
+    WordVector next_; ///< scratch: enabled for the following step
+    WordVector next_sum_;
+    WordVector next_sum2_;
+    WordVector active_; ///< flat-path scratch: activations per word
+
+    /**
+     * The dense analogue of the sparse core's latched/permanent
+     * machinery. States latched so far this run (perm_) stay out of the
+     * dynamic vector; since they activate on every symbol, the union of
+     * their successor masks (perm_next_, kept disjoint from perm_) is
+     * ORed into next_ wholesale each cycle — one vectorizable sweep of
+     * its nonzero words (named, as a superset, by perm_next_sum_)
+     * instead of per-bit CSR propagation from thousands of states.
+     */
+    WordVector perm_;
+    WordVector perm_next_;
+    WordVector perm_next_sum_;
 };
 
 } // namespace sparseap

@@ -1,5 +1,7 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "sim/dense_core.h"
 #include "sim/exec_core.h"
@@ -23,6 +25,7 @@ SimResult
 Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
 {
     SimResult result;
+    result.reports.reserve(report_capacity_);
     result.cycles = input.size();
     const size_t n = input.size();
 
@@ -43,6 +46,8 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
                          &result.reports);
         }
         result.usedDenseCore = true;
+        report_capacity_ = std::max(report_capacity_,
+                                    result.reports.size());
         return result;
     }
 
@@ -65,6 +70,9 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
             wordsForBits(fa_.size());
         if (work_acc >= threshold) {
             // Dense from here on: hand the in-flight enabled set over.
+            // The dense core runs on the class-compressed accept table
+            // with the hierarchical live-word skip, so past this point
+            // per-cycle cost tracks the live region, not N.
             std::vector<GlobalStateId> live;
             core_->snapshotEnabled(&live);
             if (!dense_)
@@ -76,6 +84,8 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
                              &result.reports);
             }
             result.usedDenseCore = true;
+            report_capacity_ = std::max(report_capacity_,
+                                        result.reports.size());
             return result;
         }
     }
@@ -83,6 +93,7 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
     for (; i < n; ++i) {
         core_->step(input[i], static_cast<uint32_t>(i), &result.reports);
     }
+    report_capacity_ = std::max(report_capacity_, result.reports.size());
     return result;
 }
 

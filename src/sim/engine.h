@@ -98,6 +98,11 @@ class Engine
     EngineMode mode_;
     std::unique_ptr<ExecCore> core_;
     std::unique_ptr<DenseCore> dense_; ///< created on first dense use
+    /** Largest report count seen so far: each run reserves this up
+     *  front, so sweeps that rerun one engine (forEachApp, the bench
+     *  loops) stop paying the geometric reallocation of the report
+     *  vector on every run. */
+    size_t report_capacity_ = 0;
 };
 
 } // namespace sparseap

@@ -1,12 +1,15 @@
 #include "sim/flat_automaton.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.h"
 
 namespace sparseap {
 
-FlatAutomaton::FlatAutomaton(const Application &app)
+FlatAutomaton::FlatAutomaton(const Application &app,
+                             DenseCompression compression)
+    : compression_(compression)
 {
     const size_t n = app.totalStates();
     symbols_.reserve(n);
@@ -33,18 +36,80 @@ FlatAutomaton::FlatAutomaton(const Application &app)
             succ_begin_.push_back(static_cast<uint32_t>(succ_.size()));
             for (StateId t : st.successors)
                 succ_.push_back(base + t);
-            if (st.start == StartKind::AllInput) {
+            if (st.start == StartKind::AllInput)
                 all_input_starts_.push_back(gid);
-                for (unsigned b = 0; b < 256; ++b) {
-                    if (st.symbols.test(static_cast<uint8_t>(b)))
-                        start_table_[b].push_back(gid);
-                }
-            } else if (st.start == StartKind::StartOfData) {
+            else if (st.start == StartKind::StartOfData)
                 sod_starts_.push_back(gid);
-            }
         }
     }
     succ_begin_.push_back(static_cast<uint32_t>(succ_.size()));
+
+    computeSymbolClasses();
+
+    // One start vector per class instead of one per byte: equivalent
+    // bytes select the same start states by definition, so the 256
+    // dispatch vectors of the old layout were #classes distinct vectors
+    // stored up to 256 times.
+    start_table_.resize(class_count_);
+    for (GlobalStateId gid : all_input_starts_) {
+        const SymbolSet &sym = symbols_[gid];
+        for (size_t c = 0; c < class_count_; ++c) {
+            if (sym.test(class_rep_[c]))
+                start_table_[c].push_back(gid);
+        }
+    }
+}
+
+void
+FlatAutomaton::computeSymbolClasses()
+{
+    // Partition refinement over the byte alphabet: start with one class
+    // and split it by every *distinct* symbol-set (duplicate sets refine
+    // identically, and real automata draw their sets from a small pool).
+    // New class ids are assigned in order of first byte occurrence, so
+    // the map is deterministic and classes are sorted by their smallest
+    // member byte.
+    class_of_.fill(0);
+    class_count_ = 1;
+
+    std::unordered_map<uint64_t, std::vector<const SymbolSet *>> seen;
+    seen.reserve(256);
+    std::array<int16_t, 512> remap;
+    std::array<uint8_t, 256> next_class;
+
+    for (const SymbolSet &sym : symbols_) {
+        if (class_count_ == 256)
+            break; // fully split; no further refinement possible
+        auto &bucket = seen[sym.hash()];
+        const bool dup = std::any_of(
+            bucket.begin(), bucket.end(),
+            [&](const SymbolSet *p) { return *p == sym; });
+        if (dup)
+            continue;
+        bucket.push_back(&sym);
+
+        remap.fill(-1);
+        uint16_t next = 0;
+        for (unsigned b = 0; b < 256; ++b) {
+            const unsigned key =
+                class_of_[b] * 2u +
+                (sym.test(static_cast<uint8_t>(b)) ? 1u : 0u);
+            if (remap[key] < 0)
+                remap[key] = static_cast<int16_t>(next++);
+            next_class[b] = static_cast<uint8_t>(remap[key]);
+        }
+        class_of_ = next_class;
+        class_count_ = next;
+    }
+
+    class_rep_.assign(class_count_, 0);
+    std::vector<uint8_t> have(class_count_, 0);
+    for (unsigned b = 0; b < 256; ++b) {
+        if (!have[class_of_[b]]) {
+            have[class_of_[b]] = 1;
+            class_rep_[class_of_[b]] = static_cast<uint8_t>(b);
+        }
+    }
 }
 
 const FlatAutomaton::DenseView &
@@ -54,19 +119,40 @@ FlatAutomaton::denseView() const
         auto dv = std::make_unique<DenseView>();
         const size_t n = size();
         dv->words = wordsForBits(n);
-        dv->accept.assign(256 * dv->words, 0);
+        if (compression_ == DenseCompression::Raw) {
+            dv->classes = 256;
+            for (unsigned b = 0; b < 256; ++b)
+                dv->classOf[b] = static_cast<uint8_t>(b);
+        } else {
+            dv->classes = class_count_;
+            dv->classOf = class_of_;
+        }
+        dv->accept.assign(dv->classes * dv->words, 0);
         dv->reporting.assign(dv->words, 0);
         dv->allInputStarts.assign(dv->words, 0);
         dv->sodStarts.assign(dv->words, 0);
 
         for (GlobalStateId s = 0; s < n; ++s) {
-            // Transpose the 256-bit symbol set: for every accepted byte
-            // b, set bit s of accept row b. Iterate set bits of the four
-            // symbol-set words instead of probing all 256 symbols.
             const Bitset256 &sym = symbols_[s];
-            forEachSetBit(std::span<const uint64_t>(sym.words), [&](size_t b) {
-                setWordBit(dv->accept.data() + b * dv->words, s);
-            });
+            if (dv->classes < 64) {
+                // Few classes: probe one representative byte per row —
+                // cheaper than walking every set bit of a wide set.
+                for (size_t c = 0; c < class_count_; ++c) {
+                    if (sym.test(class_rep_[c]))
+                        setWordBit(dv->accept.data() + c * dv->words, s);
+                }
+            } else {
+                // Transpose the 256-bit symbol set: for every accepted
+                // byte b, set bit s of b's row (equivalent bytes simply
+                // re-set the same bit). Iterate set bits of the four
+                // symbol-set words instead of probing all 256 symbols.
+                forEachSetBit(
+                    std::span<const uint64_t>(sym.words), [&](size_t b) {
+                        setWordBit(dv->accept.data() +
+                                       dv->classOf[b] * dv->words,
+                                   s);
+                    });
+            }
             if (reporting_[s])
                 setWordBit(dv->reporting.data(), s);
         }
@@ -75,9 +161,26 @@ FlatAutomaton::denseView() const
         for (GlobalStateId s : sod_starts_)
             setWordBit(dv->sodStarts.data(), s);
 
+        dv->latchable.assign(dv->words, 0);
+        for (GlobalStateId s = 0; s < n; ++s) {
+            if (start_[s] != StartKind::None || reporting_[s])
+                continue;
+            uint64_t universal = ~0ull;
+            for (uint64_t w : symbols_[s].words)
+                universal &= w;
+            if (universal != ~0ull)
+                continue;
+            const auto succ = successors(s);
+            if (std::find(succ.begin(), succ.end(), s) != succ.end())
+                setWordBit(dv->latchable.data(), s);
+        }
+
         // Word-level successor CSR. Successor lists are built in NFA
         // state order, which is nondecreasing in target word per state
-        // often enough that grouping is a single linear merge.
+        // often enough that grouping is a single linear merge. Bits of
+        // always-enabled start states are dropped from the masks — the
+        // start dispatch below keeps them active without ever putting
+        // them in the dynamic enabled vector.
         dv->succBegin.reserve(n + 1);
         dv->succBegin.push_back(0);
         std::vector<GlobalStateId> sorted;
@@ -90,11 +193,61 @@ FlatAutomaton::denseView() const
                 uint64_t mask = 0;
                 for (; k < sorted.size() && (sorted[k] >> 6) == word; ++k)
                     mask |= 1ull << (sorted[k] & 63);
+                mask &= ~dv->allInputStarts[word];
+                if (mask == 0)
+                    continue;
                 dv->succWordIdx.push_back(word);
                 dv->succWordMask.push_back(mask);
             }
             dv->succBegin.push_back(
                 static_cast<uint32_t>(dv->succWordIdx.size()));
+        }
+
+        // Per-class start dispatch (see the DenseView doc): reporting
+        // starts as per-word activation masks in ascending word order
+        // (the sweep merges them with the live dynamic words to emit
+        // reports in state order), non-reporting starts as one pooled
+        // successor-contribution list per class.
+        dv->startBegin.reserve(dv->classes + 1);
+        dv->startBegin.push_back(0);
+        dv->startSuccBegin.reserve(dv->classes + 1);
+        dv->startSuccBegin.push_back(0);
+        WordVector contrib(dv->words, 0);
+        for (size_t c = 0; c < dv->classes; ++c) {
+            const uint64_t *row = dv->accept.data() + c * dv->words;
+            for (size_t w = 0; w < dv->words; ++w) {
+                const uint64_t m = row[w] & dv->allInputStarts[w] &
+                                   dv->reporting[w];
+                if (m != 0) {
+                    dv->startWordIdx.push_back(
+                        static_cast<uint32_t>(w));
+                    dv->startWordMask.push_back(m);
+                }
+            }
+            dv->startBegin.push_back(
+                static_cast<uint32_t>(dv->startWordIdx.size()));
+
+            const uint8_t rep =
+                compression_ == DenseCompression::Raw
+                    ? static_cast<uint8_t>(c)
+                    : class_rep_[c];
+            std::fill(contrib.begin(), contrib.end(), 0);
+            for (GlobalStateId s : all_input_starts_) {
+                if (reporting_[s] || !symbols_[s].test(rep))
+                    continue;
+                for (uint32_t k = dv->succBegin[s];
+                     k < dv->succBegin[s + 1]; ++k)
+                    contrib[dv->succWordIdx[k]] |= dv->succWordMask[k];
+            }
+            for (size_t w = 0; w < dv->words; ++w) {
+                if (contrib[w] != 0) {
+                    dv->startSuccWordIdx.push_back(
+                        static_cast<uint32_t>(w));
+                    dv->startSuccWordMask.push_back(contrib[w]);
+                }
+            }
+            dv->startSuccBegin.push_back(
+                static_cast<uint32_t>(dv->startSuccWordIdx.size()));
         }
         dense_ = std::move(dv);
     });

@@ -6,6 +6,15 @@
  * CSR adjacency and a per-symbol dispatch table for the always-enabled
  * start states — the software analogue of the AP feeding each input symbol
  * through the DRAM row decoder so all matching STEs activate in parallel.
+ *
+ * Real automata use only a handful of *character classes*: two bytes are
+ * equivalent when every state either accepts both or rejects both, so the
+ * 256-column byte alphabet collapses to a few equivalence classes (CAMA
+ * exploits the same symbol-set redundancy in hardware). The flattener
+ * computes that byte→class map once and dedups everything keyed by symbol
+ * through it: the start dispatch table stores one vector per class, and
+ * the dense view stores one accept row per class — up to 256/#classes
+ * smaller than the raw table.
  */
 
 #ifndef SPARSEAP_SIM_FLAT_AUTOMATON_H
@@ -27,7 +36,19 @@ namespace sparseap {
 class FlatAutomaton
 {
   public:
-    explicit FlatAutomaton(const Application &app);
+    /**
+     * Accept-table layout of the dense view. Classes is the default;
+     * Raw keeps the uncompressed 256-row table and exists so the
+     * benchmarks can measure exactly what the compression buys.
+     */
+    enum class DenseCompression : uint8_t {
+        Classes, ///< one accept row per byte-equivalence class
+        Raw,     ///< one accept row per byte (reference layout)
+    };
+
+    explicit FlatAutomaton(
+        const Application &app,
+        DenseCompression compression = DenseCompression::Classes);
 
     /** Number of states. */
     size_t size() const { return symbols_.size(); }
@@ -50,7 +71,7 @@ class FlatAutomaton
     const std::vector<GlobalStateId> &
     allInputStartsFor(uint8_t symbol) const
     {
-        return start_table_[symbol];
+        return start_table_[class_of_[symbol]];
     }
 
     /** Start-of-data start states (enabled only for position 0). */
@@ -68,17 +89,42 @@ class FlatAutomaton
     }
 
     /**
+     * Number of byte-equivalence classes (1..256). Two bytes share a
+     * class iff every state's symbol-set treats them identically, so any
+     * per-symbol structure collapses to one entry per class.
+     */
+    size_t symbolClassCount() const { return class_count_; }
+
+    /** Equivalence class of @p symbol (in [0, symbolClassCount())). */
+    uint8_t symbolClass(uint8_t symbol) const { return class_of_[symbol]; }
+
+    /** The smallest byte of class @p cls (its representative). */
+    uint8_t
+    classRepresentative(size_t cls) const
+    {
+        return class_rep_[cls];
+    }
+
+    /**
      * Column-major bit-parallel view for the dense execution core. Where
      * the row-major symbols() array answers "which bytes does state s
      * accept", the accept table answers "which states accept byte b" as
      * one ⌈N/64⌉-word row per symbol — the word-AND analogue of the AP
-     * row decoder driving all matching STE columns at once.
+     * row decoder driving all matching STE columns at once. Equivalent
+     * byte columns share one physical row (see classOf), so the table
+     * holds symbolClassCount() rows instead of 256 unless the automaton
+     * was flattened with DenseCompression::Raw.
      */
     struct DenseView
     {
         /** Words per state-set row: ceil(size() / 64). */
         size_t words = 0;
-        /** 256 rows x words: bit s of row b set iff s accepts byte b. */
+        /** Number of accept rows (#classes, or 256 for Raw). */
+        size_t classes = 0;
+        /** byte -> accept row translation (identity for Raw). */
+        std::array<uint8_t, 256> classOf{};
+        /** classes rows x words: bit s of row classOf[b] set iff s
+         *  accepts byte b. */
         WordVector accept;
         /** Reporting states, one row. */
         WordVector reporting;
@@ -86,22 +132,80 @@ class FlatAutomaton
         WordVector allInputStarts;
         /** Start-of-data start states, one row. */
         WordVector sodStarts;
+        /**
+         * Latchable states, one row: non-start non-reporting states
+         * with a universal self-loop. Once enabled such a state
+         * activates on every later cycle, so the dense core latches it
+         * out of the dynamic enabled vector into a permanent set whose
+         * successor contribution is ORed in wholesale each cycle —
+         * rule-set automata (`.*`-style gaps) otherwise accumulate
+         * thousands of these and keep every word of the vector live.
+         */
+        WordVector latchable;
 
         /**
          * Word-level successor CSR: state s's successors, grouped by
          * target word, as (word index, bit mask) pairs in
          * [succBegin[s], succBegin[s+1]). Propagation ORs whole masks
          * instead of setting successor bits one at a time — grid
-         * automata put most successors in one or two words.
+         * automata put most successors in one or two words. Bits of
+         * always-enabled start states are cleared from the masks: the
+         * dense core serves those through the start dispatch below, so
+         * they never enter the dynamic enabled vector.
          */
         std::vector<uint32_t> succBegin; ///< size()+1 entries
         std::vector<uint32_t> succWordIdx;
         WordVector succWordMask;
 
+        /**
+         * Per-class start dispatch, the dense analogue of the sparse
+         * core's per-symbol start table: always-enabled starts that
+         * match the symbol activate straight from these lists, so they
+         * don't occupy (and don't densify) the dynamic enabled vector —
+         * on rule-set automata the thousands of scattered start states
+         * would otherwise keep every word live and defeat the
+         * hierarchical skip.
+         *
+         * Two lists per class. *Reporting* starts need exact per-state
+         * handling (report emission in state order), so their
+         * activations — the nonzero words of (allInputStarts & accept
+         * row c & reporting) — are (word index, bit mask) pairs in
+         * [startBegin[c], startBegin[c+1]), merged into the sweep. The
+         * (overwhelmingly more common) non-reporting starts only exist
+         * to enable their successors, and which ones activate is a pure
+         * function of the class, so their *pooled successor
+         * contribution* — the OR of their successor masks — is
+         * precomputed per class in [startSuccBegin[c],
+         * startSuccBegin[c+1]) and ORed into the next vector wholesale,
+         * replacing per-bit CSR propagation from every matching start
+         * on every cycle.
+         */
+        std::vector<uint32_t> startBegin; ///< classes+1 entries
+        std::vector<uint32_t> startWordIdx;
+        WordVector startWordMask;
+        std::vector<uint32_t> startSuccBegin; ///< classes+1 entries
+        std::vector<uint32_t> startSuccWordIdx;
+        WordVector startSuccWordMask;
+
         const uint64_t *
         acceptRow(uint8_t symbol) const
         {
-            return accept.data() + static_cast<size_t>(symbol) * words;
+            return accept.data() +
+                   static_cast<size_t>(classOf[symbol]) * words;
+        }
+
+        /** Accept-table bytes actually stored (rows + translation). */
+        size_t
+        acceptBytes() const
+        {
+            return classes * words * sizeof(uint64_t) + sizeof(classOf);
+        }
+
+        /** Accept-table bytes of the uncompressed 256-row layout. */
+        size_t
+        rawAcceptBytes() const
+        {
+            return 256 * words * sizeof(uint64_t);
         }
     };
 
@@ -109,14 +213,22 @@ class FlatAutomaton
     const DenseView &denseView() const;
 
   private:
+    void computeSymbolClasses();
+
     std::vector<SymbolSet> symbols_;
     std::vector<uint8_t> reporting_; // bool, stored flat for cache locality
     std::vector<StartKind> start_;
     std::vector<uint32_t> succ_begin_; // size() + 1 entries (CSR)
     std::vector<GlobalStateId> succ_;
-    std::array<std::vector<GlobalStateId>, 256> start_table_;
+    /** One start vector per byte class (indexed through class_of_). */
+    std::vector<std::vector<GlobalStateId>> start_table_;
     std::vector<GlobalStateId> sod_starts_;
     std::vector<GlobalStateId> all_input_starts_;
+
+    DenseCompression compression_;
+    std::array<uint8_t, 256> class_of_{};
+    std::vector<uint8_t> class_rep_;
+    size_t class_count_ = 1;
 
     mutable std::once_flag dense_once_;
     mutable std::unique_ptr<DenseView> dense_;

@@ -227,6 +227,9 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
     // Split BaseAP reports into final reports and intermediate events.
     ReportList final_reports;
     std::vector<SpapEvent> events; // targets as original global ids
+    events.reserve(hot_run.reports.size());
+    if (collect_reports)
+        final_reports.reserve(hot_run.reports.size());
     for (const Report &r : hot_run.reports) {
         const GlobalStateId target = part.intermediateTarget[r.state];
         if (target != kInvalidGlobal) {
@@ -269,6 +272,12 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
         }
         stats.spApBatches = active_batches.size();
 
+        // Cold batches execute with the process-wide core selection:
+        // Auto lets a batch that runs hot hand itself over to the
+        // class-compressed, live-word-skipping dense core mid-run, with
+        // identical cycle statistics and report multiset on every core.
+        const EngineMode cold_mode = globalOptions().engineMode;
+
         // Batches are independent — each replays the whole input against
         // its own cold fragment — so they fan out over the thread pool.
         // Per-batch results land in per-index slots and are merged below
@@ -289,7 +298,7 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
             const FlatAutomaton &batch_fa =
                 batchAutomaton(plan, part.cold, bi);
             const SpapResult r =
-                runSpapMode(batch_fa, test, batch_events[bi]);
+                runSpapMode(batch_fa, test, batch_events[bi], cold_mode);
             BatchOutcome &out = outcomes[k];
             out.totalCycles = r.totalCycles();
             out.consumedCycles = r.consumedCycles;

@@ -1,6 +1,9 @@
 #include "spap/spap_engine.h"
 
+#include <memory>
+
 #include "common/logging.h"
+#include "sim/dense_core.h"
 #include "sim/exec_core.h"
 
 namespace sparseap {
@@ -8,6 +11,13 @@ namespace sparseap {
 SpapResult
 runSpapMode(const FlatAutomaton &fa, std::span<const uint8_t> input,
             std::span<const SpapEvent> events)
+{
+    return runSpapMode(fa, input, events, globalOptions().engineMode);
+}
+
+SpapResult
+runSpapMode(const FlatAutomaton &fa, std::span<const uint8_t> input,
+            std::span<const SpapEvent> events, EngineMode mode)
 {
     SPARSEAP_ASSERT(fa.allInputStarts().empty() &&
                         fa.startOfDataStarts().empty(),
@@ -21,15 +31,28 @@ runSpapMode(const FlatAutomaton &fa, std::span<const uint8_t> input,
     SpapResult result;
     const size_t n = input.size();
 
-    ExecCore core(fa);
-    core.reset(ExecCore::distinctBytes(input), nullptr,
-               /*install_starts=*/false);
+    // Either core implements the semantics; the enabled-set traces (and
+    // hence idle()/jump decisions, consumed cycles and stalls) coincide,
+    // so every mode produces the same statistics and report multiset.
+    std::unique_ptr<ExecCore> sparse;
+    std::unique_ptr<DenseCore> dense;
+    if (mode == EngineMode::Dense && fa.size() > 0) {
+        dense = std::make_unique<DenseCore>(fa);
+        dense->reset(/*install_starts=*/false);
+    } else {
+        sparse = std::make_unique<ExecCore>(fa);
+        sparse->reset(ExecCore::distinctBytes(input), nullptr,
+                      /*install_starts=*/false);
+    }
+    const bool may_probe =
+        mode == EngineMode::Auto && fa.size() >= Engine::kMinDenseStates;
+    uint64_t work_acc = 0;
 
     size_t i = 0; // input cursor
     size_t j = 0; // event cursor
 
     while (i < n) {
-        if (core.idle()) {
+        if (dense ? dense->idle() : sparse->idle()) {
             if (j < events.size()) {
                 // Jump: nothing can activate until the next enable.
                 if (events[j].position > i) {
@@ -51,16 +74,46 @@ runSpapMode(const FlatAutomaton &fa, std::span<const uint8_t> input,
             const GlobalStateId s = events[j].state;
             SPARSEAP_ASSERT(s < fa.size(), "event state ", s,
                             " out of range ", fa.size());
-            core.enableState(s);
+            if (dense)
+                dense->seed(s);
+            else
+                sparse->enableState(s);
             ++enables_here;
             ++j;
         }
         if (enables_here > 1)
             result.enableStalls += enables_here - 1;
 
-        core.step(input[i], static_cast<uint32_t>(i), &result.reports);
+        if (dense) {
+            dense->step(input[i], static_cast<uint32_t>(i),
+                        &result.reports);
+        } else {
+            sparse->step(input[i], static_cast<uint32_t>(i),
+                         &result.reports);
+            work_acc += sparse->lastStepWork();
+        }
         ++result.consumedCycles;
         ++i;
+
+        // Auto handover, with Engine::run's probe: after kProbeCycles
+        // *consumed* cycles on the sparse core, hand the in-flight
+        // enabled set to the dense core when the measured sparse work
+        // exceeds a word sweep — an over-capacity cold batch that runs
+        // hot then pays O(live words) per cycle instead of list chasing.
+        if (sparse && may_probe &&
+            result.consumedCycles == Engine::kProbeCycles) {
+            const uint64_t threshold =
+                static_cast<uint64_t>(Engine::kProbeCycles) *
+                Engine::kDenseWorkPerWord * wordsForBits(fa.size());
+            if (work_acc >= threshold) {
+                std::vector<GlobalStateId> live;
+                sparse->snapshotEnabled(&live);
+                dense = std::make_unique<DenseCore>(fa);
+                dense->reset(/*install_starts=*/false);
+                dense->seed(live);
+                sparse.reset();
+            }
+        }
     }
     return result;
 }

@@ -57,11 +57,25 @@ struct SpapResult
 /**
  * Execute Algorithm 1.
  *
+ * Like Engine, the run can execute on either stepping core: @p mode
+ * pins it, and Auto starts sparse then hands the in-flight enabled set
+ * to the bit-parallel dense core when the measured per-cycle work of
+ * the sparse core exceeds a live-word sweep (same probe and threshold
+ * as Engine::run). Jumps, enable stalls, consumed cycles and the
+ * report multiset are identical on every core — only report order
+ * within one position may differ (callers sort).
+ *
  * @param fa the cold automaton (must contain no start states)
  * @param input the full test input stream
  * @param events intermediate reports sorted by position, targeting states
  *               of @p fa
+ * @param mode stepping-core selection
  */
+SpapResult runSpapMode(const FlatAutomaton &fa,
+                       std::span<const uint8_t> input,
+                       std::span<const SpapEvent> events, EngineMode mode);
+
+/** runSpapMode with the process-wide SPARSEAP_ENGINE mode. */
 SpapResult runSpapMode(const FlatAutomaton &fa,
                        std::span<const uint8_t> input,
                        std::span<const SpapEvent> events);

@@ -142,5 +142,22 @@ TEST(SpapEngine, UnsortedEventsDie)
     EXPECT_DEATH(runSpapMode(fa, bytes("zzzzzzzz"), events), "sorted");
 }
 
+/** All three core modes agree, including the compressed dense path. */
+TEST(SpapEngine, AllCoreModesEmitIdenticalResults)
+{
+    Application app = coldChain("abab");
+    FlatAutomaton fa(app);
+    const std::string input = "zzababzzzabababz";
+    std::vector<SpapEvent> events = {{2, 0}, {9, 0}, {11, 0}};
+    const SpapResult want =
+        runSpapMode(fa, bytes(input), events, EngineMode::Sparse);
+    for (EngineMode mode : {EngineMode::Dense, EngineMode::Auto}) {
+        const SpapResult got = runSpapMode(fa, bytes(input), events, mode);
+        EXPECT_EQ(got.reports, want.reports);
+        EXPECT_EQ(got.consumedCycles, want.consumedCycles);
+        EXPECT_EQ(got.jumps, want.jumps);
+    }
+}
+
 } // namespace
 } // namespace sparseap
