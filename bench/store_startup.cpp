@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Startup cost of the compile pipeline (flatten + profile + partition)
+ * per app, with the artifact store off, cold (computing and filling the
+ * cache) and warm (served from the cache): the warm pass must load
+ * mmap-able blobs instead of re-running generation-time analyses, which
+ * is where the suite-level >=5x startup win comes from. Cache hit/miss/
+ * store counters are printed per pass.
+ *
+ * The bench always runs against its own temporary cache directory (an
+ * ambient SPARSEAP_CACHE_DIR would make the "cold" pass warm), removed
+ * on exit.
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+
+#include "core/sparseap.h"
+
+using namespace sparseap;
+using store::ArtifactCache;
+using store::CacheStats;
+using store::ScopedCacheOverride;
+
+namespace {
+
+constexpr double kFractions[] = {0.001, 0.01};
+
+/** Run one app's full compile pipeline; @return wall milliseconds. */
+double
+pipelineMs(const LoadedApp &app)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    app.flat();
+    app.prewarmProfiles(kFractions);
+    for (const double f : kFractions)
+        preparePartition(app, app.execOptions(f, ApConfig::kHalfCore));
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+struct Pass
+{
+    std::vector<double> ms; ///< per app, catalog order
+    double total = 0.0;
+    CacheStats stats;
+};
+
+/**
+ * One pass over @p apps with a fresh runner (so nothing is served from
+ * in-memory caches — only the artifact store distinguishes the passes).
+ * Workload generation/input synthesis happens in load(), outside the
+ * timed window: the bench isolates the flatten/profile/partition cost
+ * the store actually caches.
+ */
+Pass
+runPass(const std::vector<std::string> &apps)
+{
+    ArtifactCache::global().resetStats();
+    ExperimentRunner runner;
+    Pass pass;
+    for (const std::string &abbr : apps) {
+        const LoadedApp &app = runner.load(abbr);
+        const double ms = pipelineMs(app);
+        pass.ms.push_back(ms);
+        pass.total += ms;
+        runner.unload(abbr);
+    }
+    pass.stats = ArtifactCache::global().stats();
+    return pass;
+}
+
+void
+printStats(const char *label, const CacheStats &s)
+{
+    std::cout << label << ": " << s.hits << " hits, " << s.misses
+              << " misses (" << s.invalid << " invalid), " << s.stores
+              << " stores, " << s.storeErrors << " store errors\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    ExperimentRunner runner;
+    const std::vector<std::string> apps = runner.selectApps("HML");
+    printSection("Store startup: compile-pipeline time per app "
+                 "(0.1%/1% profiling, 24K capacity)");
+
+    Pass off;
+    {
+        ScopedCacheOverride disabled("");
+        off = runPass(apps);
+    }
+
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "sparseap_store_startup";
+    fs::remove_all(dir);
+    const ScopedCacheOverride scope(dir.string());
+    const Pass cold = runPass(apps);
+    const Pass warm = runPass(apps);
+
+    Table table({"App", "NoCache(ms)", "Cold(ms)", "Warm(ms)",
+                 "Speedup"});
+    for (size_t i = 0; i < apps.size(); ++i) {
+        table.addRow({apps[i], Table::fmt(off.ms[i], 2),
+                      Table::fmt(cold.ms[i], 2),
+                      Table::fmt(warm.ms[i], 2),
+                      Table::fmt(warm.ms[i] > 0.0
+                                     ? cold.ms[i] / warm.ms[i]
+                                     : 0.0,
+                                 1)});
+    }
+    table.addRow({"total", Table::fmt(off.total, 2),
+                  Table::fmt(cold.total, 2), Table::fmt(warm.total, 2),
+                  Table::fmt(warm.total > 0.0 ? cold.total / warm.total
+                                              : 0.0,
+                             1)});
+    runner.printTable(table);
+
+    std::cout << "\n";
+    printStats("no-cache", off.stats);
+    printStats("cold    ", cold.stats);
+    printStats("warm    ", warm.stats);
+    std::cout << "suite startup speedup (cold/warm): "
+              << Table::fmt(warm.total > 0.0 ? cold.total / warm.total
+                                             : 0.0,
+                            1)
+              << "x over " << apps.size() << " app(s)\n";
+
+    fs::remove_all(dir);
+    return 0;
+}

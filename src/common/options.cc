@@ -90,6 +90,14 @@ parseEnvironment()
     }
     if (const char *v = std::getenv("SPARSEAP_JSON"))
         opt.jsonPath = v;
+    if (const char *v = std::getenv("SPARSEAP_CACHE_DIR"))
+        opt.cacheDir = v;
+    if (const char *v = std::getenv("SPARSEAP_CACHE")) {
+        if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0)
+            opt.cacheDir.clear();
+        else if (std::strcmp(v, "on") != 0 && std::strcmp(v, "1") != 0)
+            fatal("SPARSEAP_CACHE must be on/off/1/0, got '", v, "'");
+    }
     return opt;
 }
 

@@ -17,6 +17,10 @@
  *                       hardware thread count)
  *   SPARSEAP_JSON       when set, benchmark binaries append their tables
  *                       as machine-readable JSON to this file
+ *   SPARSEAP_CACHE_DIR  directory of the compiled-artifact cache
+ *                       (src/store); empty disables caching
+ *   SPARSEAP_CACHE      set to "off" (or "0") to disable the artifact
+ *                       cache even when SPARSEAP_CACHE_DIR is set
  */
 
 #ifndef SPARSEAP_COMMON_OPTIONS_H
@@ -57,6 +61,8 @@ struct Options
     unsigned jobs = 1;
     /** If non-empty, benches append JSON results to this file. */
     std::string jsonPath;
+    /** Artifact-cache directory; empty means caching is disabled. */
+    std::string cacheDir;
 };
 
 /** @return process-wide options parsed from the environment (cached). */

@@ -7,11 +7,57 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "store/artifact.h"
+#include "store/cache.h"
 #include "workloads/inputs.h"
 
 namespace sparseap {
 
 namespace {
+
+// ---------------------------------------------------- artifact keys --
+// Every compiled artifact is content-addressed by a DigestBuilder fold
+// of the app's cacheKey (workload identity + structural fingerprint +
+// input hash, see LoadedApp) and the parameters that shape the artifact.
+// The store format version is folded in by DigestBuilder itself, so a
+// layout change misses the cache instead of misreading old blobs.
+
+uint64_t
+flatArtifactKey(const LoadedApp &app)
+{
+    return store::DigestBuilder()
+        .add("flat")
+        .add(app.cacheKey)
+        .add(static_cast<uint64_t>(
+            FlatAutomaton::DenseCompression::Classes))
+        .digest();
+}
+
+uint64_t
+profileArtifactKey(const LoadedApp &app, size_t prefix_len)
+{
+    // Engine mode is deliberately absent: all stepping cores produce
+    // bit-identical profiles (property-tested in test_profiler).
+    return store::DigestBuilder()
+        .add("profile")
+        .add(app.cacheKey)
+        .add(prefix_len)
+        .digest();
+}
+
+uint64_t
+partitionArtifactKey(const LoadedApp &app, const ExecutionOptions &opts,
+                     size_t prefix_len)
+{
+    return store::DigestBuilder()
+        .add("partition")
+        .add(app.cacheKey)
+        .add(prefix_len)
+        .add(opts.ap.capacity)
+        .add(opts.fillOptimization ? 1 : 0)
+        .add(opts.partition.dedupeIntermediates ? 1 : 0)
+        .digest();
+}
 
 /** Minimal JSON string escaping (quotes, backslashes, control chars). */
 std::string
@@ -59,8 +105,28 @@ LoadedApp::topology() const
 const FlatAutomaton &
 LoadedApp::flat() const
 {
-    if (!flat_)
+    if (flat_)
+        return *flat_;
+    const store::ArtifactCache &cache = store::ArtifactCache::global();
+    const bool cached = cache.enabled() && cacheKey != 0;
+    if (cached) {
+        const uint64_t key = flatArtifactKey(*this);
+        if (auto blob =
+                cache.load(store::ArtifactKind::FlatAutomaton, key)) {
+            std::string error;
+            if (auto fa = store::decodeFlatAutomaton(*blob, 0, &error)) {
+                flat_ = std::move(fa);
+                return *flat_;
+            }
+            warn("artifact cache: ", error, " (recomputing)");
+        }
         flat_ = std::make_unique<FlatAutomaton>(workload.app);
+        store::BlobWriter w(store::ArtifactKind::FlatAutomaton, key);
+        store::encodeFlatAutomaton(*flat_, w);
+        cache.store(w);
+        return *flat_;
+    }
+    flat_ = std::make_unique<FlatAutomaton>(workload.app);
     return *flat_;
 }
 
@@ -68,15 +134,39 @@ const HotColdProfile &
 LoadedApp::profile(size_t prefix_len) const
 {
     auto it = profiles_.find(prefix_len);
-    if (it == profiles_.end()) {
-        it = profiles_
-                 .emplace(prefix_len,
-                          profileApplication(
-                              flat(), std::span<const uint8_t>(
-                                          input.data(), prefix_len)))
-                 .first;
+    if (it != profiles_.end())
+        return it->second;
+
+    const store::ArtifactCache &cache = store::ArtifactCache::global();
+    if (cache.enabled() && cacheKey != 0) {
+        const uint64_t key = profileArtifactKey(*this, prefix_len);
+        if (auto blob = cache.load(store::ArtifactKind::Profile, key)) {
+            HotColdProfile prof;
+            size_t stored_len = 0;
+            std::string error;
+            if (store::decodeProfile(*blob, &prof, &stored_len, &error) &&
+                stored_len == prefix_len &&
+                prof.hot.size() == workload.app.totalStates()) {
+                return profiles_.emplace(prefix_len, std::move(prof))
+                    .first->second;
+            }
+            warn("artifact cache: unusable profile blob (recomputing)");
+        }
+        HotColdProfile prof = profileApplication(
+            flat(), std::span<const uint8_t>(input.data(), prefix_len));
+        store::BlobWriter w(store::ArtifactKind::Profile, key);
+        store::encodeProfile(prof, prefix_len, w);
+        cache.store(w);
+        return profiles_.emplace(prefix_len, std::move(prof))
+            .first->second;
     }
-    return it->second;
+
+    return profiles_
+        .emplace(prefix_len,
+                 profileApplication(flat(),
+                                    std::span<const uint8_t>(
+                                        input.data(), prefix_len)))
+        .first->second;
 }
 
 void
@@ -92,12 +182,43 @@ LoadedApp::prewarmProfiles(std::span<const double> fractions) const
     }
     std::sort(lens.begin(), lens.end());
     lens.erase(std::unique(lens.begin(), lens.end()), lens.end());
+
+    // Serve what the artifact cache already holds; only the remaining
+    // lengths need the (single, checkpointed) profiling pass.
+    const store::ArtifactCache &cache = store::ArtifactCache::global();
+    const bool cached = cache.enabled() && cacheKey != 0;
+    if (cached) {
+        std::vector<size_t> todo;
+        for (size_t len : lens) {
+            const uint64_t key = profileArtifactKey(*this, len);
+            auto blob = cache.load(store::ArtifactKind::Profile, key);
+            HotColdProfile prof;
+            size_t stored_len = 0;
+            std::string error;
+            if (blob &&
+                store::decodeProfile(*blob, &prof, &stored_len, &error) &&
+                stored_len == len &&
+                prof.hot.size() == workload.app.totalStates()) {
+                profiles_.emplace(len, std::move(prof));
+            } else {
+                todo.push_back(len);
+            }
+        }
+        lens = std::move(todo);
+    }
     if (lens.empty())
         return;
     std::vector<HotColdProfile> profs =
         profileApplication(flat(), input, lens);
-    for (size_t i = 0; i < lens.size(); ++i)
+    for (size_t i = 0; i < lens.size(); ++i) {
+        if (cached) {
+            store::BlobWriter w(store::ArtifactKind::Profile,
+                                profileArtifactKey(*this, lens[i]));
+            store::encodeProfile(profs[i], lens[i], w);
+            cache.store(w);
+        }
         profiles_.emplace(lens[i], std::move(profs[i]));
+    }
 }
 
 const ReportList &
@@ -130,6 +251,16 @@ ExperimentRunner::generate(const std::string &abbr) const
         bytes = std::min(bytes, loaded.workload.inputBytesCap);
     loaded.input =
         synthesizeInput(loaded.workload.input, bytes, input_rng);
+    loaded.cacheKey =
+        store::DigestBuilder()
+            .add("workload")
+            .add(abbr)
+            .add(opts_.seed)
+            .add(opts_.scalePercent)
+            .add(loaded.workload.app.totalStates())
+            .add(loaded.workload.app.nfaCount())
+            .add(store::hash64(loaded.input.data(), loaded.input.size()))
+            .digest();
     inform("generated ", abbr, ": ", loaded.workload.app.totalStates(),
            " states, ", loaded.workload.app.nfaCount(), " NFAs");
     return loaded;
@@ -264,8 +395,36 @@ preparePartition(const LoadedApp &app, const ExecutionOptions &opts)
 {
     const size_t profile_len =
         profilePrefixLength(opts, app.input.size());
-    return preparePartition(app.topology(), opts, app.input,
-                            app.profile(profile_len));
+    const store::ArtifactCache &cache = store::ArtifactCache::global();
+    if (!cache.enabled() || app.cacheKey == 0) {
+        return preparePartition(app.topology(), opts, app.input,
+                                app.profile(profile_len));
+    }
+
+    const std::span<const uint8_t> full_input(app.input.data(),
+                                              app.input.size());
+    const uint64_t key = partitionArtifactKey(app, opts, profile_len);
+    if (auto blob = cache.load(store::ArtifactKind::Partition, key)) {
+        PreparedPartition prep;
+        std::string error;
+        if (store::decodePreparedPartition(*blob, &prep, &error)) {
+            // The stored blob holds everything derived from the input
+            // *content*; the two input views are positions in the
+            // caller's stream and are re-derived here.
+            prep.profileInput = full_input.subspan(0, profile_len);
+            prep.testInput = opts.fullInputAsTest
+                                 ? full_input
+                                 : full_input.subspan(profile_len);
+            return prep;
+        }
+        warn("artifact cache: ", error, " (recomputing)");
+    }
+    PreparedPartition prep = preparePartition(
+        app.topology(), opts, app.input, app.profile(profile_len));
+    store::BlobWriter w(store::ArtifactKind::Partition, key);
+    store::encodePreparedPartition(prep, opts.ap.capacity, w);
+    cache.store(w);
+    return prep;
 }
 
 SpapRunStats

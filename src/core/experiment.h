@@ -41,12 +41,24 @@ struct LoadedApp
     Workload workload;
     std::vector<uint8_t> input;
 
+    /**
+     * Content-address base of this app's compiled artifacts in the
+     * store cache: a digest of the workload identity (abbr, seed,
+     * scale), a structural fingerprint of the generated automaton and a
+     * hash of the synthesized input, so generator or input changes miss
+     * the cache instead of loading stale artifacts. 0 disables caching
+     * for this instance (e.g. hand-built LoadedApps in tests).
+     */
+    uint64_t cacheKey = 0;
+
     /** Topology (computed on first use, cached). */
     const AppTopology &topology() const;
 
     /** Flat automaton of the whole application (cached). The bench
      *  pipeline previously re-flattened the app on every profiling,
-     *  baseline and partition call — 4+ times per app per table. */
+     *  baseline and partition call — 4+ times per app per table. When
+     *  the artifact cache is enabled the automaton is loaded zero-copy
+     *  from the store (and stored on first computation). */
     const FlatAutomaton &flat() const;
 
     /**

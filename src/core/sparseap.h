@@ -47,6 +47,11 @@
 #include "spap/ap_cpu.h"
 #include "spap/executor.h"
 #include "spap/spap_engine.h"
+#include "store/artifact.h"
+#include "store/blob.h"
+#include "store/cache.h"
+#include "store/format.h"
+#include "store/mapped_file.h"
 #include "workloads/becchi.h"
 #include "workloads/brill.h"
 #include "workloads/clamav.h"

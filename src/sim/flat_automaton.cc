@@ -12,16 +12,16 @@ FlatAutomaton::FlatAutomaton(const Application &app,
     : compression_(compression)
 {
     const size_t n = app.totalStates();
-    symbols_.reserve(n);
-    reporting_.reserve(n);
-    start_.reserve(n);
-    succ_begin_.reserve(n + 1);
+    owned_.symbols.reserve(n);
+    owned_.reporting.reserve(n);
+    owned_.start.reserve(n);
+    owned_.succ_begin.reserve(n + 1);
 
     size_t edge_count = 0;
     for (const auto &nfa : app.nfas())
         for (const auto &s : nfa.states())
             edge_count += s.successors.size();
-    succ_.reserve(edge_count);
+    owned_.succ.reserve(edge_count);
 
     for (uint32_t ni = 0; ni < app.nfaCount(); ++ni) {
         const Nfa &nfa = app.nfa(ni);
@@ -30,34 +30,132 @@ FlatAutomaton::FlatAutomaton(const Application &app,
         for (StateId si = 0; si < nfa.size(); ++si) {
             const State &st = nfa.state(si);
             const GlobalStateId gid = base + si;
-            symbols_.push_back(st.symbols);
-            reporting_.push_back(st.reporting ? 1 : 0);
-            start_.push_back(st.start);
-            succ_begin_.push_back(static_cast<uint32_t>(succ_.size()));
+            owned_.symbols.push_back(st.symbols);
+            owned_.reporting.push_back(st.reporting ? 1 : 0);
+            owned_.start.push_back(st.start);
+            owned_.succ_begin.push_back(
+                static_cast<uint32_t>(owned_.succ.size()));
             for (StateId t : st.successors)
-                succ_.push_back(base + t);
+                owned_.succ.push_back(base + t);
             if (st.start == StartKind::AllInput)
-                all_input_starts_.push_back(gid);
+                owned_.all_input_starts.push_back(gid);
             else if (st.start == StartKind::StartOfData)
-                sod_starts_.push_back(gid);
+                owned_.sod_starts.push_back(gid);
         }
     }
-    succ_begin_.push_back(static_cast<uint32_t>(succ_.size()));
+    owned_.succ_begin.push_back(static_cast<uint32_t>(owned_.succ.size()));
+
+    symbols_ = owned_.symbols;
+    reporting_ = owned_.reporting;
+    start_ = owned_.start;
+    succ_begin_ = owned_.succ_begin;
+    succ_ = owned_.succ;
+    sod_starts_ = owned_.sod_starts;
+    all_input_starts_ = owned_.all_input_starts;
 
     computeSymbolClasses();
+    class_rep_ = owned_.class_rep;
 
-    // One start vector per class instead of one per byte: equivalent
-    // bytes select the same start states by definition, so the 256
-    // dispatch vectors of the old layout were #classes distinct vectors
-    // stored up to 256 times.
-    start_table_.resize(class_count_);
-    for (GlobalStateId gid : all_input_starts_) {
-        const SymbolSet &sym = symbols_[gid];
-        for (size_t c = 0; c < class_count_; ++c) {
-            if (sym.test(class_rep_[c]))
-                start_table_[c].push_back(gid);
+    // One start-dispatch row per class instead of one per byte:
+    // equivalent bytes select the same start states by definition, so
+    // the 256 dispatch vectors of the old layout were #classes distinct
+    // vectors stored up to 256 times. Stored as a CSR so a loaded
+    // automaton can alias the same layout inside a file mapping.
+    owned_.start_table_begin.reserve(class_count_ + 1);
+    owned_.start_table_begin.push_back(0);
+    for (size_t c = 0; c < class_count_; ++c) {
+        for (GlobalStateId gid : owned_.all_input_starts) {
+            if (owned_.symbols[gid].test(owned_.class_rep[c]))
+                owned_.start_table.push_back(gid);
         }
+        owned_.start_table_begin.push_back(
+            static_cast<uint32_t>(owned_.start_table.size()));
     }
+    start_table_begin_ = owned_.start_table_begin;
+    start_table_ = owned_.start_table;
+}
+
+FlatAutomaton::FlatAutomaton(const Parts &parts)
+    : backing_(parts.backing), symbols_(parts.symbols),
+      reporting_(parts.reporting), start_(parts.start),
+      succ_begin_(parts.succBegin), succ_(parts.succ),
+      start_table_begin_(parts.startTableBegin),
+      start_table_(parts.startTable), sod_starts_(parts.sodStarts),
+      all_input_starts_(parts.allInputStarts), class_rep_(parts.classRep),
+      compression_(parts.compression), class_count_(parts.classCount)
+{
+    SPARSEAP_ASSERT(parts.classOf.size() == 256 &&
+                        parts.dense.classOf.size() == 256,
+                    "malformed FlatAutomaton parts");
+    std::copy(parts.classOf.begin(), parts.classOf.end(),
+              class_of_.begin());
+
+    // Install the dense view straight from the decoded sections — a
+    // stored automaton always carries one, so nothing is ever rebuilt.
+    std::call_once(dense_once_, [&] {
+        auto dv = std::make_unique<DenseView>();
+        const Parts::Dense &d = parts.dense;
+        dv->words = d.words;
+        dv->classes = d.classes;
+        std::copy(d.classOf.begin(), d.classOf.end(),
+                  dv->classOf.begin());
+        dv->accept = d.accept;
+        dv->reporting = d.reporting;
+        dv->allInputStarts = d.allInputStarts;
+        dv->sodStarts = d.sodStarts;
+        dv->latchable = d.latchable;
+        dv->succBegin = d.succBegin;
+        dv->succWordIdx = d.succWordIdx;
+        dv->succWordMask = d.succWordMask;
+        dv->startBegin = d.startBegin;
+        dv->startWordIdx = d.startWordIdx;
+        dv->startWordMask = d.startWordMask;
+        dv->startSuccBegin = d.startSuccBegin;
+        dv->startSuccWordIdx = d.startSuccWordIdx;
+        dv->startSuccWordMask = d.startSuccWordMask;
+        dense_ = std::move(dv);
+    });
+}
+
+FlatAutomaton::Parts
+FlatAutomaton::parts() const
+{
+    const DenseView &dv = denseView();
+    Parts p;
+    p.compression = compression_;
+    p.classCount = static_cast<uint32_t>(class_count_);
+    p.classOf = {class_of_.data(), class_of_.size()};
+    p.classRep = class_rep_;
+    p.symbols = symbols_;
+    p.reporting = reporting_;
+    p.start = start_;
+    p.succBegin = succ_begin_;
+    p.succ = succ_;
+    p.startTableBegin = start_table_begin_;
+    p.startTable = start_table_;
+    p.sodStarts = sod_starts_;
+    p.allInputStarts = all_input_starts_;
+    p.backing = backing_;
+
+    Parts::Dense &d = p.dense;
+    d.words = dv.words;
+    d.classes = dv.classes;
+    d.classOf = {dv.classOf.data(), dv.classOf.size()};
+    d.accept = dv.accept;
+    d.reporting = dv.reporting;
+    d.allInputStarts = dv.allInputStarts;
+    d.sodStarts = dv.sodStarts;
+    d.latchable = dv.latchable;
+    d.succBegin = dv.succBegin;
+    d.succWordIdx = dv.succWordIdx;
+    d.succWordMask = dv.succWordMask;
+    d.startBegin = dv.startBegin;
+    d.startWordIdx = dv.startWordIdx;
+    d.startWordMask = dv.startWordMask;
+    d.startSuccBegin = dv.startSuccBegin;
+    d.startSuccWordIdx = dv.startSuccWordIdx;
+    d.startSuccWordMask = dv.startSuccWordMask;
+    return p;
 }
 
 void
@@ -102,12 +200,12 @@ FlatAutomaton::computeSymbolClasses()
         class_count_ = next;
     }
 
-    class_rep_.assign(class_count_, 0);
+    owned_.class_rep.assign(class_count_, 0);
     std::vector<uint8_t> have(class_count_, 0);
     for (unsigned b = 0; b < 256; ++b) {
         if (!have[class_of_[b]]) {
             have[class_of_[b]] = 1;
-            class_rep_[class_of_[b]] = static_cast<uint8_t>(b);
+            owned_.class_rep[class_of_[b]] = static_cast<uint8_t>(b);
         }
     }
 }
@@ -117,6 +215,7 @@ FlatAutomaton::denseView() const
 {
     std::call_once(dense_once_, [this] {
         auto dv = std::make_unique<DenseView>();
+        DenseView::Owned &own = dv->owned;
         const size_t n = size();
         dv->words = wordsForBits(n);
         if (compression_ == DenseCompression::Raw) {
@@ -127,10 +226,10 @@ FlatAutomaton::denseView() const
             dv->classes = class_count_;
             dv->classOf = class_of_;
         }
-        dv->accept.assign(dv->classes * dv->words, 0);
-        dv->reporting.assign(dv->words, 0);
-        dv->allInputStarts.assign(dv->words, 0);
-        dv->sodStarts.assign(dv->words, 0);
+        own.accept.assign(dv->classes * dv->words, 0);
+        own.reporting.assign(dv->words, 0);
+        own.allInputStarts.assign(dv->words, 0);
+        own.sodStarts.assign(dv->words, 0);
 
         for (GlobalStateId s = 0; s < n; ++s) {
             const Bitset256 &sym = symbols_[s];
@@ -139,7 +238,7 @@ FlatAutomaton::denseView() const
                 // cheaper than walking every set bit of a wide set.
                 for (size_t c = 0; c < class_count_; ++c) {
                     if (sym.test(class_rep_[c]))
-                        setWordBit(dv->accept.data() + c * dv->words, s);
+                        setWordBit(own.accept.data() + c * dv->words, s);
                 }
             } else {
                 // Transpose the 256-bit symbol set: for every accepted
@@ -148,20 +247,20 @@ FlatAutomaton::denseView() const
                 // symbol-set words instead of probing all 256 symbols.
                 forEachSetBit(
                     std::span<const uint64_t>(sym.words), [&](size_t b) {
-                        setWordBit(dv->accept.data() +
+                        setWordBit(own.accept.data() +
                                        dv->classOf[b] * dv->words,
                                    s);
                     });
             }
             if (reporting_[s])
-                setWordBit(dv->reporting.data(), s);
+                setWordBit(own.reporting.data(), s);
         }
         for (GlobalStateId s : all_input_starts_)
-            setWordBit(dv->allInputStarts.data(), s);
+            setWordBit(own.allInputStarts.data(), s);
         for (GlobalStateId s : sod_starts_)
-            setWordBit(dv->sodStarts.data(), s);
+            setWordBit(own.sodStarts.data(), s);
 
-        dv->latchable.assign(dv->words, 0);
+        own.latchable.assign(dv->words, 0);
         for (GlobalStateId s = 0; s < n; ++s) {
             if (start_[s] != StartKind::None || reporting_[s])
                 continue;
@@ -172,7 +271,7 @@ FlatAutomaton::denseView() const
                 continue;
             const auto succ = successors(s);
             if (std::find(succ.begin(), succ.end(), s) != succ.end())
-                setWordBit(dv->latchable.data(), s);
+                setWordBit(own.latchable.data(), s);
         }
 
         // Word-level successor CSR. Successor lists are built in NFA
@@ -181,8 +280,8 @@ FlatAutomaton::denseView() const
         // always-enabled start states are dropped from the masks — the
         // start dispatch below keeps them active without ever putting
         // them in the dynamic enabled vector.
-        dv->succBegin.reserve(n + 1);
-        dv->succBegin.push_back(0);
+        own.succBegin.reserve(n + 1);
+        own.succBegin.push_back(0);
         std::vector<GlobalStateId> sorted;
         for (GlobalStateId s = 0; s < n; ++s) {
             const auto succ = successors(s);
@@ -193,14 +292,14 @@ FlatAutomaton::denseView() const
                 uint64_t mask = 0;
                 for (; k < sorted.size() && (sorted[k] >> 6) == word; ++k)
                     mask |= 1ull << (sorted[k] & 63);
-                mask &= ~dv->allInputStarts[word];
+                mask &= ~own.allInputStarts[word];
                 if (mask == 0)
                     continue;
-                dv->succWordIdx.push_back(word);
-                dv->succWordMask.push_back(mask);
+                own.succWordIdx.push_back(word);
+                own.succWordMask.push_back(mask);
             }
-            dv->succBegin.push_back(
-                static_cast<uint32_t>(dv->succWordIdx.size()));
+            own.succBegin.push_back(
+                static_cast<uint32_t>(own.succWordIdx.size()));
         }
 
         // Per-class start dispatch (see the DenseView doc): reporting
@@ -208,24 +307,24 @@ FlatAutomaton::denseView() const
         // (the sweep merges them with the live dynamic words to emit
         // reports in state order), non-reporting starts as one pooled
         // successor-contribution list per class.
-        dv->startBegin.reserve(dv->classes + 1);
-        dv->startBegin.push_back(0);
-        dv->startSuccBegin.reserve(dv->classes + 1);
-        dv->startSuccBegin.push_back(0);
+        own.startBegin.reserve(dv->classes + 1);
+        own.startBegin.push_back(0);
+        own.startSuccBegin.reserve(dv->classes + 1);
+        own.startSuccBegin.push_back(0);
         WordVector contrib(dv->words, 0);
         for (size_t c = 0; c < dv->classes; ++c) {
-            const uint64_t *row = dv->accept.data() + c * dv->words;
+            const uint64_t *row = own.accept.data() + c * dv->words;
             for (size_t w = 0; w < dv->words; ++w) {
-                const uint64_t m = row[w] & dv->allInputStarts[w] &
-                                   dv->reporting[w];
+                const uint64_t m = row[w] & own.allInputStarts[w] &
+                                   own.reporting[w];
                 if (m != 0) {
-                    dv->startWordIdx.push_back(
+                    own.startWordIdx.push_back(
                         static_cast<uint32_t>(w));
-                    dv->startWordMask.push_back(m);
+                    own.startWordMask.push_back(m);
                 }
             }
-            dv->startBegin.push_back(
-                static_cast<uint32_t>(dv->startWordIdx.size()));
+            own.startBegin.push_back(
+                static_cast<uint32_t>(own.startWordIdx.size()));
 
             const uint8_t rep =
                 compression_ == DenseCompression::Raw
@@ -235,20 +334,35 @@ FlatAutomaton::denseView() const
             for (GlobalStateId s : all_input_starts_) {
                 if (reporting_[s] || !symbols_[s].test(rep))
                     continue;
-                for (uint32_t k = dv->succBegin[s];
-                     k < dv->succBegin[s + 1]; ++k)
-                    contrib[dv->succWordIdx[k]] |= dv->succWordMask[k];
+                for (uint32_t k = own.succBegin[s];
+                     k < own.succBegin[s + 1]; ++k)
+                    contrib[own.succWordIdx[k]] |= own.succWordMask[k];
             }
             for (size_t w = 0; w < dv->words; ++w) {
                 if (contrib[w] != 0) {
-                    dv->startSuccWordIdx.push_back(
+                    own.startSuccWordIdx.push_back(
                         static_cast<uint32_t>(w));
-                    dv->startSuccWordMask.push_back(contrib[w]);
+                    own.startSuccWordMask.push_back(contrib[w]);
                 }
             }
-            dv->startSuccBegin.push_back(
-                static_cast<uint32_t>(dv->startSuccWordIdx.size()));
+            own.startSuccBegin.push_back(
+                static_cast<uint32_t>(own.startSuccWordIdx.size()));
         }
+
+        dv->accept = own.accept;
+        dv->reporting = own.reporting;
+        dv->allInputStarts = own.allInputStarts;
+        dv->sodStarts = own.sodStarts;
+        dv->latchable = own.latchable;
+        dv->succBegin = own.succBegin;
+        dv->succWordIdx = own.succWordIdx;
+        dv->succWordMask = own.succWordMask;
+        dv->startBegin = own.startBegin;
+        dv->startWordIdx = own.startWordIdx;
+        dv->startWordMask = own.startWordMask;
+        dv->startSuccBegin = own.startSuccBegin;
+        dv->startSuccWordIdx = own.startSuccWordIdx;
+        dv->startSuccWordMask = own.startSuccWordMask;
         dense_ = std::move(dv);
     });
     return *dense_;

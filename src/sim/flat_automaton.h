@@ -15,6 +15,12 @@
  * through it: the start dispatch table stores one vector per class, and
  * the dense view stores one accept row per class — up to 256/#classes
  * smaller than the raw table.
+ *
+ * Storage is span-based: every array lives either in vectors owned by
+ * this object (when flattened from an Application) or inside a read-only
+ * file mapping owned by the artifact store (when loaded from a compiled
+ * blob, see src/store/). The two are indistinguishable to the execution
+ * cores — a loaded automaton runs zero-copy straight out of the mapping.
  */
 
 #ifndef SPARSEAP_SIM_FLAT_AUTOMATON_H
@@ -68,21 +74,23 @@ class FlatAutomaton
     }
 
     /** Always-enabled start states that accept @p symbol. */
-    const std::vector<GlobalStateId> &
+    std::span<const GlobalStateId>
     allInputStartsFor(uint8_t symbol) const
     {
-        return start_table_[class_of_[symbol]];
+        const uint8_t c = class_of_[symbol];
+        return {start_table_.data() + start_table_begin_[c],
+                start_table_begin_[c + 1] - start_table_begin_[c]};
     }
 
     /** Start-of-data start states (enabled only for position 0). */
-    const std::vector<GlobalStateId> &
+    std::span<const GlobalStateId>
     startOfDataStarts() const
     {
         return sod_starts_;
     }
 
     /** All always-enabled start states. */
-    const std::vector<GlobalStateId> &
+    std::span<const GlobalStateId>
     allInputStarts() const
     {
         return all_input_starts_;
@@ -105,6 +113,9 @@ class FlatAutomaton
         return class_rep_[cls];
     }
 
+    /** Accept-table layout this automaton was flattened with. */
+    DenseCompression compression() const { return compression_; }
+
     /**
      * Column-major bit-parallel view for the dense execution core. Where
      * the row-major symbols() array answers "which bytes does state s
@@ -125,13 +136,13 @@ class FlatAutomaton
         std::array<uint8_t, 256> classOf{};
         /** classes rows x words: bit s of row classOf[b] set iff s
          *  accepts byte b. */
-        WordVector accept;
+        std::span<const uint64_t> accept;
         /** Reporting states, one row. */
-        WordVector reporting;
+        std::span<const uint64_t> reporting;
         /** Always-enabled (all-input) start states, one row. */
-        WordVector allInputStarts;
+        std::span<const uint64_t> allInputStarts;
         /** Start-of-data start states, one row. */
-        WordVector sodStarts;
+        std::span<const uint64_t> sodStarts;
         /**
          * Latchable states, one row: non-start non-reporting states
          * with a universal self-loop. Once enabled such a state
@@ -141,7 +152,7 @@ class FlatAutomaton
          * rule-set automata (`.*`-style gaps) otherwise accumulate
          * thousands of these and keep every word of the vector live.
          */
-        WordVector latchable;
+        std::span<const uint64_t> latchable;
 
         /**
          * Word-level successor CSR: state s's successors, grouped by
@@ -153,9 +164,9 @@ class FlatAutomaton
          * dense core serves those through the start dispatch below, so
          * they never enter the dynamic enabled vector.
          */
-        std::vector<uint32_t> succBegin; ///< size()+1 entries
-        std::vector<uint32_t> succWordIdx;
-        WordVector succWordMask;
+        std::span<const uint32_t> succBegin; ///< size()+1 entries
+        std::span<const uint32_t> succWordIdx;
+        std::span<const uint64_t> succWordMask;
 
         /**
          * Per-class start dispatch, the dense analogue of the sparse
@@ -180,12 +191,12 @@ class FlatAutomaton
          * replacing per-bit CSR propagation from every matching start
          * on every cycle.
          */
-        std::vector<uint32_t> startBegin; ///< classes+1 entries
-        std::vector<uint32_t> startWordIdx;
-        WordVector startWordMask;
-        std::vector<uint32_t> startSuccBegin; ///< classes+1 entries
-        std::vector<uint32_t> startSuccWordIdx;
-        WordVector startSuccWordMask;
+        std::span<const uint32_t> startBegin; ///< classes+1 entries
+        std::span<const uint32_t> startWordIdx;
+        std::span<const uint64_t> startWordMask;
+        std::span<const uint32_t> startSuccBegin; ///< classes+1 entries
+        std::span<const uint32_t> startSuccWordIdx;
+        std::span<const uint64_t> startSuccWordMask;
 
         const uint64_t *
         acceptRow(uint8_t symbol) const
@@ -207,27 +218,130 @@ class FlatAutomaton
         {
             return 256 * words * sizeof(uint64_t);
         }
+
+        /**
+         * Backing storage when the view was built in-process; unused
+         * (all spans alias the store mapping) for loaded automata.
+         * Internal — consumers go through the spans above.
+         */
+        struct Owned
+        {
+            WordVector accept;
+            WordVector reporting;
+            WordVector allInputStarts;
+            WordVector sodStarts;
+            WordVector latchable;
+            std::vector<uint32_t> succBegin;
+            std::vector<uint32_t> succWordIdx;
+            WordVector succWordMask;
+            std::vector<uint32_t> startBegin;
+            std::vector<uint32_t> startWordIdx;
+            WordVector startWordMask;
+            std::vector<uint32_t> startSuccBegin;
+            std::vector<uint32_t> startSuccWordIdx;
+            WordVector startSuccWordMask;
+        };
+        Owned owned;
     };
 
     /** Dense view, built on first use (thread-safe, then immutable). */
     const DenseView &denseView() const;
 
+    /**
+     * Flat snapshot of every array of this automaton *and* its dense
+     * view, for the artifact store codec (src/store/artifact.h). The
+     * dense view is materialized as a side effect — a stored automaton
+     * always carries it so loads never rebuild it.
+     */
+    struct Parts
+    {
+        DenseCompression compression = DenseCompression::Classes;
+        uint32_t classCount = 1;
+        std::span<const uint8_t> classOf; ///< 256 entries
+        std::span<const uint8_t> classRep;
+        std::span<const SymbolSet> symbols;
+        std::span<const uint8_t> reporting;
+        std::span<const StartKind> start;
+        std::span<const uint32_t> succBegin;
+        std::span<const GlobalStateId> succ;
+        std::span<const uint32_t> startTableBegin;
+        std::span<const GlobalStateId> startTable;
+        std::span<const GlobalStateId> sodStarts;
+        std::span<const GlobalStateId> allInputStarts;
+
+        struct Dense
+        {
+            uint64_t words = 0;
+            uint64_t classes = 0;
+            std::span<const uint8_t> classOf; ///< 256 entries
+            std::span<const uint64_t> accept;
+            std::span<const uint64_t> reporting;
+            std::span<const uint64_t> allInputStarts;
+            std::span<const uint64_t> sodStarts;
+            std::span<const uint64_t> latchable;
+            std::span<const uint32_t> succBegin;
+            std::span<const uint32_t> succWordIdx;
+            std::span<const uint64_t> succWordMask;
+            std::span<const uint32_t> startBegin;
+            std::span<const uint32_t> startWordIdx;
+            std::span<const uint64_t> startWordMask;
+            std::span<const uint32_t> startSuccBegin;
+            std::span<const uint32_t> startSuccWordIdx;
+            std::span<const uint64_t> startSuccWordMask;
+        } dense;
+
+        /** Keeps the spans' storage alive (a store mapping). */
+        std::shared_ptr<const void> backing;
+    };
+
+    /** Snapshot this automaton's arrays (see Parts). */
+    Parts parts() const;
+
+    /**
+     * Zero-copy construction from decoded artifact parts: every span is
+     * adopted as-is (typically aliasing a read-only store mapping kept
+     * alive by parts.backing) and the dense view is installed
+     * immediately. The store codec validates structural consistency
+     * before calling this; blob checksums guarantee the bytes are
+     * exactly what an in-process flattening wrote.
+     */
+    explicit FlatAutomaton(const Parts &parts);
+
   private:
     void computeSymbolClasses();
 
-    std::vector<SymbolSet> symbols_;
-    std::vector<uint8_t> reporting_; // bool, stored flat for cache locality
-    std::vector<StartKind> start_;
-    std::vector<uint32_t> succ_begin_; // size() + 1 entries (CSR)
-    std::vector<GlobalStateId> succ_;
-    /** One start vector per byte class (indexed through class_of_). */
-    std::vector<std::vector<GlobalStateId>> start_table_;
-    std::vector<GlobalStateId> sod_starts_;
-    std::vector<GlobalStateId> all_input_starts_;
+    /** Owned backing when built from an Application (see file comment). */
+    struct Owned
+    {
+        std::vector<SymbolSet> symbols;
+        std::vector<uint8_t> reporting;
+        std::vector<StartKind> start;
+        std::vector<uint32_t> succ_begin;
+        std::vector<GlobalStateId> succ;
+        std::vector<uint32_t> start_table_begin;
+        std::vector<GlobalStateId> start_table;
+        std::vector<GlobalStateId> sod_starts;
+        std::vector<GlobalStateId> all_input_starts;
+        std::vector<uint8_t> class_rep;
+    };
+    Owned owned_;
+    /** Keeps a store mapping alive for span-backed instances. */
+    std::shared_ptr<const void> backing_;
+
+    std::span<const SymbolSet> symbols_;
+    std::span<const uint8_t> reporting_; // bool, stored flat
+    std::span<const StartKind> start_;
+    std::span<const uint32_t> succ_begin_; // size() + 1 entries (CSR)
+    std::span<const GlobalStateId> succ_;
+    /** Start dispatch CSR: one [begin, end) row per byte class. */
+    std::span<const uint32_t> start_table_begin_;
+    std::span<const GlobalStateId> start_table_;
+    std::span<const GlobalStateId> sod_starts_;
+    std::span<const GlobalStateId> all_input_starts_;
+    std::span<const uint8_t> class_rep_;
 
     DenseCompression compression_;
     std::array<uint8_t, 256> class_of_{};
-    std::vector<uint8_t> class_rep_;
     size_t class_count_ = 1;
 
     mutable std::once_flag dense_once_;

@@ -120,14 +120,15 @@ namespace {
  * fragment would need another partitioning level), with a warning.
  */
 std::vector<std::vector<uint32_t>>
-packColdBatches(const Application &cold, size_t capacity)
+packColdBatches(const Application &cold, size_t capacity,
+                bool warn_overfull = true)
 {
     std::vector<std::vector<uint32_t>> batches;
     std::vector<uint32_t> current;
     size_t used = 0;
     for (uint32_t i = 0; i < cold.nfaCount(); ++i) {
         const size_t sz = cold.nfa(i).size();
-        if (sz > capacity) {
+        if (sz > capacity && warn_overfull) {
             warn("cold fragment '", cold.nfa(i).name(), "' (", sz,
                  " states) exceeds the AP capacity (", capacity,
                  "); modelling it as one over-full SpAP batch");
@@ -193,6 +194,18 @@ batchAutomaton(PreparedPartition::ColdPlan &plan, const Application &cold,
 }
 
 } // namespace
+
+std::vector<uint32_t>
+coldBatchAssignment(const Application &cold, size_t capacity)
+{
+    const auto batches =
+        packColdBatches(cold, capacity, /*warn_overfull=*/false);
+    std::vector<uint32_t> assignment(cold.nfaCount());
+    for (size_t bi = 0; bi < batches.size(); ++bi)
+        for (uint32_t ci : batches[bi])
+            assignment[ci] = static_cast<uint32_t>(bi);
+    return assignment;
+}
 
 SpapRunStats
 runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,

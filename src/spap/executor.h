@@ -212,6 +212,16 @@ struct PreparedPartition
  */
 size_t profilePrefixLength(const ExecutionOptions &opts, size_t input_size);
 
+/**
+ * Cold-NFA -> batch-index assignment the SpAP cold plan implies at
+ * @p capacity (whole-NFA first-fit packing in NFA order). Exposed for
+ * the artifact store, which records batch assignments alongside the
+ * partition; unlike the execution path this emits no over-capacity
+ * warnings.
+ */
+std::vector<uint32_t> coldBatchAssignment(const Application &cold,
+                                          size_t capacity);
+
 /** Build the partition for @p app under @p opts over @p full_input. */
 PreparedPartition preparePartition(const AppTopology &topo,
                                    const ExecutionOptions &opts,

@@ -1,0 +1,565 @@
+#include "store/artifact.h"
+
+#include <numeric>
+
+#include "common/word_vector.h"
+
+namespace sparseap {
+namespace store {
+namespace {
+
+template <typename T>
+std::span<const T>
+spanOf(const std::vector<T> &v)
+{
+    return {v.data(), v.size()};
+}
+
+/** Fetch a required typed section; fail with a named error otherwise. */
+template <typename T>
+bool
+grab(const BlobView &blob, uint32_t id, std::span<const T> *out,
+     std::string *error, const char *what)
+{
+    const SectionEntry *e = blob.findSection(id);
+    if (e == nullptr) {
+        *error = std::string("missing section: ") + what;
+        return false;
+    }
+    *out = blob.sectionAs<T>(id);
+    if (e->size != 0 && out->empty()) {
+        *error = std::string("malformed section (element size): ") + what;
+        return false;
+    }
+    return true;
+}
+
+/** Fetch a required one-element POD meta section. */
+template <typename T>
+bool
+grabMeta(const BlobView &blob, uint32_t id, const T **out,
+         std::string *error, const char *what)
+{
+    std::span<const T> s;
+    if (!grab(blob, id, &s, error, what))
+        return false;
+    if (s.size() != 1) {
+        *error = std::string("malformed meta section: ") + what;
+        return false;
+    }
+    *out = s.data();
+    return true;
+}
+
+bool
+sizeIs(size_t got, size_t want, std::string *error, const char *what)
+{
+    if (got == want)
+        return true;
+    *error = std::string("inconsistent section size: ") + what + " has " +
+             std::to_string(got) + " elements, expected " +
+             std::to_string(want);
+    return false;
+}
+
+} // namespace
+
+// ------------------------------------------------------ FlatAutomaton --
+
+void
+encodeFlatAutomaton(const FlatAutomaton &fa, BlobWriter &w, uint32_t base)
+{
+    const FlatAutomaton::Parts p = fa.parts();
+
+    FaMeta meta{};
+    meta.states = p.symbols.size();
+    meta.succCount = p.succ.size();
+    meta.classCount = p.classCount;
+    meta.compression = static_cast<uint8_t>(p.compression);
+    meta.denseWords = p.dense.words;
+    meta.denseClasses = p.dense.classes;
+    w.addSection(base + kFaMeta, &meta, sizeof(meta),
+                 static_cast<uint32_t>(sizeof(meta)));
+
+    w.addSpan(base + kFaSymbols, p.symbols);
+    w.addSpan(base + kFaReporting, p.reporting);
+    w.addSpan(base + kFaStart, p.start);
+    w.addSpan(base + kFaSuccBegin, p.succBegin);
+    w.addSpan(base + kFaSucc, p.succ);
+    w.addSpan(base + kFaStartTableBegin, p.startTableBegin);
+    w.addSpan(base + kFaStartTable, p.startTable);
+    w.addSpan(base + kFaSodStarts, p.sodStarts);
+    w.addSpan(base + kFaAllInputStarts, p.allInputStarts);
+    w.addSpan(base + kFaClassOf, p.classOf);
+    w.addSpan(base + kFaClassRep, p.classRep);
+
+    const FlatAutomaton::Parts::Dense &d = p.dense;
+    w.addSpan(base + kFaDenseClassOf, d.classOf);
+    w.addSpan(base + kFaDenseAccept, d.accept);
+    w.addSpan(base + kFaDenseReporting, d.reporting);
+    w.addSpan(base + kFaDenseAllInputStarts, d.allInputStarts);
+    w.addSpan(base + kFaDenseSodStarts, d.sodStarts);
+    w.addSpan(base + kFaDenseLatchable, d.latchable);
+    w.addSpan(base + kFaDenseSuccBegin, d.succBegin);
+    w.addSpan(base + kFaDenseSuccWordIdx, d.succWordIdx);
+    w.addSpan(base + kFaDenseSuccWordMask, d.succWordMask);
+    w.addSpan(base + kFaDenseStartBegin, d.startBegin);
+    w.addSpan(base + kFaDenseStartWordIdx, d.startWordIdx);
+    w.addSpan(base + kFaDenseStartWordMask, d.startWordMask);
+    w.addSpan(base + kFaDenseStartSuccBegin, d.startSuccBegin);
+    w.addSpan(base + kFaDenseStartSuccWordIdx, d.startSuccWordIdx);
+    w.addSpan(base + kFaDenseStartSuccWordMask, d.startSuccWordMask);
+}
+
+std::unique_ptr<FlatAutomaton>
+decodeFlatAutomaton(const BlobView &blob, uint32_t base, std::string *error)
+{
+    const FaMeta *meta = nullptr;
+    if (!grabMeta(blob, base + kFaMeta, &meta, error, "FaMeta"))
+        return nullptr;
+    if (meta->classCount < 1 || meta->classCount > 256 ||
+        meta->compression >
+            static_cast<uint8_t>(FlatAutomaton::DenseCompression::Raw)) {
+        *error = "FaMeta holds out-of-range values";
+        return nullptr;
+    }
+    const size_t n = meta->states;
+
+    FlatAutomaton::Parts p;
+    p.compression =
+        static_cast<FlatAutomaton::DenseCompression>(meta->compression);
+    p.classCount = meta->classCount;
+    if (!grab(blob, base + kFaSymbols, &p.symbols, error, "symbols") ||
+        !grab(blob, base + kFaReporting, &p.reporting, error,
+              "reporting") ||
+        !grab(blob, base + kFaStart, &p.start, error, "start") ||
+        !grab(blob, base + kFaSuccBegin, &p.succBegin, error,
+              "succBegin") ||
+        !grab(blob, base + kFaSucc, &p.succ, error, "succ") ||
+        !grab(blob, base + kFaStartTableBegin, &p.startTableBegin, error,
+              "startTableBegin") ||
+        !grab(blob, base + kFaStartTable, &p.startTable, error,
+              "startTable") ||
+        !grab(blob, base + kFaSodStarts, &p.sodStarts, error,
+              "sodStarts") ||
+        !grab(blob, base + kFaAllInputStarts, &p.allInputStarts, error,
+              "allInputStarts") ||
+        !grab(blob, base + kFaClassOf, &p.classOf, error, "classOf") ||
+        !grab(blob, base + kFaClassRep, &p.classRep, error, "classRep")) {
+        return nullptr;
+    }
+    if (!sizeIs(p.symbols.size(), n, error, "symbols") ||
+        !sizeIs(p.reporting.size(), n, error, "reporting") ||
+        !sizeIs(p.start.size(), n, error, "start") ||
+        !sizeIs(p.succBegin.size(), n + 1, error, "succBegin") ||
+        !sizeIs(p.succ.size(), meta->succCount, error, "succ") ||
+        !sizeIs(p.classOf.size(), 256, error, "classOf") ||
+        !sizeIs(p.classRep.size(), meta->classCount, error, "classRep") ||
+        !sizeIs(p.startTableBegin.size(), meta->classCount + 1, error,
+                "startTableBegin")) {
+        return nullptr;
+    }
+    if (n != 0 &&
+        (p.succBegin.back() != p.succ.size() ||
+         p.startTableBegin.back() != p.startTable.size())) {
+        *error = "CSR end offsets disagree with array sizes";
+        return nullptr;
+    }
+
+    FlatAutomaton::Parts::Dense &d = p.dense;
+    d.words = meta->denseWords;
+    d.classes = meta->denseClasses;
+    if (d.words != wordsForBits(n) ||
+        (d.classes != meta->classCount && d.classes != 256)) {
+        *error = "dense geometry disagrees with FaMeta";
+        return nullptr;
+    }
+    if (!grab(blob, base + kFaDenseClassOf, &d.classOf, error,
+              "dense classOf") ||
+        !grab(blob, base + kFaDenseAccept, &d.accept, error,
+              "dense accept") ||
+        !grab(blob, base + kFaDenseReporting, &d.reporting, error,
+              "dense reporting") ||
+        !grab(blob, base + kFaDenseAllInputStarts, &d.allInputStarts,
+              error, "dense allInputStarts") ||
+        !grab(blob, base + kFaDenseSodStarts, &d.sodStarts, error,
+              "dense sodStarts") ||
+        !grab(blob, base + kFaDenseLatchable, &d.latchable, error,
+              "dense latchable") ||
+        !grab(blob, base + kFaDenseSuccBegin, &d.succBegin, error,
+              "dense succBegin") ||
+        !grab(blob, base + kFaDenseSuccWordIdx, &d.succWordIdx, error,
+              "dense succWordIdx") ||
+        !grab(blob, base + kFaDenseSuccWordMask, &d.succWordMask, error,
+              "dense succWordMask") ||
+        !grab(blob, base + kFaDenseStartBegin, &d.startBegin, error,
+              "dense startBegin") ||
+        !grab(blob, base + kFaDenseStartWordIdx, &d.startWordIdx, error,
+              "dense startWordIdx") ||
+        !grab(blob, base + kFaDenseStartWordMask, &d.startWordMask, error,
+              "dense startWordMask") ||
+        !grab(blob, base + kFaDenseStartSuccBegin, &d.startSuccBegin,
+              error, "dense startSuccBegin") ||
+        !grab(blob, base + kFaDenseStartSuccWordIdx, &d.startSuccWordIdx,
+              error, "dense startSuccWordIdx") ||
+        !grab(blob, base + kFaDenseStartSuccWordMask, &d.startSuccWordMask,
+              error, "dense startSuccWordMask")) {
+        return nullptr;
+    }
+    if (!sizeIs(d.classOf.size(), 256, error, "dense classOf") ||
+        !sizeIs(d.accept.size(), d.classes * d.words, error,
+                "dense accept") ||
+        !sizeIs(d.reporting.size(), d.words, error, "dense reporting") ||
+        !sizeIs(d.allInputStarts.size(), d.words, error,
+                "dense allInputStarts") ||
+        !sizeIs(d.sodStarts.size(), d.words, error, "dense sodStarts") ||
+        !sizeIs(d.latchable.size(), d.words, error, "dense latchable") ||
+        !sizeIs(d.succBegin.size(), n + 1, error, "dense succBegin") ||
+        !sizeIs(d.succWordMask.size(), d.succWordIdx.size(), error,
+                "dense succWordMask") ||
+        !sizeIs(d.startBegin.size(), d.classes + 1, error,
+                "dense startBegin") ||
+        !sizeIs(d.startWordMask.size(), d.startWordIdx.size(), error,
+                "dense startWordMask") ||
+        !sizeIs(d.startSuccBegin.size(), d.classes + 1, error,
+                "dense startSuccBegin") ||
+        !sizeIs(d.startSuccWordMask.size(), d.startSuccWordIdx.size(),
+                error, "dense startSuccWordMask")) {
+        return nullptr;
+    }
+    if ((n != 0 && d.succBegin.back() != d.succWordIdx.size()) ||
+        d.startBegin.back() != d.startWordIdx.size() ||
+        d.startSuccBegin.back() != d.startSuccWordIdx.size()) {
+        *error = "dense CSR end offsets disagree with array sizes";
+        return nullptr;
+    }
+
+    p.backing = blob.backing();
+    return std::make_unique<FlatAutomaton>(p);
+}
+
+// -------------------------------------------------------- Application --
+
+void
+encodeApplication(const Application &app, BlobWriter &w, uint32_t base)
+{
+    AppMeta meta{};
+    meta.nfaCount = app.nfaCount();
+    meta.stateCount = app.totalStates();
+    meta.group = static_cast<uint8_t>(app.group());
+
+    std::string names;
+    std::vector<uint32_t> name_begin;
+    std::vector<uint32_t> state_begin;
+    std::vector<SymbolSet> symbols;
+    std::vector<uint8_t> start;
+    std::vector<uint8_t> reporting;
+    std::vector<uint32_t> succ_begin;
+    std::vector<StateId> succ;
+    name_begin.reserve(app.nfaCount() + 1);
+    state_begin.reserve(app.nfaCount() + 1);
+    symbols.reserve(app.totalStates());
+    start.reserve(app.totalStates());
+    reporting.reserve(app.totalStates());
+    succ_begin.reserve(app.totalStates() + 1);
+
+    name_begin.push_back(0);
+    state_begin.push_back(0);
+    for (const Nfa &nfa : app.nfas()) {
+        names += nfa.name();
+        name_begin.push_back(static_cast<uint32_t>(names.size()));
+        state_begin.push_back(state_begin.back() +
+                              static_cast<uint32_t>(nfa.size()));
+        for (const State &st : nfa.states()) {
+            symbols.push_back(st.symbols);
+            start.push_back(static_cast<uint8_t>(st.start));
+            reporting.push_back(st.reporting ? 1 : 0);
+            succ_begin.push_back(static_cast<uint32_t>(succ.size()));
+            succ.insert(succ.end(), st.successors.begin(),
+                        st.successors.end());
+        }
+    }
+    succ_begin.push_back(static_cast<uint32_t>(succ.size()));
+    meta.succCount = succ.size();
+
+    w.addSection(base + kAppMeta, &meta, sizeof(meta),
+                 static_cast<uint32_t>(sizeof(meta)));
+    w.addString(base + kAppName, app.name());
+    w.addString(base + kAppAbbr, app.abbr());
+    w.addSpan(base + kAppNfaNameBegin, spanOf(name_begin));
+    w.addString(base + kAppNfaNames, names);
+    w.addSpan(base + kAppNfaStateBegin, spanOf(state_begin));
+    w.addSpan(base + kAppSymbols, spanOf(symbols));
+    w.addSpan(base + kAppStart, spanOf(start));
+    w.addSpan(base + kAppReporting, spanOf(reporting));
+    w.addSpan(base + kAppSuccBegin, spanOf(succ_begin));
+    w.addSpan(base + kAppSucc, spanOf(succ));
+}
+
+bool
+decodeApplication(const BlobView &blob, uint32_t base, Application *out,
+                  std::string *error)
+{
+    const AppMeta *meta = nullptr;
+    if (!grabMeta(blob, base + kAppMeta, &meta, error, "AppMeta"))
+        return false;
+    if (meta->group > static_cast<uint8_t>(ResourceGroup::Low)) {
+        *error = "AppMeta holds an out-of-range resource group";
+        return false;
+    }
+
+    const std::span<const uint8_t> name_bytes =
+        blob.sectionBytes(base + kAppName);
+    const std::span<const uint8_t> abbr_bytes =
+        blob.sectionBytes(base + kAppAbbr);
+    const std::span<const uint8_t> names_bytes =
+        blob.sectionBytes(base + kAppNfaNames);
+    if (blob.findSection(base + kAppName) == nullptr ||
+        blob.findSection(base + kAppAbbr) == nullptr ||
+        blob.findSection(base + kAppNfaNames) == nullptr) {
+        *error = "missing application name sections";
+        return false;
+    }
+
+    std::span<const uint32_t> name_begin, state_begin, succ_begin;
+    std::span<const SymbolSet> symbols;
+    std::span<const uint8_t> start, reporting;
+    std::span<const StateId> succ;
+    if (!grab(blob, base + kAppNfaNameBegin, &name_begin, error,
+              "nfaNameBegin") ||
+        !grab(blob, base + kAppNfaStateBegin, &state_begin, error,
+              "nfaStateBegin") ||
+        !grab(blob, base + kAppSymbols, &symbols, error, "app symbols") ||
+        !grab(blob, base + kAppStart, &start, error, "app start") ||
+        !grab(blob, base + kAppReporting, &reporting, error,
+              "app reporting") ||
+        !grab(blob, base + kAppSuccBegin, &succ_begin, error,
+              "app succBegin") ||
+        !grab(blob, base + kAppSucc, &succ, error, "app succ")) {
+        return false;
+    }
+    const size_t nfas = meta->nfaCount;
+    const size_t n = meta->stateCount;
+    if (!sizeIs(name_begin.size(), nfas + 1, error, "nfaNameBegin") ||
+        !sizeIs(state_begin.size(), nfas + 1, error, "nfaStateBegin") ||
+        !sizeIs(symbols.size(), n, error, "app symbols") ||
+        !sizeIs(start.size(), n, error, "app start") ||
+        !sizeIs(reporting.size(), n, error, "app reporting") ||
+        !sizeIs(succ_begin.size(), n + 1, error, "app succBegin") ||
+        !sizeIs(succ.size(), meta->succCount, error, "app succ")) {
+        return false;
+    }
+    if (name_begin.back() != names_bytes.size() ||
+        state_begin.back() != n || succ_begin.back() != succ.size()) {
+        *error = "application CSR end offsets disagree with array sizes";
+        return false;
+    }
+
+    Application app(
+        std::string(reinterpret_cast<const char *>(name_bytes.data()),
+                    name_bytes.size()),
+        std::string(reinterpret_cast<const char *>(abbr_bytes.data()),
+                    abbr_bytes.size()));
+    app.setGroup(static_cast<ResourceGroup>(meta->group));
+    const char *names = reinterpret_cast<const char *>(names_bytes.data());
+    for (size_t ni = 0; ni < nfas; ++ni) {
+        if (name_begin[ni] > name_begin[ni + 1] ||
+            state_begin[ni] > state_begin[ni + 1]) {
+            *error = "application CSR offsets are not monotone";
+            return false;
+        }
+        Nfa nfa(std::string(names + name_begin[ni],
+                            name_begin[ni + 1] - name_begin[ni]));
+        const uint32_t lo = state_begin[ni];
+        const uint32_t hi = state_begin[ni + 1];
+        const StateId size = hi - lo;
+        for (uint32_t g = lo; g < hi; ++g) {
+            if (start[g] > static_cast<uint8_t>(StartKind::StartOfData)) {
+                *error = "application state holds an invalid start kind";
+                return false;
+            }
+            nfa.addState(symbols[g], static_cast<StartKind>(start[g]),
+                         reporting[g] != 0);
+        }
+        for (uint32_t g = lo; g < hi; ++g) {
+            if (succ_begin[g] > succ_begin[g + 1]) {
+                *error = "application CSR offsets are not monotone";
+                return false;
+            }
+            for (uint32_t k = succ_begin[g]; k < succ_begin[g + 1]; ++k) {
+                if (succ[k] >= size) {
+                    *error = "application successor id out of range";
+                    return false;
+                }
+                nfa.addEdge(g - lo, succ[k]);
+            }
+        }
+        // require_start = false: cold fragments legitimately have none.
+        nfa.finalize(/*require_start=*/false);
+        app.addNfa(std::move(nfa));
+    }
+    *out = std::move(app);
+    return true;
+}
+
+// ------------------------------------------------------------ Profile --
+
+void
+encodeProfile(const HotColdProfile &profile, size_t prefix_len,
+              BlobWriter &w)
+{
+    ProfileMeta meta{};
+    meta.states = profile.hot.size();
+    meta.prefixLen = prefix_len;
+    meta.hotCount = profile.hotCount();
+    w.addSection(kProfileMeta, &meta, sizeof(meta),
+                 static_cast<uint32_t>(sizeof(meta)));
+
+    WordVector words(wordsForBits(profile.hot.size()), 0);
+    for (size_t s = 0; s < profile.hot.size(); ++s)
+        if (profile.hot[s])
+            setWordBit(words.data(), s);
+    w.addSpan(kProfileHotWords,
+              std::span<const uint64_t>(words.data(), words.size()));
+}
+
+bool
+decodeProfile(const BlobView &blob, HotColdProfile *out,
+              size_t *prefix_len, std::string *error)
+{
+    const ProfileMeta *meta = nullptr;
+    if (!grabMeta(blob, kProfileMeta, &meta, error, "ProfileMeta"))
+        return false;
+    std::span<const uint64_t> words;
+    if (!grab(blob, kProfileHotWords, &words, error, "hotWords"))
+        return false;
+    if (!sizeIs(words.size(), wordsForBits(meta->states), error,
+                "hotWords"))
+        return false;
+
+    HotColdProfile profile;
+    profile.hot.assign(meta->states, false);
+    for (size_t s = 0; s < meta->states; ++s)
+        profile.hot[s] = testWordBit(words.data(), s);
+    if (profile.hotCount() != meta->hotCount) {
+        *error = "profile hot count disagrees with the packed words";
+        return false;
+    }
+    *out = std::move(profile);
+    if (prefix_len != nullptr)
+        *prefix_len = meta->prefixLen;
+    return true;
+}
+
+// ---------------------------------------------------------- Partition --
+
+void
+encodePreparedPartition(const PreparedPartition &prep, size_t capacity,
+                        BlobWriter &w)
+{
+    const PartitionedApp &part = prep.part;
+    PartMeta meta{};
+    meta.layerCount = prep.layers.k.size();
+    meta.intermediateCount = part.intermediateCount;
+    meta.hotOriginalReporting = part.hotOriginalReporting;
+    meta.coldReporting = part.coldReporting;
+    meta.batchCapacity = capacity;
+    w.addSection(kPartMeta, &meta, sizeof(meta),
+                 static_cast<uint32_t>(sizeof(meta)));
+
+    w.addSpan(kPartLayers, spanOf(prep.layers.k));
+    w.addSpan(kPartHotToOriginal, spanOf(part.hotToOriginal));
+    w.addSpan(kPartIntermediateTarget, spanOf(part.intermediateTarget));
+    w.addSpan(kPartColdToOriginal, spanOf(part.coldToOriginal));
+    w.addSpan(kPartOriginalToCold, spanOf(part.originalToCold));
+    w.addSpan(kPartColdNfaToOriginal, spanOf(part.coldNfaToOriginal));
+    const std::vector<uint32_t> batches =
+        coldBatchAssignment(part.cold, capacity);
+    w.addSpan(kPartNfaBatch, spanOf(batches));
+
+    encodeApplication(part.hot, w, kPartHotAppBase);
+    encodeApplication(part.cold, w, kPartColdAppBase);
+    encodeFlatAutomaton(prep.hotAutomaton(), w, kPartHotFaBase);
+}
+
+bool
+decodePreparedPartition(const BlobView &blob, PreparedPartition *out,
+                        std::string *error)
+{
+    const PartMeta *meta = nullptr;
+    if (!grabMeta(blob, kPartMeta, &meta, error, "PartMeta"))
+        return false;
+
+    PreparedPartition prep;
+    std::span<const uint32_t> layers, cold_nfa_to_orig, nfa_batch;
+    std::span<const GlobalStateId> hot_to_orig, inter_target,
+        cold_to_orig, orig_to_cold;
+    if (!grab(blob, kPartLayers, &layers, error, "layers") ||
+        !grab(blob, kPartHotToOriginal, &hot_to_orig, error,
+              "hotToOriginal") ||
+        !grab(blob, kPartIntermediateTarget, &inter_target, error,
+              "intermediateTarget") ||
+        !grab(blob, kPartColdToOriginal, &cold_to_orig, error,
+              "coldToOriginal") ||
+        !grab(blob, kPartOriginalToCold, &orig_to_cold, error,
+              "originalToCold") ||
+        !grab(blob, kPartColdNfaToOriginal, &cold_nfa_to_orig, error,
+              "coldNfaToOriginal") ||
+        !grab(blob, kPartNfaBatch, &nfa_batch, error, "nfaBatch")) {
+        return false;
+    }
+    if (!sizeIs(layers.size(), meta->layerCount, error, "layers"))
+        return false;
+
+    if (!decodeApplication(blob, kPartHotAppBase, &prep.part.hot, error) ||
+        !decodeApplication(blob, kPartColdAppBase, &prep.part.cold,
+                           error)) {
+        return false;
+    }
+    if (!sizeIs(hot_to_orig.size(), prep.part.hot.totalStates(), error,
+                "hotToOriginal") ||
+        !sizeIs(inter_target.size(), prep.part.hot.totalStates(), error,
+                "intermediateTarget") ||
+        !sizeIs(cold_to_orig.size(), prep.part.cold.totalStates(), error,
+                "coldToOriginal") ||
+        !sizeIs(cold_nfa_to_orig.size(), prep.part.cold.nfaCount(), error,
+                "coldNfaToOriginal") ||
+        !sizeIs(nfa_batch.size(), prep.part.cold.nfaCount(), error,
+                "nfaBatch")) {
+        return false;
+    }
+
+    prep.layers.k.assign(layers.begin(), layers.end());
+    prep.part.hotToOriginal.assign(hot_to_orig.begin(), hot_to_orig.end());
+    prep.part.intermediateTarget.assign(inter_target.begin(),
+                                        inter_target.end());
+    prep.part.coldToOriginal.assign(cold_to_orig.begin(),
+                                    cold_to_orig.end());
+    prep.part.originalToCold.assign(orig_to_cold.begin(),
+                                    orig_to_cold.end());
+    prep.part.coldNfaToOriginal.assign(cold_nfa_to_orig.begin(),
+                                       cold_nfa_to_orig.end());
+    prep.part.intermediateCount = meta->intermediateCount;
+    prep.part.hotOriginalReporting = meta->hotOriginalReporting;
+    prep.part.coldReporting = meta->coldReporting;
+
+    // The stored kPartNfaBatch assignment (validated above) is format
+    // documentation: the runtime rebuilds its cold plan from the decoded
+    // application so over-capacity warnings fire identically on the cold
+    // and the warm path.
+    std::unique_ptr<FlatAutomaton> hot_fa =
+        decodeFlatAutomaton(blob, kPartHotFaBase, error);
+    if (hot_fa == nullptr)
+        return false;
+    if (hot_fa->size() != prep.part.hot.totalStates()) {
+        *error = "embedded hot automaton disagrees with the hot fragment";
+        return false;
+    }
+    prep.hotFa = std::shared_ptr<const FlatAutomaton>(std::move(hot_fa));
+
+    *out = std::move(prep);
+    return true;
+}
+
+} // namespace store
+} // namespace sparseap

@@ -1,0 +1,247 @@
+#include "store/blob.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace sparseap {
+namespace store {
+
+const char *
+artifactKindName(ArtifactKind kind)
+{
+    switch (kind) {
+    case ArtifactKind::Raw:
+        return "raw";
+    case ArtifactKind::FlatAutomaton:
+        return "flat";
+    case ArtifactKind::Profile:
+        return "profile";
+    case ArtifactKind::Partition:
+        return "partition";
+    }
+    return "unknown";
+}
+
+BlobWriter::BlobWriter(ArtifactKind kind, uint64_t digest)
+    : kind_(kind), digest_(digest)
+{
+}
+
+void
+BlobWriter::addSection(uint32_t id, const void *data, size_t bytes,
+                       uint32_t elem_size)
+{
+    for (const Pending &p : sections_)
+        SPARSEAP_ASSERT(p.id != id, "duplicate blob section id ", id);
+    Pending p;
+    p.id = id;
+    p.elemSize = elem_size;
+    const uint8_t *src = static_cast<const uint8_t *>(data);
+    if (bytes != 0)
+        p.bytes.assign(src, src + bytes);
+    sections_.push_back(std::move(p));
+}
+
+std::vector<uint8_t>
+BlobWriter::finalize() const
+{
+    const uint64_t table_end =
+        sizeof(FileHeader) + sections_.size() * sizeof(SectionEntry);
+    uint64_t cursor = alignUp(table_end);
+
+    std::vector<SectionEntry> table;
+    table.reserve(sections_.size());
+    for (const Pending &p : sections_) {
+        SectionEntry e;
+        e.id = p.id;
+        e.elemSize = p.elemSize;
+        e.offset = cursor;
+        e.size = p.bytes.size();
+        e.checksum = hash64(p.bytes.data(), p.bytes.size());
+        table.push_back(e);
+        cursor = alignUp(cursor + e.size);
+    }
+
+    std::vector<uint8_t> image(cursor, 0);
+    for (size_t i = 0; i < sections_.size(); ++i) {
+        if (table[i].size != 0) {
+            std::memcpy(image.data() + table[i].offset,
+                        sections_[i].bytes.data(), table[i].size);
+        }
+    }
+    if (!table.empty()) {
+        std::memcpy(image.data() + sizeof(FileHeader), table.data(),
+                    table.size() * sizeof(SectionEntry));
+    }
+
+    FileHeader h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.version = kFormatVersion;
+    h.kind = static_cast<uint32_t>(kind_);
+    h.fileSize = image.size();
+    h.digest = digest_;
+    h.sectionCount = static_cast<uint32_t>(sections_.size());
+    h.checksum = hash64(image.data() + sizeof(FileHeader),
+                        image.size() - sizeof(FileHeader));
+    std::memcpy(image.data(), &h, sizeof(FileHeader));
+    return image;
+}
+
+bool
+BlobWriter::commit(const std::string &path, std::string *error) const
+{
+    const std::vector<uint8_t> image = finalize();
+    return atomicWriteFile(path, image, error);
+}
+
+bool
+atomicWriteFile(const std::string &path, std::span<const uint8_t> image,
+                std::string *error)
+{
+    // Unique-enough temp name: concurrent writers of the same final path
+    // never collide on the temp file, and the rename at the end is the
+    // single atomic commit point.
+    static std::atomic<uint64_t> counter{0};
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                            "." + std::to_string(counter.fetch_add(1));
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = tmp + ": " + std::strerror(errno);
+        return false;
+    }
+    size_t off = 0;
+    while (off < image.size()) {
+        const ssize_t n = ::write(fd, image.data() + off, image.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = tmp + ": write: " + std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error)
+            *error = path + ": rename: " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+const SectionEntry *
+BlobView::findSection(uint32_t id) const
+{
+    for (const SectionEntry &e : sections_)
+        if (e.id == id)
+            return &e;
+    return nullptr;
+}
+
+std::span<const uint8_t>
+BlobView::sectionBytes(uint32_t id) const
+{
+    const SectionEntry *e = findSection(id);
+    if (e == nullptr)
+        return {};
+    return {bytes_.data() + e->offset, static_cast<size_t>(e->size)};
+}
+
+std::shared_ptr<const BlobView>
+BlobView::validate(std::shared_ptr<const void> keepalive,
+                   std::span<const uint8_t> bytes, std::string *error)
+{
+    const auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return nullptr;
+    };
+
+    if (bytes.size() < sizeof(FileHeader))
+        return fail("blob truncated: " + std::to_string(bytes.size()) +
+                    " bytes is smaller than the header");
+    FileHeader h;
+    std::memcpy(&h, bytes.data(), sizeof(h));
+    if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
+        return fail("bad magic: not a sparseap store blob");
+    if (h.version != kFormatVersion)
+        return fail("unsupported format version " +
+                    std::to_string(h.version) + " (expected " +
+                    std::to_string(kFormatVersion) + ")");
+    if (h.fileSize != bytes.size())
+        return fail("size mismatch: header declares " +
+                    std::to_string(h.fileSize) + " bytes, file has " +
+                    std::to_string(bytes.size()));
+    const uint64_t table_bytes =
+        static_cast<uint64_t>(h.sectionCount) * sizeof(SectionEntry);
+    if (h.sectionCount > (1u << 20) ||
+        sizeof(FileHeader) + table_bytes > bytes.size()) {
+        return fail("section table out of bounds: " +
+                    std::to_string(h.sectionCount) + " sections");
+    }
+    if (hash64(bytes.data() + sizeof(FileHeader),
+               bytes.size() - sizeof(FileHeader)) != h.checksum)
+        return fail("payload checksum mismatch (corrupt blob)");
+
+    auto view = std::shared_ptr<BlobView>(new BlobView());
+    view->keepalive_ = std::move(keepalive);
+    view->bytes_ = bytes;
+    view->sections_ = {reinterpret_cast<const SectionEntry *>(
+                           bytes.data() + sizeof(FileHeader)),
+                       h.sectionCount};
+
+    for (size_t i = 0; i < view->sections_.size(); ++i) {
+        const SectionEntry &e = view->sections_[i];
+        if (e.offset % kSectionAlign != 0)
+            return fail("section " + std::to_string(e.id) +
+                        ": misaligned offset");
+        if (e.size > bytes.size() || e.offset > bytes.size() - e.size)
+            return fail("section " + std::to_string(e.id) +
+                        ": payload out of bounds");
+        if (hash64(bytes.data() + e.offset, e.size) != e.checksum)
+            return fail("section " + std::to_string(e.id) +
+                        ": checksum mismatch");
+        for (size_t j = 0; j < i; ++j)
+            if (view->sections_[j].id == e.id)
+                return fail("duplicate section id " +
+                            std::to_string(e.id));
+    }
+    return view;
+}
+
+std::shared_ptr<const BlobView>
+BlobView::open(const std::string &path, std::string *error)
+{
+    std::shared_ptr<const MappedFile> mf = MappedFile::open(path, error);
+    if (!mf)
+        return nullptr;
+    std::span<const uint8_t> bytes = mf->bytes();
+    std::shared_ptr<const BlobView> v =
+        validate(std::move(mf), bytes, error);
+    if (!v && error)
+        *error = path + ": " + *error;
+    return v;
+}
+
+std::shared_ptr<const BlobView>
+BlobView::fromBuffer(std::vector<uint8_t> image, std::string *error)
+{
+    auto owned =
+        std::make_shared<const std::vector<uint8_t>>(std::move(image));
+    return validate(owned, {owned->data(), owned->size()}, error);
+}
+
+} // namespace store
+} // namespace sparseap

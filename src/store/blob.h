@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Blob container: writing and validated reading of the store format
+ * described in store/format.h.
+ *
+ * BlobWriter assembles sections append-only in memory and commits the
+ * finished image with write-to-temp + atomic rename, so readers only
+ * ever observe complete, checksummed files (single-writer/multi-reader;
+ * concurrent writers of the same path race benignly — one rename wins
+ * and every reader gets a valid blob either way).
+ *
+ * BlobView opens a blob read-only via mmap and validates *everything*
+ * before handing out data: magic, version, declared vs actual size,
+ * section-table bounds, per-section offsets/alignment, and both the
+ * whole-payload and per-section checksums. A blob that fails any check
+ * is reported as an error string — never a crash — so cache corruption
+ * degrades to a cache miss.
+ */
+
+#ifndef SPARSEAP_STORE_BLOB_H
+#define SPARSEAP_STORE_BLOB_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+#include "store/mapped_file.h"
+
+namespace sparseap {
+namespace store {
+
+/** Append-only section assembler for one artifact blob. */
+class BlobWriter
+{
+  public:
+    explicit BlobWriter(ArtifactKind kind, uint64_t digest);
+
+    /**
+     * Append one section. Ids must be unique within the blob;
+     * @p elem_size records the element width of typed array sections
+     * (BlobView::sectionAs enforces it), 0 for plain bytes.
+     */
+    void addSection(uint32_t id, const void *data, size_t bytes,
+                    uint32_t elem_size);
+
+    /** Append a typed array section. */
+    template <typename T>
+    void
+    addSpan(uint32_t id, std::span<const T> v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        addSection(id, v.data(), v.size() * sizeof(T),
+                   static_cast<uint32_t>(sizeof(T)));
+    }
+
+    /** Append a byte-string section. */
+    void
+    addString(uint32_t id, std::string_view s)
+    {
+        addSection(id, s.data(), s.size(), 0);
+    }
+
+    /** Assemble the complete file image (header + index + payload). */
+    std::vector<uint8_t> finalize() const;
+
+    /**
+     * Assemble and commit to @p path via temp file + atomic rename.
+     * @return false with @p *error set on I/O failure.
+     */
+    bool commit(const std::string &path, std::string *error) const;
+
+    uint64_t digest() const { return digest_; }
+
+  private:
+    ArtifactKind kind_;
+    uint64_t digest_;
+    struct Pending
+    {
+        uint32_t id;
+        uint32_t elemSize;
+        std::vector<uint8_t> bytes;
+    };
+    std::vector<Pending> sections_;
+};
+
+/** Write @p image to @p path via temp file + atomic rename. */
+bool atomicWriteFile(const std::string &path,
+                     std::span<const uint8_t> image, std::string *error);
+
+/** Validated read-only view of one blob (see file comment). */
+class BlobView
+{
+  public:
+    /**
+     * Map and validate @p path.
+     * @return the view, or nullptr with @p *error describing the first
+     * failed check.
+     */
+    static std::shared_ptr<const BlobView>
+    open(const std::string &path, std::string *error);
+
+    /** Validate an in-memory image (tests; fault injection). */
+    static std::shared_ptr<const BlobView>
+    fromBuffer(std::vector<uint8_t> image, std::string *error);
+
+    ArtifactKind kind() const { return static_cast<ArtifactKind>(header().kind); }
+    uint64_t digest() const { return header().digest; }
+    size_t fileSize() const { return bytes_.size(); }
+
+    /** All section-table entries, in file order. */
+    std::span<const SectionEntry>
+    sections() const
+    {
+        return sections_;
+    }
+
+    /** @return the entry for @p id, or nullptr when absent. */
+    const SectionEntry *findSection(uint32_t id) const;
+
+    /** @return section payload bytes; empty span when absent. */
+    std::span<const uint8_t> sectionBytes(uint32_t id) const;
+
+    /**
+     * Typed view of an array section. The element size recorded at
+     * write time must match sizeof(T) and the payload must divide
+     * evenly; mismatches return an empty span (decoders treat that as
+     * a malformed artifact).
+     */
+    template <typename T>
+    std::span<const T>
+    sectionAs(uint32_t id) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const SectionEntry *e = findSection(id);
+        if (e == nullptr || e->elemSize != sizeof(T) ||
+            e->size % sizeof(T) != 0) {
+            return {};
+        }
+        const uint8_t *p = bytes_.data() + e->offset;
+        if (reinterpret_cast<uintptr_t>(p) % alignof(T) != 0)
+            return {};
+        return {reinterpret_cast<const T *>(p), e->size / sizeof(T)};
+    }
+
+    /**
+     * Keep-alive handle for structures whose spans point into this
+     * view; aliases the mapping (or buffer) ownership.
+     */
+    std::shared_ptr<const void> backing() const { return keepalive_; }
+
+  private:
+    BlobView() = default;
+
+    static std::shared_ptr<const BlobView>
+    validate(std::shared_ptr<const void> keepalive,
+             std::span<const uint8_t> bytes, std::string *error);
+
+    const FileHeader &
+    header() const
+    {
+        return *reinterpret_cast<const FileHeader *>(bytes_.data());
+    }
+
+    std::shared_ptr<const void> keepalive_;
+    std::span<const uint8_t> bytes_;
+    std::span<const SectionEntry> sections_;
+};
+
+} // namespace store
+} // namespace sparseap
+
+#endif // SPARSEAP_STORE_BLOB_H

@@ -1,0 +1,246 @@
+#include "store/cache.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/options.h"
+
+namespace fs = std::filesystem;
+
+namespace sparseap {
+namespace store {
+
+namespace {
+
+std::mutex g_override_mutex;
+std::shared_ptr<const ArtifactCache> g_override; // NOLINT: guarded above
+
+/** Append one line to @p path (O_APPEND: one atomic write per line). */
+void
+appendLine(const std::string &path, const std::string &line)
+{
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return;
+    size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+std::string
+digestHex(uint64_t digest)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ArtifactCache::objectPath(uint64_t digest) const
+{
+    const std::string hex = digestHex(digest);
+    return dir_ + "/objects/" + hex.substr(0, 2) + "/" + hex + ".apb";
+}
+
+std::string
+ArtifactCache::journalPath() const
+{
+    return dir_ + "/journal.log";
+}
+
+std::shared_ptr<const BlobView>
+ArtifactCache::load(ArtifactKind kind, uint64_t digest) const
+{
+    if (!enabled())
+        return nullptr;
+    const std::string path = objectPath(digest);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    std::string error;
+    std::shared_ptr<const BlobView> blob = BlobView::open(path, &error);
+    if (blob && (blob->kind() != kind || blob->digest() != digest)) {
+        error = path + ": artifact kind/digest disagrees with its name";
+        blob = nullptr;
+    }
+    if (!blob) {
+        warn("artifact cache: ", error, " (recomputing)");
+        invalid_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return blob;
+}
+
+bool
+ArtifactCache::store(const BlobWriter &w) const
+{
+    if (!enabled())
+        return false;
+    const std::string path = objectPath(w.digest());
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    const std::vector<uint8_t> image = w.finalize();
+    std::string error;
+    if (!atomicWriteFile(path, image, &error)) {
+        if (store_errors_.fetch_add(1, std::memory_order_relaxed) == 0)
+            warn("artifact cache: ", error, " (caching disabled for it)");
+        return false;
+    }
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    const FileHeader *h =
+        reinterpret_cast<const FileHeader *>(image.data());
+    appendLine(journalPath(),
+               std::string("store ") +
+                   artifactKindName(static_cast<ArtifactKind>(h->kind)) +
+                   " " + digestHex(w.digest()) + " " +
+                   std::to_string(image.size()) + "\n");
+    return true;
+}
+
+CacheStats
+ArtifactCache::stats() const
+{
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.invalid = invalid_.load(std::memory_order_relaxed);
+    s.stores = stores_.load(std::memory_order_relaxed);
+    s.storeErrors = store_errors_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+ArtifactCache::resetStats() const
+{
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    invalid_.store(0, std::memory_order_relaxed);
+    stores_.store(0, std::memory_order_relaxed);
+    store_errors_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::string>
+ArtifactCache::listObjects() const
+{
+    std::vector<std::string> out;
+    if (!enabled())
+        return out;
+    std::error_code ec;
+    const fs::path root = fs::path(dir_) / "objects";
+    if (!fs::is_directory(root, ec))
+        return out;
+    for (fs::recursive_directory_iterator
+             it(root, fs::directory_options::skip_permission_denied, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && it->path().extension() == ".apb")
+            out.push_back(it->path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+ArtifactCache::SweepResult
+ArtifactCache::gc(bool remove_all) const
+{
+    SweepResult r;
+    if (!enabled())
+        return r;
+    std::error_code ec;
+    const fs::path root = fs::path(dir_) / "objects";
+    if (!fs::is_directory(root, ec))
+        return r;
+
+    std::vector<fs::path> victims;
+    for (fs::recursive_directory_iterator
+             it(root, fs::directory_options::skip_permission_denied, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        const fs::path p = it->path();
+        if (p.extension() != ".apb") {
+            // Stale temp file from an interrupted writer: always drop.
+            victims.push_back(p);
+            continue;
+        }
+        ++r.scanned;
+        bool drop = remove_all;
+        if (!drop) {
+            std::string error;
+            if (!BlobView::open(p.string(), &error)) {
+                ++r.invalid;
+                drop = true;
+            }
+        }
+        if (drop)
+            victims.push_back(p);
+    }
+    for (const fs::path &p : victims) {
+        std::error_code size_ec;
+        const uint64_t bytes = fs::file_size(p, size_ec);
+        std::error_code rm_ec;
+        if (fs::remove(p, rm_ec)) {
+            ++r.removed;
+            if (!size_ec)
+                r.bytesRemoved += bytes;
+        }
+    }
+    return r;
+}
+
+const ArtifactCache &
+ArtifactCache::global()
+{
+    {
+        std::lock_guard<std::mutex> lock(g_override_mutex);
+        if (g_override)
+            return *g_override;
+    }
+    static const ArtifactCache def(globalOptions().cacheDir);
+    return def;
+}
+
+ScopedCacheOverride::ScopedCacheOverride(std::string dir)
+    : cache_(std::make_shared<const ArtifactCache>(std::move(dir)))
+{
+    std::lock_guard<std::mutex> lock(g_override_mutex);
+    previous_ = g_override;
+    g_override = cache_;
+}
+
+ScopedCacheOverride::~ScopedCacheOverride()
+{
+    std::lock_guard<std::mutex> lock(g_override_mutex);
+    g_override = previous_;
+}
+
+} // namespace store
+} // namespace sparseap

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Content-addressed artifact cache over blob files.
+ *
+ * Layout (loose objects, one blob per artifact):
+ *
+ *   <dir>/objects/<hh>/<16-hex-digest>.apb   blobs, hh = first digest byte
+ *   <dir>/journal.log                        append-only store journal
+ *
+ * The digest is the cache key: a DigestBuilder fold of (workload
+ * identity, generation options, profile/partition configuration, format
+ * version), computed by the caller before looking anything up. Blobs
+ * embed their digest and kind, so a renamed or cross-linked file is
+ * rejected on load and counted as a miss — every failure mode of the
+ * cache degrades to recomputation, never to wrong results.
+ *
+ * Concurrency follows sparkey's single-writer/multi-reader discipline
+ * per object: writers assemble the complete image and commit with
+ * write-to-temp + atomic rename, so readers only ever map complete,
+ * checksummed files. Two processes (or threads) racing to fill the same
+ * key both write valid images of identical content; one rename wins and
+ * both end up reading a valid blob. The journal records one line per
+ * committed store — the warm-cache CI job asserts it does not grow on a
+ * second run.
+ *
+ * Controlled by SPARSEAP_CACHE_DIR / SPARSEAP_CACHE=off (see
+ * common/options.h); an empty directory string disables the cache and
+ * every call becomes a cheap no-op.
+ */
+
+#ifndef SPARSEAP_STORE_CACHE_H
+#define SPARSEAP_STORE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/blob.h"
+
+namespace sparseap {
+namespace store {
+
+/** Hit/miss/store counters of one cache instance. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;   ///< lookups that found no usable blob
+    uint64_t invalid = 0;  ///< subset of misses: file present but rejected
+    uint64_t stores = 0;   ///< blobs committed
+    uint64_t storeErrors = 0;
+};
+
+/** Content-addressed blob store (see file comment). */
+class ArtifactCache
+{
+  public:
+    /** @param dir cache root; empty disables the cache. */
+    explicit ArtifactCache(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Object path for @p digest (valid even when disabled). */
+    std::string objectPath(uint64_t digest) const;
+
+    /** Journal path. */
+    std::string journalPath() const;
+
+    /**
+     * Look up @p digest. @return a validated view whose kind and
+     * embedded digest match, or nullptr (a miss). Never raises: damaged
+     * or foreign files are counted invalid and treated as misses.
+     */
+    std::shared_ptr<const BlobView> load(ArtifactKind kind,
+                                         uint64_t digest) const;
+
+    /**
+     * Commit @p w's image under its digest (temp file + atomic rename)
+     * and append a journal line. I/O failures are counted and warned
+     * once per process, not fatal — the cache is an accelerator.
+     * @return true when the blob was committed
+     */
+    bool store(const BlobWriter &w) const;
+
+    CacheStats stats() const;
+    void resetStats() const;
+
+    /** One gc/verify sweep result. */
+    struct SweepResult
+    {
+        size_t scanned = 0;
+        size_t removed = 0;
+        size_t invalid = 0; ///< blobs failing validation
+        uint64_t bytesRemoved = 0;
+    };
+
+    /**
+     * Scan every object; drop stale temp files and blobs that fail
+     * validation (or every object when @p remove_all).
+     */
+    SweepResult gc(bool remove_all = false) const;
+
+    /** All object paths, sorted (for ls/verify). */
+    std::vector<std::string> listObjects() const;
+
+    /**
+     * Process-wide cache configured from SPARSEAP_CACHE_DIR, unless a
+     * ScopedCacheOverride is active.
+     */
+    static const ArtifactCache &global();
+
+  private:
+    std::string dir_;
+    mutable std::atomic<uint64_t> hits_{0};
+    mutable std::atomic<uint64_t> misses_{0};
+    mutable std::atomic<uint64_t> invalid_{0};
+    mutable std::atomic<uint64_t> stores_{0};
+    mutable std::atomic<uint64_t> store_errors_{0};
+};
+
+/**
+ * RAII replacement of ArtifactCache::global() for tests and benches
+ * (e.g. pointing it at a fresh temp directory, or disabling it with an
+ * empty dir). Nests; restores the previous cache on destruction.
+ */
+class ScopedCacheOverride
+{
+  public:
+    explicit ScopedCacheOverride(std::string dir);
+    ~ScopedCacheOverride();
+
+    ScopedCacheOverride(const ScopedCacheOverride &) = delete;
+    ScopedCacheOverride &operator=(const ScopedCacheOverride &) = delete;
+
+    const ArtifactCache &cache() const { return *cache_; }
+
+  private:
+    std::shared_ptr<const ArtifactCache> cache_;
+    std::shared_ptr<const ArtifactCache> previous_;
+};
+
+/** Hex string (16 digits) of a digest, used in file and journal names. */
+std::string digestHex(uint64_t digest);
+
+} // namespace store
+} // namespace sparseap
+
+#endif // SPARSEAP_STORE_CACHE_H

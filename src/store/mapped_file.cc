@@ -1,0 +1,55 @@
+#include "store/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace sparseap {
+namespace store {
+
+std::shared_ptr<const MappedFile>
+MappedFile::open(const std::string &path, std::string *error)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        if (error)
+            *error = path + ": " + std::strerror(errno);
+        return nullptr;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        if (error)
+            *error = path + ": not a regular file";
+        ::close(fd);
+        return nullptr;
+    }
+
+    auto mf = std::shared_ptr<MappedFile>(new MappedFile());
+    mf->size_ = static_cast<size_t>(st.st_size);
+    if (mf->size_ > 0) {
+        void *p = ::mmap(nullptr, mf->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (p == MAP_FAILED) {
+            if (error)
+                *error = path + ": mmap: " + std::strerror(errno);
+            ::close(fd);
+            return nullptr;
+        }
+        mf->data_ = static_cast<const uint8_t *>(p);
+    }
+    // The mapping outlives the descriptor.
+    ::close(fd);
+    return mf;
+}
+
+MappedFile::~MappedFile()
+{
+    if (data_ != nullptr)
+        ::munmap(const_cast<uint8_t *>(data_), size_);
+}
+
+} // namespace store
+} // namespace sparseap

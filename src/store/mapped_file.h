@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Read-only memory-mapped file, the substrate of zero-copy artifact
+ * loading: the mapping is opened once, validated once, and then shared
+ * (via shared_ptr) by every structure whose spans point into it.
+ */
+
+#ifndef SPARSEAP_STORE_MAPPED_FILE_H
+#define SPARSEAP_STORE_MAPPED_FILE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace sparseap {
+namespace store {
+
+/** An open read-only mapping; unmapped on destruction. */
+class MappedFile
+{
+  public:
+    /**
+     * Map @p path read-only.
+     * @return the mapping, or nullptr with @p *error set. An empty file
+     * maps successfully with size() == 0.
+     */
+    static std::shared_ptr<const MappedFile>
+    open(const std::string &path, std::string *error);
+
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const uint8_t *data() const { return data_; }
+    size_t size() const { return size_; }
+
+    std::span<const uint8_t>
+    bytes() const
+    {
+        return {data_, size_};
+    }
+
+  private:
+    MappedFile() = default;
+
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+};
+
+} // namespace store
+} // namespace sparseap
+
+#endif // SPARSEAP_STORE_MAPPED_FILE_H

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Blob-container robustness: section round-trips, typed-view element
+ * checks, and the validation gauntlet — truncations, bad magic, foreign
+ * versions, and random bit-flip fault injection must either be rejected
+ * with a clear error or provably leave every decoded byte intact (flips
+ * in uncovered header padding); no input may crash the loader.
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "store/blob.h"
+
+namespace sparseap {
+namespace store {
+namespace {
+
+/** A small blob with typed, string, and empty sections. */
+std::vector<uint8_t>
+sampleImage()
+{
+    BlobWriter w(ArtifactKind::Raw, 0xfeedfacecafebeefull);
+    const std::vector<uint32_t> ints{1, 2, 3, 500, 1u << 30};
+    const std::vector<uint64_t> words{~0ull, 0, 0x123456789abcdef0ull};
+    w.addSpan<uint32_t>(1, {ints.data(), ints.size()});
+    w.addString(2, "hello, store");
+    w.addSpan<uint64_t>(7, {words.data(), words.size()});
+    w.addSpan<uint32_t>(9, {}); // legitimately empty section
+    return w.finalize();
+}
+
+TEST(StoreBlob, RoundTripsSections)
+{
+    std::string error;
+    auto blob = BlobView::fromBuffer(sampleImage(), &error);
+    ASSERT_NE(blob, nullptr) << error;
+
+    EXPECT_EQ(blob->kind(), ArtifactKind::Raw);
+    EXPECT_EQ(blob->digest(), 0xfeedfacecafebeefull);
+    EXPECT_EQ(blob->sections().size(), 4u);
+
+    const auto ints = blob->sectionAs<uint32_t>(1);
+    ASSERT_EQ(ints.size(), 5u);
+    EXPECT_EQ(ints[3], 500u);
+    EXPECT_EQ(ints[4], 1u << 30);
+
+    const auto str = blob->sectionBytes(2);
+    EXPECT_EQ(std::string(str.begin(), str.end()), "hello, store");
+
+    const auto words = blob->sectionAs<uint64_t>(7);
+    ASSERT_EQ(words.size(), 3u);
+    EXPECT_EQ(words[0], ~0ull);
+
+    // Empty section: present, zero elements.
+    EXPECT_NE(blob->findSection(9), nullptr);
+    EXPECT_EQ(blob->sectionAs<uint32_t>(9).size(), 0u);
+
+    // Sections start on the format alignment so mmap'ed word vectors
+    // land on cache lines.
+    for (const SectionEntry &e : blob->sections())
+        EXPECT_EQ(e.offset % kSectionAlign, 0u) << e.id;
+}
+
+TEST(StoreBlob, TypedViewEnforcesElementSize)
+{
+    std::string error;
+    auto blob = BlobView::fromBuffer(sampleImage(), &error);
+    ASSERT_NE(blob, nullptr) << error;
+
+    // Section 1 was written with 4-byte elements; a 8-byte view lies.
+    EXPECT_TRUE(blob->sectionAs<uint64_t>(1).empty());
+    // Absent ids yield empty views, not errors.
+    EXPECT_EQ(blob->findSection(42), nullptr);
+    EXPECT_TRUE(blob->sectionAs<uint32_t>(42).empty());
+    EXPECT_TRUE(blob->sectionBytes(42).empty());
+}
+
+TEST(StoreBlob, RejectsTruncation)
+{
+    const std::vector<uint8_t> image = sampleImage();
+    for (size_t keep :
+         {size_t{0}, size_t{1}, size_t{63}, size_t{64}, size_t{100},
+          image.size() / 2, image.size() - 1}) {
+        std::string error;
+        auto blob = BlobView::fromBuffer(
+            std::vector<uint8_t>(image.begin(), image.begin() + keep),
+            &error);
+        EXPECT_EQ(blob, nullptr) << "kept " << keep << " bytes";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(StoreBlob, RejectsBadMagicAndVersion)
+{
+    std::vector<uint8_t> image = sampleImage();
+    std::string error;
+
+    std::vector<uint8_t> bad_magic = image;
+    bad_magic[0] ^= 0xff;
+    EXPECT_EQ(BlobView::fromBuffer(std::move(bad_magic), &error), nullptr);
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+    std::vector<uint8_t> bad_version = image;
+    bad_version[8] = static_cast<uint8_t>(kFormatVersion + 1);
+    EXPECT_EQ(BlobView::fromBuffer(std::move(bad_version), &error),
+              nullptr);
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+/**
+ * Random single-bit flips anywhere in the file: validation must reject
+ * the blob, or — when the flip lands in bytes no decoder reads (header
+ * padding, the unchecked digest/kind header fields) — every section
+ * payload must still read back identical to the pristine blob.
+ */
+TEST(StoreBlob, FaultInjectionBitFlips)
+{
+    const std::vector<uint8_t> image = sampleImage();
+    std::string error;
+    auto pristine = BlobView::fromBuffer(image, &error);
+    ASSERT_NE(pristine, nullptr) << error;
+
+    Rng rng(20181020);
+    size_t rejected = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        std::vector<uint8_t> mutated = image;
+        const size_t byte = rng.index(mutated.size());
+        mutated[byte] ^= static_cast<uint8_t>(1u << rng.index(8));
+
+        auto blob = BlobView::fromBuffer(std::move(mutated), &error);
+        if (!blob) {
+            ++rejected;
+            EXPECT_FALSE(error.empty());
+            continue;
+        }
+        for (const SectionEntry &e : pristine->sections()) {
+            const auto want = pristine->sectionBytes(e.id);
+            const auto got = blob->sectionBytes(e.id);
+            ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(),
+                                   got.end()))
+                << "flip in byte " << byte << " altered section " << e.id
+                << " without failing validation";
+        }
+    }
+    // The payload is checksummed, so the vast majority must be caught.
+    EXPECT_GT(rejected, 250u);
+}
+
+TEST(StoreBlob, FaultInjectionRandomTruncations)
+{
+    const std::vector<uint8_t> image = sampleImage();
+    Rng rng(42);
+    for (int trial = 0; trial < 100; ++trial) {
+        const size_t keep = rng.index(image.size()); // always < size
+        std::string error;
+        auto blob = BlobView::fromBuffer(
+            std::vector<uint8_t>(image.begin(), image.begin() + keep),
+            &error);
+        EXPECT_EQ(blob, nullptr) << "kept " << keep;
+    }
+}
+
+TEST(StoreBlob, OpensFromDiskAndRejectsDamagedFiles)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "sparseap_blob_test";
+    fs::create_directories(dir);
+    const std::string path = (dir / "sample.apb").string();
+
+    const std::vector<uint8_t> image = sampleImage();
+    std::string error;
+    ASSERT_TRUE(atomicWriteFile(path, image, &error)) << error;
+    // The temp file of the atomic write must be gone.
+    size_t entries = 0;
+    for ([[maybe_unused]] const auto &e : fs::directory_iterator(dir))
+        ++entries;
+    EXPECT_EQ(entries, 1u);
+
+    auto blob = BlobView::open(path, &error);
+    ASSERT_NE(blob, nullptr) << error;
+    EXPECT_EQ(blob->digest(), 0xfeedfacecafebeefull);
+    const auto ints = blob->sectionAs<uint32_t>(1);
+    ASSERT_EQ(ints.size(), 5u);
+    EXPECT_EQ(ints[0], 1u);
+
+    // Truncated on disk -> rejected with the path in the error.
+    const std::string cut = (dir / "cut.apb").string();
+    ASSERT_TRUE(atomicWriteFile(
+        cut, {image.data(), image.size() - 7}, &error));
+    EXPECT_EQ(BlobView::open(cut, &error), nullptr);
+    EXPECT_NE(error.find("cut.apb"), std::string::npos) << error;
+
+    // Not a blob at all.
+    const std::string junk = (dir / "junk.apb").string();
+    const std::vector<uint8_t> garbage(300, 0x5a);
+    ASSERT_TRUE(atomicWriteFile(junk, garbage, &error));
+    EXPECT_EQ(BlobView::open(junk, &error), nullptr);
+
+    // Missing file and directories fail gracefully, never crash.
+    EXPECT_EQ(BlobView::open((dir / "absent.apb").string(), &error),
+              nullptr);
+    EXPECT_EQ(BlobView::open(dir.string(), &error), nullptr);
+
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace store
+} // namespace sparseap

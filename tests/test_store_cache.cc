@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Artifact-cache behavior: racing writers on one key commit atomically
+ * with both readers valid, a mini experiment sweep is byte-identical with
+ * the cache off, cold and warm (and at any SPARSEAP_JOBS), the warm pass
+ * never stores, wrong-kind/wrong-name blobs degrade to misses, and gc
+ * sweeps corrupted blobs and stale temp files.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/sparseap.h"
+
+namespace sparseap {
+namespace {
+
+namespace fs = std::filesystem;
+using store::ArtifactCache;
+using store::ArtifactKind;
+using store::BlobView;
+using store::BlobWriter;
+using store::CacheStats;
+using store::ScopedCacheOverride;
+
+// globalOptions() is parsed once per process, so pin the environment to a
+// small deterministic configuration before the first ExperimentRunner,
+// and make sure an ambient cache dir cannot leak into the test.
+const bool kEnvReady = [] {
+    setenv("SPARSEAP_INPUT_KB", "4", 1);
+    setenv("SPARSEAP_SCALE", "3", 1);
+    setenv("SPARSEAP_APPS", "EM,Rg05,RF2,CAV", 1);
+    setenv("SPARSEAP_VERBOSE", "1", 1);
+    unsetenv("SPARSEAP_CACHE_DIR");
+    unsetenv("SPARSEAP_CACHE");
+    unsetenv("SPARSEAP_JSON");
+    return true;
+}();
+
+fs::path
+freshDir(const char *name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+size_t
+journalLines(const ArtifactCache &cache)
+{
+    std::ifstream in(cache.journalPath());
+    size_t lines = 0;
+    for (std::string line; std::getline(in, line);)
+        ++lines;
+    return lines;
+}
+
+BlobWriter
+sampleWriter(uint64_t digest, uint32_t fill)
+{
+    BlobWriter w(ArtifactKind::Raw, digest);
+    std::vector<uint32_t> payload(64, fill);
+    w.addSpan<uint32_t>(1, {payload.data(), payload.size()});
+    return w;
+}
+
+TEST(StoreCache, DisabledCacheIsANoop)
+{
+    const ArtifactCache cache("");
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_EQ(cache.load(ArtifactKind::Raw, 5), nullptr);
+    EXPECT_FALSE(cache.store(sampleWriter(5, 1)));
+    EXPECT_TRUE(cache.listObjects().empty());
+    EXPECT_EQ(cache.gc().scanned, 0u);
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.stores, 0u);
+}
+
+TEST(StoreCache, RacingWritersOneObjectBothReadersValid)
+{
+    ASSERT_TRUE(kEnvReady);
+    const fs::path dir = freshDir("sparseap_cache_race");
+    const ArtifactCache cache(dir.string());
+    const uint64_t digest = 0xabcdef0123456789ull;
+
+    // Same key, identical content (as racing pipeline writers produce),
+    // many writers at once: every commit is temp-file + atomic rename,
+    // so readers never observe a torn blob.
+    constexpr int kWriters = 8;
+    std::vector<std::thread> threads;
+    std::atomic<int> valid_reads{0};
+    threads.reserve(kWriters);
+    for (int t = 0; t < kWriters; ++t) {
+        threads.emplace_back([&] {
+            EXPECT_TRUE(cache.store(sampleWriter(digest, 77)));
+            auto blob = cache.load(ArtifactKind::Raw, digest);
+            if (!blob)
+                return;
+            const auto payload = blob->sectionAs<uint32_t>(1);
+            if (payload.size() == 64 && payload[0] == 77u)
+                valid_reads.fetch_add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(valid_reads.load(), kWriters);
+    // One winner on disk; the journal saw every commit.
+    EXPECT_EQ(cache.listObjects().size(), 1u);
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.stores, static_cast<uint64_t>(kWriters));
+    EXPECT_EQ(s.hits, static_cast<uint64_t>(kWriters));
+    EXPECT_EQ(s.storeErrors, 0u);
+    EXPECT_EQ(journalLines(cache), static_cast<size_t>(kWriters));
+
+    // No stale temp files survive the race.
+    for (const auto &e :
+         fs::recursive_directory_iterator(dir / "objects")) {
+        if (e.is_regular_file()) {
+            EXPECT_EQ(e.path().extension(), ".apb") << e.path();
+        }
+    }
+    fs::remove_all(dir);
+}
+
+TEST(StoreCache, RacingPipelinesShareOneKey)
+{
+    ASSERT_TRUE(kEnvReady);
+    const fs::path dir = freshDir("sparseap_cache_race_pipeline");
+    ScopedCacheOverride scope(dir.string());
+
+    // Two full pipelines race on the same app: both must succeed and
+    // agree, whichever wins each store.
+    size_t sizes[2] = {0, 0};
+    std::thread a([&] {
+        ExperimentRunner runner;
+        sizes[0] = runner.load("EM").flat().size();
+    });
+    std::thread b([&] {
+        ExperimentRunner runner;
+        sizes[1] = runner.load("EM").flat().size();
+    });
+    a.join();
+    b.join();
+    EXPECT_NE(sizes[0], 0u);
+    EXPECT_EQ(sizes[0], sizes[1]);
+
+    // Whatever the interleaving, every object on disk is valid.
+    const std::vector<std::string> objects = scope.cache().listObjects();
+    ASSERT_FALSE(objects.empty());
+    for (const std::string &path : objects) {
+        std::string error;
+        EXPECT_NE(BlobView::open(path, &error), nullptr) << error;
+    }
+    fs::remove_all(dir);
+}
+
+struct SweepOutput
+{
+    std::string ascii;
+    std::string csv;
+    std::string logs;
+};
+
+/** A fig10-shaped mini sweep: partition + run every selected app. */
+SweepOutput
+runSweep(unsigned jobs)
+{
+    EXPECT_TRUE(kEnvReady);
+    ExperimentRunner runner;
+
+    struct Row
+    {
+        std::string abbr;
+        double speedup = 0.0;
+        size_t reports = 0;
+        size_t stalls = 0;
+    };
+    std::vector<Row> rows(runner.selectApps("HML").size());
+    EXPECT_EQ(rows.size(), 4u);
+
+    std::ostringstream errs;
+    std::streambuf *old = std::cerr.rdbuf(errs.rdbuf());
+    runner.forEachApp(
+        "HML",
+        [&](const LoadedApp &app, size_t i) {
+            const size_t capacity =
+                app.workload.app.totalStates() / 4 + 8;
+            const SpapRunStats s = runAppConfig(app, 0.01, capacity);
+            rows[i] = {app.entry.abbr, s.speedup, s.reports.size(),
+                       s.enableStalls};
+        },
+        jobs);
+    std::cerr.rdbuf(old);
+
+    Table table({"App", "Speedup", "Reports", "Stalls"});
+    for (const Row &r : rows) {
+        table.addRow({r.abbr, Table::fmt(r.speedup, 2),
+                      std::to_string(r.reports),
+                      std::to_string(r.stalls)});
+    }
+    std::ostringstream ascii, csv;
+    table.print(ascii);
+    table.printCsv(csv);
+    return {ascii.str(), csv.str(), errs.str()};
+}
+
+TEST(StoreCache, SweepIsByteIdenticalOffColdAndWarm)
+{
+    ASSERT_TRUE(kEnvReady);
+
+    SweepOutput off;
+    {
+        ScopedCacheOverride disabled("");
+        off = runSweep(1);
+    }
+
+    const fs::path dir = freshDir("sparseap_cache_sweep");
+    ScopedCacheOverride scope(dir.string());
+    const ArtifactCache &cache = scope.cache();
+
+    const SweepOutput cold = runSweep(8);
+    const CacheStats after_cold = cache.stats();
+    EXPECT_GT(after_cold.stores, 0u);
+    EXPECT_EQ(after_cold.storeErrors, 0u);
+    const size_t journal_after_cold = journalLines(cache);
+    EXPECT_EQ(journal_after_cold,
+              static_cast<size_t>(after_cold.stores));
+
+    cache.resetStats();
+    const SweepOutput warm = runSweep(1);
+    const CacheStats after_warm = cache.stats();
+
+    // The warm pass must be served entirely from the store: artifacts
+    // are neither recomputed-and-stored nor rejected, and the journal
+    // does not grow (the property the warm-cache CI job asserts).
+    EXPECT_EQ(after_warm.stores, 0u);
+    EXPECT_GT(after_warm.hits, 0u);
+    EXPECT_EQ(after_warm.invalid, 0u);
+    EXPECT_EQ(after_warm.misses, 0u);
+    EXPECT_EQ(journalLines(cache), journal_after_cold);
+
+    // Tables, CSV renderings and captured logs are byte-identical with
+    // the cache off, cold and warm, across different job counts.
+    EXPECT_EQ(off.ascii, cold.ascii);
+    EXPECT_EQ(off.csv, cold.csv);
+    EXPECT_EQ(off.logs, cold.logs);
+    EXPECT_EQ(off.ascii, warm.ascii);
+    EXPECT_EQ(off.csv, warm.csv);
+    EXPECT_EQ(off.logs, warm.logs);
+
+    for (const char *abbr : {"EM", "Rg05", "RF2", "CAV"})
+        EXPECT_NE(off.ascii.find(abbr), std::string::npos) << abbr;
+    fs::remove_all(dir);
+}
+
+TEST(StoreCache, WrongKindOrRenamedObjectIsAMissNotAnError)
+{
+    ASSERT_TRUE(kEnvReady);
+    const fs::path dir = freshDir("sparseap_cache_foreign");
+    const ArtifactCache cache(dir.string());
+    const uint64_t digest = 42;
+    ASSERT_TRUE(cache.store(sampleWriter(digest, 9)));
+
+    std::ostringstream errs;
+    std::streambuf *old = std::cerr.rdbuf(errs.rdbuf());
+
+    // Same digest, wrong kind: rejected, counted invalid.
+    EXPECT_EQ(cache.load(ArtifactKind::FlatAutomaton, digest), nullptr);
+
+    // A blob copied under another key (embedded digest disagrees with
+    // its file name) is rejected too.
+    const std::string stray = cache.objectPath(digest + 1);
+    fs::create_directories(fs::path(stray).parent_path());
+    fs::copy_file(cache.objectPath(digest), stray);
+    EXPECT_EQ(cache.load(ArtifactKind::Raw, digest + 1), nullptr);
+
+    std::cerr.rdbuf(old);
+    EXPECT_NE(errs.str().find("recomputing"), std::string::npos)
+        << errs.str();
+
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.invalid, 2u);
+    EXPECT_EQ(s.misses, 2u);
+
+    // The well-named object still loads.
+    EXPECT_NE(cache.load(ArtifactKind::Raw, digest), nullptr);
+    fs::remove_all(dir);
+}
+
+TEST(StoreCache, GcSweepsCorruptionAndTempFiles)
+{
+    ASSERT_TRUE(kEnvReady);
+    const fs::path dir = freshDir("sparseap_cache_gc");
+    const ArtifactCache cache(dir.string());
+    ASSERT_TRUE(cache.store(sampleWriter(1, 1)));
+    ASSERT_TRUE(cache.store(sampleWriter(2, 2)));
+
+    // Corrupt one blob's payload in place.
+    const std::string victim = cache.objectPath(2);
+    {
+        std::fstream f(victim, std::ios::in | std::ios::out |
+                                   std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekp(static_cast<std::streamoff>(fs::file_size(victim)) - 5);
+        const char x = 0x55;
+        f.write(&x, 1);
+    }
+    // Plant a stale temp file from a hypothetical interrupted writer.
+    const fs::path stale = dir / "objects" / "00" / "leftover.tmp";
+    fs::create_directories(stale.parent_path());
+    std::ofstream(stale) << "partial";
+
+    std::ostringstream errs; // silence the invalid-blob warn
+    std::streambuf *old = std::cerr.rdbuf(errs.rdbuf());
+    const ArtifactCache::SweepResult r = cache.gc();
+    std::cerr.rdbuf(old);
+
+    EXPECT_EQ(r.scanned, 2u);
+    EXPECT_EQ(r.invalid, 1u);
+    EXPECT_EQ(r.removed, 2u); // corrupted blob + temp file
+    EXPECT_GT(r.bytesRemoved, 0u);
+    EXPECT_FALSE(fs::exists(victim));
+    EXPECT_FALSE(fs::exists(stale));
+    EXPECT_NE(cache.load(ArtifactKind::Raw, 1), nullptr);
+
+    // gc --all empties the store.
+    const ArtifactCache::SweepResult all = cache.gc(true);
+    EXPECT_EQ(all.scanned, 1u);
+    EXPECT_EQ(all.removed, 1u);
+    EXPECT_TRUE(cache.listObjects().empty());
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace sparseap

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Artifact codec round-trips: a FlatAutomaton loaded (mmap, zero-copy)
+ * from a store blob must report byte-identically to a freshly-built one
+ * across every registered workload in all three execution modes (sparse,
+ * compressed dense, raw dense); profiles and prepared partitions must
+ * survive encode/decode with identical contents and identical pipeline
+ * results.
+ */
+
+#include <algorithm>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "store/artifact.h"
+#include "store/cache.h"
+#include "workloads/registry.h"
+
+namespace sparseap {
+namespace {
+
+namespace fs = std::filesystem;
+using store::BlobView;
+using store::BlobWriter;
+
+ReportList
+sortedReports(const FlatAutomaton &fa, EngineMode mode,
+              std::span<const uint8_t> input)
+{
+    Engine engine(fa, mode);
+    ReportList r = engine.run(input).reports;
+    std::sort(r.begin(), r.end());
+    return r;
+}
+
+std::vector<uint8_t>
+smallInput(const Workload &w, Rng &rng)
+{
+    size_t bytes = 1536;
+    if (w.inputBytesCap > 0)
+        bytes = std::min(bytes, w.inputBytesCap);
+    return synthesizeInput(w.input, bytes, rng);
+}
+
+/** Round-trip @p fa through an on-disk blob (real mmap load). */
+std::unique_ptr<FlatAutomaton>
+reload(const FlatAutomaton &fa, const fs::path &dir, uint64_t digest)
+{
+    BlobWriter w(store::ArtifactKind::FlatAutomaton, digest);
+    store::encodeFlatAutomaton(fa, w);
+    const std::string path =
+        (dir / (store::digestHex(digest) + ".apb")).string();
+    std::string error;
+    EXPECT_TRUE(w.commit(path, &error)) << error;
+    auto blob = BlobView::open(path, &error);
+    EXPECT_NE(blob, nullptr) << error;
+    if (!blob)
+        return nullptr;
+    auto decoded = store::decodeFlatAutomaton(*blob, 0, &error);
+    EXPECT_NE(decoded, nullptr) << error;
+    return decoded;
+}
+
+TEST(StoreRoundtrip, FlatAutomatonAllWorkloadsAllModes)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "sparseap_roundtrip_fa";
+    fs::create_directories(dir);
+
+    Rng input_rng(20180621);
+    uint64_t digest = 1;
+    for (const auto &entry : appCatalog()) {
+        Workload w = generateWorkload(entry.abbr, 7, 5);
+        const std::vector<uint8_t> input = smallInput(w, input_rng);
+
+        const FlatAutomaton fresh(w.app);
+        const FlatAutomaton fresh_raw(w.app,
+                                      FlatAutomaton::DenseCompression::Raw);
+        auto loaded = reload(fresh, dir, digest++);
+        auto loaded_raw = reload(fresh_raw, dir, digest++);
+        ASSERT_NE(loaded, nullptr) << entry.abbr;
+        ASSERT_NE(loaded_raw, nullptr) << entry.abbr;
+
+        // Structure survives.
+        EXPECT_EQ(loaded->size(), fresh.size()) << entry.abbr;
+        EXPECT_EQ(loaded->symbolClassCount(), fresh.symbolClassCount());
+        EXPECT_EQ(loaded->compression(), fresh.compression());
+        EXPECT_EQ(loaded_raw->compression(),
+                  FlatAutomaton::DenseCompression::Raw);
+        EXPECT_EQ(loaded_raw->denseView().classes, 256u) << entry.abbr;
+        for (unsigned b = 0; b < 256; ++b) {
+            EXPECT_EQ(loaded->symbolClass(static_cast<uint8_t>(b)),
+                      fresh.symbolClass(static_cast<uint8_t>(b)));
+        }
+
+        // Identical reports in every execution mode.
+        const ReportList want =
+            sortedReports(fresh, EngineMode::Sparse, input);
+        EXPECT_EQ(sortedReports(*loaded, EngineMode::Sparse, input), want)
+            << entry.abbr << " sparse";
+        EXPECT_EQ(sortedReports(*loaded, EngineMode::Dense, input), want)
+            << entry.abbr << " dense-compressed";
+        EXPECT_EQ(sortedReports(*loaded_raw, EngineMode::Dense, input),
+                  want)
+            << entry.abbr << " dense-raw";
+    }
+    fs::remove_all(dir);
+}
+
+TEST(StoreRoundtrip, FlatAutomatonDecodeRejectsForeignStructure)
+{
+    Workload w = generateWorkload("EM", 7, 5);
+    const FlatAutomaton fa(w.app);
+    BlobWriter bw(store::ArtifactKind::FlatAutomaton, 99);
+    store::encodeFlatAutomaton(fa, bw);
+    std::string error;
+    auto blob = BlobView::fromBuffer(bw.finalize(), &error);
+    ASSERT_NE(blob, nullptr) << error;
+
+    // Valid blob, but decoding at a wrong base finds no sections.
+    EXPECT_EQ(store::decodeFlatAutomaton(*blob, 1000, &error), nullptr);
+    EXPECT_NE(error.find("missing"), std::string::npos) << error;
+}
+
+TEST(StoreRoundtrip, ProfilesAtEveryCheckpointPrefix)
+{
+    Rng input_rng(7);
+    for (const char *abbr : {"EM", "CAV", "Rg05", "SPM"}) {
+        Workload w = generateWorkload(abbr, 7, 5);
+        const std::vector<uint8_t> input = smallInput(w, input_rng);
+        const FlatAutomaton fa(w.app);
+
+        const std::vector<size_t> checkpoints{1, 16, 128,
+                                              input.size() / 2};
+        const std::vector<HotColdProfile> profs =
+            profileApplication(fa, input, checkpoints);
+        ASSERT_EQ(profs.size(), checkpoints.size());
+
+        for (size_t i = 0; i < checkpoints.size(); ++i) {
+            BlobWriter bw(store::ArtifactKind::Profile, 7000 + i);
+            store::encodeProfile(profs[i], checkpoints[i], bw);
+            std::string error;
+            auto blob = BlobView::fromBuffer(bw.finalize(), &error);
+            ASSERT_NE(blob, nullptr) << error;
+
+            HotColdProfile decoded;
+            size_t prefix_len = 0;
+            ASSERT_TRUE(store::decodeProfile(*blob, &decoded,
+                                             &prefix_len, &error))
+                << error;
+            EXPECT_EQ(prefix_len, checkpoints[i]);
+            EXPECT_EQ(decoded.hot, profs[i].hot)
+                << abbr << " @ " << checkpoints[i];
+            EXPECT_EQ(decoded.hotCount(), profs[i].hotCount());
+        }
+    }
+}
+
+/** Full deep equality of two applications. */
+void
+expectAppsEqual(const Application &a, const Application &b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.abbr(), b.abbr());
+    EXPECT_EQ(a.group(), b.group());
+    ASSERT_EQ(a.nfaCount(), b.nfaCount());
+    ASSERT_EQ(a.totalStates(), b.totalStates());
+    for (uint32_t ni = 0; ni < a.nfaCount(); ++ni) {
+        const Nfa &na = a.nfa(ni);
+        const Nfa &nb = b.nfa(ni);
+        EXPECT_EQ(na.name(), nb.name()) << "nfa " << ni;
+        ASSERT_EQ(na.size(), nb.size()) << "nfa " << ni;
+        EXPECT_EQ(na.startStates(), nb.startStates()) << "nfa " << ni;
+        for (StateId s = 0; s < na.size(); ++s) {
+            EXPECT_TRUE(na.state(s).symbols == nb.state(s).symbols);
+            EXPECT_EQ(na.state(s).start, nb.state(s).start);
+            EXPECT_EQ(na.state(s).reporting, nb.state(s).reporting);
+            EXPECT_EQ(na.state(s).successors, nb.state(s).successors);
+        }
+    }
+}
+
+TEST(StoreRoundtrip, ApplicationBinaryBag)
+{
+    for (const char *abbr : {"EM", "RF2", "SPM"}) {
+        Workload w = generateWorkload(abbr, 7, 5);
+        BlobWriter bw(store::ArtifactKind::Raw, 11);
+        store::encodeApplication(w.app, bw, 40);
+        std::string error;
+        auto blob = BlobView::fromBuffer(bw.finalize(), &error);
+        ASSERT_NE(blob, nullptr) << error;
+
+        Application decoded;
+        ASSERT_TRUE(store::decodeApplication(*blob, 40, &decoded, &error))
+            << error;
+        expectAppsEqual(w.app, decoded);
+    }
+}
+
+TEST(StoreRoundtrip, PreparedPartitionPipelineEquivalence)
+{
+    Rng input_rng(99);
+    for (const char *abbr : {"EM", "CAV", "HM1000"}) {
+        Workload w = generateWorkload(abbr, 7, 5);
+        const std::vector<uint8_t> input = smallInput(w, input_rng);
+        AppTopology topo(w.app);
+
+        ExecutionOptions opts;
+        opts.ap.capacity = w.app.totalStates() / 4 + 8;
+        opts.profileFraction = 0.01;
+        opts.fullInputAsTest = w.fullInputAsTest;
+
+        const PreparedPartition fresh =
+            preparePartition(topo, opts, input);
+
+        BlobWriter bw(store::ArtifactKind::Partition, 31337);
+        store::encodePreparedPartition(fresh, opts.ap.capacity, bw);
+        std::string error;
+        auto blob = BlobView::fromBuffer(bw.finalize(), &error);
+        ASSERT_NE(blob, nullptr) << error;
+
+        PreparedPartition loaded;
+        ASSERT_TRUE(
+            store::decodePreparedPartition(*blob, &loaded, &error))
+            << error;
+        loaded.profileInput = fresh.profileInput;
+        loaded.testInput = fresh.testInput;
+
+        EXPECT_EQ(loaded.layers.k, fresh.layers.k) << abbr;
+        expectAppsEqual(fresh.part.hot, loaded.part.hot);
+        expectAppsEqual(fresh.part.cold, loaded.part.cold);
+        EXPECT_EQ(loaded.part.hotToOriginal, fresh.part.hotToOriginal);
+        EXPECT_EQ(loaded.part.intermediateTarget,
+                  fresh.part.intermediateTarget);
+        EXPECT_EQ(loaded.part.coldToOriginal, fresh.part.coldToOriginal);
+        EXPECT_EQ(loaded.part.originalToCold, fresh.part.originalToCold);
+        EXPECT_EQ(loaded.part.coldNfaToOriginal,
+                  fresh.part.coldNfaToOriginal);
+        EXPECT_EQ(loaded.part.intermediateCount,
+                  fresh.part.intermediateCount);
+        EXPECT_EQ(loaded.part.hotOriginalReporting,
+                  fresh.part.hotOriginalReporting);
+        EXPECT_EQ(loaded.part.coldReporting, fresh.part.coldReporting);
+        // The blob carries the hot automaton pre-flattened.
+        ASSERT_NE(loaded.hotFa, nullptr);
+        EXPECT_EQ(loaded.hotFa->size(), fresh.part.hot.totalStates());
+
+        // Identical end-to-end pipeline results.
+        const SpapRunStats a = runBaseApSpap(topo, opts, fresh, true);
+        const SpapRunStats b = runBaseApSpap(topo, opts, loaded, true);
+        EXPECT_EQ(a.reports, b.reports) << abbr;
+        EXPECT_EQ(a.baseApBatches, b.baseApBatches);
+        EXPECT_EQ(a.spApBatches, b.spApBatches);
+        EXPECT_EQ(a.spApCycles, b.spApCycles);
+        EXPECT_EQ(a.enableStalls, b.enableStalls);
+        EXPECT_EQ(a.intermediateReports, b.intermediateReports);
+        EXPECT_EQ(a.speedup, b.speedup);
+    }
+}
+
+} // namespace
+} // namespace sparseap

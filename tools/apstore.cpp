@@ -1,0 +1,202 @@
+/**
+ * @file
+ * apstore: command-line front end of the compiled-artifact store.
+ *
+ *   apstore build [abbr...]   compile + store artifacts (flat automaton,
+ *                             hot/cold profiles, prepared partition) for
+ *                             the given apps (default: all 26) under the
+ *                             standard configuration (1%% / 0.1%%
+ *                             profiling at the 24K half-core)
+ *   apstore ls                list cached objects
+ *   apstore inspect <obj>     dump one blob's header and section table
+ *                             (<obj> is a path or a 16-hex digest)
+ *   apstore verify            re-validate every object's checksums
+ *   apstore gc [--all]        drop stale temp files and invalid blobs
+ *                             (--all empties the cache)
+ *
+ * The cache directory comes from SPARSEAP_CACHE_DIR; workload identity
+ * (seed, scale, input size, app filter) from the usual SPARSEAP_*
+ * variables, so `apstore build` prewarms exactly what the bench binaries
+ * will look up.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/sparseap.h"
+
+using namespace sparseap;
+using store::ArtifactCache;
+using store::BlobView;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: apstore <build [abbr...] | ls | inspect <obj> | verify | "
+        "gc [--all]>\n"
+        "       (cache directory: SPARSEAP_CACHE_DIR)\n");
+    return 2;
+}
+
+const ArtifactCache &
+cacheOrDie()
+{
+    const ArtifactCache &cache = ArtifactCache::global();
+    if (!cache.enabled())
+        fatal("apstore needs SPARSEAP_CACHE_DIR (and SPARSEAP_CACHE not "
+              "'off')");
+    return cache;
+}
+
+int
+cmdBuild(const std::vector<std::string> &args)
+{
+    const ArtifactCache &cache = cacheOrDie();
+    ExperimentRunner runner;
+    std::vector<std::string> apps =
+        args.empty() ? runner.selectApps("HML") : args;
+
+    const double fractions[] = {0.001, 0.01};
+    for (const std::string &abbr : apps) {
+        const LoadedApp &app = runner.load(abbr);
+        app.flat();
+        app.prewarmProfiles(fractions);
+        for (double f : fractions)
+            preparePartition(app,
+                             app.execOptions(f, ApConfig::kHalfCore));
+        runner.unload(abbr);
+    }
+    const store::CacheStats s = cache.stats();
+    std::printf("built %zu app(s): %llu stored, %llu already cached\n",
+                apps.size(), static_cast<unsigned long long>(s.stores),
+                static_cast<unsigned long long>(s.hits));
+    return 0;
+}
+
+int
+cmdLs()
+{
+    const ArtifactCache &cache = cacheOrDie();
+    Table table({"Kind", "Digest", "Sections", "Bytes", "Path"});
+    size_t count = 0;
+    for (const std::string &path : cache.listObjects()) {
+        std::string error;
+        std::shared_ptr<const BlobView> blob =
+            BlobView::open(path, &error);
+        if (!blob) {
+            table.addRow({"INVALID", "-", "-", "-", path});
+            ++count;
+            continue;
+        }
+        table.addRow({artifactKindName(blob->kind()),
+                      store::digestHex(blob->digest()),
+                      std::to_string(blob->sections().size()),
+                      std::to_string(blob->fileSize()), path});
+        ++count;
+    }
+    table.print(std::cout);
+    std::printf("%zu object(s) in %s\n", count, cache.dir().c_str());
+    return 0;
+}
+
+/** Resolve a CLI object argument: a path, or a digest in the cache. */
+std::string
+resolveObject(const std::string &arg)
+{
+    if (arg.size() == 16 &&
+        arg.find_first_not_of("0123456789abcdef") == std::string::npos) {
+        const ArtifactCache &cache = ArtifactCache::global();
+        if (cache.enabled()) {
+            const uint64_t digest =
+                std::strtoull(arg.c_str(), nullptr, 16);
+            return cache.objectPath(digest);
+        }
+    }
+    return arg;
+}
+
+int
+cmdInspect(const std::string &arg)
+{
+    const std::string path = resolveObject(arg);
+    std::string error;
+    std::shared_ptr<const BlobView> blob = BlobView::open(path, &error);
+    if (!blob) {
+        std::fprintf(stderr, "apstore: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("%s\n  kind    %s\n  digest  %s\n  size    %zu bytes\n",
+                path.c_str(), artifactKindName(blob->kind()),
+                store::digestHex(blob->digest()).c_str(),
+                blob->fileSize());
+    Table table({"Id", "ElemSize", "Offset", "Bytes", "Checksum"});
+    for (const store::SectionEntry &e : blob->sections()) {
+        table.addRow({std::to_string(e.id), std::to_string(e.elemSize),
+                      std::to_string(e.offset), std::to_string(e.size),
+                      store::digestHex(e.checksum)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdVerify()
+{
+    const ArtifactCache &cache = cacheOrDie();
+    size_t ok = 0, bad = 0;
+    for (const std::string &path : cache.listObjects()) {
+        std::string error;
+        if (BlobView::open(path, &error)) {
+            ++ok;
+        } else {
+            ++bad;
+            std::fprintf(stderr, "BAD  %s\n", error.c_str());
+        }
+    }
+    std::printf("verified %zu object(s): %zu ok, %zu bad\n", ok + bad, ok,
+                bad);
+    return bad == 0 ? 0 : 1;
+}
+
+int
+cmdGc(bool all)
+{
+    const ArtifactCache &cache = cacheOrDie();
+    const ArtifactCache::SweepResult r = cache.gc(all);
+    std::printf("scanned %zu object(s), removed %zu (%llu bytes, %zu "
+                "invalid)\n",
+                r.scanned, r.removed,
+                static_cast<unsigned long long>(r.bytesRemoved),
+                r.invalid);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (cmd == "build")
+        return cmdBuild(args);
+    if (cmd == "ls")
+        return cmdLs();
+    if (cmd == "inspect")
+        return args.size() == 1 ? cmdInspect(args[0]) : usage();
+    if (cmd == "verify")
+        return cmdVerify();
+    if (cmd == "gc")
+        return cmdGc(!args.empty() && args[0] == "--all");
+    return usage();
+}
