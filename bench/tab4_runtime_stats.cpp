@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/sparseap.h"
+#include "telemetry/metrics.h"
 
 using namespace sparseap;
 
@@ -24,6 +25,8 @@ main()
         SpapRunStats s;
     };
     std::vector<Row> rows(runner.selectApps("HM").size());
+
+    const telemetry::Snapshot before = telemetry::snapshot();
 
     runner.forEachApp("HM", [&](const LoadedApp &app, size_t i) {
         rows[i] = {app.entry.abbr,
@@ -43,8 +46,36 @@ main()
     }
     runner.printTable(table);
 
+    // Cross-check: the telemetry registry's merged spap.* counter deltas
+    // over the sweep must equal the table's own sums. The counters are
+    // whole-sweep sums of per-thread cells, so this holds at any
+    // SPARSEAP_JOBS value; a mismatch means an execution path bypassed
+    // (or double-counted) the instrumentation.
+    const telemetry::Snapshot delta =
+        before.deltaTo(telemetry::snapshot());
+    uint64_t sum_stalls = 0, sum_interm = 0, sum_jumps = 0,
+             sum_enables = 0;
+    for (const Row &row : rows) {
+        sum_stalls += row.s.enableStalls;
+        sum_interm += row.s.intermediateReports;
+        sum_jumps += row.s.jumps;
+        sum_enables += row.s.enables;
+    }
+    auto counter = [&](const char *name) -> uint64_t {
+        auto it = delta.counters.find(name);
+        return it != delta.counters.end() ? it->second : 0;
+    };
+    const bool consistent = counter("spap.estalls") == sum_stalls &&
+                            counter("spap.intermediate_reports") ==
+                                sum_interm &&
+                            counter("spap.jumps") == sum_jumps &&
+                            counter("spap.enables") == sum_enables;
+    std::cout << "\ntelemetry cross-check (jumps/enables/estalls/"
+                 "intermediate reports vs table sums): "
+              << (consistent ? "consistent" : "MISMATCH") << "\n";
+
     std::cout << "\npaper (excerpt): CAV4k 47->1+0; HM1500 15->4+13, "
                  "99.4% jump; PEN 2->1+1 with 5.45M reports and 4.5M "
                  "stalls, 1.96% jump\n";
-    return 0;
+    return consistent ? 0 : 1;
 }

@@ -98,6 +98,10 @@ parseEnvironment()
         else if (std::strcmp(v, "on") != 0 && std::strcmp(v, "1") != 0)
             fatal("SPARSEAP_CACHE must be on/off/1/0, got '", v, "'");
     }
+    if (const char *v = std::getenv("SPARSEAP_TRACE"))
+        opt.tracePath = v;
+    if (const char *v = std::getenv("SPARSEAP_STATS"))
+        opt.statsPath = v;
     return opt;
 }
 

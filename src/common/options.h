@@ -21,6 +21,17 @@
  *                       (src/store); empty disables caching
  *   SPARSEAP_CACHE      set to "off" (or "0") to disable the artifact
  *                       cache even when SPARSEAP_CACHE_DIR is set
+ *   SPARSEAP_VERBOSE    stderr log level: 0 quiet, 1 status (default),
+ *                       2 adds debug lines (src/common/logging.h)
+ *   SPARSEAP_TRACE      when set, stream scoped spans to this file as
+ *                       Chrome trace-event JSON at process exit (load in
+ *                       Perfetto / chrome://tracing); unset = spans
+ *                       reduce to one atomic load + branch
+ *   SPARSEAP_STATS      end-of-process telemetry summary sink: "-", "1"
+ *                       or "stderr" print the ASCII tables to stderr,
+ *                       anything else appends them to that file path
+ *
+ * See docs/OBSERVABILITY.md for the telemetry metric catalog.
  */
 
 #ifndef SPARSEAP_COMMON_OPTIONS_H
@@ -63,6 +74,10 @@ struct Options
     std::string jsonPath;
     /** Artifact-cache directory; empty means caching is disabled. */
     std::string cacheDir;
+    /** Chrome-trace output file; empty means tracing is disabled. */
+    std::string tracePath;
+    /** Exit-summary sink ("-"/"1"/"stderr" or a file path); empty = off. */
+    std::string statsPath;
 };
 
 /** @return process-wide options parsed from the environment (cached). */

@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -66,6 +67,112 @@ Accumulator::add(double v)
     }
     sum_ += v;
     ++count_;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+size_t
+Histogram::bucketOf(uint64_t v)
+{
+    return v == 0 ? 0 : static_cast<size_t>(64 - __builtin_clzll(v));
+}
+
+uint64_t
+Histogram::bucketLow(size_t b)
+{
+    SPARSEAP_ASSERT(b < kBuckets, "bucket ", b, " out of range");
+    return b == 0 ? 0 : 1ull << (b - 1);
+}
+
+uint64_t
+Histogram::bucketHigh(size_t b)
+{
+    SPARSEAP_ASSERT(b < kBuckets, "bucket ", b, " out of range");
+    if (b == 0)
+        return 0;
+    if (b == kBuckets - 1)
+        return ~0ull;
+    return (1ull << b) - 1;
+}
+
+double
+Histogram::quantileFromBuckets(std::span<const uint64_t> buckets,
+                               double q)
+{
+    SPARSEAP_ASSERT(buckets.size() == kBuckets,
+                    "expected ", kBuckets, " buckets, got ",
+                    buckets.size());
+    uint64_t total = 0;
+    for (uint64_t c : buckets)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Rank of the requested quantile, 1-based ("nearest rank" with
+    // in-bucket linear interpolation).
+    const double rank = q * static_cast<double>(total);
+    double seen = 0.0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        const double in_bucket = static_cast<double>(buckets[b]);
+        if (seen + in_bucket >= rank) {
+            const double lo = static_cast<double>(bucketLow(b));
+            const double hi = static_cast<double>(bucketHigh(b));
+            const double frac =
+                in_bucket == 0.0 ? 0.0 : (rank - seen) / in_bucket;
+            return lo + (hi - lo) * std::min(std::max(frac, 0.0), 1.0);
+        }
+        seen += in_bucket;
+    }
+    // Numeric slack put the rank past the last sample: return the top of
+    // the highest populated bucket.
+    for (size_t b = kBuckets; b-- > 0;) {
+        if (buckets[b] != 0)
+            return static_cast<double>(bucketHigh(b));
+    }
+    return 0.0;
+}
+
+void
+Histogram::add(uint64_t v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++buckets_[bucketOf(v)];
+    ++count_;
+    sum_ += v;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (size_t b = 0; b < kBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 } // namespace sparseap

@@ -8,7 +8,10 @@
 #ifndef SPARSEAP_COMMON_STATS_H
 #define SPARSEAP_COMMON_STATS_H
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace sparseap {
@@ -25,7 +28,7 @@ double mean(const std::vector<double> &values);
  */
 double pearson(const std::vector<double> &x, const std::vector<double> &y);
 
-/** Streaming accumulator for min / max / mean / count. */
+/** Streaming accumulator for min / max / mean / variance / count. */
 class Accumulator
 {
   public:
@@ -38,11 +41,93 @@ class Accumulator
     double sum() const { return sum_; }
     size_t count() const { return count_; }
 
+    /**
+     * Population variance (mean of squared deviations; 0 for fewer than
+     * two samples). Computed with Welford's recurrence, so it is stable
+     * for series whose mean dwarfs their spread.
+     */
+    double variance() const { return count_ >= 2 ? m2_ / count_ : 0.0; }
+
+    /** Population standard deviation: sqrt(variance()). */
+    double stddev() const;
+
   private:
     double min_ = 0.0;
     double max_ = 0.0;
     double sum_ = 0.0;
+    double mean_ = 0.0; ///< running mean (Welford)
+    double m2_ = 0.0;   ///< running sum of squared deviations
     size_t count_ = 0;
+};
+
+/**
+ * Fixed log-bucketed histogram of nonnegative integer samples (latencies
+ * in microseconds, sizes in bytes, ...). Bucket b holds values whose bit
+ * width is b: bucket 0 is {0}, bucket 1 is {1}, bucket 2 is [2, 3],
+ * bucket 3 is [4, 7], ... — 65 buckets cover the whole uint64_t range
+ * with ~2x relative resolution. Quantiles are estimated by walking the
+ * cumulative bucket counts and interpolating linearly inside the bucket
+ * that crosses the requested rank.
+ */
+class Histogram
+{
+  public:
+    /** Bucket count: one per possible bit width of a uint64_t, plus {0}. */
+    static constexpr size_t kBuckets = 65;
+
+    /** Bucket index of @p v (its bit width; 0 for 0). */
+    static size_t bucketOf(uint64_t v);
+
+    /** Smallest value mapping to bucket @p b. */
+    static uint64_t bucketLow(size_t b);
+
+    /** Largest value mapping to bucket @p b. */
+    static uint64_t bucketHigh(size_t b);
+
+    /**
+     * Estimate the @p q quantile (q in [0, 1]) of the samples described
+     * by @p buckets (bucketOf-indexed counts). 0 when empty. Shared with
+     * the telemetry registry, whose merged snapshots are plain bucket
+     * arrays.
+     */
+    static double quantileFromBuckets(std::span<const uint64_t> buckets,
+                                      double q);
+
+    /** Fold one sample in. */
+    void add(uint64_t v);
+
+    size_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return count_ ? max_ : 0; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+
+    /** Quantile estimate over this histogram's own buckets. */
+    double quantile(double q) const
+    {
+        return quantileFromBuckets(buckets_, q);
+    }
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    const std::array<uint64_t, kBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Fold another histogram's samples into this one. */
+    void merge(const Histogram &other);
+
+  private:
+    std::array<uint64_t, kBuckets> buckets_{};
+    size_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
 };
 
 } // namespace sparseap

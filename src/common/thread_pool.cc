@@ -2,10 +2,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
 namespace sparseap {
+
+namespace {
+
+/** Set by global() once the static pool exists; see globalIfCreated. */
+std::atomic<const ThreadPool *> g_global_pool{nullptr};
+
+uint64_t
+steadyMicros()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(size_t worker_count)
 {
@@ -29,18 +46,26 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    const uint64_t now = steadyMicros();
+    size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back({std::move(task), now});
+        depth = queue_.size();
     }
     cv_.notify_one();
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.queueHighWater =
+            std::max<uint64_t>(stats_.queueHighWater, depth);
+    }
 }
 
 void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock,
@@ -50,8 +75,24 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        task.fn();
+        recordCompletion(steadyMicros() - task.submit_us);
     }
+}
+
+void
+ThreadPool::recordCompletion(uint64_t latency_us)
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.tasksExecuted;
+    stats_.taskMicros.add(latency_us);
+}
+
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
 }
 
 ThreadPool &
@@ -61,7 +102,14 @@ ThreadPool::global()
         const unsigned hw = std::thread::hardware_concurrency();
         return hw > 1 ? static_cast<size_t>(hw - 1) : size_t{0};
     }());
+    g_global_pool.store(&pool, std::memory_order_release);
     return pool;
+}
+
+const ThreadPool *
+ThreadPool::globalIfCreated()
+{
+    return g_global_pool.load(std::memory_order_acquire);
 }
 
 namespace {

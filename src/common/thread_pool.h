@@ -18,11 +18,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/stats.h"
 
 namespace sparseap {
 
@@ -30,6 +33,19 @@ namespace sparseap {
 class ThreadPool
 {
   public:
+    /**
+     * Self-maintained pool statistics, polled by the telemetry layer
+     * (which sits above common/ and therefore cannot be linked from
+     * here). All values are scheduling-dependent — they are reported
+     * as `pool.*` metrics and excluded from determinism checks.
+     */
+    struct Stats
+    {
+        uint64_t tasksExecuted = 0;  ///< tasks run to completion
+        uint64_t queueHighWater = 0; ///< max queue depth seen at submit
+        Histogram taskMicros;        ///< submit-to-completion latency
+    };
+
     /** Spawn @p worker_count workers (0 is legal: tasks never run). */
     explicit ThreadPool(size_t worker_count);
 
@@ -44,6 +60,9 @@ class ThreadPool
 
     size_t workerCount() const { return workers_.size(); }
 
+    /** Copy of the pool's counters/latency histogram (thread-safe). */
+    Stats stats() const;
+
     /**
      * Process-wide pool shared by all executors, sized to
      * hardware_concurrency - 1 workers (the caller thread is the +1).
@@ -51,14 +70,32 @@ class ThreadPool
      */
     static ThreadPool &global();
 
+    /**
+     * The global pool if some caller already forced its creation,
+     * nullptr otherwise. Never instantiates — telemetry snapshots use
+     * this so that reading metrics does not spawn worker threads.
+     */
+    static const ThreadPool *globalIfCreated();
+
   private:
+    /** A queued task plus its enqueue timestamp (for latency stats). */
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        uint64_t submit_us;
+    };
+
     void workerLoop();
+    void recordCompletion(uint64_t latency_us);
 
     std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
+
+    mutable std::mutex stats_mutex_;
+    Stats stats_;
 };
 
 /**

@@ -9,6 +9,8 @@
 #include "common/thread_pool.h"
 #include "store/artifact.h"
 #include "store/cache.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "workloads/inputs.h"
 
 namespace sparseap {
@@ -313,14 +315,38 @@ ExperimentRunner::forEachApp(
     // locks) and a private log buffer; fn writes results into per-index
     // slots, and the buffered logs are replayed in catalog order below —
     // the lane count is invisible in all output.
+    //
+    // Telemetry attribution: counter deltas are exact per app only when
+    // the sweep is serial, so one lane emits one record per app and a
+    // parallel sweep emits one cumulative record for the whole sweep
+    // (tagged "*"). Either way the telemetry goes to SPARSEAP_JSON,
+    // never to stdout/stderr, so sweep output stays byte-identical at
+    // any lane count.
+    const bool want_telemetry = !opts_.jsonPath.empty();
+    telemetry::Snapshot sweep_before;
+    if (want_telemetry)
+        sweep_before = telemetry::snapshot();
+
     std::vector<std::string> logs(apps.size());
     parallelFor(lanes, apps.size(), [&](size_t i) {
         ScopedLogCapture capture(&logs[i]);
+        SPARSEAP_SPAN("app", "abbr", apps[i]);
+        telemetry::Snapshot app_before;
+        const bool per_app = want_telemetry && lanes == 1;
+        if (per_app)
+            app_before = telemetry::snapshot();
         const LoadedApp app = generate(apps[i]);
         fn(app, i);
+        if (per_app)
+            appendTelemetry(apps[i],
+                            app_before.deltaTo(telemetry::snapshot()));
     });
     for (const std::string &log : logs)
         std::cerr << log;
+
+    if (want_telemetry && lanes > 1)
+        appendTelemetry("*",
+                        sweep_before.deltaTo(telemetry::snapshot()));
 }
 
 void
@@ -336,12 +362,12 @@ ExperimentRunner::printTable(const Table &table) const
     ++tables_printed_;
 }
 
-void
-ExperimentRunner::appendJson(const Table &table) const
+std::ofstream *
+ExperimentRunner::jsonStream() const
 {
     if (!json_out_) {
-        if (json_failed_)
-            return;
+        if (json_failed_ || opts_.jsonPath.empty())
+            return nullptr;
         json_out_ = std::make_unique<std::ofstream>(opts_.jsonPath,
                                                     std::ios::app);
         if (!*json_out_) {
@@ -349,10 +375,30 @@ ExperimentRunner::appendJson(const Table &table) const
                  "' for append");
             json_out_.reset();
             json_failed_ = true; // warn once, not once per table
-            return;
+            return nullptr;
         }
     }
-    std::ofstream &out = *json_out_;
+    return json_out_.get();
+}
+
+void
+ExperimentRunner::appendTelemetry(const std::string &tag,
+                                  const telemetry::Snapshot &snap) const
+{
+    std::ofstream *out = jsonStream();
+    if (!out || snap.empty())
+        return;
+    telemetry::writeSnapshotJson(*out, snap, jsonEscape(tag));
+    out->flush();
+}
+
+void
+ExperimentRunner::appendJson(const Table &table) const
+{
+    std::ofstream *out_ptr = jsonStream();
+    if (!out_ptr)
+        return;
+    std::ofstream &out = *out_ptr;
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)

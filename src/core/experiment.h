@@ -30,6 +30,10 @@
 
 namespace sparseap {
 
+namespace telemetry {
+struct Snapshot;
+}
+
 /**
  * One generated application with its input and lazily-computed, cached
  * derived artifacts. Every cache is per-instance: a sweep gives each app
@@ -145,9 +149,21 @@ class ExperimentRunner
 
     const Options &options() const { return opts_; }
 
+    /**
+     * Append one telemetry record to the SPARSEAP_JSON stream (no-op
+     * when unset): @p tag names the scope (app abbreviation, or "*" for
+     * a cumulative record) and @p snap holds the counter deltas.
+     * forEachApp calls this automatically — per app when the sweep runs
+     * on one lane (deltas are exact), one cumulative record otherwise.
+     */
+    void appendTelemetry(const std::string &tag,
+                         const telemetry::Snapshot &snap) const;
+
   private:
     LoadedApp generate(const std::string &abbr) const;
     void appendJson(const Table &table) const;
+    /** @return the SPARSEAP_JSON stream, opening it on first use. */
+    std::ofstream *jsonStream() const;
 
     Options opts_;
     std::map<std::string, LoadedApp> cache_;

@@ -6,6 +6,7 @@
 #include "common/word_vector.h"
 #include "sim/dense_core.h"
 #include "sim/exec_core.h"
+#include "telemetry/trace.h"
 
 namespace sparseap {
 
@@ -36,6 +37,7 @@ std::vector<HotColdProfile>
 profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
                    std::span<const size_t> checkpoints, EngineMode mode)
 {
+    SPARSEAP_PHASE("profile");
     std::vector<HotColdProfile> profiles;
     profiles.reserve(checkpoints.size());
     if (checkpoints.empty())

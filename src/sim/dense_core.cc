@@ -46,6 +46,7 @@ DenseCore::reset(bool install_starts)
         std::fill(perm_next_sum_.begin(), perm_next_sum_.end(), 0);
         has_perm_ = false;
     }
+    stats_ = StepStats{};
     if (!install_starts)
         return;
     // Only start-of-data starts enter the dynamic vector; always-enabled
@@ -202,10 +203,15 @@ DenseCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
     for (size_t i = 0; i < sum_words_; ++i)
         live += static_cast<size_t>(__builtin_popcountll(enabled_sum_[i]));
 
-    if (live * kSkipDivisor < words_)
+    ++stats_.cycles;
+    stats_.liveWords += live;
+
+    if (live * kSkipDivisor < words_) {
+        ++stats_.skipCycles;
         stepSkip(accept, sk, s_end, ssk, ss_end, position, reports);
-    else
+    } else {
         stepFlat(accept, sk, s_end, ssk, ss_end, position, reports);
+    }
 
     enabled_.swap(next_);
     enabled_sum_.swap(next_sum_);

@@ -135,6 +135,21 @@ class DenseCore
      */
     static constexpr size_t kSkipDivisor = 4;
 
+    /**
+     * Per-run step accounting, zeroed by reset(). Three integer adds
+     * per cycle on numbers step() computes anyway — the engine folds
+     * them into telemetry once per run, so the hot loop never touches
+     * the metrics registry.
+     */
+    struct StepStats
+    {
+        uint64_t cycles = 0;     ///< step() calls since reset
+        uint64_t skipCycles = 0; ///< cycles served by the skip path
+        uint64_t liveWords = 0;  ///< sum of per-cycle live word counts
+    };
+
+    const StepStats &stepStats() const { return stats_; }
+
   private:
     void clearNext();
     void stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
@@ -155,6 +170,7 @@ class DenseCore
     bool has_starts_;   ///< automaton has always-enabled starts
     bool has_latchable_; ///< automaton has latchable states (see DenseView)
     bool has_perm_ = false; ///< some state has been latched this run
+    StepStats stats_;
 
     WordVector enabled_; ///< enabled for the upcoming step
     WordVector enabled_sum_;

@@ -6,8 +6,45 @@
 #include "sim/dense_core.h"
 #include "sim/exec_core.h"
 #include "sim/profiler.h"
+#include "telemetry/metrics.h"
 
 namespace sparseap {
+
+namespace {
+
+/**
+ * Fold one finished run into the engine.* counters. Called once per
+ * run (never per symbol), so the stepping loops stay free of registry
+ * traffic; dense-path internals come from the core's per-run StepStats.
+ */
+void
+recordRun(const SimResult &result, size_t cycles,
+          const DenseCore *dense, bool handover)
+{
+    static telemetry::Counter runs("engine.runs");
+    static telemetry::Counter cycle_count("engine.cycles");
+    static telemetry::Counter reports("engine.reports");
+    static telemetry::Counter dense_runs("engine.dense_runs");
+    static telemetry::Counter handovers("engine.dense_handovers");
+    static telemetry::Counter dense_cycles("engine.dense_cycles");
+    static telemetry::Counter skip_cycles("engine.dense_skip_cycles");
+    static telemetry::Counter live_words("engine.dense_live_words");
+
+    runs.add(1);
+    cycle_count.add(cycles);
+    reports.add(result.reports.size());
+    if (result.usedDenseCore && dense) {
+        dense_runs.add(1);
+        if (handover)
+            handovers.add(1);
+        const DenseCore::StepStats &ds = dense->stepStats();
+        dense_cycles.add(ds.cycles);
+        skip_cycles.add(ds.skipCycles);
+        live_words.add(ds.liveWords);
+    }
+}
+
+} // namespace
 
 Engine::Engine(const FlatAutomaton &fa)
     : Engine(fa, globalOptions().engineMode)
@@ -48,6 +85,7 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
         result.usedDenseCore = true;
         report_capacity_ = std::max(report_capacity_,
                                     result.reports.size());
+        recordRun(result, n, dense_.get(), /*handover=*/false);
         return result;
     }
 
@@ -86,6 +124,7 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
             result.usedDenseCore = true;
             report_capacity_ = std::max(report_capacity_,
                                         result.reports.size());
+            recordRun(result, n, dense_.get(), /*handover=*/true);
             return result;
         }
     }
@@ -94,6 +133,7 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
         core_->step(input[i], static_cast<uint32_t>(i), &result.reports);
     }
     report_capacity_ = std::max(report_capacity_, result.reports.size());
+    recordRun(result, n, nullptr, /*handover=*/false);
     return result;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "telemetry/trace.h"
 
 namespace sparseap {
 
@@ -11,6 +12,7 @@ FlatAutomaton::FlatAutomaton(const Application &app,
                              DenseCompression compression)
     : compression_(compression)
 {
+    SPARSEAP_PHASE("flatten");
     const size_t n = app.totalStates();
     owned_.symbols.reserve(n);
     owned_.reporting.reserve(n);

@@ -4,8 +4,39 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace sparseap {
+
+namespace {
+
+/** Fold one finished BaseAP/SpAP execution into the spap.* counters —
+ *  per-execution sums of the already-merged batch outcomes, so the
+ *  totals are identical at any thread count. */
+void
+recordSpapRun(const SpapRunStats &stats)
+{
+    static telemetry::Counter runs("spap.runs");
+    static telemetry::Counter batches("spap.batches");
+    static telemetry::Counter jumps("spap.jumps");
+    static telemetry::Counter enables("spap.enables");
+    static telemetry::Counter estalls("spap.estalls");
+    static telemetry::Counter skipped("spap.skipped_symbols");
+    static telemetry::Counter consumed("spap.consumed_cycles");
+    static telemetry::Counter intermediate("spap.intermediate_reports");
+
+    runs.add(1);
+    batches.add(stats.spApBatches);
+    jumps.add(stats.jumps);
+    enables.add(stats.enables);
+    estalls.add(stats.enableStalls);
+    skipped.add(stats.skippedSymbols);
+    consumed.add(stats.spApConsumedCycles);
+    intermediate.add(stats.intermediateReports);
+}
+
+} // namespace
 
 unsigned
 ExecutionOptions::resolvedJobs() const
@@ -34,6 +65,7 @@ const SimResult &
 PreparedPartition::hotRunResult() const
 {
     if (!hotRun) {
+        SPARSEAP_PHASE("hot_run");
         Engine engine(hotAutomaton());
         hotRun =
             std::make_shared<const SimResult>(engine.run(testInput));
@@ -105,10 +137,15 @@ preparePartition(const AppTopology &topo, const ExecutionOptions &opts,
 
     prep.layers = chooseLayers(topo, profile);
     if (opts.fillOptimization) {
+        SPARSEAP_PHASE("fill");
         prep.layers = fillToCapacity(topo, std::move(prep.layers),
                                      opts.ap.capacity, opts.partition);
     }
-    prep.part = partitionApplication(topo, prep.layers, opts.partition);
+    {
+        SPARSEAP_PHASE("partition");
+        prep.part =
+            partitionApplication(topo, prep.layers, opts.partition);
+    }
     return prep;
 }
 
@@ -301,6 +338,9 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
             uint64_t totalCycles = 0;
             uint64_t consumedCycles = 0;
             uint64_t enableStalls = 0;
+            uint64_t jumps = 0;
+            uint64_t enables = 0;
+            uint64_t skippedSymbols = 0;
             ReportList reports; ///< translated to original global ids
         };
         std::vector<BatchOutcome> outcomes(active_batches.size());
@@ -308,6 +348,9 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
         parallelFor(opts.resolvedJobs(), active_batches.size(),
                     [&](size_t k) {
             const size_t bi = active_batches[k];
+            SPARSEAP_SPAN("spap.batch", "batch",
+                          static_cast<uint64_t>(bi), "events",
+                          static_cast<uint64_t>(batch_events[bi].size()));
             const FlatAutomaton &batch_fa =
                 batchAutomaton(plan, part.cold, bi);
             const SpapResult r =
@@ -316,6 +359,9 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
             out.totalCycles = r.totalCycles();
             out.consumedCycles = r.consumedCycles;
             out.enableStalls = r.enableStalls;
+            out.jumps = r.jumps;
+            out.enables = r.enables;
+            out.skippedSymbols = r.skippedSymbols;
             if (collect_reports) {
                 out.reports.reserve(r.reports.size());
                 const Application &batch_app = *plan.batchApps[bi];
@@ -335,6 +381,9 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
             stats.spApCycles += out.totalCycles;
             stats.spApConsumedCycles += out.consumedCycles;
             stats.enableStalls += out.enableStalls;
+            stats.jumps += out.jumps;
+            stats.enables += out.enables;
+            stats.skippedSymbols += out.skippedSymbols;
             final_reports.insert(final_reports.end(),
                                  out.reports.begin(), out.reports.end());
         }
@@ -358,6 +407,7 @@ runBaseApSpap(const AppTopology &topo, const ExecutionOptions &opts,
         std::sort(final_reports.begin(), final_reports.end());
         stats.reports = std::move(final_reports);
     }
+    recordSpapRun(stats);
     return stats;
 }
 

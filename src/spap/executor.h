@@ -97,6 +97,9 @@ struct SpapRunStats
     uint64_t spApCycles = 0; ///< consumed + stalls, summed over batches
     uint64_t spApConsumedCycles = 0; ///< input symbols actually consumed
     uint64_t enableStalls = 0;
+    uint64_t jumps = 0;          ///< jump operations, summed over batches
+    uint64_t enables = 0;        ///< enable operations (events applied)
+    uint64_t skippedSymbols = 0; ///< symbols jumped over, summed
 
     // Partition statistics.
     size_t totalStates = 0;

@@ -1,5 +1,6 @@
 #include "spap/spap_engine.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/logging.h"
@@ -56,6 +57,9 @@ runSpapMode(const FlatAutomaton &fa, std::span<const uint8_t> input,
             if (j < events.size()) {
                 // Jump: nothing can activate until the next enable.
                 if (events[j].position > i) {
+                    const size_t target =
+                        std::min<size_t>(events[j].position, n);
+                    result.skippedSymbols += target - i;
                     i = events[j].position;
                     ++result.jumps;
                     if (i >= n)
@@ -81,6 +85,7 @@ runSpapMode(const FlatAutomaton &fa, std::span<const uint8_t> input,
             ++enables_here;
             ++j;
         }
+        result.enables += enables_here;
         if (enables_here > 1)
             result.enableStalls += enables_here - 1;
 

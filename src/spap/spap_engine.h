@@ -49,6 +49,10 @@ struct SpapResult
     uint64_t enableStalls = 0;
     /** Number of jump operations performed. */
     uint64_t jumps = 0;
+    /** Enable operations performed (events applied to the fabric). */
+    uint64_t enables = 0;
+    /** Input symbols jumped over (never consumed). */
+    uint64_t skippedSymbols = 0;
 
     /** Total SpAP cycles charged: consumed symbols plus enable stalls. */
     uint64_t totalCycles() const { return consumedCycles + enableStalls; }

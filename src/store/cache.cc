@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "common/options.h"
+#include "telemetry/metrics.h"
 
 namespace fs = std::filesystem;
 
@@ -19,6 +20,51 @@ namespace sparseap {
 namespace store {
 
 namespace {
+
+// Process-wide cache.* counters, summed over every ArtifactCache
+// instance (the global cache and scoped test overrides alike).
+telemetry::Counter &
+cacheHits()
+{
+    static telemetry::Counter c("cache.hits");
+    return c;
+}
+telemetry::Counter &
+cacheMisses()
+{
+    static telemetry::Counter c("cache.misses");
+    return c;
+}
+telemetry::Counter &
+cacheInvalid()
+{
+    static telemetry::Counter c("cache.invalid");
+    return c;
+}
+telemetry::Counter &
+cacheStores()
+{
+    static telemetry::Counter c("cache.stores");
+    return c;
+}
+telemetry::Counter &
+cacheBytesRead()
+{
+    static telemetry::Counter c("cache.bytes_read");
+    return c;
+}
+telemetry::Counter &
+cacheBytesWritten()
+{
+    static telemetry::Counter c("cache.bytes_written");
+    return c;
+}
+telemetry::Counter &
+cacheJournalLines()
+{
+    static telemetry::Counter c("cache.journal_lines");
+    return c;
+}
 
 std::mutex g_override_mutex;
 std::shared_ptr<const ArtifactCache> g_override; // NOLINT: guarded above
@@ -80,6 +126,7 @@ ArtifactCache::load(ArtifactKind kind, uint64_t digest) const
     std::error_code ec;
     if (!fs::exists(path, ec)) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        cacheMisses().add(1);
         return nullptr;
     }
     std::string error;
@@ -92,9 +139,13 @@ ArtifactCache::load(ArtifactKind kind, uint64_t digest) const
         warn("artifact cache: ", error, " (recomputing)");
         invalid_.fetch_add(1, std::memory_order_relaxed);
         misses_.fetch_add(1, std::memory_order_relaxed);
+        cacheInvalid().add(1);
+        cacheMisses().add(1);
         return nullptr;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    cacheHits().add(1);
+    cacheBytesRead().add(blob->fileSize());
     return blob;
 }
 
@@ -114,6 +165,8 @@ ArtifactCache::store(const BlobWriter &w) const
         return false;
     }
     stores_.fetch_add(1, std::memory_order_relaxed);
+    cacheStores().add(1);
+    cacheBytesWritten().add(image.size());
     const FileHeader *h =
         reinterpret_cast<const FileHeader *>(image.data());
     appendLine(journalPath(),
@@ -121,6 +174,7 @@ ArtifactCache::store(const BlobWriter &w) const
                    artifactKindName(static_cast<ArtifactKind>(h->kind)) +
                    " " + digestHex(w.digest()) + " " +
                    std::to_string(image.size()) + "\n");
+    cacheJournalLines().add(1);
     return true;
 }
 

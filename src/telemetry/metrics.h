@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges and log-bucketed
+ * histograms, built for hot-loop use.
+ *
+ * Counter cells are *per thread*: `Counter::add` resolves the calling
+ * thread's private cell block and performs one relaxed load + store —
+ * no RMW, no shared cache line, no lock. Snapshots merge every thread's
+ * cells with plain integer addition, which commutes, so the merged
+ * totals are byte-identical whatever the thread count or interleaving
+ * (SPARSEAP_JOBS=1 vs =8 produce the same sums for the same work).
+ *
+ * Histograms use the same cell machinery — each histogram owns one
+ * counter cell per log bucket plus a value-sum cell — so they inherit
+ * the single-store hot path and the deterministic merge. Quantiles
+ * (p50/p95/p99) are estimated at snapshot time from the merged buckets
+ * via common/stats' shared bucket math.
+ *
+ * Gauges are shared atomics with `set` (last write) and `max`
+ * (high-water) semantics; they are meant for infrastructure levels
+ * (queue depths), not per-event counts, and are not expected to be
+ * deterministic across thread counts.
+ *
+ * Snapshots split metrics into a *deterministic* set (counters, minus
+ * the documented infrastructure prefixes — see
+ * Snapshot::deterministicCounters) and everything else (gauges and
+ * histograms, which carry wall-clock durations and scheduling
+ * artifacts). Tests pin the deterministic set across job counts; see
+ * docs/OBSERVABILITY.md for the metric name catalog.
+ */
+
+#ifndef SPARSEAP_TELEMETRY_METRICS_H
+#define SPARSEAP_TELEMETRY_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace sparseap {
+namespace telemetry {
+
+/**
+ * Handle to one named process-wide counter. Construction interns the
+ * name in the registry (one mutex acquisition); add() is the wait-free
+ * hot path. Intended use is a function-local static:
+ *
+ *   static Counter c("engine.cycles");
+ *   c.add(n);
+ */
+class Counter
+{
+  public:
+    explicit Counter(const char *name);
+
+    /** Fold @p n into the calling thread's private cell. */
+    void add(uint64_t n = 1);
+
+    uint32_t id() const { return id_; }
+
+  private:
+    uint32_t id_;
+};
+
+/** Handle to one named gauge (shared atomic int64). */
+class Gauge
+{
+  public:
+    explicit Gauge(const char *name);
+
+    /** Set the gauge to @p v (last write wins). */
+    void set(int64_t v);
+
+    /** Raise the gauge to @p v if above the current value. */
+    void max(int64_t v);
+
+  private:
+    uint32_t id_;
+};
+
+/**
+ * Handle to one named log-bucketed histogram of uint64 samples
+ * (microseconds, bytes, counts). Same per-thread cell hot path as
+ * Counter.
+ */
+class HistogramMetric
+{
+  public:
+    explicit HistogramMetric(const char *name);
+
+    /** Record one sample. */
+    void add(uint64_t v);
+
+  private:
+    uint32_t first_cell_; ///< base of kBuckets bucket cells + sum cell
+};
+
+/** Merged point-in-time view of every metric. */
+struct Snapshot
+{
+    struct Hist
+    {
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        std::array<uint64_t, Histogram::kBuckets> buckets{};
+
+        double mean() const
+        {
+            return count ? static_cast<double>(sum) / count : 0.0;
+        }
+        double quantile(double q) const
+        {
+            return Histogram::quantileFromBuckets(
+                {buckets.data(), buckets.size()}, q);
+        }
+    };
+
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, Hist> histograms;
+
+    /**
+     * Counters whose values are a pure function of the work performed —
+     * everything except the documented infrastructure prefixes
+     * ("pool."), whose values depend on how the work was scheduled.
+     * Byte-identical across SPARSEAP_JOBS settings for the same run.
+     */
+    std::map<std::string, uint64_t> deterministicCounters() const;
+
+    /** Per-metric difference @p after - this (counters, histograms). */
+    Snapshot deltaTo(const Snapshot &after) const;
+
+    /** True when every count in the snapshot is zero. */
+    bool empty() const;
+};
+
+/** @return a merged snapshot of every registered metric. */
+Snapshot snapshot();
+
+/**
+ * Render @p s as aligned ASCII tables (counters; gauges; histograms
+ * with count/mean/p50/p95/p99/max), the format shared by the
+ * SPARSEAP_STATS end-of-process summary, `apstat` and `apstore stats`.
+ */
+void printSnapshot(std::ostream &os, const Snapshot &s);
+
+/**
+ * Append @p s as one self-contained JSON-Lines record:
+ *   {"record":"telemetry","app":<app>,...,"counters":{...},
+ *    "gauges":{...},"histograms":{"name":{"count":..,"sum":..,
+ *    "p50":..,"p95":..,"p99":..,"buckets":[..]}}}
+ * @p app tags the record ("*" for a cumulative whole-process record).
+ */
+void writeSnapshotJson(std::ostream &os, const Snapshot &s,
+                       const std::string &app);
+
+/**
+ * Install the end-of-process summary sink selected by SPARSEAP_STATS
+ * ("-"/"1"/"stderr" => stderr, anything else => that file). Called once
+ * by the registry on first use; exposed for tools that want the summary
+ * without touching a metric first.
+ */
+void initFromEnv();
+
+} // namespace telemetry
+} // namespace sparseap
+
+#endif // SPARSEAP_TELEMETRY_METRICS_H

@@ -1,0 +1,347 @@
+#include "telemetry/snapshot_io.h"
+
+#include <cctype>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <memory>
+
+namespace sparseap {
+namespace telemetry {
+
+namespace {
+
+// ------------------------------------------------- minimal JSON -----
+// Just enough of RFC 8259 to read back what this codebase writes:
+// objects, arrays, strings with \" \\ \n \t \uXXXX escapes, numbers,
+// true/false/null. Numbers are held as double (every counter this
+// harness emits fits a double's 53-bit integer range).
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        auto it = object.find(key);
+        return it != object.end() ? &it->second : nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : s_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue *out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_ && error_->empty()) {
+            *error_ = msg + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        const char c = s_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out->kind = JsonValue::Kind::String;
+            return parseString(&out->str);
+        }
+        if (c == 't' || c == 'f')
+            return parseBool(out);
+        if (c == 'n') {
+            if (s_.compare(pos_, 4, "null") != 0)
+                return fail("bad literal");
+            pos_ += 4;
+            out->kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseBool(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Bool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            out->boolean = true;
+            pos_ += 4;
+            return true;
+        }
+        if (s_.compare(pos_, 5, "false") == 0) {
+            out->boolean = false;
+            pos_ += 5;
+            return true;
+        }
+        return fail("bad literal");
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        try {
+            out->number = std::stod(s_.substr(start, pos_ - start));
+        } catch (const std::exception &) {
+            return fail("bad number");
+        }
+        out->kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= s_.size())
+                break;
+            const char esc = s_[pos_++];
+            switch (esc) {
+            case '"':
+            case '\\':
+            case '/':
+                out->push_back(esc);
+                break;
+            case 'n':
+                out->push_back('\n');
+                break;
+            case 't':
+                out->push_back('\t');
+                break;
+            case 'r':
+                out->push_back('\r');
+                break;
+            case 'b':
+                out->push_back('\b');
+                break;
+            case 'f':
+                out->push_back('\f');
+                break;
+            case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // The harness only escapes control characters; emit
+                // the low byte (sufficient for ASCII round-trips).
+                out->push_back(static_cast<char>(code & 0xff));
+                break;
+            }
+            default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Array;
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue v;
+            skipWs();
+            if (!parseValue(&v))
+                return false;
+            out->array.push_back(std::move(v));
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Object;
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipWs();
+            JsonValue v;
+            if (!parseValue(&v))
+                return false;
+            out->object.emplace(std::move(key), std::move(v));
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    std::string *error_;
+};
+
+uint64_t
+asU64(const JsonValue &v)
+{
+    return v.kind == JsonValue::Kind::Number && v.number > 0
+               ? static_cast<uint64_t>(std::llround(v.number))
+               : 0;
+}
+
+bool
+decodeRecord(const JsonValue &root, NamedSnapshot *out)
+{
+    const JsonValue *record = root.get("record");
+    if (!record || record->str != "telemetry")
+        return false;
+    if (const JsonValue *app = root.get("app"))
+        out->app = app->str;
+    if (const JsonValue *counters = root.get("counters")) {
+        for (const auto &[name, v] : counters->object)
+            out->snap.counters[name] = asU64(v);
+    }
+    if (const JsonValue *gauges = root.get("gauges")) {
+        for (const auto &[name, v] : gauges->object) {
+            out->snap.gauges[name] =
+                static_cast<int64_t>(std::llround(v.number));
+        }
+    }
+    if (const JsonValue *hists = root.get("histograms")) {
+        for (const auto &[name, v] : hists->object) {
+            Snapshot::Hist h;
+            if (const JsonValue *c = v.get("count"))
+                h.count = asU64(*c);
+            if (const JsonValue *sum = v.get("sum"))
+                h.sum = asU64(*sum);
+            if (const JsonValue *buckets = v.get("buckets")) {
+                const size_t n = std::min(buckets->array.size(),
+                                          h.buckets.size());
+                for (size_t b = 0; b < n; ++b)
+                    h.buckets[b] = asU64(buckets->array[b]);
+            }
+            out->snap.histograms[name] = h;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<NamedSnapshot>
+readTelemetryRecords(std::istream &in, std::string *error)
+{
+    std::vector<NamedSnapshot> out;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        // Cheap pre-filter: only telemetry records carry this tag.
+        if (line.find("\"record\":\"telemetry\"") == std::string::npos)
+            continue;
+        std::string parse_error;
+        JsonValue root;
+        if (!JsonParser(line, &parse_error).parse(&root)) {
+            if (error && error->empty()) {
+                *error = "line " + std::to_string(lineno) + ": " +
+                         parse_error;
+            }
+            continue;
+        }
+        NamedSnapshot rec;
+        if (decodeRecord(root, &rec))
+            out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+} // namespace telemetry
+} // namespace sparseap

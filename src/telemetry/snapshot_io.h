@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reading telemetry snapshots back from a SPARSEAP_JSON stream.
+ *
+ * The bench harness appends one JSON object per line (JSON Lines):
+ * table records (written by ExperimentRunner::printTable) and telemetry
+ * records (written by telemetry::writeSnapshotJson). This header
+ * provides the inverse of writeSnapshotJson — a minimal JSON parser
+ * plus record extraction — so `apstat` can pretty-print and diff runs
+ * without external dependencies.
+ */
+
+#ifndef SPARSEAP_TELEMETRY_SNAPSHOT_IO_H
+#define SPARSEAP_TELEMETRY_SNAPSHOT_IO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace sparseap {
+namespace telemetry {
+
+/** One telemetry record read back from a JSON-lines stream. */
+struct NamedSnapshot
+{
+    std::string app; ///< record tag ("*" = cumulative whole process)
+    Snapshot snap;
+};
+
+/**
+ * Extract every telemetry record of a JSON-lines stream, in order.
+ * Non-telemetry lines (table records, blanks) are skipped; a malformed
+ * line is reported in @p error (if non-null) and skipped.
+ */
+std::vector<NamedSnapshot> readTelemetryRecords(std::istream &in,
+                                                std::string *error);
+
+} // namespace telemetry
+} // namespace sparseap
+
+#endif // SPARSEAP_TELEMETRY_SNAPSHOT_IO_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Scoped spans with Chrome trace-event export.
+ *
+ * A span covers one scope (`SPARSEAP_SPAN("partition.fill")`), records
+ * begin/end timestamps plus optional key/value args, and is streamed out
+ * as one complete ("ph":"X") Chrome trace event when a trace session is
+ * active. Load the resulting file in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing.
+ *
+ * Sessions start in one of two ways:
+ *  - `SPARSEAP_TRACE=<file>` in the environment: the session begins on
+ *    first span use and flushes at process exit;
+ *  - an explicit `TraceSession` object (tests, tools): flushes when the
+ *    object dies.
+ *
+ * Cost model: with no active session a span is one relaxed atomic load
+ * and a branch — no clock read, no allocation. The per-symbol step
+ * loops carry no spans at all, so kernel throughput is unaffected
+ * either way; spans sit at batch/phase/app granularity. Defining
+ * SPARSEAP_NO_TRACING compiles every span macro away entirely.
+ *
+ * `SPARSEAP_PHASE("flatten")` is a span that additionally records its
+ * duration into the `phase.flatten_us` histogram metric even when no
+ * trace session is active, so pipeline phase timings always show up in
+ * telemetry snapshots.
+ */
+
+#ifndef SPARSEAP_TELEMETRY_TRACE_H
+#define SPARSEAP_TELEMETRY_TRACE_H
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace sparseap {
+namespace telemetry {
+
+/** @return true iff a trace session is active (fast, lock-free). */
+bool traceEnabled();
+
+/** RAII trace session writing to @p path on destruction (or abandon()).
+ *  Replaces any environment-driven session while alive. */
+class TraceSession
+{
+  public:
+    explicit TraceSession(std::string path);
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** Flush now and end the session early. */
+    void finish();
+
+  private:
+    bool active_ = true;
+};
+
+/** One scope = one complete trace event (see file comment). */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name)
+    {
+        if (traceEnabled())
+            begin(name);
+    }
+
+    ScopedSpan(const char *name, const char *key, uint64_t value)
+    {
+        if (traceEnabled()) {
+            begin(name);
+            arg(key, value);
+        }
+    }
+
+    ScopedSpan(const char *name, const char *key,
+               const std::string &value)
+    {
+        if (traceEnabled()) {
+            begin(name);
+            arg(key, value);
+        }
+    }
+
+    ScopedSpan(const char *name, const char *k1, uint64_t v1,
+               const char *k2, uint64_t v2)
+    {
+        if (traceEnabled()) {
+            begin(name);
+            arg(k1, v1);
+            arg(k2, v2);
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (name_)
+            end();
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Attach one numeric arg (no-op when no session is active). */
+    void arg(const char *key, uint64_t value);
+
+    /** Attach one string arg (no-op when no session is active). */
+    void arg(const char *key, const std::string &value);
+
+  private:
+    void begin(const char *name);
+    void end();
+
+    const char *name_ = nullptr; ///< non-null iff recording
+    uint64_t t0_us_ = 0;
+    std::string args_; ///< pre-rendered JSON members ("\"k\":v,...")
+};
+
+/** Span + always-on duration histogram (see file comment). */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(HistogramMetric &hist, const char *span_name);
+    ~ScopedPhase();
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    HistogramMetric &hist_;
+    uint64_t t0_us_;
+    ScopedSpan span_;
+};
+
+/** Monotonic microseconds since process start (trace timebase). */
+uint64_t nowMicros();
+
+#define SPARSEAP_TELEMETRY_CAT2(a, b) a##b
+#define SPARSEAP_TELEMETRY_CAT(a, b) SPARSEAP_TELEMETRY_CAT2(a, b)
+
+#ifdef SPARSEAP_NO_TRACING
+#define SPARSEAP_SPAN(...)                                                   \
+    [[maybe_unused]] const int SPARSEAP_TELEMETRY_CAT(sparseap_span_,        \
+                                                      __LINE__) = 0
+#define SPARSEAP_PHASE(name)                                                 \
+    [[maybe_unused]] const int SPARSEAP_TELEMETRY_CAT(sparseap_phase_,       \
+                                                      __LINE__) = 0
+#else
+/** Open a span covering the rest of the enclosing scope. */
+#define SPARSEAP_SPAN(...)                                                   \
+    ::sparseap::telemetry::ScopedSpan SPARSEAP_TELEMETRY_CAT(               \
+        sparseap_span_, __LINE__)(__VA_ARGS__)
+
+/** Span + `phase.<name>_us` histogram; @p name must be a literal. */
+#define SPARSEAP_PHASE(name)                                                 \
+    static ::sparseap::telemetry::HistogramMetric                            \
+        SPARSEAP_TELEMETRY_CAT(sparseap_phase_hist_,                         \
+                               __LINE__)("phase." name "_us");               \
+    ::sparseap::telemetry::ScopedPhase SPARSEAP_TELEMETRY_CAT(              \
+        sparseap_phase_, __LINE__)(                                          \
+        SPARSEAP_TELEMETRY_CAT(sparseap_phase_hist_, __LINE__), name)
+#endif
+
+} // namespace telemetry
+} // namespace sparseap
+
+#endif // SPARSEAP_TELEMETRY_TRACE_H

@@ -33,6 +33,9 @@ expectIdenticalStats(const SpapRunStats &a, const SpapRunStats &b,
     EXPECT_EQ(a.spApCycles, b.spApCycles) << label;
     EXPECT_EQ(a.spApConsumedCycles, b.spApConsumedCycles) << label;
     EXPECT_EQ(a.enableStalls, b.enableStalls) << label;
+    EXPECT_EQ(a.jumps, b.jumps) << label;
+    EXPECT_EQ(a.enables, b.enables) << label;
+    EXPECT_EQ(a.skippedSymbols, b.skippedSymbols) << label;
     EXPECT_EQ(a.totalStates, b.totalStates) << label;
     EXPECT_EQ(a.baseApStates, b.baseApStates) << label;
     EXPECT_EQ(a.intermediateStates, b.intermediateStates) << label;

@@ -98,5 +98,168 @@ TEST(Accumulator, TracksMinMaxMean)
     EXPECT_DOUBLE_EQ(a.sum(), 14.0);
 }
 
+TEST(Accumulator, VarianceKnownValues)
+{
+    // {2, 4, 4, 4, 5, 5, 7, 9}: the textbook example with population
+    // variance 4 and stddev 2.
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_NEAR(a.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+}
+
+TEST(Accumulator, VarianceDegenerateCases)
+{
+    Accumulator empty;
+    EXPECT_EQ(empty.variance(), 0.0);
+    EXPECT_EQ(empty.stddev(), 0.0);
+
+    Accumulator one;
+    one.add(42.0);
+    EXPECT_EQ(one.variance(), 0.0);
+
+    Accumulator constant;
+    for (int i = 0; i < 10; ++i)
+        constant.add(3.25);
+    EXPECT_NEAR(constant.variance(), 0.0, 1e-12);
+}
+
+TEST(Accumulator, VarianceStableForLargeMean)
+{
+    // Welford's recurrence must survive a mean that dwarfs the spread;
+    // the naive sum-of-squares formulation loses all significant digits
+    // here (1e12 +- 1).
+    Accumulator a;
+    for (double v : {1e12 - 1.0, 1e12, 1e12 + 1.0})
+        a.add(v);
+    EXPECT_NEAR(a.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(Accumulator, VarianceMatchesTwoPassFormula)
+{
+    Rng rng(11);
+    std::vector<double> xs;
+    Accumulator a;
+    for (int i = 0; i < 200; ++i) {
+        const double v = rng.real() * 100.0;
+        xs.push_back(v);
+        a.add(v);
+    }
+    const double m = mean(xs);
+    double sq = 0.0;
+    for (double v : xs)
+        sq += (v - m) * (v - m);
+    EXPECT_NEAR(a.variance(), sq / xs.size(), 1e-9);
+}
+
+TEST(Histogram, BucketOfIsBitWidth)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(7), 3u);
+    EXPECT_EQ(Histogram::bucketOf(8), 4u);
+    EXPECT_EQ(Histogram::bucketOf(~0ull), 64u);
+}
+
+TEST(Histogram, BucketBoundsRoundTrip)
+{
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLow(b)), b);
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketHigh(b)), b);
+        EXPECT_LE(Histogram::bucketLow(b), Histogram::bucketHigh(b));
+    }
+}
+
+TEST(Histogram, CountSumMinMaxMean)
+{
+    Histogram h;
+    for (uint64_t v : {0ull, 3ull, 10ull, 10ull, 1000ull})
+        h.add(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1023u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_NEAR(h.mean(), 1023.0 / 5.0, 1e-12);
+}
+
+TEST(Histogram, EmptyQuantilesAreZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, QuantileWithinBucketBounds)
+{
+    // A log-bucketed quantile cannot name the exact sample, but it must
+    // land inside the bucket that holds the true quantile.
+    Rng rng(23);
+    Histogram h;
+    std::vector<uint64_t> xs;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.uniform(0, 99999);
+        xs.push_back(v);
+        h.add(v);
+    }
+    std::sort(xs.begin(), xs.end());
+    for (double q : {0.5, 0.95, 0.99}) {
+        const uint64_t exact =
+            xs[static_cast<size_t>(q * (xs.size() - 1))];
+        const size_t b = Histogram::bucketOf(exact);
+        const double est = h.quantile(q);
+        EXPECT_GE(est, static_cast<double>(Histogram::bucketLow(b)))
+            << "q=" << q;
+        EXPECT_LE(est, static_cast<double>(Histogram::bucketHigh(b)) + 1)
+            << "q=" << q;
+    }
+}
+
+TEST(Histogram, QuantileMonotoneInQ)
+{
+    Rng rng(29);
+    Histogram h;
+    for (int i = 0; i < 500; ++i)
+        h.add(rng.uniform(0, 4095));
+    double prev = 0.0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const double est = h.quantile(q);
+        EXPECT_GE(est, prev) << "q=" << q;
+        prev = est;
+    }
+}
+
+TEST(Histogram, SingleValueQuantiles)
+{
+    Histogram h;
+    for (int i = 0; i < 7; ++i)
+        h.add(64);
+    // Every sample sits in bucket 7 ([64, 127]); all quantiles must too.
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+        EXPECT_GE(h.quantile(q), 64.0);
+        EXPECT_LE(h.quantile(q), 128.0);
+    }
+}
+
+TEST(Histogram, MergeEqualsCombinedFeed)
+{
+    Rng rng(31);
+    Histogram a, b, combined;
+    for (int i = 0; i < 300; ++i) {
+        const uint64_t v = rng.uniform(0, 99999);
+        (i % 2 ? a : b).add(v);
+        combined.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.sum(), combined.sum());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_EQ(a.buckets(), combined.buckets());
+}
+
 } // namespace
 } // namespace sparseap

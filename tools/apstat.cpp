@@ -1,0 +1,151 @@
+/**
+ * @file
+ * apstat: pretty-print and diff telemetry snapshots.
+ *
+ * Bench binaries run with SPARSEAP_JSON=<file> append one telemetry
+ * record per app (serial sweeps) or per sweep (parallel sweeps) to the
+ * JSON-Lines trajectory file, alongside the table records. This tool
+ * reads those records back:
+ *
+ *   apstat show <file> [app]      print each telemetry record (optionally
+ *                                 only the ones tagged <app>) as the
+ *                                 shared ASCII snapshot tables
+ *   apstat diff <before> <after> [app]
+ *                                 print after - before of the summed
+ *                                 records of each file (counters and
+ *                                 histograms subtract; gauges show the
+ *                                 later level) — e.g. two runs of one
+ *                                 bench before and after a change
+ *   apstat sum <file> [app]       print the sum of every matching record
+ *                                 (one cumulative view of a whole sweep)
+ *
+ * Records are matched by their "app" tag; with no [app] filter, all
+ * records count. Exit status 1 when a file holds no matching records.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "telemetry/metrics.h"
+#include "telemetry/snapshot_io.h"
+
+using namespace sparseap;
+using telemetry::NamedSnapshot;
+using telemetry::Snapshot;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: apstat show <file> [app]\n"
+                 "       apstat diff <before> <after> [app]\n"
+                 "       apstat sum <file> [app]\n"
+                 "       (<file> is a SPARSEAP_JSON JSON-Lines file)\n");
+    return 2;
+}
+
+std::vector<NamedSnapshot>
+readFile(const std::string &path, const std::string &app_filter)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "apstat: cannot open '%s'\n", path.c_str());
+        std::exit(1);
+    }
+    std::string error;
+    std::vector<NamedSnapshot> records =
+        telemetry::readTelemetryRecords(in, &error);
+    if (!error.empty())
+        std::fprintf(stderr, "apstat: %s: %s\n", path.c_str(),
+                     error.c_str());
+    if (!app_filter.empty()) {
+        std::erase_if(records, [&](const NamedSnapshot &r) {
+            return r.app != app_filter;
+        });
+    }
+    if (records.empty()) {
+        std::fprintf(stderr, "apstat: %s: no matching telemetry records\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    return records;
+}
+
+/** Fold every record into one cumulative snapshot (counters and
+ *  histograms add; gauges keep the last record's level). */
+Snapshot
+sumRecords(const std::vector<NamedSnapshot> &records)
+{
+    Snapshot total;
+    for (const NamedSnapshot &r : records) {
+        for (const auto &[name, value] : r.snap.counters)
+            total.counters[name] += value;
+        for (const auto &[name, value] : r.snap.gauges)
+            total.gauges[name] = value;
+        for (const auto &[name, h] : r.snap.histograms) {
+            Snapshot::Hist &th = total.histograms[name];
+            th.count += h.count;
+            th.sum += h.sum;
+            for (size_t b = 0; b < Histogram::kBuckets; ++b)
+                th.buckets[b] += h.buckets[b];
+        }
+    }
+    return total;
+}
+
+int
+cmdShow(const std::string &path, const std::string &app)
+{
+    for (const NamedSnapshot &r : readFile(path, app)) {
+        std::cout << "== " << (r.app.empty() ? "?" : r.app) << "\n";
+        telemetry::printSnapshot(std::cout, r.snap);
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int
+cmdSum(const std::string &path, const std::string &app)
+{
+    const Snapshot total = sumRecords(readFile(path, app));
+    telemetry::printSnapshot(std::cout, total);
+    return 0;
+}
+
+int
+cmdDiff(const std::string &before_path, const std::string &after_path,
+        const std::string &app)
+{
+    const Snapshot before = sumRecords(readFile(before_path, app));
+    const Snapshot after = sumRecords(readFile(after_path, app));
+    // deltaTo subtracts with unsigned wraparound; counters that went
+    // *down* between runs come out as huge values, which is exactly the
+    // signal a before/after comparison wants to make impossible to miss.
+    telemetry::printSnapshot(std::cout, before.deltaTo(after));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.size() < 2)
+        return usage();
+    const std::string &cmd = args[0];
+    if (cmd == "show" && (args.size() == 2 || args.size() == 3))
+        return cmdShow(args[1], args.size() == 3 ? args[2] : "");
+    if (cmd == "sum" && (args.size() == 2 || args.size() == 3))
+        return cmdSum(args[1], args.size() == 3 ? args[2] : "");
+    if (cmd == "diff" && (args.size() == 3 || args.size() == 4))
+        return cmdDiff(args[1], args[2],
+                       args.size() == 4 ? args[3] : "");
+    return usage();
+}

@@ -13,6 +13,10 @@
  *   apstore verify            re-validate every object's checksums
  *   apstore gc [--all]        drop stale temp files and invalid blobs
  *                             (--all empties the cache)
+ *   apstore stats             summarize the journal (stores per artifact
+ *                             kind, bytes written) and the object store
+ *                             (object count, on-disk bytes), printed in
+ *                             the shared telemetry snapshot format
  *
  * The cache directory comes from SPARSEAP_CACHE_DIR; workload identity
  * (seed, scale, input size, app filter) from the usual SPARSEAP_*
@@ -22,11 +26,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/sparseap.h"
+#include "telemetry/metrics.h"
 
 using namespace sparseap;
 using store::ArtifactCache;
@@ -40,7 +48,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: apstore <build [abbr...] | ls | inspect <obj> | verify | "
-        "gc [--all]>\n"
+        "gc [--all] | stats>\n"
         "       (cache directory: SPARSEAP_CACHE_DIR)\n");
     return 2;
 }
@@ -178,6 +186,52 @@ cmdGc(bool all)
     return 0;
 }
 
+int
+cmdStats()
+{
+    const ArtifactCache &cache = cacheOrDie();
+
+    // The same Snapshot type the in-process registry exports, so one
+    // formatter serves SPARSEAP_STATS summaries, apstat and this tool.
+    telemetry::Snapshot s;
+
+    // Journal: one "store <kind> <digest> <bytes>" line per store.
+    std::ifstream journal(cache.journalPath());
+    uint64_t journal_lines = 0;
+    uint64_t journal_bytes = 0;
+    std::string line;
+    while (std::getline(journal, line)) {
+        ++journal_lines;
+        std::istringstream iss(line);
+        std::string op, kind, digest;
+        uint64_t bytes = 0;
+        if (iss >> op >> kind >> digest >> bytes && op == "store") {
+            s.counters["journal.stores." + kind] += 1;
+            journal_bytes += bytes;
+        }
+    }
+    s.counters["journal.lines"] = journal_lines;
+    s.counters["journal.bytes_stored"] = journal_bytes;
+
+    // Object store: what is actually on disk right now (the journal is
+    // append-only history; gc may have removed objects since).
+    uint64_t object_count = 0;
+    uint64_t object_bytes = 0;
+    for (const std::string &path : cache.listObjects()) {
+        ++object_count;
+        std::error_code ec;
+        const uint64_t bytes = std::filesystem::file_size(path, ec);
+        if (!ec)
+            object_bytes += bytes;
+    }
+    s.counters["objects.count"] = object_count;
+    s.counters["objects.bytes"] = object_bytes;
+
+    std::printf("cache %s\n", cache.dir().c_str());
+    telemetry::printSnapshot(std::cout, s);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -198,5 +252,7 @@ main(int argc, char **argv)
         return cmdVerify();
     if (cmd == "gc")
         return cmdGc(!args.empty() && args[0] == "--all");
+    if (cmd == "stats")
+        return cmdStats();
     return usage();
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validate a SPARSEAP_TRACE output file as well-formed Chrome trace JSON.
+
+Checks (exit 0 = valid, 1 = invalid):
+  - the file parses as JSON and has a `traceEvents` list;
+  - every event is a complete event ("ph":"X") with a non-empty name,
+    numeric ts/dur (dur >= 0) and pid/tid fields;
+  - within each tid, begin timestamps are monotonically non-decreasing
+    (the writer sorts on flush; a violation means interleaved sessions
+    or a clock bug);
+  - optionally (--require NAME, repeatable), a span with that name is
+    present somewhere in the trace.
+
+Usage: check_trace.py TRACE.json [--require flatten --require hot_run ...]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace file written by SPARSEAP_TRACE")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="span name that must appear in the trace (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("missing or non-list traceEvents")
+    if not events:
+        return fail("traceEvents is empty")
+
+    names = set()
+    last_ts = {}  # tid -> last begin timestamp
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            return fail(f"{where}: not an object")
+        if ev.get("ph") != "X":
+            return fail(f"{where}: ph={ev.get('ph')!r}, expected "
+                        "complete event 'X'")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            return fail(f"{where}: missing name")
+        for key in ("ts", "dur", "pid", "tid"):
+            if not isinstance(ev.get(key), (int, float)):
+                return fail(f"{where} ({name}): missing numeric {key}")
+        if ev["dur"] < 0:
+            return fail(f"{where} ({name}): negative dur {ev['dur']}")
+        tid = ev["tid"]
+        if tid in last_ts and ev["ts"] < last_ts[tid]:
+            return fail(f"{where} ({name}): ts {ev['ts']} goes backwards "
+                        f"on tid {tid} (prev {last_ts[tid]})")
+        last_ts[tid] = ev["ts"]
+        names.add(name)
+
+    missing = [n for n in args.require if n not in names]
+    if missing:
+        return fail(f"required spans absent: {', '.join(missing)}; "
+                    f"present: {', '.join(sorted(names))}")
+
+    print(f"check_trace: OK: {len(events)} events, "
+          f"{len(names)} span names, {len(last_ts)} threads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
