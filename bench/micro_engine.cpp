@@ -2,14 +2,21 @@
  * @file
  * Micro-benchmarks (google-benchmark) for the substrate hot paths: the
  * functional engine's symbols/second on representative workloads, the
- * regex compiler, topology analysis, and partition construction.
+ * regex compiler, topology analysis, partition construction, the dense
+ * kernel at each SIMD tier the host supports, and the NFA/DFA hybrid on
+ * small-scale workloads whose hot set actually determinizes.
  */
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
+#include "common/vec.h"
 #include "core/sparseap.h"
+#include "sim/hot_dfa.h"
 
 using namespace sparseap;
 
@@ -88,6 +95,94 @@ BM_DenseKernel(benchmark::State &state, const char *abbr,
         fa.denseView().acceptBytes()) / 1024.0;
 }
 
+/**
+ * Dense kernel with the word sweeps pinned to one SIMD tier. The scalar
+ * row is the pre-vectorization baseline; the ratio of the widest row to
+ * it is the headline kernel speedup (docs/PERFORMANCE.md). Registered
+ * dynamically in main() for the tiers this host supports.
+ */
+void
+BM_DenseKernelIsa(benchmark::State &state, const char *abbr,
+                  simd::Isa isa)
+{
+    if (!simd::setIsa(isa)) {
+        state.SkipWithError("ISA not supported on this host");
+        return;
+    }
+    const LoadedApp &app = sharedApp(abbr);
+    FlatAutomaton fa(app.workload.app);
+    Engine engine(fa, EngineMode::Dense); // caches the forced op table
+    const std::span<const uint8_t> input(app.input.data(),
+                                         std::min<size_t>(
+                                             app.input.size(), 65536));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(input).reports.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(input.size()));
+    simd::setIsa(simd::bestIsa());
+}
+
+/**
+ * Small-scale workload pinned in memory for the hybrid benchmarks: the
+ * full-scale rule sets all blow the determinization budget (see the
+ * census table), so the DFA-vs-NFA comparison runs at the registry's
+ * test scale, where Bro217/EM/LV/Brill-class automata determinize.
+ */
+struct SmallBench
+{
+    Workload w;
+    FlatAutomaton fa;
+    std::vector<uint8_t> input;
+
+    explicit SmallBench(const char *abbr)
+        : w(generateWorkload(abbr, 7, 5)), fa(w.app)
+    {
+        size_t bytes = 65536;
+        if (w.inputBytesCap > 0)
+            bytes = std::min(bytes, w.inputBytesCap);
+        Rng rng(20180621);
+        input = synthesizeInput(w.input, bytes, rng);
+    }
+};
+
+const SmallBench &
+smallBench(const char *abbr)
+{
+    static std::map<std::string, std::unique_ptr<SmallBench>> cache;
+    std::unique_ptr<SmallBench> &slot = cache[abbr];
+    if (!slot)
+        slot = std::make_unique<SmallBench>(abbr);
+    return *slot;
+}
+
+/**
+ * Sparse / dense / DFA on one small-scale workload. The dfa counter
+ * records whether the run actually executed on the DFA table (1) or
+ * fell back to the dense core after a budget bailout (0), so a bailing
+ * workload can't masquerade as a DFA win.
+ */
+void
+BM_HybridCore(benchmark::State &state, const char *abbr, EngineMode mode)
+{
+    const SmallBench &b = smallBench(abbr);
+    Engine engine(b.fa, mode);
+    bool used_dfa = false;
+    for (auto _ : state) {
+        SimResult r = engine.run(b.input);
+        used_dfa = r.usedDfa;
+        benchmark::DoNotOptimize(r.reports.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(b.input.size()));
+    state.counters["dfa"] = used_dfa ? 1 : 0;
+    if (mode == EngineMode::Dfa) {
+        auto dfa = b.fa.hotDfaIfBuilt();
+        state.counters["dfa_states"] =
+            dfa ? static_cast<double>(dfa->states()) : 0;
+    }
+}
+
 void
 BM_RegexCompile(benchmark::State &state)
 {
@@ -163,6 +258,40 @@ printSymbolClassTable()
     runner.printTable(table);
 }
 
+/**
+ * Per-workload determinization census at the hybrid benchmarks' scale:
+ * NFA states, symbol classes, and either the resulting DFA shape or the
+ * budget bailout. Full-scale rule sets bail across the board — subset
+ * construction over thousands of concurrent patterns is exponential —
+ * which is exactly why the engine treats the DFA as an opportunistic
+ * upgrade with the dense core as the always-correct fallback.
+ */
+void
+printDfaCensusTable()
+{
+    printSection("Hot-set determinization census (test scale, default "
+                 "budget)");
+    static ExperimentRunner runner;
+    Table table({"App", "NfaStates", "Classes", "DfaStates",
+                 "Table KiB", "Result"});
+    size_t built = 0;
+    const HotDfa::Limits limits = HotDfa::Limits::fromOptions();
+    for (const auto &entry : appCatalog()) {
+        Workload w = generateWorkload(entry.abbr, 7, 5);
+        FlatAutomaton fa(w.app);
+        auto dfa = HotDfa::build(fa, limits);
+        built += dfa ? 1 : 0;
+        table.addRow({entry.abbr, std::to_string(fa.size()),
+                      std::to_string(fa.symbolClassCount()),
+                      dfa ? std::to_string(dfa->states()) : "-",
+                      dfa ? Table::fmt(dfa->tableBytes() / 1024.0, 1)
+                          : "-",
+                      dfa ? "dfa" : "bail"});
+    }
+    table.addRow({"built", std::to_string(built), "", "", "", ""});
+    runner.printTable(table);
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_EngineThroughput, bro217, "Bro217");
@@ -199,17 +328,62 @@ BENCHMARK_CAPTURE(BM_DenseKernel, hm_classes, "HM",
                   FlatAutomaton::DenseCompression::Classes);
 BENCHMARK_CAPTURE(BM_DenseKernel, hm_raw, "HM",
                   FlatAutomaton::DenseCompression::Raw);
+BENCHMARK_CAPTURE(BM_HybridCore, bro217_sparse, "Bro217",
+                  EngineMode::Sparse);
+BENCHMARK_CAPTURE(BM_HybridCore, bro217_dense, "Bro217",
+                  EngineMode::Dense);
+BENCHMARK_CAPTURE(BM_HybridCore, bro217_dfa, "Bro217", EngineMode::Dfa);
+BENCHMARK_CAPTURE(BM_HybridCore, em_sparse, "EM", EngineMode::Sparse);
+BENCHMARK_CAPTURE(BM_HybridCore, em_dense, "EM", EngineMode::Dense);
+BENCHMARK_CAPTURE(BM_HybridCore, em_dfa, "EM", EngineMode::Dfa);
+BENCHMARK_CAPTURE(BM_HybridCore, lv_sparse, "LV", EngineMode::Sparse);
+BENCHMARK_CAPTURE(BM_HybridCore, lv_dense, "LV", EngineMode::Dense);
+BENCHMARK_CAPTURE(BM_HybridCore, lv_dfa, "LV", EngineMode::Dfa);
+BENCHMARK_CAPTURE(BM_HybridCore, brill_sparse, "Brill",
+                  EngineMode::Sparse);
+BENCHMARK_CAPTURE(BM_HybridCore, brill_dense, "Brill",
+                  EngineMode::Dense);
+BENCHMARK_CAPTURE(BM_HybridCore, brill_dfa, "Brill", EngineMode::Dfa);
 BENCHMARK(BM_RegexCompile);
 BENCHMARK_CAPTURE(BM_Topology, tcp, "TCP");
 BENCHMARK_CAPTURE(BM_Partition, tcp, "TCP");
+
+namespace {
+
+/** One BM_DenseKernelIsa row per supported tier per kernel workload. */
+void
+registerIsaBenchmarks()
+{
+    static const char *const kApps[] = {"Snort", "CAV", "PEN", "Brill"};
+    for (simd::Isa isa :
+         {simd::Isa::Scalar, simd::Isa::Sse2, simd::Isa::Avx2,
+          simd::Isa::Avx512}) {
+        if (!simd::isaSupported(isa))
+            continue;
+        for (const char *abbr : kApps) {
+            std::string name = "BM_DenseKernelIsa/";
+            name += abbr;
+            name += '_';
+            name += simd::isaName(isa);
+            benchmark::RegisterBenchmark(
+                name.c_str(), [abbr, isa](benchmark::State &state) {
+                    BM_DenseKernelIsa(state, abbr, isa);
+                });
+        }
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     printSymbolClassTable();
+    printDfaCensusTable();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
+    registerIsaBenchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -17,6 +17,8 @@ engineModeName(EngineMode mode)
         return "sparse";
     case EngineMode::Dense:
         return "dense";
+    case EngineMode::Dfa:
+        return "dfa";
     case EngineMode::Auto:
         return "auto";
     }
@@ -71,11 +73,36 @@ parseEnvironment()
             opt.engineMode = EngineMode::Sparse;
         else if (std::strcmp(v, "dense") == 0)
             opt.engineMode = EngineMode::Dense;
+        else if (std::strcmp(v, "dfa") == 0)
+            opt.engineMode = EngineMode::Dfa;
         else if (std::strcmp(v, "auto") == 0)
             opt.engineMode = EngineMode::Auto;
         else
-            fatal("SPARSEAP_ENGINE must be sparse, dense or auto, got '",
+            fatal("SPARSEAP_ENGINE must be sparse, dense, dfa or auto, "
+                  "got '",
                   v, "'");
+    }
+    if (const char *v = std::getenv("SPARSEAP_SIMD"))
+        opt.simd = v; // validated by simd::ops() (common/vec.cc)
+    if (const char *v = std::getenv("SPARSEAP_SKIP_DIVISOR")) {
+        long div = std::atol(v);
+        if (div <= 0)
+            fatal("SPARSEAP_SKIP_DIVISOR must be positive, got '", v,
+                  "'");
+        opt.skipDivisor = static_cast<size_t>(div);
+    }
+    if (const char *v = std::getenv("SPARSEAP_DFA_STATES")) {
+        long states = std::atol(v);
+        if (states <= 0)
+            fatal("SPARSEAP_DFA_STATES must be positive, got '", v, "'");
+        opt.dfaStateBudget = static_cast<size_t>(states);
+    }
+    if (const char *v = std::getenv("SPARSEAP_DFA_TABLE_KB")) {
+        long kb = std::atol(v);
+        if (kb <= 0)
+            fatal("SPARSEAP_DFA_TABLE_KB must be positive, got '", v,
+                  "'");
+        opt.dfaTableBytes = static_cast<size_t>(kb) * 1024;
     }
     if (const char *v = std::getenv("SPARSEAP_JOBS")) {
         long jobs = std::atol(v);

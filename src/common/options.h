@@ -10,8 +10,20 @@
  *   SPARSEAP_CSV        when set to 1, tables print CSV instead of ASCII
  *   SPARSEAP_APPS       comma-separated list of app abbreviations to run
  *   SPARSEAP_SCALE      workload scale factor in percent (default 100)
- *   SPARSEAP_ENGINE     functional-engine core: sparse|dense|auto
+ *   SPARSEAP_ENGINE     functional-engine core: sparse|dense|dfa|auto
  *                       (default auto; see docs/PERFORMANCE.md)
+ *   SPARSEAP_SIMD       dense-kernel vector width: auto|off|scalar|
+ *                       sse2|avx2|avx512 (default auto = widest the CPU
+ *                       supports; "off" and "scalar" are synonyms; see
+ *                       src/common/vec.h)
+ *   SPARSEAP_SKIP_DIVISOR  dense-core skip/sweep crossover: the skip
+ *                       path runs while live*divisor < words (default 4;
+ *                       see docs/PERFORMANCE.md)
+ *   SPARSEAP_DFA_STATES    hot-DFA determinization state budget
+ *                       (default 2048; subset construction bails out to
+ *                       the NFA dense core beyond it)
+ *   SPARSEAP_DFA_TABLE_KB  hot-DFA transition-table byte budget in KiB
+ *                       (default 4096)
  *   SPARSEAP_JOBS       threads for batch-level parallelism (default 1;
  *                       0 means all hardware threads; clamped to the
  *                       hardware thread count)
@@ -47,10 +59,11 @@ namespace sparseap {
 enum class EngineMode {
     Sparse, ///< dynamic enabled-list core (latched/permanent opt)
     Dense,  ///< bit-parallel word-vector core
+    Dfa,    ///< determinized hot-set table, NFA dense-core fallback
     Auto,   ///< sparse, switching to dense when the live set is dense
 };
 
-/** @return "sparse", "dense" or "auto". */
+/** @return "sparse", "dense", "dfa" or "auto". */
 const char *engineModeName(EngineMode mode);
 
 /** Parsed global options; read once per process via globalOptions(). */
@@ -68,6 +81,14 @@ struct Options
     unsigned scalePercent = 100;
     /** Functional-engine core selection. */
     EngineMode engineMode = EngineMode::Auto;
+    /** SPARSEAP_SIMD request, consumed by simd::ops() (common/vec.h). */
+    std::string simd = "auto";
+    /** Dense-core skip/sweep crossover divisor (common/vec.h docs). */
+    size_t skipDivisor = 4;
+    /** Hot-DFA determinization state budget. */
+    size_t dfaStateBudget = 2048;
+    /** Hot-DFA transition-table byte budget. */
+    size_t dfaTableBytes = 4096 * 1024;
     /** Threads for batch-level parallelism (resolved; >= 1). */
     unsigned jobs = 1;
     /** If non-empty, benches append JSON results to this file. */

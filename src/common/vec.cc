@@ -1,0 +1,609 @@
+#include "common/vec.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/options.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SPARSEAP_VEC_X86 1
+#include <immintrin.h>
+#else
+#define SPARSEAP_VEC_X86 0
+#endif
+
+namespace sparseap {
+namespace simd {
+
+namespace {
+
+// ------------------------------------------------------------- scalar --
+
+void
+bitAndScalar(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+             size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = a[i] & b[i];
+}
+
+void
+orIntoScalar(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+void
+clearScalar(uint64_t *dst, size_t n)
+{
+    std::memset(dst, 0, n * sizeof(uint64_t));
+}
+
+void
+andNotIntoScalar(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] &= ~src[i];
+}
+
+void
+shiftOrIntoScalar(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t s = src[i];
+        dst[i] |= (s << 1) | carry;
+        carry = s >> 63;
+    }
+}
+
+void
+nonzeroWordsScalar(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    size_t i = 0;
+    size_t j = 0;
+    while (i < n) {
+        const size_t lim = n - i < 64 ? n - i : 64;
+        uint64_t bits = 0;
+        for (size_t k = 0; k < lim; ++k)
+            bits |= static_cast<uint64_t>(src[i + k] != 0) << k;
+        dst[j++] = bits;
+        i += lim;
+    }
+}
+
+uint64_t
+popcountScalar(const uint64_t *src, size_t n)
+{
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i)
+        sum += static_cast<uint64_t>(__builtin_popcountll(src[i]));
+    return sum;
+}
+
+#if SPARSEAP_VEC_X86
+
+// Every vector body uses unaligned loads/stores: they are exactly as
+// fast as aligned ones when the address is aligned (which it is, see
+// vec.h), and they keep the kernels safe on arbitrary tails and spans.
+
+// --------------------------------------------------------------- sse2 --
+
+__attribute__((target("sse2"))) void
+bitAndSse2(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i a0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        const __m128i a1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i + 2));
+        const __m128i b0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        const __m128i b1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i + 2));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_and_si128(a0, b0));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i + 2),
+                         _mm_and_si128(a1, b1));
+    }
+    for (; i < n; ++i)
+        dst[i] = a[i] & b[i];
+}
+
+__attribute__((target("sse2"))) void
+orIntoSse2(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i d = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(dst + i));
+        const __m128i s = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_or_si128(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+__attribute__((target("sse2"))) void
+clearSse2(uint64_t *dst, size_t n)
+{
+    const __m128i z = _mm_setzero_si128();
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i), z);
+    for (; i < n; ++i)
+        dst[i] = 0;
+}
+
+// --------------------------------------------------------------- avx2 --
+
+__attribute__((target("avx2"))) void
+bitAndAvx2(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i a0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i a1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i + 4));
+        const __m256i b0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        const __m256i b1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i + 4));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_and_si256(a0, b0));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i + 4),
+                            _mm256_and_si256(a1, b1));
+    }
+    for (; i + 4 <= n; i += 4) {
+        const __m256i a0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i b0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_and_si256(a0, b0));
+    }
+    for (; i < n; ++i)
+        dst[i] = a[i] & b[i];
+}
+
+__attribute__((target("avx2"))) void
+orIntoAvx2(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_or_si256(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) void
+clearAvx2(uint64_t *dst, size_t n)
+{
+    const __m256i z = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), z);
+    for (; i < n; ++i)
+        dst[i] = 0;
+}
+
+__attribute__((target("avx2"))) void
+andNotIntoAvx2(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        // andnot computes ~a & b, so src goes in the first operand.
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_andnot_si256(s, d));
+    }
+    for (; i < n; ++i)
+        dst[i] &= ~src[i];
+}
+
+__attribute__((target("avx2"))) void
+shiftOrIntoAvx2(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    if (n == 0)
+        return;
+    dst[0] |= src[0] << 1;
+    size_t i = 1;
+    // The cross-word carry is an unaligned reload of src one element
+    // back — cheaper than lane-shuffling the previous vector.
+    for (; i + 4 <= n; i += 4) {
+        const __m256i cur = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        const __m256i prev = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i - 1));
+        const __m256i v = _mm256_or_si256(_mm256_slli_epi64(cur, 1),
+                                          _mm256_srli_epi64(prev, 63));
+        const __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_or_si256(d, v));
+    }
+    for (; i < n; ++i)
+        dst[i] |= (src[i] << 1) | (src[i - 1] >> 63);
+}
+
+__attribute__((target("avx2"))) void
+nonzeroWordsAvx2(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    const __m256i z = _mm256_setzero_si256();
+    size_t i = 0;
+    size_t j = 0;
+    while (i + 64 <= n) {
+        uint64_t bits = 0;
+        for (size_t k = 0; k < 64; k += 4) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(src + i + k));
+            const unsigned zero = static_cast<unsigned>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(
+                    _mm256_cmpeq_epi64(v, z))));
+            bits |= static_cast<uint64_t>(~zero & 0xfu) << k;
+        }
+        dst[j++] = bits;
+        i += 64;
+    }
+    while (i < n) {
+        const size_t lim = n - i < 64 ? n - i : 64;
+        uint64_t bits = 0;
+        for (size_t k = 0; k < lim; ++k)
+            bits |= static_cast<uint64_t>(src[i + k] != 0) << k;
+        dst[j++] = bits;
+        i += lim;
+    }
+}
+
+// ------------------------------------------------------------- avx512 --
+
+__attribute__((target("avx512f,avx512bw"))) void
+bitAndAvx512(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+             size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i va = _mm512_loadu_si512(a + i);
+        const __m512i vb = _mm512_loadu_si512(b + i);
+        _mm512_storeu_si512(dst + i, _mm512_and_si512(va, vb));
+    }
+    if (i < n) {
+        // Masked tail: one predicated op instead of a scalar loop.
+        const __mmask8 m =
+            static_cast<__mmask8>((1u << (n - i)) - 1u);
+        const __m512i va = _mm512_maskz_loadu_epi64(m, a + i);
+        const __m512i vb = _mm512_maskz_loadu_epi64(m, b + i);
+        _mm512_mask_storeu_epi64(dst + i, m, _mm512_and_si512(va, vb));
+    }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+orIntoAvx512(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i d = _mm512_loadu_si512(dst + i);
+        const __m512i s = _mm512_loadu_si512(src + i);
+        _mm512_storeu_si512(dst + i, _mm512_or_si512(d, s));
+    }
+    if (i < n) {
+        const __mmask8 m =
+            static_cast<__mmask8>((1u << (n - i)) - 1u);
+        const __m512i d = _mm512_maskz_loadu_epi64(m, dst + i);
+        const __m512i s = _mm512_maskz_loadu_epi64(m, src + i);
+        _mm512_mask_storeu_epi64(dst + i, m, _mm512_or_si512(d, s));
+    }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+clearAvx512(uint64_t *dst, size_t n)
+{
+    const __m512i z = _mm512_setzero_si512();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm512_storeu_si512(dst + i, z);
+    if (i < n) {
+        const __mmask8 m =
+            static_cast<__mmask8>((1u << (n - i)) - 1u);
+        _mm512_mask_storeu_epi64(dst + i, m, z);
+    }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+andNotIntoAvx512(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i d = _mm512_loadu_si512(dst + i);
+        const __m512i s = _mm512_loadu_si512(src + i);
+        _mm512_storeu_si512(dst + i, _mm512_andnot_si512(s, d));
+    }
+    if (i < n) {
+        const __mmask8 m =
+            static_cast<__mmask8>((1u << (n - i)) - 1u);
+        const __m512i d = _mm512_maskz_loadu_epi64(m, dst + i);
+        const __m512i s = _mm512_maskz_loadu_epi64(m, src + i);
+        _mm512_mask_storeu_epi64(dst + i, m,
+                                 _mm512_andnot_si512(s, d));
+    }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+shiftOrIntoAvx512(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    if (n == 0)
+        return;
+    dst[0] |= src[0] << 1;
+    size_t i = 1;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i cur = _mm512_loadu_si512(src + i);
+        const __m512i prev = _mm512_loadu_si512(src + i - 1);
+        const __m512i v = _mm512_or_si512(_mm512_slli_epi64(cur, 1),
+                                          _mm512_srli_epi64(prev, 63));
+        const __m512i d = _mm512_loadu_si512(dst + i);
+        _mm512_storeu_si512(dst + i, _mm512_or_si512(d, v));
+    }
+    if (i < n) {
+        const __mmask8 m =
+            static_cast<__mmask8>((1u << (n - i)) - 1u);
+        const __m512i cur = _mm512_maskz_loadu_epi64(m, src + i);
+        const __m512i prev = _mm512_maskz_loadu_epi64(m, src + i - 1);
+        const __m512i v = _mm512_or_si512(_mm512_slli_epi64(cur, 1),
+                                          _mm512_srli_epi64(prev, 63));
+        const __m512i d = _mm512_maskz_loadu_epi64(m, dst + i);
+        _mm512_mask_storeu_epi64(dst + i, m, _mm512_or_si512(d, v));
+    }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+nonzeroWordsAvx512(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    size_t i = 0;
+    size_t j = 0;
+    while (i + 64 <= n) {
+        uint64_t bits = 0;
+        for (size_t k = 0; k < 64; k += 8) {
+            const __m512i v = _mm512_loadu_si512(src + i + k);
+            bits |= static_cast<uint64_t>(
+                        _mm512_test_epi64_mask(v, v))
+                    << k;
+        }
+        dst[j++] = bits;
+        i += 64;
+    }
+    if (i < n) {
+        const size_t rem = n - i;
+        uint64_t bits = 0;
+        size_t k = 0;
+        for (; k + 8 <= rem; k += 8) {
+            const __m512i v = _mm512_loadu_si512(src + i + k);
+            bits |= static_cast<uint64_t>(
+                        _mm512_test_epi64_mask(v, v))
+                    << k;
+        }
+        if (k < rem) {
+            const __mmask8 m =
+                static_cast<__mmask8>((1u << (rem - k)) - 1u);
+            const __m512i v =
+                _mm512_maskz_loadu_epi64(m, src + i + k);
+            bits |= static_cast<uint64_t>(
+                        _mm512_test_epi64_mask(v, v))
+                    << k;
+        }
+        dst[j] = bits;
+    }
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) uint64_t
+popcountAvx512(const uint64_t *src, size_t n)
+{
+    __m512i acc = _mm512_setzero_si512();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_loadu_si512(src + i)));
+    uint64_t sum = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+    for (; i < n; ++i)
+        sum += static_cast<uint64_t>(__builtin_popcountll(src[i]));
+    return sum;
+}
+
+#endif // SPARSEAP_VEC_X86
+
+// ----------------------------------------------------------- dispatch --
+
+constexpr Ops kScalarOps{bitAndScalar,      orIntoScalar,
+                         clearScalar,       andNotIntoScalar,
+                         shiftOrIntoScalar, nonzeroWordsScalar,
+                         popcountScalar,    Isa::Scalar};
+
+#if SPARSEAP_VEC_X86
+// The SSE2 tier keeps the scalar bodies for the shift/summary ops: the
+// scalar loops already compile to baseline SSE2 and the tier exists as
+// a correctness reference, not a speed target.
+constexpr Ops kSse2Ops{bitAndSse2,        orIntoSse2,
+                       clearSse2,         andNotIntoScalar,
+                       shiftOrIntoScalar, nonzeroWordsScalar,
+                       popcountScalar,    Isa::Sse2};
+constexpr Ops kAvx2Ops{bitAndAvx2,      orIntoAvx2,
+                       clearAvx2,       andNotIntoAvx2,
+                       shiftOrIntoAvx2, nonzeroWordsAvx2,
+                       popcountScalar,  Isa::Avx2};
+// Two AVX-512 tables: VPOPCNTDQ is a separate feature bit from BW.
+constexpr Ops kAvx512Ops{bitAndAvx512,      orIntoAvx512,
+                         clearAvx512,       andNotIntoAvx512,
+                         shiftOrIntoAvx512, nonzeroWordsAvx512,
+                         popcountScalar,    Isa::Avx512};
+constexpr Ops kAvx512PopcntOps{bitAndAvx512,      orIntoAvx512,
+                               clearAvx512,       andNotIntoAvx512,
+                               shiftOrIntoAvx512, nonzeroWordsAvx512,
+                               popcountAvx512,    Isa::Avx512};
+#endif
+
+const Ops *
+tableFor(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return &kScalarOps;
+#if SPARSEAP_VEC_X86
+    case Isa::Sse2:
+        return &kSse2Ops;
+    case Isa::Avx2:
+        return &kAvx2Ops;
+    case Isa::Avx512:
+        return __builtin_cpu_supports("avx512vpopcntdq")
+                   ? &kAvx512PopcntOps
+                   : &kAvx512Ops;
+#else
+    case Isa::Sse2:
+    case Isa::Avx2:
+    case Isa::Avx512:
+        return &kScalarOps;
+#endif
+    }
+    return &kScalarOps;
+}
+
+std::atomic<const Ops *> g_active{nullptr};
+std::once_flag g_resolve_once;
+
+/** Map the SPARSEAP_SIMD string (see common/options.h) to a request. */
+bool
+parseSimd(const std::string &s, Isa *isa)
+{
+    if (s == "off" || s == "scalar") {
+        *isa = Isa::Scalar;
+        return true;
+    }
+    if (s == "sse2") {
+        *isa = Isa::Sse2;
+        return true;
+    }
+    if (s == "avx2") {
+        *isa = Isa::Avx2;
+        return true;
+    }
+    if (s == "avx512") {
+        *isa = Isa::Avx512;
+        return true;
+    }
+    return false;
+}
+
+void
+resolve()
+{
+    const std::string &req = globalOptions().simd;
+    Isa isa = bestIsa();
+    if (req != "auto") {
+        if (!parseSimd(req, &isa))
+            fatal("SPARSEAP_SIMD must be auto, off, scalar, sse2, avx2 "
+                  "or avx512, got '",
+                  req, "'");
+        if (!isaSupported(isa))
+            fatal("SPARSEAP_SIMD=", req,
+                  " requests an ISA this CPU does not support");
+    }
+    g_active.store(tableFor(isa), std::memory_order_release);
+}
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return "scalar";
+    case Isa::Sse2:
+        return "sse2";
+    case Isa::Avx2:
+        return "avx2";
+    case Isa::Avx512:
+        return "avx512";
+    }
+    return "scalar";
+}
+
+bool
+isaSupported(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return true;
+#if SPARSEAP_VEC_X86
+    case Isa::Sse2:
+        return __builtin_cpu_supports("sse2");
+    case Isa::Avx2:
+        return __builtin_cpu_supports("avx2");
+    case Isa::Avx512:
+        return __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512bw");
+#else
+    case Isa::Sse2:
+    case Isa::Avx2:
+    case Isa::Avx512:
+        return false;
+#endif
+    }
+    return false;
+}
+
+Isa
+bestIsa()
+{
+    if (isaSupported(Isa::Avx512))
+        return Isa::Avx512;
+    if (isaSupported(Isa::Avx2))
+        return Isa::Avx2;
+    if (isaSupported(Isa::Sse2))
+        return Isa::Sse2;
+    return Isa::Scalar;
+}
+
+const Ops &
+ops()
+{
+    const Ops *p = g_active.load(std::memory_order_acquire);
+    if (p == nullptr) {
+        std::call_once(g_resolve_once, resolve);
+        p = g_active.load(std::memory_order_acquire);
+    }
+    return *p;
+}
+
+Isa
+activeIsa()
+{
+    return ops().isa;
+}
+
+bool
+setIsa(Isa isa)
+{
+    if (!isaSupported(isa))
+        return false;
+    (void)ops(); // make sure the once-resolution has happened
+    g_active.store(tableFor(isa), std::memory_order_release);
+    return true;
+}
+
+} // namespace simd
+} // namespace sparseap

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Width-abstracted SIMD kernels for the 64-bit word sweeps of the dense
+ * execution core (and any other consumer of WordVector-shaped data).
+ *
+ * The dense kernel's hot loops — accept-row AND, successor-OR
+ * accumulation, next-vector wipes, live-word popcounts — are straight
+ * element-wise passes over cache-line-aligned uint64_t arrays, i.e.
+ * exactly the shape vector ISAs were built for. This layer exposes them
+ * as a small op table so the stepping code is written once against the
+ * abstract width:
+ *
+ *   simd::ops().bitAnd(act, enabled, accept, words);
+ *
+ * Four implementations are compiled into every binary via function-level
+ * target attributes (no special -m flags needed): portable scalar,
+ * SSE2 (128-bit), AVX2 (256-bit) and AVX-512BW (512-bit). The table is
+ * resolved ONCE at first use from CPUID — the hot loops pay one cached
+ * pointer load, never a per-element branch — and can be overridden:
+ *
+ *   SPARSEAP_SIMD=auto|off|scalar|sse2|avx2|avx512   (process-wide)
+ *   simd::setIsa(Isa)                                 (tests/benches)
+ *
+ * "off" and "scalar" are synonyms. Requesting an ISA the CPU lacks is a
+ * fatal configuration error for the env var and a false return for
+ * setIsa(). Consumers that cache the table (DenseCore grabs it at
+ * construction) must be constructed after any setIsa() override.
+ *
+ * All kernels tolerate arbitrary lengths and unaligned pointers (the
+ * vector bodies use unaligned loads, which cost the same as aligned ones
+ * on every AVX2/AVX-512 part when the address is in fact aligned). The
+ * word buffers they sweep are 64-byte aligned by construction —
+ * WordVector's allocator and the store's section alignment — and the
+ * dense accept table pads its row stride to a multiple of 8 words, so in
+ * practice no load ever splits a cache line.
+ */
+
+#ifndef SPARSEAP_COMMON_VEC_H
+#define SPARSEAP_COMMON_VEC_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sparseap {
+namespace simd {
+
+/** Instruction-set tiers, in strictly increasing width/capability. */
+enum class Isa : uint8_t {
+    Scalar = 0, ///< portable uint64_t loops (auto-vectorizable)
+    Sse2,       ///< 128-bit integer SSE2 (baseline on x86-64)
+    Avx2,       ///< 256-bit integer AVX2
+    Avx512,     ///< 512-bit AVX-512BW
+};
+
+/** @return "scalar", "sse2", "avx2" or "avx512". */
+const char *isaName(Isa isa);
+
+/**
+ * Element-wise kernels over uint64_t arrays. All lengths are in words;
+ * dst may equal a or b (in-place) but must not otherwise overlap.
+ */
+struct Ops
+{
+    /** dst[i] = a[i] & b[i]. */
+    void (*bitAnd)(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+                   size_t n);
+    /** dst[i] |= src[i]. */
+    void (*orInto)(uint64_t *dst, const uint64_t *src, size_t n);
+    /** dst[i] = 0. */
+    void (*clear)(uint64_t *dst, size_t n);
+    /** dst[i] &= ~src[i]. */
+    void (*andNotInto)(uint64_t *dst, const uint64_t *src, size_t n);
+    /**
+     * dst[i] |= (src[i] << 1) | (src[i-1] >> 63), with src[-1] = 0:
+     * OR in src shifted left by one *bit position* across word
+     * boundaries — the cross-word bit-parallel successor step for
+     * chain states (see DenseView::chain). The carry out of src[n-1]
+     * is dropped; dst must not overlap src.
+     */
+    void (*shiftOrInto)(uint64_t *dst, const uint64_t *src, size_t n);
+    /**
+     * Summary build: bit i of dst set iff src[i] != 0, for i in
+     * [0, n). Writes all ceil(n/64) words of dst — an overwrite with
+     * zero tail bits, not an accumulate. dst must not overlap src.
+     */
+    void (*nonzeroWords)(uint64_t *dst, const uint64_t *src, size_t n);
+    /** Sum of per-word popcounts. */
+    uint64_t (*popcount)(const uint64_t *src, size_t n);
+    Isa isa;
+};
+
+/**
+ * The active op table, resolved on first call from CPUID and the
+ * SPARSEAP_SIMD override (see file comment). Thread-safe; the returned
+ * reference is valid for the process lifetime.
+ */
+const Ops &ops();
+
+/** ISA of the active op table. */
+Isa activeIsa();
+
+/** Highest tier this CPU supports. */
+Isa bestIsa();
+
+/** True iff the CPU can execute @p isa. */
+bool isaSupported(Isa isa);
+
+/**
+ * Force the active table to @p isa (tests and per-ISA benchmarks).
+ * @return false (and leave the table unchanged) when the CPU lacks it.
+ */
+bool setIsa(Isa isa);
+
+} // namespace simd
+} // namespace sparseap
+
+#endif // SPARSEAP_COMMON_VEC_H

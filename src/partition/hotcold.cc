@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/vec.h"
 #include "common/word_vector.h"
 #include "sim/dense_core.h"
 #include "sim/exec_core.h"
@@ -114,8 +115,7 @@ profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
                 // checkpoint time reconstructs "enabled at least once".
                 const std::span<const uint64_t> perm =
                     dense.permanentWords();
-                for (size_t w = 0; w < words; ++w)
-                    hot[w] |= perm[w];
+                simd::ops().orInto(hot.data(), perm.data(), words);
             }
             while (next < checkpoints.size() && checkpoints[next] == j) {
                 HotColdProfile p;
@@ -136,12 +136,22 @@ profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
         for (; i < longest; ++i) {
             snapshotDense(i);
             dense.step(input[i], static_cast<uint32_t>(i), nullptr);
-            // Accumulate through the core's live-word summary: only
-            // words with enabled states are ORed, so the per-cycle
-            // profiling cost tracks the live region like step() itself.
+            // Accumulate with the same live-fraction crossover as
+            // step(): a sparse enabled set ORs only the words its
+            // summary names, a dense one takes the full-width vector
+            // sweep — so the per-cycle profiling cost tracks the live
+            // region like the core itself.
             const std::span<const uint64_t> enabled = dense.enabledWords();
-            forEachSetBit(dense.enabledSummary(),
-                          [&](size_t w) { hot[w] |= enabled[w]; });
+            const std::span<const uint64_t> sum = dense.enabledSummary();
+            const simd::Ops &ops = simd::ops();
+            const size_t live_words = static_cast<size_t>(
+                ops.popcount(sum.data(), sum.size()));
+            if (live_words * dense.skipDivisor() < words) {
+                forEachSetBit(sum,
+                              [&](size_t w) { hot[w] |= enabled[w]; });
+            } else {
+                ops.orInto(hot.data(), enabled.data(), words);
+            }
         }
         snapshotDense(longest);
         return profiles;

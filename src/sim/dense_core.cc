@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/options.h"
+
 namespace sparseap {
 
 namespace {
@@ -16,34 +18,37 @@ markWord(uint64_t *sum, uint64_t *sum2, size_t w)
 } // namespace
 
 DenseCore::DenseCore(const FlatAutomaton &fa)
-    : fa_(fa), dv_(fa.denseView()), words_(dv_.words),
+    : fa_(fa), dv_(fa.denseView()), ops_(&simd::ops()),
+      skip_divisor_(globalOptions().skipDivisor), words_(dv_.words),
       sum_words_(wordsForBits(words_)),
       sum2_words_(wordsForBits(sum_words_)),
       has_starts_(!fa.allInputStarts().empty()),
       has_latchable_(std::any_of(dv_.latchable.begin(),
                                  dv_.latchable.end(),
                                  [](uint64_t w) { return w != 0; })),
+      has_chain_(std::any_of(dv_.chain.begin(), dv_.chain.end(),
+                             [](uint64_t w) { return w != 0; })),
       enabled_(words_, 0), enabled_sum_(sum_words_, 0),
       enabled_sum2_(sum2_words_, 0), next_(words_, 0),
       next_sum_(sum_words_, 0), next_sum2_(sum2_words_, 0),
-      active_(words_, 0), perm_(words_, 0), perm_next_(words_, 0),
-      perm_next_sum_(sum_words_, 0)
+      active_(words_, 0), scratch_(words_, 0), perm_(words_, 0),
+      perm_next_(words_, 0), perm_next_sum_(sum_words_, 0)
 {
 }
 
 void
 DenseCore::reset(bool install_starts)
 {
-    std::fill(enabled_.begin(), enabled_.end(), 0);
-    std::fill(enabled_sum_.begin(), enabled_sum_.end(), 0);
-    std::fill(enabled_sum2_.begin(), enabled_sum2_.end(), 0);
-    std::fill(next_.begin(), next_.end(), 0);
-    std::fill(next_sum_.begin(), next_sum_.end(), 0);
-    std::fill(next_sum2_.begin(), next_sum2_.end(), 0);
+    ops_->clear(enabled_.data(), words_);
+    ops_->clear(enabled_sum_.data(), sum_words_);
+    ops_->clear(enabled_sum2_.data(), sum2_words_);
+    ops_->clear(next_.data(), words_);
+    ops_->clear(next_sum_.data(), sum_words_);
+    ops_->clear(next_sum2_.data(), sum2_words_);
     if (has_perm_) {
-        std::fill(perm_.begin(), perm_.end(), 0);
-        std::fill(perm_next_.begin(), perm_next_.end(), 0);
-        std::fill(perm_next_sum_.begin(), perm_next_sum_.end(), 0);
+        ops_->clear(perm_.data(), words_);
+        ops_->clear(perm_next_.data(), words_);
+        ops_->clear(perm_next_sum_.data(), sum_words_);
         has_perm_ = false;
     }
     stats_ = StepStats{};
@@ -184,12 +189,12 @@ DenseCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
 {
     const uint64_t *accept = dv_.acceptRow(symbol);
 
+    const uint8_t cls = dv_.classOf[symbol];
     uint32_t sk = 0;
     uint32_t s_end = 0;
     uint32_t ssk = 0;
     uint32_t ss_end = 0;
     if (has_starts_) {
-        const uint8_t cls = dv_.classOf[symbol];
         sk = dv_.startBegin[cls];
         s_end = dv_.startBegin[cls + 1];
         ssk = dv_.startSuccBegin[cls];
@@ -200,17 +205,17 @@ DenseCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
     // of the level-1 summary, plus the symbol's start-dispatch entries)
     // and skip only while they are a small fraction of the vector.
     size_t live = (s_end - sk) + (ss_end - ssk);
-    for (size_t i = 0; i < sum_words_; ++i)
-        live += static_cast<size_t>(__builtin_popcountll(enabled_sum_[i]));
+    live += static_cast<size_t>(
+        ops_->popcount(enabled_sum_.data(), sum_words_));
 
     ++stats_.cycles;
     stats_.liveWords += live;
 
-    if (live * kSkipDivisor < words_) {
+    if (live * skip_divisor_ < words_) {
         ++stats_.skipCycles;
         stepSkip(accept, sk, s_end, ssk, ss_end, position, reports);
     } else {
-        stepFlat(accept, sk, s_end, ssk, ss_end, position, reports);
+        stepFlat(accept, cls, sk, s_end, ssk, ss_end, position, reports);
     }
 
     enabled_.swap(next_);
@@ -255,6 +260,22 @@ DenseCore::stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
                 hits &= hits - 1;
             }
         }
+        // Chain states (successor exactly {s+1}) propagate with one
+        // word-local shift; bit 63 carries into w+1, which is in range
+        // whenever it is a chain bit (see DenseView::chain).
+        const uint64_t ch = act & dv_.chain[w];
+        if (ch != 0) {
+            const uint64_t lo = ch << 1;
+            if (lo != 0) {
+                next[w] |= lo;
+                markWord(next_sum, next_sum2, w);
+            }
+            if (ch >> 63) {
+                next[w + 1] |= 1;
+                markWord(next_sum, next_sum2, w + 1);
+            }
+            act &= ~ch;
+        }
         while (act != 0) {
             const unsigned b =
                 static_cast<unsigned>(__builtin_ctzll(act));
@@ -293,12 +314,12 @@ DenseCore::stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
             const uint64_t b1 = enabled_sum_[sw];
             const size_t base = sw * 64;
             if (b1 == ~0ull && base + 64 <= words_) {
-                // Fully live block: straight unrolled AND sweep (auto-
-                // vectorizes), then scan the nonzero activations.
+                // Fully live block: one vector AND sweep, then scan the
+                // nonzero activations.
                 flushStartsBelow(base);
                 alignas(64) uint64_t act[64];
-                for (size_t j = 0; j < 64; ++j)
-                    act[j] = enabled_[base + j] & accept[base + j];
+                ops_->bitAnd(act, enabled_.data() + base, accept + base,
+                             64);
                 while (sk < s_end && s_idx[sk] < base + 64) {
                     act[s_idx[sk] - base] |= s_mask[sk];
                     ++sk;
@@ -358,32 +379,55 @@ DenseCore::stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
 }
 
 void
-DenseCore::stepFlat(const uint64_t *accept, uint32_t sk, uint32_t s_end,
-                    uint32_t ssk, uint32_t ss_end, uint32_t position,
-                    ReportList *reports)
+DenseCore::stepFlat(const uint64_t *accept, uint8_t cls, uint32_t sk,
+                    uint32_t s_end, uint32_t ssk, uint32_t ss_end,
+                    uint32_t position, ReportList *reports)
 {
     const uint32_t *begin = dv_.succBegin.data();
     const uint32_t *idx = dv_.succWordIdx.data();
     const uint64_t *mask = dv_.succWordMask.data();
     const uint32_t *s_idx = dv_.startWordIdx.data();
     const uint64_t *s_mask = dv_.startWordMask.data();
+    const uint64_t *chain = dv_.chain.data();
 
-    std::fill(next_.begin(), next_.end(), 0);
-    std::fill(next_sum_.begin(), next_sum_.end(), 0);
-    std::fill(next_sum2_.begin(), next_sum2_.end(), 0);
+    uint64_t *next = next_.data();
+    ops_->clear(next, words_);
 
     uint64_t *act = active_.data();
-    for (size_t w = 0; w < words_; ++w)
-        act[w] = enabled_[w] & accept[w];
+    ops_->bitAnd(act, enabled_.data(), accept, words_);
     // Reporting starts join the activation vector (per-bit handling for
     // state-ordered reports); non-reporting starts contribute their
     // pooled successors directly.
     for (uint32_t k = sk; k < s_end; ++k)
         act[s_idx[k]] |= s_mask[k];
 
-    uint64_t *next = next_.data();
-    for (uint32_t k = ssk; k < ss_end; ++k)
-        next[dv_.startSuccWordIdx[k]] |= dv_.startSuccWordMask[k];
+    // Chain states — the ~90% whose successor is exactly {s+1} — all
+    // propagate at once: one cross-word shift-and-OR of the chain slice
+    // of the activation vector. Only the fan-out remainder walks the
+    // CSR per bit below.
+    if (has_chain_) {
+        uint64_t *ch = scratch_.data();
+        ops_->bitAnd(ch, act, chain, words_);
+        ops_->shiftOrInto(next, ch, words_);
+    }
+
+    // Matching non-reporting starts: a vector OR of the materialized
+    // row when this class's pooled contribution is dense, the sparse
+    // entry list otherwise.
+    if (ss_end > ssk) {
+        const uint32_t row =
+            dv_.startNextRow.empty() ? 0 : dv_.startNextRow[cls];
+        if (row != 0)
+            ops_->orInto(next,
+                         dv_.startNextRows.data() +
+                             static_cast<size_t>(row - 1) * dv_.stride,
+                         words_);
+        else
+            for (uint32_t k = ssk; k < ss_end; ++k)
+                next[dv_.startSuccWordIdx[k]] |=
+                    dv_.startSuccWordMask[k];
+    }
+
     for (size_t w = 0; w < words_; ++w) {
         uint64_t a = act[w];
         if (a == 0)
@@ -398,6 +442,7 @@ DenseCore::stepFlat(const uint64_t *accept, uint32_t sk, uint32_t s_end,
                 hits &= hits - 1;
             }
         }
+        a &= ~chain[w];
         while (a != 0) {
             const unsigned b =
                 static_cast<unsigned>(__builtin_ctzll(a));
@@ -408,24 +453,39 @@ DenseCore::stepFlat(const uint64_t *accept, uint32_t sk, uint32_t s_end,
         }
     }
 
-    // OR the latched states' pooled contribution, then rebuild the
-    // summaries linearly (latching freshly enabled universal self-loop
-    // states on the way) so a later cycle can return to the skip path
-    // (and its clearNext) with exact bookkeeping.
-    if (has_perm_)
-        orPermanentsIntoNext(/*mark=*/false);
-    for (size_t w = 0; w < words_; ++w) {
-        uint64_t v = next[w];
-        if (v == 0)
-            continue;
-        if (has_latchable_) {
-            v = latchWord(w, v);
-            next[w] = v;
-            if (v == 0)
-                continue;
-        }
-        markWord(next_sum_.data(), next_sum2_.data(), w);
+    // OR the latched states' pooled contribution — wholesale when it is
+    // dense (the usual flat-regime case), via its summary walk when a
+    // few latched words would be drowned by a full sweep.
+    if (has_perm_) {
+        const uint64_t live =
+            ops_->popcount(perm_next_sum_.data(), sum_words_);
+        if (live * skip_divisor_ >= words_)
+            ops_->orInto(next, perm_next_.data(), words_);
+        else
+            orPermanentsIntoNext(/*mark=*/false);
     }
+
+    // Latch maintenance, vectorized: fresh = next & latchable & ~perm
+    // names the universal self-loop states enabled for the first time
+    // this run; after pooling their successors every latchable bit of
+    // next is permanent, and perm ⊆ latchable, so one AND-NOT with the
+    // permanent set evicts them all from the dynamic vector.
+    if (has_latchable_) {
+        uint64_t *fresh = scratch_.data();
+        ops_->bitAnd(fresh, next, dv_.latchable.data(), words_);
+        ops_->andNotInto(fresh, perm_.data(), words_);
+        for (size_t w = 0; w < words_; ++w)
+            if (fresh[w] != 0)
+                latch(w, fresh[w]);
+        if (has_perm_)
+            ops_->andNotInto(next, perm_.data(), words_);
+    }
+
+    // Exact summary rebuild as two vector sweeps, so a later cycle can
+    // return to the skip path (and its clearNext) with precise
+    // bookkeeping.
+    ops_->nonzeroWords(next_sum_.data(), next, words_);
+    ops_->nonzeroWords(next_sum2_.data(), next_sum_.data(), sum_words_);
 }
 
 } // namespace sparseap

@@ -48,6 +48,7 @@
 #include <span>
 #include <vector>
 
+#include "common/vec.h"
 #include "common/word_vector.h"
 #include "sim/flat_automaton.h"
 #include "sim/report.h"
@@ -131,9 +132,17 @@ class DenseCore
      * Flat-sweep crossover: the hierarchical skip path runs only while
      * live words (dynamic + start dispatch) are under 1/kSkipDivisor of
      * the vector; above that the per-word bookkeeping outweighs the
-     * skipped work and a linear SIMD sweep wins.
+     * skipped work and a linear SIMD sweep wins. Compiled default;
+     * overridable per process via SPARSEAP_SKIP_DIVISOR (the divisor in
+     * effect is read from globalOptions() at construction).
      */
     static constexpr size_t kSkipDivisor = 4;
+
+    /** Skip/sweep divisor this core runs with (see kSkipDivisor). */
+    size_t skipDivisor() const { return skip_divisor_; }
+
+    /** SIMD tier the word sweeps run at (resolved at construction). */
+    simd::Isa isa() const { return ops_->isa; }
 
     /**
      * Per-run step accounting, zeroed by reset(). Three integer adds
@@ -155,20 +164,23 @@ class DenseCore
     void stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
                   uint32_t ssk, uint32_t ss_end, uint32_t position,
                   ReportList *reports);
-    void stepFlat(const uint64_t *accept, uint32_t sk, uint32_t s_end,
-                  uint32_t ssk, uint32_t ss_end, uint32_t position,
-                  ReportList *reports);
+    void stepFlat(const uint64_t *accept, uint8_t cls, uint32_t sk,
+                  uint32_t s_end, uint32_t ssk, uint32_t ss_end,
+                  uint32_t position, ReportList *reports);
     void orPermanentsIntoNext(bool mark);
     uint64_t latchWord(size_t w, uint64_t v);
     void latch(size_t w, uint64_t fresh);
 
     const FlatAutomaton &fa_;
     const FlatAutomaton::DenseView &dv_;
+    const simd::Ops *ops_; ///< active SIMD kernel table (common/vec.h)
+    size_t skip_divisor_;  ///< skip/sweep crossover (kSkipDivisor)
     size_t words_;      ///< enabled-set words: ceil(N / 64)
     size_t sum_words_;  ///< level-1 summary words: ceil(words_ / 64)
     size_t sum2_words_; ///< level-2 summary words: ceil(sum_words_ / 64)
     bool has_starts_;   ///< automaton has always-enabled starts
     bool has_latchable_; ///< automaton has latchable states (see DenseView)
+    bool has_chain_;     ///< automaton has chain states (see DenseView)
     bool has_perm_ = false; ///< some state has been latched this run
     StepStats stats_;
 
@@ -179,6 +191,7 @@ class DenseCore
     WordVector next_sum_;
     WordVector next_sum2_;
     WordVector active_; ///< flat-path scratch: activations per word
+    WordVector scratch_; ///< flat-path scratch: chain slice / fresh latches
 
     /**
      * The dense analogue of the sparse core's latched/permanent

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/vec.h"
 #include "sim/dense_core.h"
 #include "sim/exec_core.h"
+#include "sim/hot_dfa.h"
 #include "sim/profiler.h"
 #include "telemetry/metrics.h"
 
@@ -29,10 +31,18 @@ recordRun(const SimResult &result, size_t cycles,
     static telemetry::Counter dense_cycles("engine.dense_cycles");
     static telemetry::Counter skip_cycles("engine.dense_skip_cycles");
     static telemetry::Counter live_words("engine.dense_live_words");
+    static telemetry::Counter dfa_runs("engine.dfa_runs");
+    static telemetry::Counter dfa_cycles("engine.dfa_cycles");
+    static telemetry::Gauge simd_isa("engine.simd_isa");
 
     runs.add(1);
     cycle_count.add(cycles);
     reports.add(result.reports.size());
+    simd_isa.set(static_cast<int64_t>(simd::activeIsa()));
+    if (result.usedDfa) {
+        dfa_runs.add(1);
+        dfa_cycles.add(cycles);
+    }
     if (result.usedDenseCore && dense) {
         dense_runs.add(1);
         if (handover)
@@ -74,7 +84,18 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
     const EngineMode mode =
         profiler != nullptr ? EngineMode::Sparse : mode_;
 
-    if (mode == EngineMode::Dense) {
+    if (mode == EngineMode::Dfa && !dfa_checked_) {
+        dfa_checked_ = true;
+        dfa_ = fa_.ensureHotDfa();
+        if (!dfa_)
+            debugLog("dfa mode: budget bailout on ", fa_.size(),
+                     "-state automaton, using the dense core");
+    }
+    if (dfa_ && (mode == EngineMode::Dfa || mode == EngineMode::Auto))
+        return runDfa(input);
+
+    if (mode == EngineMode::Dense ||
+        (mode == EngineMode::Dfa && !dfa_)) {
         if (!dense_)
             dense_ = std::make_unique<DenseCore>(fa_);
         dense_->reset(/*install_starts=*/true);
@@ -125,6 +146,14 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
             report_capacity_ = std::max(report_capacity_,
                                         result.reports.size());
             recordRun(result, n, dense_.get(), /*handover=*/true);
+            // The measured step work that selected the dense core also
+            // nominates the automaton for determinization: small ones
+            // (hot partitions) get one capped attempt, and later runs
+            // execute on the DFA table from cycle 0.
+            if (!dfa_checked_ && fa_.size() <= kMaxAutoDfaStates) {
+                dfa_checked_ = true;
+                dfa_ = fa_.ensureHotDfa();
+            }
             return result;
         }
     }
@@ -132,6 +161,31 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
     for (; i < n; ++i) {
         core_->step(input[i], static_cast<uint32_t>(i), &result.reports);
     }
+    report_capacity_ = std::max(report_capacity_, result.reports.size());
+    recordRun(result, n, nullptr, /*handover=*/false);
+    return result;
+}
+
+SimResult
+Engine::runDfa(std::span<const uint8_t> input)
+{
+    SimResult result;
+    result.reports.reserve(report_capacity_);
+    result.cycles = input.size();
+
+    // One table lookup per symbol; reports are a precomputed property
+    // of the successor state, listed in ascending NFA state id — the
+    // same order the dense core's word sweep emits them.
+    const HotDfa &dfa = *dfa_;
+    const size_t n = input.size();
+    uint32_t state = 0;
+    for (size_t i = 0; i < n; ++i) {
+        state = dfa.next(state, input[i]);
+        for (GlobalStateId id : dfa.reportsOf(state))
+            result.reports.push_back({static_cast<uint32_t>(i), id});
+    }
+
+    result.usedDfa = true;
     report_capacity_ = std::max(report_capacity_, result.reports.size());
     recordRun(result, n, nullptr, /*handover=*/false);
     return result;

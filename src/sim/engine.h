@@ -7,8 +7,8 @@
  * *activates*; activation of a reporting state emits a report; successors
  * of activated states are *enabled* for the next cycle.
  *
- * Two interchangeable stepping cores implement these semantics (property
- * tests prove they emit identical report multisets):
+ * Three interchangeable stepping cores implement these semantics
+ * (property tests prove they emit identical report multisets):
  *
  *  - **sparse** (ExecCore): dynamic enabled list with the latched/
  *    permanent optimization — cost proportional to the live set. Wins
@@ -16,11 +16,18 @@
  *  - **dense** (DenseCore): bit-parallel word vectors — cost O(N/64)
  *    per cycle regardless of live-set size. Wins when the live set is a
  *    sizable fraction of the automaton (Hamming / Levenshtein grids).
+ *  - **dfa** (HotDfa): capped subset-construction table — one lookup
+ *    per symbol, independent of the live set. Wins when the automaton
+ *    is small enough to determinize (the profiler's hot partitions);
+ *    falls back to the dense core when the budget is exceeded.
  *
  * The default *auto* mode probes the live-set density over the first
  * cycles on the sparse core and hands the in-flight run over to the
- * dense core when the automaton runs dense (see docs/PERFORMANCE.md);
- * SPARSEAP_ENGINE=sparse|dense|auto overrides.
+ * dense core when the automaton runs dense (see docs/PERFORMANCE.md).
+ * After a run that crossed over, small automata (<= kMaxAutoDfaStates)
+ * are determinized once and later runs execute on the DFA table from
+ * cycle 0 — the same measured-work signal driving one more handover.
+ * SPARSEAP_ENGINE=sparse|dense|dfa|auto overrides.
  */
 
 #ifndef SPARSEAP_SIM_ENGINE_H
@@ -39,6 +46,7 @@ namespace sparseap {
 
 class DenseCore;
 class ExecCore;
+class HotDfa;
 class HotStateProfiler;
 
 /** Result of a functional run. */
@@ -50,6 +58,8 @@ struct SimResult
     uint64_t cycles = 0;
     /** True when (part of) the run executed on the dense core. */
     bool usedDenseCore = false;
+    /** True when the run executed on the hot-DFA table. */
+    bool usedDfa = false;
 };
 
 /**
@@ -92,12 +102,24 @@ class Engine
     static constexpr size_t kDenseWorkPerWord = 2;
     /** Never hand over below this size: one word sweep covers it. */
     static constexpr size_t kMinDenseStates = 256;
+    /**
+     * Auto mode attempts determinization only for automata at most
+     * this large (and only after a dense handover proved the live set
+     * dense): hot partitions qualify, full rule-set automata — whose
+     * subset construction would blow the budget anyway — skip the
+     * attempt entirely.
+     */
+    static constexpr size_t kMaxAutoDfaStates = 4096;
 
   private:
+    SimResult runDfa(std::span<const uint8_t> input);
+
     const FlatAutomaton &fa_;
     EngineMode mode_;
     std::unique_ptr<ExecCore> core_;
     std::unique_ptr<DenseCore> dense_; ///< created on first dense use
+    std::shared_ptr<const HotDfa> dfa_; ///< set once selected (see run)
+    bool dfa_checked_ = false; ///< one determinization attempt per engine
     /** Largest report count seen so far: each run reserves this up
      *  front, so sweeps that rerun one engine (forEachApp, the bench
      *  loops) stop paying the geometric reallocation of the report

@@ -4,9 +4,62 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "sim/hot_dfa.h"
 #include "telemetry/trace.h"
 
 namespace sparseap {
+
+namespace {
+
+/**
+ * Compute the DenseView's derived execution accelerators — the chain
+ * mask and the dense start-dispatch rows (see their field docs) — from
+ * the already-installed CSR spans. Called by both construction paths
+ * (flatten and store-decode); the results live in the view's owned
+ * storage and are never serialized, so the store format is unaffected.
+ */
+void
+computeDerivedArrays(FlatAutomaton::DenseView &dv)
+{
+    auto &own = dv.owned;
+    const size_t n = dv.succBegin.size() - 1;
+
+    own.chain.assign(dv.words, 0);
+    for (GlobalStateId s = 0; s + 1 < n; ++s) {
+        const uint32_t b = dv.succBegin[s];
+        if (dv.succBegin[s + 1] != b + 1)
+            continue;
+        const GlobalStateId t = s + 1;
+        if (dv.succWordIdx[b] == (t >> 6) &&
+            dv.succWordMask[b] == (1ull << (t & 63)))
+            setWordBit(own.chain.data(), s);
+    }
+    dv.chain = own.chain;
+
+    own.startNextRow.assign(dv.classes, 0);
+    uint32_t rows = 0;
+    for (size_t c = 0; c < dv.classes; ++c) {
+        const size_t entries =
+            dv.startSuccBegin[c + 1] - dv.startSuccBegin[c];
+        if (entries > 0 && entries * 8 >= dv.words)
+            own.startNextRow[c] = ++rows;
+    }
+    own.startNextRows.assign(static_cast<size_t>(rows) * dv.stride, 0);
+    for (size_t c = 0; c < dv.classes; ++c) {
+        if (own.startNextRow[c] == 0)
+            continue;
+        uint64_t *row = own.startNextRows.data() +
+                        static_cast<size_t>(own.startNextRow[c] - 1) *
+                            dv.stride;
+        for (uint32_t k = dv.startSuccBegin[c];
+             k < dv.startSuccBegin[c + 1]; ++k)
+            row[dv.startSuccWordIdx[k]] |= dv.startSuccWordMask[k];
+    }
+    dv.startNextRow = own.startNextRow;
+    dv.startNextRows = own.startNextRows;
+}
+
+} // namespace
 
 FlatAutomaton::FlatAutomaton(const Application &app,
                              DenseCompression compression)
@@ -98,6 +151,7 @@ FlatAutomaton::FlatAutomaton(const Parts &parts)
         auto dv = std::make_unique<DenseView>();
         const Parts::Dense &d = parts.dense;
         dv->words = d.words;
+        dv->stride = DenseView::strideFor(d.words);
         dv->classes = d.classes;
         std::copy(d.classOf.begin(), d.classOf.end(),
                   dv->classOf.begin());
@@ -115,6 +169,7 @@ FlatAutomaton::FlatAutomaton(const Parts &parts)
         dv->startSuccBegin = d.startSuccBegin;
         dv->startSuccWordIdx = d.startSuccWordIdx;
         dv->startSuccWordMask = d.startSuccWordMask;
+        computeDerivedArrays(*dv);
         dense_ = std::move(dv);
     });
 }
@@ -158,6 +213,33 @@ FlatAutomaton::parts() const
     d.startSuccWordIdx = dv.startSuccWordIdx;
     d.startSuccWordMask = dv.startSuccWordMask;
     return p;
+}
+
+std::shared_ptr<const HotDfa>
+FlatAutomaton::ensureHotDfa() const
+{
+    std::call_once(dfa_once_, [this] {
+        hot_dfa_ = HotDfa::build(*this, HotDfa::Limits::fromOptions());
+        dfa_ready_.store(true, std::memory_order_release);
+    });
+    return hot_dfa_;
+}
+
+std::shared_ptr<const HotDfa>
+FlatAutomaton::hotDfaIfBuilt() const
+{
+    if (!dfa_ready_.load(std::memory_order_acquire))
+        return nullptr;
+    return hot_dfa_;
+}
+
+void
+FlatAutomaton::attachHotDfa(std::shared_ptr<const HotDfa> dfa) const
+{
+    std::call_once(dfa_once_, [this, &dfa] {
+        hot_dfa_ = std::move(dfa);
+        dfa_ready_.store(true, std::memory_order_release);
+    });
 }
 
 void
@@ -220,6 +302,7 @@ FlatAutomaton::denseView() const
         DenseView::Owned &own = dv->owned;
         const size_t n = size();
         dv->words = wordsForBits(n);
+        dv->stride = DenseView::strideFor(dv->words);
         if (compression_ == DenseCompression::Raw) {
             dv->classes = 256;
             for (unsigned b = 0; b < 256; ++b)
@@ -228,7 +311,7 @@ FlatAutomaton::denseView() const
             dv->classes = class_count_;
             dv->classOf = class_of_;
         }
-        own.accept.assign(dv->classes * dv->words, 0);
+        own.accept.assign(dv->classes * dv->stride, 0);
         own.reporting.assign(dv->words, 0);
         own.allInputStarts.assign(dv->words, 0);
         own.sodStarts.assign(dv->words, 0);
@@ -240,7 +323,7 @@ FlatAutomaton::denseView() const
                 // cheaper than walking every set bit of a wide set.
                 for (size_t c = 0; c < class_count_; ++c) {
                     if (sym.test(class_rep_[c]))
-                        setWordBit(own.accept.data() + c * dv->words, s);
+                        setWordBit(own.accept.data() + c * dv->stride, s);
                 }
             } else {
                 // Transpose the 256-bit symbol set: for every accepted
@@ -250,7 +333,7 @@ FlatAutomaton::denseView() const
                 forEachSetBit(
                     std::span<const uint64_t>(sym.words), [&](size_t b) {
                         setWordBit(own.accept.data() +
-                                       dv->classOf[b] * dv->words,
+                                       dv->classOf[b] * dv->stride,
                                    s);
                     });
             }
@@ -315,7 +398,7 @@ FlatAutomaton::denseView() const
         own.startSuccBegin.push_back(0);
         WordVector contrib(dv->words, 0);
         for (size_t c = 0; c < dv->classes; ++c) {
-            const uint64_t *row = own.accept.data() + c * dv->words;
+            const uint64_t *row = own.accept.data() + c * dv->stride;
             for (size_t w = 0; w < dv->words; ++w) {
                 const uint64_t m = row[w] & own.allInputStarts[w] &
                                    own.reporting[w];
@@ -365,6 +448,7 @@ FlatAutomaton::denseView() const
         dv->startSuccBegin = own.startSuccBegin;
         dv->startSuccWordIdx = own.startSuccWordIdx;
         dv->startSuccWordMask = own.startSuccWordMask;
+        computeDerivedArrays(*dv);
         dense_ = std::move(dv);
     });
     return *dense_;

@@ -27,6 +27,7 @@
 #define SPARSEAP_SIM_FLAT_AUTOMATON_H
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,8 @@
 #include "nfa/application.h"
 
 namespace sparseap {
+
+class HotDfa;
 
 /** Immutable flattened automaton built from a (finalized) Application. */
 class FlatAutomaton
@@ -130,6 +133,13 @@ class FlatAutomaton
     {
         /** Words per state-set row: ceil(size() / 64). */
         size_t words = 0;
+        /**
+         * Accept-row stride in words: words rounded up to a multiple of
+         * 8 (one cache line), so every row starts 64-byte aligned — the
+         * base vector is 64-byte aligned by WordVector's allocator (or
+         * the store's section alignment). Padding words are zero.
+         */
+        size_t stride = 0;
         /** Number of accept rows (#classes, or 256 for Raw). */
         size_t classes = 0;
         /** byte -> accept row translation (identity for Raw). */
@@ -198,25 +208,59 @@ class FlatAutomaton
         std::span<const uint32_t> startSuccWordIdx;
         std::span<const uint64_t> startSuccWordMask;
 
+        /**
+         * Chain states, one row (derived from the successor CSR at
+         * view construction, never stored): bit s set iff state s's
+         * successor contribution is exactly bit s+1. Glushkov position
+         * automata built from literal-heavy rule sets are ~90% such
+         * states, so the dense core propagates them all at once with a
+         * single cross-word left-shift-and-OR of the activation vector
+         * (simd::Ops::shiftOrInto) and walks the CSR only for the
+         * remaining fan-out states. A chain state's bit 63 never sits
+         * in the last word: s+1 would be out of range, so the state
+         * could not have it as its successor.
+         */
+        std::span<const uint64_t> chain;
+
+        /**
+         * Dense start-dispatch rows (derived, never stored): classes
+         * whose pooled successor contribution covers at least 1/8 of
+         * the vector get their startSucc list materialized as one full
+         * row, ORed in with a single vector sweep instead of hundreds
+         * of scattered read-modify-writes. startNextRow[c] is the row
+         * number + 1, or 0 when class c stays on the sparse list (the
+         * gate keeps wide-alphabet automata from materializing big
+         * tables of near-empty rows).
+         */
+        std::span<const uint32_t> startNextRow; ///< classes entries
+        std::span<const uint64_t> startNextRows; ///< rows x stride
+
+        /** Row stride (words) that keeps rows cache-line aligned. */
+        static size_t
+        strideFor(size_t words)
+        {
+            return (words + 7) & ~static_cast<size_t>(7);
+        }
+
         const uint64_t *
         acceptRow(uint8_t symbol) const
         {
             return accept.data() +
-                   static_cast<size_t>(classOf[symbol]) * words;
+                   static_cast<size_t>(classOf[symbol]) * stride;
         }
 
         /** Accept-table bytes actually stored (rows + translation). */
         size_t
         acceptBytes() const
         {
-            return classes * words * sizeof(uint64_t) + sizeof(classOf);
+            return classes * stride * sizeof(uint64_t) + sizeof(classOf);
         }
 
         /** Accept-table bytes of the uncompressed 256-row layout. */
         size_t
         rawAcceptBytes() const
         {
-            return 256 * words * sizeof(uint64_t);
+            return 256 * stride * sizeof(uint64_t);
         }
 
         /**
@@ -240,12 +284,37 @@ class FlatAutomaton
             std::vector<uint32_t> startSuccBegin;
             std::vector<uint32_t> startSuccWordIdx;
             WordVector startSuccWordMask;
+            /** Derived arrays (chain / startNext*) are owned in BOTH
+             *  construction paths — they are computed from the CSR at
+             *  view-install time, never read from a store mapping. */
+            WordVector chain;
+            std::vector<uint32_t> startNextRow;
+            WordVector startNextRows;
         };
         Owned owned;
     };
 
     /** Dense view, built on first use (thread-safe, then immutable). */
     const DenseView &denseView() const;
+
+    /**
+     * Hot-set DFA (sim/hot_dfa.h), determinized on first call under the
+     * SPARSEAP_DFA_STATES / SPARSEAP_DFA_TABLE_KB budgets. Exactly one
+     * construction attempt per automaton: the result — including a null
+     * from a budget bailout — is cached, so callers can retry cheaply.
+     */
+    std::shared_ptr<const HotDfa> ensureHotDfa() const;
+
+    /** The hot DFA if already built/attached; null otherwise (never
+     *  triggers construction — cheap enough for per-run probing). */
+    std::shared_ptr<const HotDfa> hotDfaIfBuilt() const;
+
+    /**
+     * Install a DFA decoded from a store blob, claiming the one
+     * construction slot so warm starts skip determinization entirely.
+     * A no-op when a DFA was already built or attached.
+     */
+    void attachHotDfa(std::shared_ptr<const HotDfa> dfa) const;
 
     /**
      * Flat snapshot of every array of this automaton *and* its dense
@@ -346,6 +415,12 @@ class FlatAutomaton
 
     mutable std::once_flag dense_once_;
     mutable std::unique_ptr<DenseView> dense_;
+
+    /** One-shot hot-DFA slot: dfa_ready_ (acquire/release) publishes
+     *  hot_dfa_, which may be null after a budget bailout. */
+    mutable std::once_flag dfa_once_;
+    mutable std::shared_ptr<const HotDfa> hot_dfa_;
+    mutable std::atomic<bool> dfa_ready_{false};
 };
 
 } // namespace sparseap

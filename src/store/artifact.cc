@@ -3,6 +3,8 @@
 #include <numeric>
 
 #include "common/word_vector.h"
+#include "sim/hot_dfa.h"
+#include "telemetry/metrics.h"
 
 namespace sparseap {
 namespace store {
@@ -109,6 +111,23 @@ encodeFlatAutomaton(const FlatAutomaton &fa, BlobWriter &w, uint32_t base)
     w.addSpan(base + kFaDenseStartSuccBegin, d.startSuccBegin);
     w.addSpan(base + kFaDenseStartSuccWordIdx, d.startSuccWordIdx);
     w.addSpan(base + kFaDenseStartSuccWordMask, d.startSuccWordMask);
+
+    // Persist the hot DFA when one had been determinized by encode time
+    // (encodePreparedPartition forces the attempt for hot fragments).
+    // Encoding never triggers subset construction itself: full-app
+    // automata would blow the budget for nothing.
+    if (const std::shared_ptr<const HotDfa> dfa = fa.hotDfaIfBuilt()) {
+        const HotDfa::Parts dp = dfa->parts();
+        DfaMeta dmeta{};
+        dmeta.states = dp.states;
+        dmeta.classes = dp.classes;
+        dmeta.reportCount = dp.reportIds.size();
+        w.addSection(base + kFaDfaMeta, &dmeta, sizeof(dmeta),
+                     static_cast<uint32_t>(sizeof(dmeta)));
+        w.addSpan(base + kFaDfaTable, dp.table);
+        w.addSpan(base + kFaDfaReportBegin, dp.reportBegin);
+        w.addSpan(base + kFaDfaReportIds, dp.reportIds);
+    }
 }
 
 std::unique_ptr<FlatAutomaton>
@@ -207,7 +226,9 @@ decodeFlatAutomaton(const BlobView &blob, uint32_t base, std::string *error)
         return nullptr;
     }
     if (!sizeIs(d.classOf.size(), 256, error, "dense classOf") ||
-        !sizeIs(d.accept.size(), d.classes * d.words, error,
+        !sizeIs(d.accept.size(),
+                d.classes * FlatAutomaton::DenseView::strideFor(d.words),
+                error,
                 "dense accept") ||
         !sizeIs(d.reporting.size(), d.words, error, "dense reporting") ||
         !sizeIs(d.allInputStarts.size(), d.words, error,
@@ -235,7 +256,54 @@ decodeFlatAutomaton(const BlobView &blob, uint32_t base, std::string *error)
     }
 
     p.backing = blob.backing();
-    return std::make_unique<FlatAutomaton>(p);
+    auto fa = std::make_unique<FlatAutomaton>(p);
+
+    // Optional hot-DFA attachment: absent for automata that were never
+    // determinized (or whose construction bailed out).
+    if (blob.findSection(base + kFaDfaMeta) != nullptr) {
+        const DfaMeta *dmeta = nullptr;
+        if (!grabMeta(blob, base + kFaDfaMeta, &dmeta, error, "DfaMeta"))
+            return nullptr;
+        HotDfa::Parts dp;
+        dp.states = dmeta->states;
+        dp.classes = dmeta->classes;
+        if (dp.states == 0 || dp.classes != d.classes) {
+            *error = "DfaMeta disagrees with the dense geometry";
+            return nullptr;
+        }
+        if (!grab(blob, base + kFaDfaTable, &dp.table, error,
+                  "dfa table") ||
+            !grab(blob, base + kFaDfaReportBegin, &dp.reportBegin, error,
+                  "dfa reportBegin") ||
+            !grab(blob, base + kFaDfaReportIds, &dp.reportIds, error,
+                  "dfa reportIds")) {
+            return nullptr;
+        }
+        if (!sizeIs(dp.table.size(), dp.states * dp.classes, error,
+                    "dfa table") ||
+            !sizeIs(dp.reportBegin.size(), dp.states + 1, error,
+                    "dfa reportBegin") ||
+            !sizeIs(dp.reportIds.size(), dmeta->reportCount, error,
+                    "dfa reportIds")) {
+            return nullptr;
+        }
+        if (dp.reportBegin.back() != dp.reportIds.size()) {
+            *error = "dfa CSR end offset disagrees with reportIds";
+            return nullptr;
+        }
+        for (uint32_t t : dp.table) {
+            if (t >= dp.states) {
+                *error = "dfa transition target out of range";
+                return nullptr;
+            }
+        }
+        dp.backing = blob.backing();
+        fa->attachHotDfa(HotDfa::fromParts(dp, *fa));
+
+        static telemetry::Counter dfa_warm("store.dfa_warm");
+        dfa_warm.add(1);
+    }
+    return fa;
 }
 
 // -------------------------------------------------------- Application --
@@ -479,6 +547,11 @@ encodePreparedPartition(const PreparedPartition &prep, size_t capacity,
 
     encodeApplication(part.hot, w, kPartHotAppBase);
     encodeApplication(part.cold, w, kPartColdAppBase);
+    // The hot fragment is exactly the compact, frequently-enabled
+    // automaton determinization targets: force the (capped, one-shot)
+    // attempt here so the DFA rides along in the blob and warm starts
+    // skip subset construction.
+    prep.hotAutomaton().ensureHotDfa();
     encodeFlatAutomaton(prep.hotAutomaton(), w, kPartHotFaBase);
 }
 

@@ -70,6 +70,13 @@ enum FaSection : uint32_t {
     kFaDenseStartSuccBegin,
     kFaDenseStartSuccWordIdx,
     kFaDenseStartSuccWordMask,
+    // Optional hot-DFA attachment (sim/hot_dfa.h): present only when
+    // the automaton had been determinized at encode time. Warm loads
+    // attach it so they skip subset construction entirely.
+    kFaDfaMeta,
+    kFaDfaTable,
+    kFaDfaReportBegin,
+    kFaDfaReportIds,
     kFaSectionCount, ///< ids per embedded automaton
 };
 
@@ -122,6 +129,14 @@ struct FaMeta
     uint8_t pad[3];
     uint64_t denseWords;
     uint64_t denseClasses;
+};
+
+/** kFaDfaMeta payload. */
+struct DfaMeta
+{
+    uint64_t states;
+    uint64_t classes;
+    uint64_t reportCount;
 };
 
 /** kAppMeta payload. */

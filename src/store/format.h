@@ -47,8 +47,9 @@ namespace store {
 /** First 8 bytes of every store blob. */
 constexpr char kMagic[8] = {'S', 'P', 'A', 'P', 'S', 'T', 'O', '1'};
 
-/** Bumped on any layout change; part of every cache key. */
-constexpr uint32_t kFormatVersion = 1;
+/** Bumped on any layout change; part of every cache key.
+ *  v2: cache-line-aligned accept-row stride + hot-DFA sections. */
+constexpr uint32_t kFormatVersion = 2;
 
 /** Section payload alignment (one cache line; see file comment). */
 constexpr uint64_t kSectionAlign = 64;

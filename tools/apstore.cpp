@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/sparseap.h"
+#include "store/artifact.h"
 #include "telemetry/metrics.h"
 
 using namespace sparseap;
@@ -130,6 +131,124 @@ resolveObject(const std::string &arg)
     return arg;
 }
 
+/** Name of a FlatAutomaton section relative to its base. */
+const char *
+faSectionName(uint32_t rel)
+{
+    static const char *const names[store::kFaSectionCount] = {
+        "meta",
+        "symbols",
+        "reporting",
+        "start",
+        "succBegin",
+        "succ",
+        "startTableBegin",
+        "startTable",
+        "sodStarts",
+        "allInputStarts",
+        "classOf",
+        "classRep",
+        "dense.meta",
+        "dense.classOf",
+        "dense.accept",
+        "dense.reporting",
+        "dense.allInputStarts",
+        "dense.sodStarts",
+        "dense.latchable",
+        "dense.succBegin",
+        "dense.succWordIdx",
+        "dense.succWordMask",
+        "dense.startBegin",
+        "dense.startWordIdx",
+        "dense.startWordMask",
+        "dense.startSuccBegin",
+        "dense.startSuccWordIdx",
+        "dense.startSuccWordMask",
+        "dfa.meta",
+        "dfa.table",
+        "dfa.reportBegin",
+        "dfa.reportIds",
+    };
+    return rel < store::kFaSectionCount ? names[rel] : "?";
+}
+
+/** Name of an Application section relative to its base. */
+const char *
+appSectionName(uint32_t rel)
+{
+    static const char *const names[store::kAppSectionCount] = {
+        "meta",          "name",      "abbr",    "nfaNameBegin",
+        "nfaNames",      "nfaStateBegin", "symbols", "start",
+        "reporting",     "succBegin", "succ",
+    };
+    return rel < store::kAppSectionCount ? names[rel] : "?";
+}
+
+/** Human name of section @p id given the blob's artifact kind. */
+std::string
+sectionName(store::ArtifactKind kind, uint32_t id)
+{
+    using store::ArtifactKind;
+    switch (kind) {
+    case ArtifactKind::FlatAutomaton:
+        return faSectionName(id);
+    case ArtifactKind::Profile:
+        if (id == store::kProfileMeta)
+            return "meta";
+        if (id == store::kProfileHotWords)
+            return "hotWords";
+        return "?";
+    case ArtifactKind::Partition: {
+        static const char *const root[] = {
+            "?",
+            "meta",
+            "layers",
+            "hotToOriginal",
+            "intermediateTarget",
+            "coldToOriginal",
+            "originalToCold",
+            "coldNfaToOriginal",
+            "nfaBatch",
+        };
+        if (id >= store::kPartHotFaBase)
+            return std::string("hot-fa.") +
+                   faSectionName(id - store::kPartHotFaBase);
+        if (id >= store::kPartColdAppBase)
+            return std::string("cold-app.") +
+                   appSectionName(id - store::kPartColdAppBase);
+        if (id >= store::kPartHotAppBase)
+            return std::string("hot-app.") +
+                   appSectionName(id - store::kPartHotAppBase);
+        if (id <= store::kPartNfaBatch)
+            return root[id];
+        return "?";
+    }
+    case ArtifactKind::Raw:
+        return "-";
+    }
+    return "?";
+}
+
+/** Print a one-line summary of a DFA attachment at @p base, if any. */
+void
+printDfaSummary(const BlobView &blob, uint32_t base, const char *label)
+{
+    if (blob.findSection(base + store::kFaDfaMeta) == nullptr)
+        return;
+    const auto meta = blob.sectionAs<store::DfaMeta>(
+        base + store::kFaDfaMeta);
+    const store::SectionEntry *table =
+        blob.findSection(base + store::kFaDfaTable);
+    if (meta.size() != 1 || table == nullptr)
+        return;
+    std::printf("  %s  %llu states x %llu classes, %llu table bytes, "
+                "%llu report entries\n",
+                label, static_cast<unsigned long long>(meta[0].states),
+                static_cast<unsigned long long>(meta[0].classes),
+                static_cast<unsigned long long>(table->size),
+                static_cast<unsigned long long>(meta[0].reportCount));
+}
+
 int
 cmdInspect(const std::string &arg)
 {
@@ -144,9 +263,13 @@ cmdInspect(const std::string &arg)
                 path.c_str(), artifactKindName(blob->kind()),
                 store::digestHex(blob->digest()).c_str(),
                 blob->fileSize());
-    Table table({"Id", "ElemSize", "Offset", "Bytes", "Checksum"});
+    printDfaSummary(*blob, 0, "dfa   ");
+    printDfaSummary(*blob, store::kPartHotFaBase, "hot dfa");
+    Table table({"Id", "Name", "ElemSize", "Offset", "Bytes", "Checksum"});
     for (const store::SectionEntry &e : blob->sections()) {
-        table.addRow({std::to_string(e.id), std::to_string(e.elemSize),
+        table.addRow({std::to_string(e.id),
+                      sectionName(blob->kind(), e.id),
+                      std::to_string(e.elemSize),
                       std::to_string(e.offset), std::to_string(e.size),
                       store::digestHex(e.checksum)});
     }
