@@ -8,6 +8,7 @@
  */
 
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +18,8 @@
 #include "common/vec.h"
 #include "core/sparseap.h"
 #include "sim/hot_dfa.h"
+#include "store/cache.h"
+#include "store/format.h"
 
 using namespace sparseap;
 
@@ -183,6 +186,60 @@ BM_HybridCore(benchmark::State &state, const char *abbr, EngineMode mode)
     }
 }
 
+/**
+ * Dense kernel with the quiescence input skip pinned on or off
+ * (docs/PERFORMANCE.md). The on/off ratio per workload is the headline
+ * input-skip speedup; the skip_ratio counter records the fraction of
+ * input the on-row consumed without stepping.
+ */
+void
+BM_DenseSkip(benchmark::State &state, const char *abbr, bool skip)
+{
+    const LoadedApp &app = sharedApp(abbr);
+    FlatAutomaton fa(app.workload.app);
+    Engine engine(fa, EngineMode::Dense);
+    engine.setInputSkip(skip);
+    const std::span<const uint8_t> input(app.input.data(),
+                                         std::min<size_t>(
+                                             app.input.size(), 65536));
+    uint64_t skipped = 0;
+    for (auto _ : state) {
+        SimResult r = engine.run(input);
+        skipped = r.skippedSymbols;
+        benchmark::DoNotOptimize(r.reports.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(input.size()));
+    state.counters["skip_ratio"] =
+        input.empty() ? 0.0
+                      : static_cast<double>(skipped) /
+                            static_cast<double>(input.size());
+}
+
+/** DFA-table core with the input skip pinned on or off (small scale). */
+void
+BM_DfaSkip(benchmark::State &state, const char *abbr, bool skip)
+{
+    const SmallBench &b = smallBench(abbr);
+    Engine engine(b.fa, EngineMode::Dfa);
+    engine.setInputSkip(skip);
+    uint64_t skipped = 0;
+    uint64_t jumps = 0;
+    for (auto _ : state) {
+        SimResult r = engine.run(b.input);
+        skipped = r.skippedSymbols;
+        jumps = r.skipJumps;
+        benchmark::DoNotOptimize(r.reports.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(b.input.size()));
+    state.counters["jumps"] = static_cast<double>(jumps);
+    state.counters["skip_ratio"] =
+        b.input.empty() ? 0.0
+                        : static_cast<double>(skipped) /
+                              static_cast<double>(b.input.size());
+}
+
 void
 BM_RegexCompile(benchmark::State &state)
 {
@@ -292,6 +349,61 @@ printDfaCensusTable()
     runner.printTable(table);
 }
 
+/** Order-sensitive digest of a report stream (store/format.h hash). */
+uint64_t
+reportDigest(const ReportList &reports)
+{
+    store::DigestBuilder d;
+    for (const Report &r : reports)
+        d.add((static_cast<uint64_t>(r.position) << 32) ^ r.state);
+    return d.digest();
+}
+
+/**
+ * Per-workload input-skip census: the fraction of input the quiescence
+ * skip consumed without stepping, the jump count, and the skip-on vs
+ * skip-off report digests on the dense core. The digests must match —
+ * the skip is an optimization, not an approximation — so main() exits
+ * nonzero on a mismatch and the CI perf-smoke job inherits the failure.
+ */
+bool
+printInputSkipTable()
+{
+    printSection("Quiescence input skip (SPARSEAP_INPUT_SKIP census)");
+    static ExperimentRunner runner;
+    Table table({"App", "Input", "Skipped", "Ratio", "Jumps", "Digest",
+                 "Match"});
+    bool all_match = true;
+    runner.forEachApp("HML", [&](const LoadedApp &app, size_t) {
+        const FlatAutomaton &fa = app.flat();
+        const std::span<const uint8_t> input(app.input.data(),
+                                             std::min<size_t>(
+                                                 app.input.size(),
+                                                 65536));
+        Engine on(fa, EngineMode::Dense);
+        on.setInputSkip(true);
+        const SimResult r_on = on.run(input);
+        Engine off(fa, EngineMode::Dense);
+        off.setInputSkip(false);
+        const SimResult r_off = off.run(input);
+        const uint64_t d_on = reportDigest(r_on.reports);
+        const uint64_t d_off = reportDigest(r_off.reports);
+        const bool match = d_on == d_off;
+        all_match = all_match && match;
+        const double ratio =
+            input.empty() ? 0.0
+                          : static_cast<double>(r_on.skippedSymbols) /
+                                static_cast<double>(input.size());
+        table.addRow({app.entry.abbr, std::to_string(input.size()),
+                      std::to_string(r_on.skippedSymbols),
+                      Table::fmt(ratio, 3),
+                      std::to_string(r_on.skipJumps),
+                      store::digestHex(d_on), match ? "ok" : "MISMATCH"});
+    });
+    runner.printTable(table);
+    return all_match;
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_EngineThroughput, bro217, "Bro217");
@@ -344,6 +456,22 @@ BENCHMARK_CAPTURE(BM_HybridCore, brill_sparse, "Brill",
 BENCHMARK_CAPTURE(BM_HybridCore, brill_dense, "Brill",
                   EngineMode::Dense);
 BENCHMARK_CAPTURE(BM_HybridCore, brill_dfa, "Brill", EngineMode::Dfa);
+BENCHMARK_CAPTURE(BM_DenseSkip, snort_on, "Snort", true);
+BENCHMARK_CAPTURE(BM_DenseSkip, snort_off, "Snort", false);
+BENCHMARK_CAPTURE(BM_DenseSkip, cav_on, "CAV", true);
+BENCHMARK_CAPTURE(BM_DenseSkip, cav_off, "CAV", false);
+BENCHMARK_CAPTURE(BM_DenseSkip, pen_on, "PEN", true);
+BENCHMARK_CAPTURE(BM_DenseSkip, pen_off, "PEN", false);
+BENCHMARK_CAPTURE(BM_DenseSkip, hm_on, "HM", true);
+BENCHMARK_CAPTURE(BM_DenseSkip, hm_off, "HM", false);
+BENCHMARK_CAPTURE(BM_DenseSkip, lv_on, "LV", true);
+BENCHMARK_CAPTURE(BM_DenseSkip, lv_off, "LV", false);
+BENCHMARK_CAPTURE(BM_DenseSkip, brill_on, "Brill", true);
+BENCHMARK_CAPTURE(BM_DenseSkip, brill_off, "Brill", false);
+BENCHMARK_CAPTURE(BM_DfaSkip, bro217_on, "Bro217", true);
+BENCHMARK_CAPTURE(BM_DfaSkip, bro217_off, "Bro217", false);
+BENCHMARK_CAPTURE(BM_DfaSkip, brill_on, "Brill", true);
+BENCHMARK_CAPTURE(BM_DfaSkip, brill_off, "Brill", false);
 BENCHMARK(BM_RegexCompile);
 BENCHMARK_CAPTURE(BM_Topology, tcp, "TCP");
 BENCHMARK_CAPTURE(BM_Partition, tcp, "TCP");
@@ -380,11 +508,18 @@ main(int argc, char **argv)
 {
     printSymbolClassTable();
     printDfaCensusTable();
+    const bool skip_digests_match = printInputSkipTable();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     registerIsaBenchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    if (!skip_digests_match) {
+        std::fprintf(stderr,
+                     "FAIL: input-skip on/off report digests diverged "
+                     "(see the census table above)\n");
+        return 1;
+    }
     return 0;
 }

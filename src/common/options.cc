@@ -91,6 +91,15 @@ parseEnvironment()
                   "'");
         opt.skipDivisor = static_cast<size_t>(div);
     }
+    if (const char *v = std::getenv("SPARSEAP_INPUT_SKIP")) {
+        if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0)
+            opt.inputSkip = false;
+        else if (std::strcmp(v, "auto") != 0 &&
+                 std::strcmp(v, "on") != 0 && std::strcmp(v, "1") != 0)
+            fatal("SPARSEAP_INPUT_SKIP must be auto, on, 1, off or 0, "
+                  "got '",
+                  v, "'");
+    }
     if (const char *v = std::getenv("SPARSEAP_DFA_STATES")) {
         long states = std::atol(v);
         if (states <= 0)

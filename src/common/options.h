@@ -19,6 +19,11 @@
  *   SPARSEAP_SKIP_DIVISOR  dense-core skip/sweep crossover: the skip
  *                       path runs while live*divisor < words (default 4;
  *                       see docs/PERFORMANCE.md)
+ *   SPARSEAP_INPUT_SKIP quiescence input skip: auto|on|1 (default)
+ *                       enables SIMD-scanning quiescent stretches of
+ *                       input instead of stepping them, off|0 disables.
+ *                       Reports are byte-identical in both settings
+ *                       (see docs/PERFORMANCE.md)
  *   SPARSEAP_DFA_STATES    hot-DFA determinization state budget
  *                       (default 2048; subset construction bails out to
  *                       the NFA dense core beyond it)
@@ -85,6 +90,8 @@ struct Options
     std::string simd = "auto";
     /** Dense-core skip/sweep crossover divisor (common/vec.h docs). */
     size_t skipDivisor = 4;
+    /** Quiescence input skip (SPARSEAP_INPUT_SKIP; default on). */
+    bool inputSkip = true;
     /** Hot-DFA determinization state budget. */
     size_t dfaStateBudget = 2048;
     /** Hot-DFA transition-table byte budget. */

@@ -84,6 +84,16 @@ popcountScalar(const uint64_t *src, size_t n)
     return sum;
 }
 
+size_t
+scanForByteMaskScalar(const uint8_t *data, size_t n,
+                      const ScanMask &mask)
+{
+    for (size_t i = 0; i < n; ++i)
+        if (mask.test(data[i]))
+            return i;
+    return n;
+}
+
 #if SPARSEAP_VEC_X86
 
 // Every vector body uses unaligned loads/stores: they are exactly as
@@ -410,6 +420,82 @@ nonzeroWordsAvx512(uint64_t *dst, const uint64_t *src, size_t n)
     }
 }
 
+// The shuffle-based byte classifier ("truffle" in Hyperscan): for byte
+// b = (hi<<4)|lo, pshufb looks membership bits up by lo in two nibble
+// tables split on hi<8 vs hi>=8 (pshufb zeroes lanes whose index byte
+// has bit 7 set, which performs the split for free: v selects the
+// hi<8 half directly, v^0x80 selects the other). A third pshufb maps
+// the hi nibble (bits 4-6 of the shifted index are ignored by pshufb)
+// to the single-bit mask 1<<(hi&7); a byte is in the set iff the
+// looked-up membership bits intersect that mask.
+
+__attribute__((target("avx2"))) size_t
+scanForByteMaskAvx2(const uint8_t *data, size_t n, const ScanMask &mask)
+{
+    const __m256i lo_clear = _mm256_broadcastsi128_si256(_mm_load_si128(
+        reinterpret_cast<const __m128i *>(mask.loClear)));
+    const __m256i lo_set = _mm256_broadcastsi128_si256(_mm_load_si128(
+        reinterpret_cast<const __m128i *>(mask.loSet)));
+    const __m256i hi_bit = _mm256_set1_epi8(static_cast<char>(0x80));
+    const __m256i power = _mm256_set1_epi64x(
+        static_cast<long long>(0x8040201008040201ull));
+    size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(data + i));
+        const __m256i shuf1 = _mm256_shuffle_epi8(lo_clear, v);
+        const __m256i shuf2 = _mm256_shuffle_epi8(
+            lo_set, _mm256_xor_si256(v, hi_bit));
+        const __m256i hi = _mm256_andnot_si256(
+            hi_bit, _mm256_srli_epi64(v, 4));
+        const __m256i shuf3 = _mm256_shuffle_epi8(power, hi);
+        const __m256i hit = _mm256_and_si256(
+            _mm256_or_si256(shuf1, shuf2), shuf3);
+        const unsigned miss = static_cast<unsigned>(_mm256_movemask_epi8(
+            _mm256_cmpeq_epi8(hit, _mm256_setzero_si256())));
+        const unsigned found = ~miss;
+        if (found != 0)
+            return i + static_cast<size_t>(__builtin_ctz(found));
+    }
+    for (; i < n; ++i)
+        if (mask.test(data[i]))
+            return i;
+    return n;
+}
+
+__attribute__((target("avx512f,avx512bw"))) size_t
+scanForByteMaskAvx512(const uint8_t *data, size_t n,
+                      const ScanMask &mask)
+{
+    const __m512i lo_clear = _mm512_broadcast_i32x4(_mm_load_si128(
+        reinterpret_cast<const __m128i *>(mask.loClear)));
+    const __m512i lo_set = _mm512_broadcast_i32x4(_mm_load_si128(
+        reinterpret_cast<const __m128i *>(mask.loSet)));
+    const __m512i hi_bit = _mm512_set1_epi8(static_cast<char>(0x80));
+    const __m512i power = _mm512_set1_epi64(
+        static_cast<long long>(0x8040201008040201ull));
+    size_t i = 0;
+    for (; i + 64 <= n; i += 64) {
+        const __m512i v = _mm512_loadu_si512(data + i);
+        const __m512i shuf1 = _mm512_shuffle_epi8(lo_clear, v);
+        const __m512i shuf2 = _mm512_shuffle_epi8(
+            lo_set, _mm512_xor_si512(v, hi_bit));
+        const __m512i hi = _mm512_andnot_si512(
+            hi_bit, _mm512_srli_epi64(v, 4));
+        const __m512i shuf3 = _mm512_shuffle_epi8(power, hi);
+        const __m512i hit = _mm512_and_si512(
+            _mm512_or_si512(shuf1, shuf2), shuf3);
+        const __mmask64 found = _mm512_test_epi8_mask(hit, hit);
+        if (found != 0)
+            return i + static_cast<size_t>(__builtin_ctzll(
+                           static_cast<unsigned long long>(found)));
+    }
+    for (; i < n; ++i)
+        if (mask.test(data[i]))
+            return i;
+    return n;
+}
+
 __attribute__((target("avx512f,avx512vpopcntdq"))) uint64_t
 popcountAvx512(const uint64_t *src, size_t n)
 {
@@ -428,32 +514,38 @@ popcountAvx512(const uint64_t *src, size_t n)
 
 // ----------------------------------------------------------- dispatch --
 
-constexpr Ops kScalarOps{bitAndScalar,      orIntoScalar,
-                         clearScalar,       andNotIntoScalar,
-                         shiftOrIntoScalar, nonzeroWordsScalar,
-                         popcountScalar,    Isa::Scalar};
+constexpr Ops kScalarOps{bitAndScalar,       orIntoScalar,
+                         clearScalar,        andNotIntoScalar,
+                         shiftOrIntoScalar,  nonzeroWordsScalar,
+                         popcountScalar,     scanForByteMaskScalar,
+                         Isa::Scalar};
 
 #if SPARSEAP_VEC_X86
-// The SSE2 tier keeps the scalar bodies for the shift/summary ops: the
-// scalar loops already compile to baseline SSE2 and the tier exists as
-// a correctness reference, not a speed target.
-constexpr Ops kSse2Ops{bitAndSse2,        orIntoSse2,
-                       clearSse2,         andNotIntoScalar,
-                       shiftOrIntoScalar, nonzeroWordsScalar,
-                       popcountScalar,    Isa::Sse2};
-constexpr Ops kAvx2Ops{bitAndAvx2,      orIntoAvx2,
-                       clearAvx2,       andNotIntoAvx2,
-                       shiftOrIntoAvx2, nonzeroWordsAvx2,
-                       popcountScalar,  Isa::Avx2};
+// The SSE2 tier keeps the scalar bodies for the shift/summary/scan ops:
+// the scalar loops already compile to baseline SSE2 (and the shuffle
+// classifier needs SSSE3's pshufb anyway) — the tier exists as a
+// correctness reference, not a speed target.
+constexpr Ops kSse2Ops{bitAndSse2,         orIntoSse2,
+                       clearSse2,          andNotIntoScalar,
+                       shiftOrIntoScalar,  nonzeroWordsScalar,
+                       popcountScalar,     scanForByteMaskScalar,
+                       Isa::Sse2};
+constexpr Ops kAvx2Ops{bitAndAvx2,       orIntoAvx2,
+                       clearAvx2,        andNotIntoAvx2,
+                       shiftOrIntoAvx2,  nonzeroWordsAvx2,
+                       popcountScalar,   scanForByteMaskAvx2,
+                       Isa::Avx2};
 // Two AVX-512 tables: VPOPCNTDQ is a separate feature bit from BW.
-constexpr Ops kAvx512Ops{bitAndAvx512,      orIntoAvx512,
-                         clearAvx512,       andNotIntoAvx512,
-                         shiftOrIntoAvx512, nonzeroWordsAvx512,
-                         popcountScalar,    Isa::Avx512};
-constexpr Ops kAvx512PopcntOps{bitAndAvx512,      orIntoAvx512,
-                               clearAvx512,       andNotIntoAvx512,
-                               shiftOrIntoAvx512, nonzeroWordsAvx512,
-                               popcountAvx512,    Isa::Avx512};
+constexpr Ops kAvx512Ops{bitAndAvx512,       orIntoAvx512,
+                         clearAvx512,        andNotIntoAvx512,
+                         shiftOrIntoAvx512,  nonzeroWordsAvx512,
+                         popcountScalar,     scanForByteMaskAvx512,
+                         Isa::Avx512};
+constexpr Ops kAvx512PopcntOps{bitAndAvx512,       orIntoAvx512,
+                               clearAvx512,        andNotIntoAvx512,
+                               shiftOrIntoAvx512,  nonzeroWordsAvx512,
+                               popcountAvx512,     scanForByteMaskAvx512,
+                               Isa::Avx512};
 #endif
 
 const Ops *
@@ -525,6 +617,34 @@ resolve()
 }
 
 } // namespace
+
+ScanMask
+ScanMask::fromBits(const uint64_t raw[4])
+{
+    ScanMask m{};
+    for (int i = 0; i < 4; ++i)
+        m.bits[i] = raw[i];
+    for (unsigned b = 0; b < 256; ++b) {
+        if (!((raw[b >> 6] >> (b & 63)) & 1))
+            continue;
+        const unsigned lo = b & 0xf;
+        const unsigned hi = b >> 4;
+        if (hi < 8)
+            m.loClear[lo] |= static_cast<uint8_t>(1u << hi);
+        else
+            m.loSet[lo] |= static_cast<uint8_t>(1u << (hi - 8));
+    }
+    return m;
+}
+
+unsigned
+ScanMask::population() const
+{
+    unsigned sum = 0;
+    for (uint64_t w : bits)
+        sum += static_cast<unsigned>(__builtin_popcountll(w));
+    return sum;
+}
 
 const char *
 isaName(Isa isa)

@@ -56,6 +56,35 @@ enum class Isa : uint8_t {
 const char *isaName(Isa isa);
 
 /**
+ * A set of byte values prepared for vectorized membership scans
+ * (scanForByteMask). bits is the plain 256-bit set; loClear/loSet are
+ * the Hyperscan-style "truffle" nibble tables the shuffle-based
+ * classifier indexes by the low nibble of each input byte: loClear[lo]
+ * holds, as bit hi, membership of byte (hi<<4)|lo for hi < 8, and
+ * loSet[lo] holds bit (hi-8) for hi >= 8 (pshufb zeroes lanes whose
+ * index byte has the top bit set, which is what splits the two halves).
+ * Build with ScanMask::fromBits so the tables always agree with bits.
+ */
+struct ScanMask
+{
+    alignas(16) uint8_t loClear[16];
+    alignas(16) uint8_t loSet[16];
+    uint64_t bits[4];
+
+    /** Derive the nibble tables from a raw 256-bit set. */
+    static ScanMask fromBits(const uint64_t raw[4]);
+
+    /** True iff byte @p b is in the set. */
+    bool test(uint8_t b) const
+    {
+        return (bits[b >> 6] >> (b & 63)) & 1;
+    }
+
+    /** Number of bytes in the set. */
+    unsigned population() const;
+};
+
+/**
  * Element-wise kernels over uint64_t arrays. All lengths are in words;
  * dst may equal a or b (in-place) but must not otherwise overlap.
  */
@@ -86,6 +115,14 @@ struct Ops
     void (*nonzeroWords)(uint64_t *dst, const uint64_t *src, size_t n);
     /** Sum of per-word popcounts. */
     uint64_t (*popcount)(const uint64_t *src, size_t n);
+    /**
+     * Input scan: index of the first byte of data[0..n) that is a
+     * member of @p mask, or n when none is. The quiescence skip
+     * (DenseCore/HotDfa) uses this to jump the input cursor to the next
+     * byte that can change the configuration.
+     */
+    size_t (*scanForByteMask)(const uint8_t *data, size_t n,
+                              const ScanMask &mask);
     Isa isa;
 };
 

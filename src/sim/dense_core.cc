@@ -1,6 +1,7 @@
 #include "sim/dense_core.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/options.h"
 
@@ -34,6 +35,11 @@ DenseCore::DenseCore(const FlatAutomaton &fa)
       active_(words_, 0), scratch_(words_, 0), perm_(words_, 0),
       perm_next_(words_, 0), perm_next_sum_(sum_words_, 0)
 {
+    if (globalOptions().inputSkip) {
+        static_scan_ = simd::ScanMask::fromBits(dv_.staticScan.data());
+        static_scan_ok_ =
+            static_scan_.population() <= kMaxScanPopulation;
+    }
 }
 
 void
@@ -50,6 +56,7 @@ DenseCore::reset(bool install_starts)
         ops_->clear(perm_next_.data(), words_);
         ops_->clear(perm_next_sum_.data(), sum_words_);
         has_perm_ = false;
+        ++perm_gen_; // any cached dynamic scan mask is stale now
     }
     stats_ = StepStats{};
     if (!install_starts)
@@ -88,6 +95,120 @@ DenseCore::idle() const
         if (w != 0)
             return false;
     return true;
+}
+
+/**
+ * True iff the configuration is quiescent: the dynamic enabled set is
+ * exactly the latched states' pooled successor contribution, so (until
+ * an interesting byte arrives, see trySkip) every step reproduces it.
+ * Both vectors are walked through the union of their summaries —
+ * enabled_sum_ is exact, perm_next_sum_ a superset, and comparing the
+ * actual words handles both. With nothing latched this reduces to "the
+ * dynamic set is empty".
+ */
+bool
+DenseCore::quiescent() const
+{
+    for (size_t sw = 0; sw < sum_words_; ++sw) {
+        uint64_t bits = enabled_sum_[sw] | perm_next_sum_[sw];
+        while (bits != 0) {
+            const size_t w =
+                sw * 64 + static_cast<unsigned>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            if (enabled_[w] != perm_next_[w])
+                return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Rebuild the dynamic scan mask for the current latch set. From a
+ * quiescent configuration, a byte of class c is boring — stepping on
+ * it emits nothing and leaves the configuration bit-identical — iff
+ *  (a) no currently-enabled (latched-successor) state accepts c, so
+ *      there are no activations, reports, or CSR propagation;
+ *  (b) c dispatches no reporting start; and
+ *  (c) c's pooled start-successor contribution is covered by
+ *      perm_ ∪ perm_next_ (latch maintenance strips the perm_ bits —
+ *      permanent states are latchable by construction — and the rest
+ *      is already enabled).
+ * Everything else is interesting. Folded through the byte→class map
+ * into a 256-bit mask and cached until the next latch or reset.
+ */
+void
+DenseCore::buildDynamicScanMask()
+{
+    dyn_scan_gen_ = perm_gen_;
+    std::array<uint8_t, 256> interesting{};
+    for (size_t c = 0; c < dv_.classes; ++c) {
+        bool hot = dv_.startBegin[c + 1] > dv_.startBegin[c];
+        if (!hot) {
+            const uint64_t *row = dv_.accept.data() + c * dv_.stride;
+            for (size_t sw = 0; sw < sum_words_ && !hot; ++sw) {
+                uint64_t bits = perm_next_sum_[sw];
+                while (bits != 0) {
+                    const size_t w =
+                        sw * 64 +
+                        static_cast<unsigned>(__builtin_ctzll(bits));
+                    bits &= bits - 1;
+                    if ((perm_next_[w] & row[w]) != 0) {
+                        hot = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!hot) {
+            for (uint32_t k = dv_.startSuccBegin[c];
+                 k < dv_.startSuccBegin[c + 1]; ++k) {
+                const uint32_t w = dv_.startSuccWordIdx[k];
+                if ((dv_.startSuccWordMask[k] &
+                     ~(perm_[w] | perm_next_[w])) != 0) {
+                    hot = true;
+                    break;
+                }
+            }
+        }
+        interesting[c] = hot ? 1 : 0;
+    }
+    uint64_t bits[4] = {0, 0, 0, 0};
+    for (unsigned b = 0; b < 256; ++b)
+        if (interesting[dv_.classOf[b]])
+            bits[b >> 6] |= 1ull << (b & 63);
+    dyn_scan_ = simd::ScanMask::fromBits(bits);
+    dyn_scan_ok_ = dyn_scan_.population() <= kMaxScanPopulation;
+}
+
+size_t
+DenseCore::trySkip(const uint8_t *data, size_t n)
+{
+    // Cheapest checks first: mask availability, then the current byte
+    // (interesting almost always in high-activity regimes), then the
+    // configuration walk, and only then the vector scan.
+    const simd::ScanMask *m;
+    if (!has_perm_) {
+        if (!static_scan_ok_)
+            return 0;
+        m = &static_scan_;
+    } else {
+        if (!static_scan_ok_)
+            return 0; // latching only widens the mask; don't rebuild
+        if (dyn_scan_gen_ != perm_gen_)
+            buildDynamicScanMask();
+        if (!dyn_scan_ok_)
+            return 0;
+        m = &dyn_scan_;
+    }
+    if (n == 0 || m->test(data[0]))
+        return 0;
+    if (!quiescent())
+        return 0;
+    const size_t skipped = ops_->scanForByteMask(data, n, *m);
+    stats_.skippedSymbols += skipped;
+    if (skipped != 0)
+        ++stats_.jumps;
+    return skipped;
 }
 
 /** OR the pooled successor contribution of all latched states into
@@ -136,6 +257,7 @@ void
 DenseCore::latch(size_t w, uint64_t fresh)
 {
     has_perm_ = true;
+    ++perm_gen_;
     perm_[w] |= fresh;
     const uint32_t *begin = dv_.succBegin.data();
     const uint32_t *idx = dv_.succWordIdx.data();

@@ -90,6 +90,26 @@ class DenseCore
     /** Consume one input symbol (see file comment for the sweep). */
     void step(uint8_t symbol, uint32_t position, ReportList *reports);
 
+    /**
+     * Input-dimension skip — the software form of the paper's SpAP jump
+     * operation. When the configuration is *quiescent* (the dynamic
+     * enabled set is exactly the latched states' pooled successor
+     * contribution, i.e. stepping reproduces it until something new
+     * fires), every input byte whose class cannot fire a reporting
+     * start, activate a latched successor, or enable a state outside
+     * the permanent machinery is a no-op: it emits nothing and leaves
+     * the configuration bit-identical. This scans data[0..n) for the
+     * first byte that can matter (simd::Ops::scanForByteMask over a
+     * 256-bit mask — the automaton's static quiescent mask when nothing
+     * is latched, a per-latch-generation widened mask otherwise) and
+     * @return the number of leading bytes the caller may consume
+     * without stepping (0 when not quiescent, the next byte is
+     * interesting, or the mask is too dense to pay off). Skipped bytes
+     * are accounted in StepStats::skippedSymbols/jumps, mirroring the
+     * SpAP executor's counters.
+     */
+    size_t trySkip(const uint8_t *data, size_t n);
+
     /** True iff no state can activate on the next step. */
     bool idle() const;
 
@@ -155,11 +175,25 @@ class DenseCore
         uint64_t cycles = 0;     ///< step() calls since reset
         uint64_t skipCycles = 0; ///< cycles served by the skip path
         uint64_t liveWords = 0;  ///< sum of per-cycle live word counts
+        /** Input bytes consumed without stepping (trySkip). Named like
+         *  the SpAP executor's counters: cycles + skippedSymbols equals
+         *  the input length when the driver skips. */
+        uint64_t skippedSymbols = 0;
+        uint64_t jumps = 0; ///< trySkip calls that skipped >= 1 byte
     };
 
     const StepStats &stepStats() const { return stats_; }
 
   private:
+    /**
+     * Scan masks with more interesting bytes than this are not worth
+     * scanning with: the expected jump distance (256/(256-pop)) stays
+     * under ~8 bytes, below the fixed cost of the quiescence check.
+     */
+    static constexpr unsigned kMaxScanPopulation = 224;
+
+    bool quiescent() const;
+    void buildDynamicScanMask();
     void clearNext();
     void stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
                   uint32_t ssk, uint32_t ss_end, uint32_t position,
@@ -205,6 +239,22 @@ class DenseCore
     WordVector perm_;
     WordVector perm_next_;
     WordVector perm_next_sum_;
+
+    /**
+     * Quiescent-scan machinery (see trySkip). The static mask is the
+     * automaton's P=∅ scan set (DenseView::staticScan), prepared once
+     * at construction. Latching widens the set of boring-byte
+     * conditions, so the dynamic mask is rebuilt lazily whenever the
+     * permanent generation counter (bumped by every latch and reset)
+     * moves past the generation it was built for. The _ok_ flags gate
+     * on kMaxScanPopulation.
+     */
+    simd::ScanMask static_scan_{};
+    bool static_scan_ok_ = false;
+    simd::ScanMask dyn_scan_{};
+    bool dyn_scan_ok_ = false;
+    uint64_t perm_gen_ = 0;
+    uint64_t dyn_scan_gen_ = ~0ull;
 };
 
 } // namespace sparseap

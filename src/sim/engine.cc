@@ -33,12 +33,18 @@ recordRun(const SimResult &result, size_t cycles,
     static telemetry::Counter live_words("engine.dense_live_words");
     static telemetry::Counter dfa_runs("engine.dfa_runs");
     static telemetry::Counter dfa_cycles("engine.dfa_cycles");
+    static telemetry::Counter skip_symbols("engine.input_skip_symbols");
+    static telemetry::Counter skip_jumps("engine.input_skip_jumps");
     static telemetry::Gauge simd_isa("engine.simd_isa");
 
     runs.add(1);
     cycle_count.add(cycles);
     reports.add(result.reports.size());
     simd_isa.set(static_cast<int64_t>(simd::activeIsa()));
+    if (result.skippedSymbols != 0) {
+        skip_symbols.add(result.skippedSymbols);
+        skip_jumps.add(result.skipJumps);
+    }
     if (result.usedDfa) {
         dfa_runs.add(1);
         dfa_cycles.add(cycles);
@@ -62,9 +68,44 @@ Engine::Engine(const FlatAutomaton &fa)
 }
 
 Engine::Engine(const FlatAutomaton &fa, EngineMode mode)
-    : fa_(fa), mode_(mode), core_(std::make_unique<ExecCore>(fa))
+    : fa_(fa), mode_(mode), core_(std::make_unique<ExecCore>(fa)),
+      skip_enabled_(globalOptions().inputSkip)
 {
 }
+
+namespace {
+
+/**
+ * Drive the dense core over input[i..n): quiescence-skip interleaved
+ * with stepping when @p skip, a plain step loop otherwise. Both engine
+ * dense paths (pinned and auto handover) share it.
+ */
+void
+runDense(DenseCore &dense, std::span<const uint8_t> input, size_t i,
+         bool skip, SimResult *result)
+{
+    const size_t n = input.size();
+    if (skip) {
+        while (i < n) {
+            i += dense.trySkip(input.data() + i, n - i);
+            if (i >= n)
+                break;
+            dense.step(input[i], static_cast<uint32_t>(i),
+                       &result->reports);
+            ++i;
+        }
+        const DenseCore::StepStats &ds = dense.stepStats();
+        result->skippedSymbols = ds.skippedSymbols;
+        result->skipJumps = ds.jumps;
+    } else {
+        for (; i < n; ++i)
+            dense.step(input[i], static_cast<uint32_t>(i),
+                       &result->reports);
+    }
+    result->usedDenseCore = true;
+}
+
+} // namespace
 
 Engine::~Engine() = default;
 
@@ -99,11 +140,7 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
         if (!dense_)
             dense_ = std::make_unique<DenseCore>(fa_);
         dense_->reset(/*install_starts=*/true);
-        for (size_t i = 0; i < n; ++i) {
-            dense_->step(input[i], static_cast<uint32_t>(i),
-                         &result.reports);
-        }
-        result.usedDenseCore = true;
+        runDense(*dense_, input, 0, skip_enabled_, &result);
         report_capacity_ = std::max(report_capacity_,
                                     result.reports.size());
         recordRun(result, n, dense_.get(), /*handover=*/false);
@@ -138,11 +175,7 @@ Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
                 dense_ = std::make_unique<DenseCore>(fa_);
             dense_->reset(/*install_starts=*/false);
             dense_->seed(live);
-            for (; i < n; ++i) {
-                dense_->step(input[i], static_cast<uint32_t>(i),
-                             &result.reports);
-            }
-            result.usedDenseCore = true;
+            runDense(*dense_, input, i, skip_enabled_, &result);
             report_capacity_ = std::max(report_capacity_,
                                         result.reports.size());
             recordRun(result, n, dense_.get(), /*handover=*/true);
@@ -179,10 +212,51 @@ Engine::runDfa(std::span<const uint8_t> input)
     const HotDfa &dfa = *dfa_;
     const size_t n = input.size();
     uint32_t state = 0;
-    for (size_t i = 0; i < n; ++i) {
-        state = dfa.next(state, input[i]);
-        for (GlobalStateId id : dfa.reportsOf(state))
-            result.reports.push_back({static_cast<uint32_t>(i), id});
+    if (skip_enabled_ && dfa.anySkippable()) {
+        // Quiescence-skip loop: while the DFA sits in a skippable state
+        // (no reports, wide self-loop), scan for the next byte whose
+        // transition leaves it instead of looking every byte up.
+        // A DFA step is one table load, so skipping only pays when the
+        // quiescent runs are long enough to amortize the per-byte mask
+        // check and the scan call. That depends on the input, not the
+        // automaton, so the gate is adaptive: reassess the average jump
+        // length every kAdaptJumps jumps and fall back to the plain
+        // step loop for the rest of the run when it sits below
+        // break-even. Reports are identical either way — this only
+        // moves work between the scan and the table.
+        constexpr uint64_t kAdaptJumps = 64;
+        constexpr uint64_t kMinBytesPerJump = 4;
+        const simd::Ops &ops = simd::ops();
+        bool scanning = true;
+        size_t i = 0;
+        while (i < n) {
+            const simd::ScanMask *m =
+                scanning ? dfa.skipMask(state) : nullptr;
+            if (m != nullptr && !m->test(input[i])) {
+                // Current byte self-loops: the scan skips >= 1.
+                const size_t skipped =
+                    ops.scanForByteMask(input.data() + i, n - i, *m);
+                result.skippedSymbols += skipped;
+                ++result.skipJumps;
+                i += skipped;
+                if (i >= n)
+                    break;
+                if (result.skipJumps % kAdaptJumps == 0 &&
+                    result.skippedSymbols <
+                        result.skipJumps * kMinBytesPerJump)
+                    scanning = false;
+            }
+            state = dfa.next(state, input[i]);
+            for (GlobalStateId id : dfa.reportsOf(state))
+                result.reports.push_back({static_cast<uint32_t>(i), id});
+            ++i;
+        }
+    } else {
+        for (size_t i = 0; i < n; ++i) {
+            state = dfa.next(state, input[i]);
+            for (GlobalStateId id : dfa.reportsOf(state))
+                result.reports.push_back({static_cast<uint32_t>(i), id});
+        }
     }
 
     result.usedDfa = true;

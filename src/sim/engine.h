@@ -56,6 +56,15 @@ struct SimResult
     ReportList reports;
     /** Symbols consumed (== input length for a plain run). */
     uint64_t cycles = 0;
+    /**
+     * Symbols consumed without stepping by the quiescence input skip
+     * (SPARSEAP_INPUT_SKIP, see DenseCore::trySkip / HotDfa::skipMask);
+     * stepped cycles are cycles - skippedSymbols. 0 when the skip is
+     * off or never fired — reports are byte-identical either way.
+     */
+    uint64_t skippedSymbols = 0;
+    /** Skip scans that advanced the cursor (SpAP's "jumps"). */
+    uint64_t skipJumps = 0;
     /** True when (part of) the run executed on the dense core. */
     bool usedDenseCore = false;
     /** True when the run executed on the hot-DFA table. */
@@ -90,6 +99,17 @@ class Engine
 
     EngineMode mode() const { return mode_; }
 
+    /**
+     * Toggle the quiescence input skip for this engine (defaults to
+     * globalOptions().inputSkip, i.e. SPARSEAP_INPUT_SKIP). Reports are
+     * byte-identical in both settings; benches flip it to measure the
+     * skip's contribution.
+     */
+    void setInputSkip(bool on) { skip_enabled_ = on; }
+
+    /** True iff this engine's runs may use the input skip. */
+    bool inputSkip() const { return skip_enabled_; }
+
     /** Auto-mode heuristic constants (documented in PERFORMANCE.md). */
     /** Cycles sampled on the sparse core before deciding. */
     static constexpr size_t kProbeCycles = 128;
@@ -120,6 +140,7 @@ class Engine
     std::unique_ptr<DenseCore> dense_; ///< created on first dense use
     std::shared_ptr<const HotDfa> dfa_; ///< set once selected (see run)
     bool dfa_checked_ = false; ///< one determinization attempt per engine
+    bool skip_enabled_; ///< quiescence input skip (see setInputSkip)
     /** Largest report count seen so far: each run reserves this up
      *  front, so sweeps that rerun one engine (forEachApp, the bench
      *  loops) stop paying the geometric reallocation of the report

@@ -57,6 +57,17 @@ computeDerivedArrays(FlatAutomaton::DenseView &dv)
     }
     dv.startNextRow = own.startNextRow;
     dv.startNextRows = own.startNextRows;
+
+    // Quiescent scan set (see its field doc): a byte can wake the
+    // all-idle configuration iff its class dispatches any reporting
+    // start or contributes any pooled start successor.
+    dv.staticScan.fill(0);
+    for (unsigned b = 0; b < 256; ++b) {
+        const uint8_t c = dv.classOf[b];
+        if (dv.startBegin[c + 1] > dv.startBegin[c] ||
+            dv.startSuccBegin[c + 1] > dv.startSuccBegin[c])
+            dv.staticScan[b >> 6] |= 1ull << (b & 63);
+    }
 }
 
 } // namespace
@@ -170,6 +181,9 @@ FlatAutomaton::FlatAutomaton(const Parts &parts)
         dv->startSuccWordIdx = d.startSuccWordIdx;
         dv->startSuccWordMask = d.startSuccWordMask;
         computeDerivedArrays(*dv);
+        if (d.scanMask.size() == dv->staticScan.size())
+            std::copy(d.scanMask.begin(), d.scanMask.end(),
+                      dv->staticScan.begin());
         dense_ = std::move(dv);
     });
 }
@@ -212,6 +226,7 @@ FlatAutomaton::parts() const
     d.startSuccBegin = dv.startSuccBegin;
     d.startSuccWordIdx = dv.startSuccWordIdx;
     d.startSuccWordMask = dv.startSuccWordMask;
+    d.scanMask = {dv.staticScan.data(), dv.staticScan.size()};
     return p;
 }
 

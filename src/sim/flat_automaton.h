@@ -235,6 +235,23 @@ class FlatAutomaton
         std::span<const uint32_t> startNextRow; ///< classes entries
         std::span<const uint64_t> startNextRows; ///< rows x stride
 
+        /**
+         * Quiescent-configuration scan set, 256 bits: byte b is
+         * "interesting" iff its class has a nonempty reporting-start
+         * dispatch list or a nonempty pooled start-successor
+         * contribution — i.e. stepping on b from the all-idle
+         * configuration (no dynamic state enabled, no permanents
+         * latched) could change the configuration or emit a report.
+         * The dense core scans the input for the next such byte
+         * (simd::Ops::scanForByteMask) whenever it detects quiescence
+         * and jumps the cursor — the software form of the paper's SpAP
+         * jump operation, applied in the input dimension. Persisted as
+         * a store v3 section; recomputed from the dispatch CSRs when
+         * absent. Configurations with latched permanents need a wider
+         * mask, which DenseCore derives at run time from this one.
+         */
+        std::array<uint64_t, 4> staticScan{};
+
         /** Row stride (words) that keeps rows cache-line aligned. */
         static size_t
         strideFor(size_t words)
@@ -357,6 +374,9 @@ class FlatAutomaton
             std::span<const uint32_t> startSuccBegin;
             std::span<const uint32_t> startSuccWordIdx;
             std::span<const uint64_t> startSuccWordMask;
+            /** Quiescent scan set (4 words); empty when decoded from a
+             *  pre-v3 blob — the view recomputes it then. */
+            std::span<const uint64_t> scanMask;
         } dense;
 
         /** Keeps the spans' storage alive (a store mapping). */

@@ -143,11 +143,61 @@ HotDfa::build(const FlatAutomaton &fa, const Limits &limits)
     dfa->table_ = own.table;
     dfa->report_begin_ = own.reportBegin;
     dfa->report_ids_ = own.reportIds;
+    dfa->buildSkipTables();
     debugLog("hot-dfa built: ", dfa->states_, " states x ", classes,
              " classes (", dfa->tableBytes(), " table bytes, ",
              dfa->reportCount(), " report entries) over ", fa.size(),
              " NFA states");
     return dfa;
+}
+
+/**
+ * Precompute per-state input-skip masks. A state qualifies when it
+ * emits no reports (a self-looping reporter must emit at every skipped
+ * position) and self-loops on at least kMinBoringBytes byte values
+ * (below that the expected jump distance can't pay for the scan).
+ * Interesting bytes — next(s, b) != s — go into the mask; the driver
+ * scans for them while the DFA sits in s. One 256-probe pass per state,
+ * O(states) extra bytes: most workloads have a handful of "gap" states
+ * (e.g. scanning for a literal's first byte) that dominate run time.
+ */
+void
+HotDfa::buildSkipTables()
+{
+    constexpr unsigned kMinBoringBytes = 32;
+    owned_.skipIndex.assign(states_, 0);
+    for (uint32_t s = 0; s < states_; ++s) {
+        if (report_begin_[s + 1] != report_begin_[s])
+            continue;
+        uint64_t bits[4] = {0, 0, 0, 0};
+        unsigned boring = 0;
+        const uint32_t *row = table_.data() +
+                              static_cast<size_t>(s) * classes_;
+        for (unsigned b = 0; b < 256; ++b) {
+            if (row[class_of_[b]] == s)
+                ++boring;
+            else
+                bits[b >> 6] |= 1ull << (b & 63);
+        }
+        if (boring < kMinBoringBytes)
+            continue;
+        owned_.skipIndex[s] = static_cast<uint32_t>(
+            owned_.skipBits.size() / 4 + 1);
+        owned_.skipBits.insert(owned_.skipBits.end(), bits, bits + 4);
+    }
+    skip_index_ = owned_.skipIndex;
+    skip_bits_ = owned_.skipBits;
+    deriveSkipMasks();
+}
+
+void
+HotDfa::deriveSkipMasks()
+{
+    skip_masks_.clear();
+    skip_masks_.reserve(skip_bits_.size() / 4);
+    for (size_t i = 0; i + 4 <= skip_bits_.size(); i += 4)
+        skip_masks_.push_back(
+            simd::ScanMask::fromBits(skip_bits_.data() + i));
 }
 
 HotDfa::Parts
@@ -159,6 +209,8 @@ HotDfa::parts() const
     p.table = table_;
     p.reportBegin = report_begin_;
     p.reportIds = report_ids_;
+    p.skipIndex = skip_index_;
+    p.skipBits = skip_bits_;
     p.backing = backing_;
     return p;
 }
@@ -174,6 +226,15 @@ HotDfa::fromParts(const Parts &parts, const FlatAutomaton &fa)
     dfa->report_begin_ = parts.reportBegin;
     dfa->report_ids_ = parts.reportIds;
     dfa->backing_ = parts.backing;
+    if (parts.skipIndex.size() == parts.states) {
+        // v3 blob: attach the persisted skip tables; only the shuffle
+        // nibble tables are derived here.
+        dfa->skip_index_ = parts.skipIndex;
+        dfa->skip_bits_ = parts.skipBits;
+        dfa->deriveSkipMasks();
+    } else {
+        dfa->buildSkipTables();
+    }
     return dfa;
 }
 

@@ -46,6 +46,7 @@
 #include <span>
 #include <vector>
 
+#include "common/vec.h"
 #include "sim/flat_automaton.h"
 
 namespace sparseap {
@@ -106,6 +107,30 @@ class HotDfa
     }
 
     /**
+     * Per-state input-skip mask, or null when @p state is not
+     * skippable. A state is skippable when it emits no reports and
+     * self-loops on at least 32 byte values; the mask then holds its
+     * *interesting* bytes — those whose transition leaves the state —
+     * so while the DFA sits in it, the driver may scan the input
+     * (simd::Ops::scanForByteMask) and jump straight to the next byte
+     * that moves the machine. Precomputed for every state from the
+     * transition table (256 probes per state), persisted as store v3
+     * sections, rebuilt when attaching a pre-v3 blob.
+     */
+    const simd::ScanMask *
+    skipMask(uint32_t state) const
+    {
+        const uint32_t i = skip_index_[state];
+        return i == 0 ? nullptr : &skip_masks_[i - 1];
+    }
+
+    /** True iff any state has a skip mask (hoist out of the loop). */
+    bool anySkippable() const { return !skip_masks_.empty(); }
+
+    /** Number of states with a skip mask. */
+    size_t skippableStates() const { return skip_masks_.size(); }
+
+    /**
      * Flat snapshot for the artifact store codec. The byte→class map is
      * not part of it — it is the automaton's own, already stored with
      * the FlatAutomaton sections.
@@ -117,6 +142,15 @@ class HotDfa
         std::span<const uint32_t> table;       ///< states * classes
         std::span<const uint32_t> reportBegin; ///< states + 1
         std::span<const GlobalStateId> reportIds;
+        /**
+         * Input-skip sections (store v3): skipIndex has one entry per
+         * state (0 = not skippable, else 1 + mask number) and skipBits
+         * four words per mask (the raw 256-bit interesting-byte sets —
+         * the shuffle nibble tables are derived at attach). Empty when
+         * decoded from a pre-v3 blob; fromParts recomputes them then.
+         */
+        std::span<const uint32_t> skipIndex;
+        std::span<const uint64_t> skipBits;
         /** Keeps the spans' storage alive (a store mapping). */
         std::shared_ptr<const void> backing;
     };
@@ -134,6 +168,11 @@ class HotDfa
   private:
     HotDfa() = default;
 
+    /** Fill owned_.skipIndex/skipBits from the transition table. */
+    void buildSkipTables();
+    /** Derive the prepared scan masks from the skip_bits_ span. */
+    void deriveSkipMasks();
+
     size_t states_ = 0;
     size_t classes_ = 0;
     std::array<uint8_t, 256> class_of_{};
@@ -141,12 +180,18 @@ class HotDfa
     std::span<const uint32_t> table_;
     std::span<const uint32_t> report_begin_;
     std::span<const GlobalStateId> report_ids_;
+    std::span<const uint32_t> skip_index_; ///< states entries
+    std::span<const uint64_t> skip_bits_;  ///< 4 words per mask
+    /** Prepared scan masks (derived from skip_bits_, never stored). */
+    std::vector<simd::ScanMask> skip_masks_;
 
     struct Owned
     {
         std::vector<uint32_t> table;
         std::vector<uint32_t> reportBegin;
         std::vector<GlobalStateId> reportIds;
+        std::vector<uint32_t> skipIndex;
+        std::vector<uint64_t> skipBits;
     };
     Owned owned_;
     std::shared_ptr<const void> backing_;

@@ -111,6 +111,7 @@ encodeFlatAutomaton(const FlatAutomaton &fa, BlobWriter &w, uint32_t base)
     w.addSpan(base + kFaDenseStartSuccBegin, d.startSuccBegin);
     w.addSpan(base + kFaDenseStartSuccWordIdx, d.startSuccWordIdx);
     w.addSpan(base + kFaDenseStartSuccWordMask, d.startSuccWordMask);
+    w.addSpan(base + kFaDenseScanMask, d.scanMask);
 
     // Persist the hot DFA when one had been determinized by encode time
     // (encodePreparedPartition forces the attempt for hot fragments).
@@ -127,6 +128,8 @@ encodeFlatAutomaton(const FlatAutomaton &fa, BlobWriter &w, uint32_t base)
         w.addSpan(base + kFaDfaTable, dp.table);
         w.addSpan(base + kFaDfaReportBegin, dp.reportBegin);
         w.addSpan(base + kFaDfaReportIds, dp.reportIds);
+        w.addSpan(base + kFaDfaSkipIndex, dp.skipIndex);
+        w.addSpan(base + kFaDfaSkipBits, dp.skipBits);
     }
 }
 
@@ -255,6 +258,17 @@ decodeFlatAutomaton(const BlobView &blob, uint32_t base, std::string *error)
         return nullptr;
     }
 
+    // v3 input-skip scan mask. Tolerated when absent (pre-v3 blob shape;
+    // the dense view recomputes it), but malformed-when-present is a
+    // structural error like any other section.
+    if (blob.findSection(base + kFaDenseScanMask) != nullptr) {
+        if (!grab(blob, base + kFaDenseScanMask, &d.scanMask, error,
+                  "dense scanMask") ||
+            !sizeIs(d.scanMask.size(), 4, error, "dense scanMask")) {
+            return nullptr;
+        }
+    }
+
     p.backing = blob.backing();
     auto fa = std::make_unique<FlatAutomaton>(p);
 
@@ -295,6 +309,31 @@ decodeFlatAutomaton(const BlobView &blob, uint32_t base, std::string *error)
             if (t >= dp.states) {
                 *error = "dfa transition target out of range";
                 return nullptr;
+            }
+        }
+        // v3 skip tables: absent on pre-v3 blob shapes (fromParts then
+        // rebuilds them from the transition table), validated when
+        // present.
+        if (blob.findSection(base + kFaDfaSkipIndex) != nullptr) {
+            if (!grab(blob, base + kFaDfaSkipIndex, &dp.skipIndex, error,
+                      "dfa skipIndex") ||
+                !grab(blob, base + kFaDfaSkipBits, &dp.skipBits, error,
+                      "dfa skipBits") ||
+                !sizeIs(dp.skipIndex.size(), dp.states, error,
+                        "dfa skipIndex")) {
+                return nullptr;
+            }
+            if (dp.skipBits.size() % 4 != 0) {
+                *error = "dfa skipBits is not a whole number of masks";
+                return nullptr;
+            }
+            const uint32_t masks =
+                static_cast<uint32_t>(dp.skipBits.size() / 4);
+            for (uint32_t idx : dp.skipIndex) {
+                if (idx > masks) {
+                    *error = "dfa skip mask index out of range";
+                    return nullptr;
+                }
             }
         }
         dp.backing = blob.backing();

@@ -77,6 +77,14 @@ enum FaSection : uint32_t {
     kFaDfaTable,
     kFaDfaReportBegin,
     kFaDfaReportIds,
+    // v3 input-skip scan tables: the automaton's 256-bit quiescent
+    // scan mask (always present) and the DFA's per-state skip
+    // index/mask sections (present with the DFA block). Decoders
+    // tolerate their absence — the loaders recompute then — but within
+    // one format version they are always written.
+    kFaDenseScanMask,
+    kFaDfaSkipIndex,
+    kFaDfaSkipBits,
     kFaSectionCount, ///< ids per embedded automaton
 };
 

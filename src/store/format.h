@@ -48,8 +48,10 @@ namespace store {
 constexpr char kMagic[8] = {'S', 'P', 'A', 'P', 'S', 'T', 'O', '1'};
 
 /** Bumped on any layout change; part of every cache key.
- *  v2: cache-line-aligned accept-row stride + hot-DFA sections. */
-constexpr uint32_t kFormatVersion = 2;
+ *  v2: cache-line-aligned accept-row stride + hot-DFA sections.
+ *  v3: input-skip scan tables (dense quiescent scan mask + per-state
+ *      DFA skip index/bits sections). */
+constexpr uint32_t kFormatVersion = 3;
 
 /** Section payload alignment (one cache line; see file comment). */
 constexpr uint64_t kSectionAlign = 64;

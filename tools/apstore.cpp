@@ -168,6 +168,9 @@ faSectionName(uint32_t rel)
         "dfa.table",
         "dfa.reportBegin",
         "dfa.reportIds",
+        "dense.scanMask",
+        "dfa.skipIndex",
+        "dfa.skipBits",
     };
     return rel < store::kFaSectionCount ? names[rel] : "?";
 }
@@ -249,6 +252,31 @@ printDfaSummary(const BlobView &blob, uint32_t base, const char *label)
                 static_cast<unsigned long long>(meta[0].reportCount));
 }
 
+/** Print a one-line summary of the v3 scan tables at @p base, if any. */
+void
+printScanSummary(const BlobView &blob, uint32_t base, const char *label)
+{
+    const store::SectionEntry *mask =
+        blob.findSection(base + store::kFaDenseScanMask);
+    if (mask == nullptr)
+        return;
+    const auto bits =
+        blob.sectionAs<uint64_t>(base + store::kFaDenseScanMask);
+    unsigned population = 0;
+    for (uint64_t w : bits)
+        population += static_cast<unsigned>(__builtin_popcountll(w));
+    const auto skip_index =
+        blob.sectionAs<uint32_t>(base + store::kFaDfaSkipIndex);
+    const auto skip_bits =
+        blob.sectionAs<uint64_t>(base + store::kFaDfaSkipBits);
+    std::printf("  %s  quiescent mask %u/256 bytes interesting, "
+                "%zu skippable dfa state(s) (%zu index + %zu mask "
+                "bytes)\n",
+                label, population, skip_bits.size() / 4,
+                skip_index.size() * sizeof(uint32_t),
+                skip_bits.size() * sizeof(uint64_t));
+}
+
 int
 cmdInspect(const std::string &arg)
 {
@@ -265,6 +293,8 @@ cmdInspect(const std::string &arg)
                 blob->fileSize());
     printDfaSummary(*blob, 0, "dfa   ");
     printDfaSummary(*blob, store::kPartHotFaBase, "hot dfa");
+    printScanSummary(*blob, 0, "scan  ");
+    printScanSummary(*blob, store::kPartHotFaBase, "hot scan");
     Table table({"Id", "Name", "ElemSize", "Offset", "Bytes", "Checksum"});
     for (const store::SectionEntry &e : blob->sections()) {
         table.addRow({std::to_string(e.id),
