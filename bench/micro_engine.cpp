@@ -354,8 +354,10 @@ uint64_t
 reportDigest(const ReportList &reports)
 {
     store::DigestBuilder d;
-    for (const Report &r : reports)
-        d.add((static_cast<uint64_t>(r.position) << 32) ^ r.state);
+    for (const Report &r : reports) {
+        d.add(r.position); // full 64-bit stream offset
+        d.add(r.state);
+    }
     return d.digest();
 }
 

@@ -83,7 +83,7 @@ profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
         uint64_t work_acc = 0;
         for (; i < Engine::kProbeCycles; ++i) {
             snapshotSparse(i);
-            core.step(input[i], static_cast<uint32_t>(i), nullptr);
+            core.step(input[i], i, nullptr);
             work_acc += core.lastStepWork();
         }
         const uint64_t threshold =
@@ -135,7 +135,7 @@ profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
         };
         for (; i < longest; ++i) {
             snapshotDense(i);
-            dense.step(input[i], static_cast<uint32_t>(i), nullptr);
+            dense.step(input[i], i, nullptr);
             // Accumulate with the same live-fraction crossover as
             // step(): a sparse enabled set ORs only the words its
             // summary names, a dense one takes the full-width vector
@@ -159,7 +159,7 @@ profileApplication(const FlatAutomaton &fa, std::span<const uint8_t> input,
 
     for (; i < longest; ++i) {
         snapshotSparse(i);
-        core.step(input[i], static_cast<uint32_t>(i), nullptr);
+        core.step(input[i], i, nullptr);
     }
     snapshotSparse(longest);
     return profiles;

@@ -86,6 +86,19 @@ DenseCore::seed(std::span<const GlobalStateId> states)
     }
 }
 
+void
+DenseCore::snapshotEnabled(std::vector<GlobalStateId> *out) const
+{
+    for (size_t w = 0; w < words_; ++w) {
+        uint64_t bits = enabled_[w] | (has_perm_ ? perm_[w] : 0);
+        while (bits != 0) {
+            out->push_back(static_cast<GlobalStateId>(
+                w * 64 + static_cast<unsigned>(__builtin_ctzll(bits))));
+            bits &= bits - 1;
+        }
+    }
+}
+
 bool
 DenseCore::idle() const
 {
@@ -307,7 +320,7 @@ DenseCore::clearNext()
 }
 
 void
-DenseCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
+DenseCore::step(uint8_t symbol, uint64_t position, ReportList *reports)
 {
     const uint64_t *accept = dv_.acceptRow(symbol);
 
@@ -347,7 +360,7 @@ DenseCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
 
 void
 DenseCore::stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
-                    uint32_t ssk, uint32_t ss_end, uint32_t position,
+                    uint32_t ssk, uint32_t ss_end, uint64_t position,
                     ReportList *reports)
 {
     const uint32_t *begin = dv_.succBegin.data();
@@ -503,7 +516,7 @@ DenseCore::stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
 void
 DenseCore::stepFlat(const uint64_t *accept, uint8_t cls, uint32_t sk,
                     uint32_t s_end, uint32_t ssk, uint32_t ss_end,
-                    uint32_t position, ReportList *reports)
+                    uint64_t position, ReportList *reports)
 {
     const uint32_t *begin = dv_.succBegin.data();
     const uint32_t *idx = dv_.succWordIdx.data();

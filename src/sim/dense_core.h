@@ -88,7 +88,18 @@ class DenseCore
     }
 
     /** Consume one input symbol (see file comment for the sweep). */
-    void step(uint8_t symbol, uint32_t position, ReportList *reports);
+    void step(uint8_t symbol, uint64_t position, ReportList *reports);
+
+    /**
+     * Append every live state — dynamically enabled plus latched
+     * (permanent) — to @p out in ascending id order. Re-seeding a fresh
+     * core (reset(false) + seed()) with this list reproduces a
+     * byte-identical continuation: latched states are non-reporting by
+     * construction and re-latch through their own transitions on the
+     * first step, exactly like a sparse→dense handover seed. This is
+     * the suspend path of sim/session.h.
+     */
+    void snapshotEnabled(std::vector<GlobalStateId> *out) const;
 
     /**
      * Input-dimension skip — the software form of the paper's SpAP jump
@@ -196,11 +207,11 @@ class DenseCore
     void buildDynamicScanMask();
     void clearNext();
     void stepSkip(const uint64_t *accept, uint32_t sk, uint32_t s_end,
-                  uint32_t ssk, uint32_t ss_end, uint32_t position,
+                  uint32_t ssk, uint32_t ss_end, uint64_t position,
                   ReportList *reports);
     void stepFlat(const uint64_t *accept, uint8_t cls, uint32_t sk,
                   uint32_t s_end, uint32_t ssk, uint32_t ss_end,
-                  uint32_t position, ReportList *reports);
+                  uint64_t position, ReportList *reports);
     void orPermanentsIntoNext(bool mark);
     uint64_t latchWord(size_t w, uint64_t v);
     void latch(size_t w, uint64_t fresh);

@@ -8,6 +8,7 @@
 #include "sim/exec_core.h"
 #include "sim/hot_dfa.h"
 #include "sim/profiler.h"
+#include "sim/session.h"
 #include "telemetry/metrics.h"
 
 namespace sparseap {
@@ -68,200 +69,46 @@ Engine::Engine(const FlatAutomaton &fa)
 }
 
 Engine::Engine(const FlatAutomaton &fa, EngineMode mode)
-    : fa_(fa), mode_(mode), core_(std::make_unique<ExecCore>(fa)),
-      skip_enabled_(globalOptions().inputSkip)
+    : fa_(fa), mode_(mode), skip_enabled_(globalOptions().inputSkip)
 {
+    SessionConfig config;
+    config.mode = mode;
+    session_ = std::make_unique<EngineSession>(fa, config);
 }
-
-namespace {
-
-/**
- * Drive the dense core over input[i..n): quiescence-skip interleaved
- * with stepping when @p skip, a plain step loop otherwise. Both engine
- * dense paths (pinned and auto handover) share it.
- */
-void
-runDense(DenseCore &dense, std::span<const uint8_t> input, size_t i,
-         bool skip, SimResult *result)
-{
-    const size_t n = input.size();
-    if (skip) {
-        while (i < n) {
-            i += dense.trySkip(input.data() + i, n - i);
-            if (i >= n)
-                break;
-            dense.step(input[i], static_cast<uint32_t>(i),
-                       &result->reports);
-            ++i;
-        }
-        const DenseCore::StepStats &ds = dense.stepStats();
-        result->skippedSymbols = ds.skippedSymbols;
-        result->skipJumps = ds.jumps;
-    } else {
-        for (; i < n; ++i)
-            dense.step(input[i], static_cast<uint32_t>(i),
-                       &result->reports);
-    }
-    result->usedDenseCore = true;
-}
-
-} // namespace
 
 Engine::~Engine() = default;
+
+EngineMode
+Engine::resolvedMode() const
+{
+    return session_->resolvedMode();
+}
 
 SimResult
 Engine::run(std::span<const uint8_t> input, HotStateProfiler *profiler)
 {
-    SimResult result;
-    result.reports.reserve(report_capacity_);
-    result.cycles = input.size();
     const size_t n = input.size();
 
-    if (profiler)
-        profiler->markStarts(fa_);
+    // One whole-input stream through the session. The alphabet is the
+    // input's exact distinct-byte set — the sparse core's universality
+    // (and so its latching and within-position report order) is
+    // relative to it, and a whole-input run knows it up front.
+    session_->setInputSkip(skip_enabled_);
+    session_->setAlphabet(ExecCore::distinctBytes(input));
+    session_->restart(profiler);
+    session_->feed(input);
 
-    // Profiling needs the per-state enable hooks only the sparse core
-    // has; profile prefixes are short, so this costs nothing measurable.
-    const EngineMode mode =
-        profiler != nullptr ? EngineMode::Sparse : mode_;
-
-    if (mode == EngineMode::Dfa && !dfa_checked_) {
-        dfa_checked_ = true;
-        dfa_ = fa_.ensureHotDfa();
-        if (!dfa_)
-            debugLog("dfa mode: budget bailout on ", fa_.size(),
-                     "-state automaton, using the dense core");
-    }
-    if (dfa_ && (mode == EngineMode::Dfa || mode == EngineMode::Auto))
-        return runDfa(input);
-
-    if (mode == EngineMode::Dense ||
-        (mode == EngineMode::Dfa && !dfa_)) {
-        if (!dense_)
-            dense_ = std::make_unique<DenseCore>(fa_);
-        dense_->reset(/*install_starts=*/true);
-        runDense(*dense_, input, 0, skip_enabled_, &result);
-        report_capacity_ = std::max(report_capacity_,
-                                    result.reports.size());
-        recordRun(result, n, dense_.get(), /*handover=*/false);
-        return result;
-    }
-
-    core_->reset(ExecCore::distinctBytes(input), profiler,
-                 /*install_starts=*/true);
-
-    size_t i = 0;
-    if (mode == EngineMode::Auto && fa_.size() >= kMinDenseStates &&
-        n > kProbeCycles) {
-        // Probe: run the sparse core for a prefix while accumulating the
-        // per-cycle work it actually pays.
-        uint64_t work_acc = 0;
-        for (; i < kProbeCycles; ++i) {
-            core_->step(input[i], static_cast<uint32_t>(i),
-                        &result.reports);
-            work_acc += core_->lastStepWork();
-        }
-        const uint64_t threshold =
-            static_cast<uint64_t>(kProbeCycles) * kDenseWorkPerWord *
-            wordsForBits(fa_.size());
-        if (work_acc >= threshold) {
-            // Dense from here on: hand the in-flight enabled set over.
-            // The dense core runs on the class-compressed accept table
-            // with the hierarchical live-word skip, so past this point
-            // per-cycle cost tracks the live region, not N.
-            std::vector<GlobalStateId> live;
-            core_->snapshotEnabled(&live);
-            if (!dense_)
-                dense_ = std::make_unique<DenseCore>(fa_);
-            dense_->reset(/*install_starts=*/false);
-            dense_->seed(live);
-            runDense(*dense_, input, i, skip_enabled_, &result);
-            report_capacity_ = std::max(report_capacity_,
-                                        result.reports.size());
-            recordRun(result, n, dense_.get(), /*handover=*/true);
-            // The measured step work that selected the dense core also
-            // nominates the automaton for determinization: small ones
-            // (hot partitions) get one capped attempt, and later runs
-            // execute on the DFA table from cycle 0.
-            if (!dfa_checked_ && fa_.size() <= kMaxAutoDfaStates) {
-                dfa_checked_ = true;
-                dfa_ = fa_.ensureHotDfa();
-            }
-            return result;
-        }
-    }
-
-    for (; i < n; ++i) {
-        core_->step(input[i], static_cast<uint32_t>(i), &result.reports);
-    }
-    report_capacity_ = std::max(report_capacity_, result.reports.size());
-    recordRun(result, n, nullptr, /*handover=*/false);
-    return result;
-}
-
-SimResult
-Engine::runDfa(std::span<const uint8_t> input)
-{
+    const SessionStats &st = session_->stats();
     SimResult result;
-    result.reports.reserve(report_capacity_);
-    result.cycles = input.size();
-
-    // One table lookup per symbol; reports are a precomputed property
-    // of the successor state, listed in ascending NFA state id — the
-    // same order the dense core's word sweep emits them.
-    const HotDfa &dfa = *dfa_;
-    const size_t n = input.size();
-    uint32_t state = 0;
-    if (skip_enabled_ && dfa.anySkippable()) {
-        // Quiescence-skip loop: while the DFA sits in a skippable state
-        // (no reports, wide self-loop), scan for the next byte whose
-        // transition leaves it instead of looking every byte up.
-        // A DFA step is one table load, so skipping only pays when the
-        // quiescent runs are long enough to amortize the per-byte mask
-        // check and the scan call. That depends on the input, not the
-        // automaton, so the gate is adaptive: reassess the average jump
-        // length every kAdaptJumps jumps and fall back to the plain
-        // step loop for the rest of the run when it sits below
-        // break-even. Reports are identical either way — this only
-        // moves work between the scan and the table.
-        constexpr uint64_t kAdaptJumps = 64;
-        constexpr uint64_t kMinBytesPerJump = 4;
-        const simd::Ops &ops = simd::ops();
-        bool scanning = true;
-        size_t i = 0;
-        while (i < n) {
-            const simd::ScanMask *m =
-                scanning ? dfa.skipMask(state) : nullptr;
-            if (m != nullptr && !m->test(input[i])) {
-                // Current byte self-loops: the scan skips >= 1.
-                const size_t skipped =
-                    ops.scanForByteMask(input.data() + i, n - i, *m);
-                result.skippedSymbols += skipped;
-                ++result.skipJumps;
-                i += skipped;
-                if (i >= n)
-                    break;
-                if (result.skipJumps % kAdaptJumps == 0 &&
-                    result.skippedSymbols <
-                        result.skipJumps * kMinBytesPerJump)
-                    scanning = false;
-            }
-            state = dfa.next(state, input[i]);
-            for (GlobalStateId id : dfa.reportsOf(state))
-                result.reports.push_back({static_cast<uint32_t>(i), id});
-            ++i;
-        }
-    } else {
-        for (size_t i = 0; i < n; ++i) {
-            state = dfa.next(state, input[i]);
-            for (GlobalStateId id : dfa.reportsOf(state))
-                result.reports.push_back({static_cast<uint32_t>(i), id});
-        }
-    }
-
-    result.usedDfa = true;
-    report_capacity_ = std::max(report_capacity_, result.reports.size());
-    recordRun(result, n, nullptr, /*handover=*/false);
+    result.cycles = n;
+    result.skippedSymbols = st.skippedSymbols;
+    result.skipJumps = st.skipJumps;
+    result.usedDenseCore = st.usedDenseCore;
+    result.usedDfa = st.usedDfa;
+    result.reports = session_->takeReports();
+    recordRun(result, n,
+              st.usedDenseCore ? session_->denseCore() : nullptr,
+              st.handedOver);
     return result;
 }
 

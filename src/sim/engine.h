@@ -45,6 +45,7 @@
 namespace sparseap {
 
 class DenseCore;
+class EngineSession;
 class ExecCore;
 class HotDfa;
 class HotStateProfiler;
@@ -100,6 +101,18 @@ class Engine
     EngineMode mode() const { return mode_; }
 
     /**
+     * The core the most recent run actually executed on — the
+     * configured mode with auto/bailout resolution applied (Sparse
+     * when the auto probe declined or never decided, Dense after a
+     * handover or DFA budget bailout, Dfa on the table). Before the
+     * first run this is the configured mode's default resolution.
+     * SimResult's usedDenseCore/usedDfa flags carry the same
+     * information per result; this accessor reads it off the engine
+     * without threading the result around.
+     */
+    EngineMode resolvedMode() const;
+
+    /**
      * Toggle the quiescence input skip for this engine (defaults to
      * globalOptions().inputSkip, i.e. SPARSEAP_INPUT_SKIP). Reports are
      * byte-identical in both settings; benches flip it to measure the
@@ -132,20 +145,17 @@ class Engine
     static constexpr size_t kMaxAutoDfaStates = 4096;
 
   private:
-    SimResult runDfa(std::span<const uint8_t> input);
-
     const FlatAutomaton &fa_;
     EngineMode mode_;
-    std::unique_ptr<ExecCore> core_;
-    std::unique_ptr<DenseCore> dense_; ///< created on first dense use
-    std::shared_ptr<const HotDfa> dfa_; ///< set once selected (see run)
-    bool dfa_checked_ = false; ///< one determinization attempt per engine
+    /**
+     * The engine is a thin shell over a suspendable session
+     * (sim/session.h): run() = restart + one whole-input feed. Cross-
+     * run state — the one-shot DFA selection, the dense core, report-
+     * capacity reuse — lives in the session, so the chunked and
+     * whole-input paths are one implementation.
+     */
+    std::unique_ptr<EngineSession> session_;
     bool skip_enabled_; ///< quiescence input skip (see setInputSkip)
-    /** Largest report count seen so far: each run reserves this up
-     *  front, so sweeps that rerun one engine (forEachApp, the bench
-     *  loops) stop paying the geometric reallocation of the report
-     *  vector on every run. */
-    size_t report_capacity_ = 0;
 };
 
 } // namespace sparseap

@@ -107,6 +107,40 @@ ExecCore::snapshotEnabled(std::vector<GlobalStateId> *out) const
 }
 
 void
+ExecCore::saveState(Snapshot *out) const
+{
+    out->dynamic.clear();
+    out->permanent.clear();
+    for (GlobalStateId s : enabled_) {
+        if (status_[s] == Status::Normal && mark_[s] == epoch_)
+            out->dynamic.push_back(s);
+    }
+    out->permanent.assign(permanent_states_.begin(),
+                          permanent_states_.end());
+}
+
+void
+ExecCore::restoreState(const Bitset256 &input_alphabet,
+                       const Snapshot &snap)
+{
+    reset(input_alphabet, nullptr, /*install_starts=*/false);
+    // Replaying the promotions in promotion order rebuilds the
+    // per-symbol dispatch buckets in the original order; latched states
+    // re-enter latched_pending_ and are (re-)expanded at the next
+    // step(), which appends latched_reporting_ in the same promotion
+    // order the original run accumulated — so the per-cycle report
+    // prefix is unchanged. Successor promotions triggered by that
+    // expansion find their targets already non-Normal and are no-ops.
+    for (GlobalStateId s : snap.permanent)
+        makePermanent(s);
+    // Dynamic states in list order. None of them is universal with a
+    // self-loop (those are promoted the moment they are enabled), so
+    // enableState appends without promoting.
+    for (GlobalStateId s : snap.dynamic)
+        enableState(s);
+}
+
+void
 ExecCore::enableState(GlobalStateId s)
 {
     if (status_[s] != Status::Normal)
@@ -144,7 +178,8 @@ ExecCore::enableForNext(GlobalStateId t)
 }
 
 void
-ExecCore::activate(GlobalStateId s, uint32_t position, ReportList *reports)
+ExecCore::activate(GlobalStateId s, uint64_t position,
+                   ReportList *reports)
 {
     if (fa_.reporting(s) && reports)
         reports->push_back({position, s});
@@ -153,9 +188,8 @@ ExecCore::activate(GlobalStateId s, uint32_t position, ReportList *reports)
 }
 
 void
-ExecCore::expandLatched(uint32_t position)
+ExecCore::expandLatched()
 {
-    (void)position;
     for (GlobalStateId s : latched_pending_) {
         if (fa_.reporting(s))
             latched_reporting_.push_back(s);
@@ -180,9 +214,9 @@ ExecCore::flushPending()
 }
 
 void
-ExecCore::step(uint8_t symbol, uint32_t position, ReportList *reports)
+ExecCore::step(uint8_t symbol, uint64_t position, ReportList *reports)
 {
-    expandLatched(position);
+    expandLatched();
 
     // Latched reporting states match every actual input byte.
     if (reports) {

@@ -72,10 +72,10 @@ class ExecCore
     /**
      * Consume one input symbol.
      * @param symbol the byte at this position
-     * @param position input position (for report records)
+     * @param position global stream position (for report records)
      * @param reports destination for reports emitted this cycle
      */
-    void step(uint8_t symbol, uint32_t position, ReportList *reports);
+    void step(uint8_t symbol, uint64_t position, ReportList *reports);
 
     /** Compute the set of distinct bytes in @p input. */
     static Bitset256 distinctBytes(std::span<const uint8_t> input);
@@ -98,6 +98,41 @@ class ExecCore
      */
     void snapshotEnabled(std::vector<GlobalStateId> *out) const;
 
+    /**
+     * Portable execution state between two step() calls, captured by
+     * saveState() and replayed by restoreState() — the suspend/resume
+     * backbone of sim/session.h. Unlike snapshotEnabled (a flat set for
+     * the dense core, which is insensitive to order), the sparse core's
+     * within-position report order depends on its internal list orders,
+     * so the snapshot keeps the dynamic states in list order and the
+     * permanently-enabled states in promotion order; replaying them in
+     * those orders (against the same input alphabet) reproduces the
+     * dispatch buckets, the latched-reporting order and therefore a
+     * byte-identical continuation.
+     */
+    struct Snapshot
+    {
+        /** Dynamically enabled states for the upcoming step, in list
+         *  order. Never contains permanently-enabled states. */
+        std::vector<GlobalStateId> dynamic;
+        /** Permanently-enabled (Permanent or Latched) states in the
+         *  order they were promoted. */
+        std::vector<GlobalStateId> permanent;
+    };
+
+    /** Capture the live state between steps into @p out (cleared). */
+    void saveState(Snapshot *out) const;
+
+    /**
+     * Rebuild the state captured by saveState(): resets (without start
+     * installation) and replays the promotions and dynamic enables in
+     * snapshot order. @p input_alphabet must be the alphabet of the
+     * original run — universality (and so the Permanent/Latched split)
+     * is a function of it.
+     */
+    void restoreState(const Bitset256 &input_alphabet,
+                      const Snapshot &snap);
+
   private:
     enum class Status : uint8_t {
         Normal,    ///< ordinary dynamic state
@@ -105,7 +140,7 @@ class ExecCore
         Latched,   ///< permanently enabled and universal
     };
 
-    void activate(GlobalStateId s, uint32_t position,
+    void activate(GlobalStateId s, uint64_t position,
                   ReportList *reports);
     void enableForNext(GlobalStateId t);
     void makePermanent(GlobalStateId s);
@@ -117,7 +152,7 @@ class ExecCore
         return self_loop_[s] != 0;
     }
 
-    void expandLatched(uint32_t position);
+    void expandLatched();
     void flushPending();
 
     const FlatAutomaton &fa_;

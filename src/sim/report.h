@@ -18,10 +18,17 @@
 
 namespace sparseap {
 
-/** One report: reporting state @c state activated at input @c position. */
+/**
+ * One report: reporting state @c state activated at input @c position.
+ * The position is a 64-bit *global stream offset*: suspendable sessions
+ * (sim/session.h) feed inputs chunk by chunk and a long-lived stream
+ * overflows 32 bits after 4 GiB. Reports are never serialized by the
+ * artifact store (only reporting-state masks are), so the width is an
+ * in-memory property.
+ */
 struct Report
 {
-    uint32_t position;
+    uint64_t position;
     GlobalStateId state;
 
     bool

@@ -90,11 +90,9 @@ runSpapMode(const FlatAutomaton &fa, std::span<const uint8_t> input,
             result.enableStalls += enables_here - 1;
 
         if (dense) {
-            dense->step(input[i], static_cast<uint32_t>(i),
-                        &result.reports);
+            dense->step(input[i], i, &result.reports);
         } else {
-            sparse->step(input[i], static_cast<uint32_t>(i),
-                         &result.reports);
+            sparse->step(input[i], i, &result.reports);
             work_acc += sparse->lastStepWork();
         }
         ++result.consumedCycles;

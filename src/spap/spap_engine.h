@@ -34,7 +34,8 @@ namespace sparseap {
  */
 struct SpapEvent
 {
-    uint32_t position;
+    /** Global stream offset, matching Report::position's width. */
+    uint64_t position;
     GlobalStateId state;
 };
 
