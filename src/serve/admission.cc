@@ -1,0 +1,158 @@
+#include "serve/admission.h"
+
+#include <chrono>
+
+#include "telemetry/metrics.h"
+
+namespace sparseap {
+namespace serve {
+
+namespace {
+
+uint64_t
+steadyMicros()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+telemetry::Counter &
+requestsCounter()
+{
+    static telemetry::Counter c("serve.requests");
+    return c;
+}
+
+telemetry::Counter &
+overloadCounter()
+{
+    static telemetry::Counter c("serve.overload");
+    return c;
+}
+
+telemetry::Counter &
+retryCounter()
+{
+    static telemetry::Counter c("serve.retry");
+    return c;
+}
+
+telemetry::Counter &
+shedCounter()
+{
+    static telemetry::Counter c("serve.shed");
+    return c;
+}
+
+} // namespace
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config,
+                               std::function<uint64_t()> clock)
+    : config_(config), clock_(clock ? std::move(clock) : steadyMicros)
+{
+}
+
+AdmitResult
+AdmissionQueue::tryEnqueue(const std::string &tenant,
+                           std::shared_ptr<void> work)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    requestsCounter().add(1);
+    if (closed_ || queue_.size() >= config_.queueDepth) {
+        ++stats_.overloaded;
+        ++stats_.shed;
+        overloadCounter().add(1);
+        shedCounter().add(1);
+        return AdmitResult::Overloaded;
+    }
+    if (config_.perTenantInFlight > 0 &&
+        in_flight_[tenant] >= config_.perTenantInFlight) {
+        ++stats_.retried;
+        ++stats_.shed;
+        retryCounter().add(1);
+        shedCounter().add(1);
+        return AdmitResult::TenantBusy;
+    }
+    ++in_flight_[tenant];
+    ++stats_.admitted;
+    queue_.push_back(Item{tenant, clock_(), std::move(work)});
+    ready_cv_.notify_one();
+    return AdmitResult::Admitted;
+}
+
+bool
+AdmissionQueue::pop(Item *out, std::vector<Item> *shed)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        while (queue_.empty() && !closed_)
+            ready_cv_.wait(lock);
+        if (queue_.empty())
+            return false; // closed and drained
+
+        Item item = std::move(queue_.front());
+        queue_.pop_front();
+        const bool stale =
+            config_.deadlineMicros > 0 &&
+            clock_() - item.enqueuedMicros > config_.deadlineMicros;
+        if (stale) {
+            // Release the slot here; the caller only answers the shed
+            // item, it never calls finish() for it.
+            auto it = in_flight_.find(item.tenant);
+            if (it != in_flight_.end() && it->second > 0)
+                --it->second;
+            ++stats_.shed;
+            shedCounter().add(1);
+            if (shed)
+                shed->push_back(std::move(item));
+            continue;
+        }
+        *out = std::move(item);
+        return true;
+    }
+}
+
+void
+AdmissionQueue::finish(const std::string &tenant)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = in_flight_.find(tenant);
+    if (it != in_flight_.end() && it->second > 0)
+        --it->second;
+}
+
+void
+AdmissionQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    ready_cv_.notify_all();
+}
+
+size_t
+AdmissionQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+size_t
+AdmissionQueue::inFlight(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = in_flight_.find(tenant);
+    return it == in_flight_.end() ? 0 : it->second;
+}
+
+AdmissionStats
+AdmissionQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace serve
+} // namespace sparseap

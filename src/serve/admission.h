@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Bounded admission queue with per-tenant caps and deadline shedding.
+ *
+ * The daemon's backpressure story lives here, transport-free so the
+ * overload behavior is deterministic and unit-testable: requests enter
+ * through tryEnqueue(), which rejects *immediately* — Overloaded when
+ * the queue is at depth, TenantBusy when the tenant already has its cap
+ * of admitted-but-unfinished requests — and workers drain through
+ * pop(), which sheds items that waited past the deadline instead of
+ * executing work whose client has long since timed out. Rejecting at
+ * enqueue keeps the failure cheap (the I/O thread answers OVERLOAD /
+ * RETRY without touching a worker); shedding at dequeue bounds the
+ * staleness of work that *was* admitted.
+ *
+ * The clock is injected so deadline tests don't sleep. Counters:
+ * serve.requests (every tryEnqueue), serve.overload (queue-full
+ * rejections), serve.retry (tenant-cap rejections), serve.shed
+ * (deadline sheds; rejections also count here — every request that was
+ * refused service lands in serve.shed exactly once).
+ *
+ * See docs/SERVING.md §Overload; tested by tests/test_serve_server.cc.
+ */
+
+#ifndef SPARSEAP_SERVE_ADMISSION_H
+#define SPARSEAP_SERVE_ADMISSION_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sparseap {
+namespace serve {
+
+/** Outcome of tryEnqueue(). */
+enum class AdmitResult {
+    Admitted,   ///< queued; finish(tenant) must follow execution
+    Overloaded, ///< queue at depth — answer Overload
+    TenantBusy, ///< tenant at its in-flight cap — answer Retry
+};
+
+struct AdmissionConfig
+{
+    /** Queued (admitted, not yet popped) request bound. */
+    size_t queueDepth = 256;
+    /** Admitted-but-unfinished bound per tenant (0 = unlimited). */
+    size_t perTenantInFlight = 64;
+    /**
+     * Queue-wait budget in microseconds; items older than this at
+     * pop() time are shed, not executed (0 = never shed).
+     */
+    uint64_t deadlineMicros = 0;
+};
+
+/** Snapshot of the queue's counters. */
+struct AdmissionStats
+{
+    uint64_t requests = 0; ///< tryEnqueue calls
+    uint64_t admitted = 0;
+    uint64_t overloaded = 0; ///< queue-full rejections
+    uint64_t retried = 0;    ///< tenant-cap rejections
+    uint64_t shed = 0;       ///< rejections + deadline sheds
+};
+
+/** Bounded MPMC work queue (see file comment). */
+class AdmissionQueue
+{
+  public:
+    /** One admitted request. */
+    struct Item
+    {
+        std::string tenant;
+        uint64_t enqueuedMicros = 0;
+        /** Caller-owned work record, opaque to the queue. */
+        std::shared_ptr<void> work;
+    };
+
+    /** @p clock returns microseconds; injectable for deadline tests. */
+    explicit AdmissionQueue(AdmissionConfig config,
+                            std::function<uint64_t()> clock = {});
+
+    /**
+     * Admit or reject @p work for @p tenant. On Admitted the item is
+     * queued and the tenant's in-flight count is held until finish().
+     */
+    AdmitResult tryEnqueue(const std::string &tenant,
+                           std::shared_ptr<void> work);
+
+    /**
+     * Block for the next live item. Items that overstayed the deadline
+     * are appended to @p shed (their tenant slots already released —
+     * the caller only answers them) until a live item or closure.
+     * @return false when the queue is closed and drained; @p shed can
+     *         still be non-empty then.
+     */
+    bool pop(Item *out, std::vector<Item> *shed);
+
+    /** Release @p tenant's in-flight slot after executing its item. */
+    void finish(const std::string &tenant);
+
+    /** Wake every pop() blocked; subsequent pops drain then fail. */
+    void close();
+
+    size_t depth() const;
+    size_t inFlight(const std::string &tenant) const;
+    AdmissionStats stats() const;
+
+  private:
+    const AdmissionConfig config_;
+    const std::function<uint64_t()> clock_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_cv_;
+    std::deque<Item> queue_;
+    std::unordered_map<std::string, size_t> in_flight_;
+    bool closed_ = false;
+    AdmissionStats stats_;
+};
+
+} // namespace serve
+} // namespace sparseap
+
+#endif // SPARSEAP_SERVE_ADMISSION_H

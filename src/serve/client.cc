@@ -1,0 +1,259 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sparseap {
+namespace serve {
+
+ServeClient::~ServeClient() { disconnect(); }
+
+bool
+ServeClient::connect(const std::string &socket_path, std::string *error)
+{
+    disconnect();
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + socket_path;
+        disconnect();
+        return false;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = std::string("connect ") + socket_path + ": " +
+                     std::strerror(errno);
+        disconnect();
+        return false;
+    }
+    const Result hello = call(MsgType::Hello, {}, nullptr, nullptr);
+    if (hello.status != Status::Ok) {
+        if (error)
+            *error = "handshake failed";
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+void
+ServeClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    reader_ = FrameReader();
+}
+
+ServeClient::Result
+ServeClient::ping()
+{
+    return call(MsgType::Ping, {}, nullptr, nullptr);
+}
+
+ServeClient::Result
+ServeClient::open(const std::string &tenant, uint64_t stream_id)
+{
+    std::vector<uint8_t> payload;
+    WireWriter w(&payload);
+    encodeStreamRequest(&w, StreamRequest{tenant, stream_id});
+    return call(MsgType::Open, payload, nullptr, nullptr);
+}
+
+ServeClient::Result
+ServeClient::feed(const std::string &tenant, uint64_t stream_id,
+                  std::span<const uint8_t> chunk, ReportGroup *out)
+{
+    const FeedEntry entry{stream_id, chunk};
+    std::vector<ReportGroup> groups;
+    const Result r = feedMany(tenant, {&entry, 1}, &groups);
+    if (out != nullptr) {
+        *out = ReportGroup{};
+        out->streamId = stream_id;
+        // kFlagMore splitting can slice one stream across groups.
+        for (ReportGroup &g : groups) {
+            out->streamOffset = g.streamOffset;
+            out->reports.insert(out->reports.end(), g.reports.begin(),
+                                g.reports.end());
+        }
+    }
+    return r;
+}
+
+ServeClient::Result
+ServeClient::feedMany(const std::string &tenant,
+                      std::span<const FeedEntry> entries,
+                      std::vector<ReportGroup> *out)
+{
+    std::vector<uint8_t> payload;
+    WireWriter w(&payload);
+    FeedRequest req;
+    req.tenant = tenant;
+    req.entries.assign(entries.begin(), entries.end());
+    encodeFeedRequest(&w, req);
+    if (out)
+        out->clear();
+    return call(MsgType::Feed, payload, out, nullptr);
+}
+
+ServeClient::Result
+ServeClient::closeStream(const std::string &tenant, uint64_t stream_id,
+                         ReportGroup *out)
+{
+    std::vector<uint8_t> payload;
+    WireWriter w(&payload);
+    encodeStreamRequest(&w, StreamRequest{tenant, stream_id});
+    std::vector<ReportGroup> groups;
+    const Result r = call(MsgType::Close, payload, &groups, nullptr);
+    if (out != nullptr) {
+        *out = ReportGroup{};
+        out->streamId = stream_id;
+        for (ReportGroup &g : groups) {
+            out->streamOffset = g.streamOffset;
+            out->reports.insert(out->reports.end(), g.reports.begin(),
+                                g.reports.end());
+        }
+    }
+    return r;
+}
+
+ServeClient::Result
+ServeClient::match(const std::string &tenant,
+                   std::span<const uint8_t> input, ReportGroup *out)
+{
+    std::vector<uint8_t> payload;
+    WireWriter w(&payload);
+    encodeMatchRequest(&w, MatchRequest{tenant, input});
+    std::vector<ReportGroup> groups;
+    const Result r = call(MsgType::Match, payload, &groups, nullptr);
+    if (out != nullptr) {
+        *out = ReportGroup{};
+        for (ReportGroup &g : groups) {
+            out->streamOffset = g.streamOffset;
+            out->reports.insert(out->reports.end(), g.reports.begin(),
+                                g.reports.end());
+        }
+    }
+    return r;
+}
+
+ServeClient::Result
+ServeClient::stats(StatsReply *out)
+{
+    return call(MsgType::Stats, {}, nullptr, out);
+}
+
+bool
+ServeClient::sendRaw(std::span<const uint8_t> bytes)
+{
+    size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+ServeClient::readFrame(Frame *out)
+{
+    for (;;) {
+        std::string error;
+        const FrameReader::Status st = reader_.next(out, &error);
+        if (st == FrameReader::Status::Ready)
+            return true;
+        if (st == FrameReader::Status::Corrupt)
+            return false;
+        uint8_t buf[65536];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false; // orderly close or hard error
+        }
+        reader_.append({buf, static_cast<size_t>(n)});
+    }
+}
+
+ServeClient::Result
+ServeClient::call(MsgType type, std::span<const uint8_t> payload,
+                  std::vector<ReportGroup> *groups, StatsReply *stats_out)
+{
+    Result result;
+    if (fd_ < 0)
+        return result; // Transport
+    const uint64_t request_id = next_request_id_++;
+    std::vector<uint8_t> out;
+    appendFrame(&out, type, 0, request_id, payload);
+    if (!sendRaw(out))
+        return result;
+
+    for (;;) {
+        Frame frame;
+        if (!readFrame(&frame))
+            return result; // Transport
+        if (frame.requestId != request_id)
+            continue; // stale frame from an aborted exchange
+
+        WireReader r(frame.payload);
+        switch (static_cast<MsgType>(frame.type)) {
+        case MsgType::Ok:
+            result.status = Status::Ok;
+            return result;
+        case MsgType::Reports: {
+            std::vector<ReportGroup> batch;
+            if (!decodeReportGroups(&r, &batch))
+                return result; // undecodable reply: treat as transport
+            if (groups != nullptr)
+                for (ReportGroup &g : batch)
+                    groups->push_back(std::move(g));
+            if (frame.flags & kFlagMore)
+                continue;
+            result.status = Status::Ok;
+            return result;
+        }
+        case MsgType::StatsReply:
+            if (stats_out == nullptr ||
+                !decodeStatsReply(&r, stats_out))
+                return result;
+            result.status = Status::Ok;
+            return result;
+        case MsgType::Error:
+            result.status = Status::Error;
+            decodeError(&r, &result.error);
+            return result;
+        case MsgType::Overload:
+            result.status = Status::Overload;
+            return result;
+        case MsgType::Retry:
+            result.status = Status::Retry;
+            return result;
+        default:
+            return result; // protocol violation
+        }
+    }
+}
+
+} // namespace serve
+} // namespace sparseap

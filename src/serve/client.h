@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Synchronous client for the apserved framing protocol.
+ *
+ * ServeClient speaks the length-prefixed protocol (serve/protocol.h)
+ * over a Unix-domain socket: one blocking request/response exchange at
+ * a time, reassembling kFlagMore-chained Reports frames into a single
+ * result. Overload and Retry are first-class outcomes (Status values),
+ * not errors — callers under load are expected to see them and back
+ * off; the bench client counts them.
+ *
+ * The apclient CLI and the serve tests/bench are the consumers; the
+ * class is deliberately minimal (no pipelining, no reconnect) so its
+ * behavior under protocol fault injection is easy to reason about.
+ */
+
+#ifndef SPARSEAP_SERVE_CLIENT_H
+#define SPARSEAP_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace sparseap {
+namespace serve {
+
+/** Blocking single-connection protocol client (see file comment). */
+class ServeClient
+{
+  public:
+    enum class Status {
+        Ok,
+        Overload,  ///< shed by admission (queue full / deadline)
+        Retry,     ///< per-tenant cap; back off and resend
+        Error,     ///< server Error frame (see Result::error)
+        Transport, ///< socket failure / connection lost
+    };
+
+    struct Result
+    {
+        Status status = Status::Transport;
+        ErrorReply error; ///< valid when status == Error
+    };
+
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Connect and run the Hello version handshake. */
+    bool connect(const std::string &socket_path, std::string *error);
+
+    void disconnect();
+
+    bool connected() const { return fd_ >= 0; }
+
+    Result ping();
+
+    Result open(const std::string &tenant, uint64_t stream_id);
+
+    /** Feed one stream; reports drained by the server land in @p out. */
+    Result feed(const std::string &tenant, uint64_t stream_id,
+                std::span<const uint8_t> chunk, ReportGroup *out);
+
+    /** Feed several streams of one tenant in one request. */
+    Result feedMany(const std::string &tenant,
+                    std::span<const FeedEntry> entries,
+                    std::vector<ReportGroup> *out);
+
+    /** Close a stream; @p out gets the final offset + residual reports. */
+    Result closeStream(const std::string &tenant, uint64_t stream_id,
+                       ReportGroup *out);
+
+    /** One-shot whole-input match. */
+    Result match(const std::string &tenant,
+                 std::span<const uint8_t> input, ReportGroup *out);
+
+    Result stats(StatsReply *out);
+
+    /** Push raw bytes down the socket (protocol fault injection). */
+    bool sendRaw(std::span<const uint8_t> bytes);
+
+  private:
+    /**
+     * One exchange: send `type`+`payload`, then read response frames
+     * for the request id until the reply completes. Reports frames
+     * accumulate into @p groups (when non-null); a StatsReply decodes
+     * into @p stats_out.
+     */
+    Result call(MsgType type, std::span<const uint8_t> payload,
+                std::vector<ReportGroup> *groups, StatsReply *stats_out);
+
+    bool readFrame(Frame *out);
+
+    int fd_ = -1;
+    uint64_t next_request_id_ = 1;
+    FrameReader reader_;
+};
+
+} // namespace serve
+} // namespace sparseap
+
+#endif // SPARSEAP_SERVE_CLIENT_H

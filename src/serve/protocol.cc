@@ -1,0 +1,404 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace sparseap {
+namespace serve {
+
+bool
+isRequestType(uint8_t type)
+{
+    switch (static_cast<MsgType>(type)) {
+    case MsgType::Hello:
+    case MsgType::Open:
+    case MsgType::Feed:
+    case MsgType::Close:
+    case MsgType::Match:
+    case MsgType::Stats:
+    case MsgType::Ping:
+        return true;
+    default:
+        return false;
+    }
+}
+
+const char *
+msgTypeName(uint8_t type)
+{
+    switch (static_cast<MsgType>(type)) {
+    case MsgType::Hello:
+        return "Hello";
+    case MsgType::Open:
+        return "Open";
+    case MsgType::Feed:
+        return "Feed";
+    case MsgType::Close:
+        return "Close";
+    case MsgType::Match:
+        return "Match";
+    case MsgType::Stats:
+        return "Stats";
+    case MsgType::Ping:
+        return "Ping";
+    case MsgType::Ok:
+        return "Ok";
+    case MsgType::Reports:
+        return "Reports";
+    case MsgType::StatsReply:
+        return "StatsReply";
+    case MsgType::Error:
+        return "Error";
+    case MsgType::Overload:
+        return "Overload";
+    case MsgType::Retry:
+        return "Retry";
+    }
+    return "?";
+}
+
+// ------------------------------------------------------------ writing --
+
+void
+WireWriter::u16(uint16_t v)
+{
+    out_->push_back(static_cast<uint8_t>(v));
+    out_->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+WireWriter::u32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+WireWriter::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+WireWriter::str(const std::string &s)
+{
+    const size_t n = std::min<size_t>(s.size(), 0xffff);
+    u16(static_cast<uint16_t>(n));
+    out_->insert(out_->end(), s.begin(), s.begin() + n);
+}
+
+void
+WireWriter::bytes(std::span<const uint8_t> b)
+{
+    out_->insert(out_->end(), b.begin(), b.end());
+}
+
+void
+appendFrame(std::vector<uint8_t> *out, MsgType type, uint16_t flags,
+            uint64_t request_id, std::span<const uint8_t> payload)
+{
+    const uint32_t len =
+        kFrameHeaderBytes + static_cast<uint32_t>(payload.size());
+    WireWriter w(out);
+    w.u32(len);
+    w.u8(kProtocolVersion);
+    w.u8(static_cast<uint8_t>(type));
+    w.u16(flags);
+    w.u64(request_id);
+    w.bytes(payload);
+}
+
+// ------------------------------------------------------------ reading --
+
+uint8_t
+WireReader::u8()
+{
+    if (!ok_ || data_.size() - pos_ < 1) {
+        ok_ = false;
+        return 0;
+    }
+    return data_[pos_++];
+}
+
+uint16_t
+WireReader::u16()
+{
+    if (!ok_ || data_.size() - pos_ < 2) {
+        ok_ = false;
+        return 0;
+    }
+    const uint16_t v = static_cast<uint16_t>(
+        data_[pos_] | (static_cast<uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+}
+
+uint32_t
+WireReader::u32()
+{
+    if (!ok_ || data_.size() - pos_ < 4) {
+        ok_ = false;
+        return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+uint64_t
+WireReader::u64()
+{
+    if (!ok_ || data_.size() - pos_ < 8) {
+        ok_ = false;
+        return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+std::string
+WireReader::str()
+{
+    const uint16_t n = u16();
+    if (!ok_ || data_.size() - pos_ < n) {
+        ok_ = false;
+        return {};
+    }
+    std::string s(reinterpret_cast<const char *>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+std::span<const uint8_t>
+WireReader::bytes(size_t n)
+{
+    if (!ok_ || data_.size() - pos_ < n) {
+        ok_ = false;
+        return {};
+    }
+    const std::span<const uint8_t> b = data_.subspan(pos_, n);
+    pos_ += n;
+    return b;
+}
+
+void
+FrameReader::append(std::span<const uint8_t> data)
+{
+    if (corrupt_)
+        return; // the stream is dead; don't buffer more
+    buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void
+FrameReader::compact()
+{
+    // Reclaim consumed bytes once they dominate the buffer, keeping
+    // append() amortized O(1) without unbounded growth.
+    if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+}
+
+FrameReader::Status
+FrameReader::next(Frame *out, std::string *error)
+{
+    if (corrupt_) {
+        if (error)
+            *error = corrupt_reason_;
+        return Status::Corrupt;
+    }
+    const size_t avail = buf_.size() - pos_;
+    if (avail < 4)
+        return Status::NeedMore;
+
+    uint32_t len = 0;
+    std::memcpy(&len, buf_.data() + pos_, 4);
+    if (len < kFrameHeaderBytes || len > kMaxFrameBytes) {
+        corrupt_ = true;
+        corrupt_reason_ = "bad frame length " + std::to_string(len);
+        if (error)
+            *error = corrupt_reason_;
+        return Status::Corrupt;
+    }
+    if (avail < 4u + len)
+        return Status::NeedMore;
+
+    WireReader r({buf_.data() + pos_ + 4, len});
+    out->version = r.u8();
+    out->type = r.u8();
+    out->flags = r.u16();
+    out->requestId = r.u64();
+    const std::span<const uint8_t> payload =
+        r.bytes(len - kFrameHeaderBytes);
+    out->payload.assign(payload.begin(), payload.end());
+    pos_ += 4u + len;
+    compact();
+    return Status::Ready;
+}
+
+// ----------------------------------------------------- typed payloads --
+
+void
+encodeStreamRequest(WireWriter *w, const StreamRequest &r)
+{
+    w->str(r.tenant);
+    w->u64(r.streamId);
+}
+
+bool
+decodeStreamRequest(WireReader *r, StreamRequest *out)
+{
+    out->tenant = r->str();
+    out->streamId = r->u64();
+    return r->done();
+}
+
+void
+encodeFeedRequest(WireWriter *w, const FeedRequest &r)
+{
+    w->str(r.tenant);
+    w->u32(static_cast<uint32_t>(r.entries.size()));
+    for (const FeedEntry &e : r.entries) {
+        w->u64(e.streamId);
+        w->u32(static_cast<uint32_t>(e.chunk.size()));
+        w->bytes(e.chunk);
+    }
+}
+
+bool
+decodeFeedRequest(WireReader *r, FeedRequest *out)
+{
+    out->tenant = r->str();
+    const uint32_t n = r->u32();
+    // Every entry costs at least 12 payload bytes, so a hostile count
+    // can't drive a large reserve before the bounds checks trip.
+    if (!r->ok() || static_cast<uint64_t>(n) * 12 > r->remaining())
+        return false;
+    out->entries.clear();
+    out->entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        FeedEntry e;
+        e.streamId = r->u64();
+        const uint32_t len = r->u32();
+        e.chunk = r->bytes(len);
+        if (!r->ok())
+            return false;
+        out->entries.push_back(e);
+    }
+    return r->done();
+}
+
+void
+encodeMatchRequest(WireWriter *w, const MatchRequest &r)
+{
+    w->str(r.tenant);
+    w->u32(static_cast<uint32_t>(r.input.size()));
+    w->bytes(r.input);
+}
+
+bool
+decodeMatchRequest(WireReader *r, MatchRequest *out)
+{
+    out->tenant = r->str();
+    const uint32_t len = r->u32();
+    out->input = r->bytes(len);
+    return r->done();
+}
+
+void
+encodeReportGroups(WireWriter *w, std::span<const ReportGroup> groups)
+{
+    w->u32(static_cast<uint32_t>(groups.size()));
+    for (const ReportGroup &g : groups) {
+        w->u64(g.streamId);
+        w->u64(g.streamOffset);
+        w->u32(static_cast<uint32_t>(g.reports.size()));
+        for (const Report &rep : g.reports) {
+            w->u64(rep.position);
+            w->u32(rep.state);
+        }
+    }
+}
+
+bool
+decodeReportGroups(WireReader *r, std::vector<ReportGroup> *out)
+{
+    const uint32_t n = r->u32();
+    if (!r->ok() || static_cast<uint64_t>(n) * 20 > r->remaining())
+        return false;
+    out->clear();
+    out->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        ReportGroup g;
+        g.streamId = r->u64();
+        g.streamOffset = r->u64();
+        const uint32_t count = r->u32();
+        if (!r->ok() ||
+            static_cast<uint64_t>(count) * 12 > r->remaining())
+            return false;
+        g.reports.reserve(count);
+        for (uint32_t k = 0; k < count; ++k) {
+            Report rep;
+            rep.position = r->u64();
+            rep.state = r->u32();
+            g.reports.push_back(rep);
+        }
+        if (!r->ok())
+            return false;
+        out->push_back(std::move(g));
+    }
+    return r->done();
+}
+
+void
+encodeError(WireWriter *w, const ErrorReply &e)
+{
+    w->u16(static_cast<uint16_t>(e.code));
+    w->str(e.message);
+}
+
+bool
+decodeError(WireReader *r, ErrorReply *out)
+{
+    out->code = static_cast<ErrorCode>(r->u16());
+    out->message = r->str();
+    return r->done();
+}
+
+void
+encodeStatsReply(WireWriter *w, const StatsReply &s)
+{
+    w->u32(static_cast<uint32_t>(s.counters.size()));
+    for (const auto &[key, value] : s.counters) {
+        w->str(key);
+        w->u64(value);
+    }
+}
+
+bool
+decodeStatsReply(WireReader *r, StatsReply *out)
+{
+    const uint32_t n = r->u32();
+    if (!r->ok() || static_cast<uint64_t>(n) * 10 > r->remaining())
+        return false;
+    out->counters.clear();
+    out->counters.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        std::string key = r->str();
+        const uint64_t value = r->u64();
+        if (!r->ok())
+            return false;
+        out->counters.emplace_back(std::move(key), value);
+    }
+    return r->done();
+}
+
+} // namespace serve
+} // namespace sparseap

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Wire protocol of the streaming match service (apserved/apclient).
+ *
+ * Frames are length-prefixed binary records over a byte stream (a
+ * Unix-domain socket in practice, any ordered transport in principle):
+ *
+ *   +---------+----------------------------------------------+
+ *   | u32 len | u8 ver | u8 type | u16 flags | u64 requestId |
+ *   +---------+----------------------------------------------+
+ *   | payload (len - 12 bytes)                               |
+ *   +--------------------------------------------------------+
+ *
+ * All integers are little-endian. `len` counts every byte after the
+ * length field itself and is bounded by kMaxFrameBytes — an oversized
+ * prefix is a protocol error and closes the connection (it is
+ * indistinguishable from garbage; resynchronization inside a corrupt
+ * byte stream is not attempted). `requestId` is chosen by the client
+ * and echoed on every response frame, so responses can be streamed and
+ * interleaved per connection; a response with the kFlagMore flag says
+ * more frames for the same request follow (large report sets are
+ * batched instead of building one giant frame).
+ *
+ * The codec layer here is transport-free and allocation-explicit:
+ * encoders append to caller-owned buffers, FrameReader consumes raw
+ * bytes incrementally and yields complete frames, and every decoder is
+ * bounds-checked and total — malformed payloads return false, never
+ * read out of range, and never abort. The protocol fuzz suite
+ * (tests/test_serve_protocol.cc) drives truncations, oversized
+ * prefixes, and random mutations through exactly this API.
+ *
+ * See docs/SERVING.md for the full message catalog and the overload
+ * semantics (Overload vs Retry).
+ */
+
+#ifndef SPARSEAP_SERVE_PROTOCOL_H
+#define SPARSEAP_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+
+namespace sparseap {
+namespace serve {
+
+/** Protocol version; bumped on any frame-layout change. */
+constexpr uint8_t kProtocolVersion = 1;
+
+/** Frame header bytes after the length prefix. */
+constexpr uint32_t kFrameHeaderBytes = 12;
+
+/** Upper bound on `len` (header + payload). Chunks are capped well
+ *  below this by servers; the reader rejects anything larger before
+ *  buffering it. */
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/** Report records per Reports frame before splitting with kFlagMore. */
+constexpr size_t kMaxReportsPerFrame = 65536;
+
+/** Message types. Requests are < 128, responses >= 128. */
+enum class MsgType : uint8_t {
+    // Requests.
+    Hello = 1, ///< version handshake; empty payload
+    Open = 2,  ///< tenant, streamId: create a parked stream
+    Feed = 3,  ///< tenant, [streamId, chunk]...: advance streams
+    Close = 4, ///< tenant, streamId: drain + destroy a stream
+    Match = 5, ///< tenant, bytes: one-shot whole-input match
+    Stats = 6, ///< empty: service + server counters
+    Ping = 7,  ///< empty: liveness
+    // Responses.
+    Ok = 128,         ///< request succeeded, payload per request type
+    Reports = 129,    ///< report groups (Feed/Close/Match results)
+    StatsReply = 130, ///< key/value counter pairs
+    Error = 131,      ///< ErrorCode + message
+    Overload = 132,   ///< shed: admission queue full or deadline passed
+    Retry = 133,      ///< shed: per-tenant in-flight cap reached
+};
+
+/** @return true for request-type values a server accepts. */
+bool isRequestType(uint8_t type);
+
+/** Response flags. */
+constexpr uint16_t kFlagMore = 1; ///< more frames for this request
+
+/** Error payload codes. */
+enum class ErrorCode : uint16_t {
+    BadFrame = 1,       ///< undecodable payload
+    UnknownType = 2,    ///< request type the server does not speak
+    BadVersion = 3,     ///< frame version != kProtocolVersion
+    UnknownTenant = 4,  ///< no such tenant loaded
+    UnknownStream = 5,  ///< stream id not open for this tenant
+    StreamExists = 6,   ///< Open on an already-open stream id
+    TooManyStreams = 7, ///< per-tenant or global open-stream cap
+    Internal = 8,       ///< server-side failure
+};
+
+/** One parsed frame (header + owned payload copy). */
+struct Frame
+{
+    uint8_t version = 0;
+    uint8_t type = 0;
+    uint16_t flags = 0;
+    uint64_t requestId = 0;
+    std::vector<uint8_t> payload;
+};
+
+// ------------------------------------------------------------ writing --
+
+/**
+ * Append one complete frame (length prefix included) to @p out.
+ * @p payload may be empty.
+ */
+void appendFrame(std::vector<uint8_t> *out, MsgType type, uint16_t flags,
+                 uint64_t request_id, std::span<const uint8_t> payload);
+
+/** Payload builder: bounds-free little-endian appends. */
+class WireWriter
+{
+  public:
+    explicit WireWriter(std::vector<uint8_t> *out) : out_(out) {}
+
+    void u8(uint8_t v) { out_->push_back(v); }
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    /** u16 length + raw bytes (strings are capped at 64 KiB - 1). */
+    void str(const std::string &s);
+    void bytes(std::span<const uint8_t> b);
+
+  private:
+    std::vector<uint8_t> *out_;
+};
+
+// ------------------------------------------------------------ reading --
+
+/** Bounds-checked payload cursor; all reads are total. */
+class WireReader
+{
+  public:
+    explicit WireReader(std::span<const uint8_t> data) : data_(data) {}
+
+    bool ok() const { return ok_; }
+    /** True when every byte was consumed and no read failed. */
+    bool done() const { return ok_ && pos_ == data_.size(); }
+    size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+    std::string str();
+    /** @p n raw bytes as a view into the payload (empty on underrun). */
+    std::span<const uint8_t> bytes(size_t n);
+
+  private:
+    std::span<const uint8_t> data_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/**
+ * Incremental frame parser: append() raw transport bytes, next() pulls
+ * complete frames out. A structural error (oversized or undersized
+ * length prefix) is sticky — the byte stream is unrecoverable and the
+ * connection must be closed.
+ */
+class FrameReader
+{
+  public:
+    enum class Status {
+        NeedMore, ///< no complete frame buffered yet
+        Ready,    ///< *out holds the next frame
+        Corrupt,  ///< unrecoverable framing error; close the transport
+    };
+
+    void append(std::span<const uint8_t> data);
+
+    Status next(Frame *out, std::string *error);
+
+    /** Bytes buffered but not yet consumed as frames. */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    void compact();
+
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+    bool corrupt_ = false;
+    std::string corrupt_reason_;
+};
+
+// ----------------------------------------------------- typed payloads --
+
+/** Open / Close payload. */
+struct StreamRequest
+{
+    std::string tenant;
+    uint64_t streamId = 0;
+};
+
+/** One stream's chunk inside a Feed payload. */
+struct FeedEntry
+{
+    uint64_t streamId = 0;
+    /** View into the decoded frame's payload; valid while it lives. */
+    std::span<const uint8_t> chunk;
+};
+
+/** Feed payload: one tenant, one or more streams. */
+struct FeedRequest
+{
+    std::string tenant;
+    std::vector<FeedEntry> entries;
+};
+
+/** Match payload. */
+struct MatchRequest
+{
+    std::string tenant;
+    std::span<const uint8_t> input;
+};
+
+/** One stream's slice of a Reports frame. */
+struct ReportGroup
+{
+    uint64_t streamId = 0;
+    /** Stream offset after the operation (total bytes consumed). */
+    uint64_t streamOffset = 0;
+    ReportList reports;
+};
+
+/** Error payload. */
+struct ErrorReply
+{
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+};
+
+/** StatsReply payload: flat counter map. */
+struct StatsReply
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+void encodeStreamRequest(WireWriter *w, const StreamRequest &r);
+bool decodeStreamRequest(WireReader *r, StreamRequest *out);
+
+void encodeFeedRequest(WireWriter *w, const FeedRequest &r);
+bool decodeFeedRequest(WireReader *r, FeedRequest *out);
+
+void encodeMatchRequest(WireWriter *w, const MatchRequest &r);
+bool decodeMatchRequest(WireReader *r, MatchRequest *out);
+
+void encodeReportGroups(WireWriter *w,
+                        std::span<const ReportGroup> groups);
+bool decodeReportGroups(WireReader *r, std::vector<ReportGroup> *out);
+
+void encodeError(WireWriter *w, const ErrorReply &e);
+bool decodeError(WireReader *r, ErrorReply *out);
+
+void encodeStatsReply(WireWriter *w, const StatsReply &s);
+bool decodeStatsReply(WireReader *r, StatsReply *out);
+
+/** @return "Open", "Reports", ... for logs and error messages. */
+const char *msgTypeName(uint8_t type);
+
+} // namespace serve
+} // namespace sparseap
+
+#endif // SPARSEAP_SERVE_PROTOCOL_H

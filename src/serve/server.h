@@ -1,0 +1,156 @@
+/**
+ * @file
+ * apserved's daemon core: the framing protocol over a Unix-domain
+ * socket, bridged onto a MatchService.
+ *
+ * One I/O thread polls the listening socket and every connection,
+ * assembling frames with FrameReader. Cheap requests (Hello, Ping,
+ * Stats) are answered inline; stateful ones (Open, Feed, Close, Match)
+ * flow through the AdmissionQueue to a worker pool. Two invariants
+ * shape the dispatch:
+ *
+ *  - *Per-connection FIFO.* At most one admitted request per connection
+ *    is in flight at a time; the rest wait in the connection's backlog.
+ *    Since a client feeds its own streams over its own connection, this
+ *    serializes each stream's feeds in arrival order without any
+ *    per-stream queue — and an Open queued behind a Feed can never
+ *    overtake it.
+ *
+ *  - *Reject early, shed late.* The I/O thread answers Overload (queue
+ *    full) and Retry (tenant cap) straight from tryEnqueue without
+ *    waking a worker; workers shed admitted items whose queue wait
+ *    exceeded the deadline. Both are explicit responses — an overloaded
+ *    server degrades loudly, it never silently hangs a request.
+ *
+ * Disconnects sweep the client's streams via MatchService::releaseOwner
+ * (mid-feed streams die at checkin), so an interrupted client never
+ * leaks sessions. Responses are written by whichever thread produced
+ * them under a per-connection write lock; large report sets are split
+ * into Reports frames chained with kFlagMore.
+ *
+ * See docs/SERVING.md; tested by tests/test_serve_server.cc.
+ */
+
+#ifndef SPARSEAP_SERVE_SERVER_H
+#define SPARSEAP_SERVE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "serve/admission.h"
+#include "serve/match_service.h"
+#include "serve/protocol.h"
+
+namespace sparseap {
+namespace serve {
+
+struct ServerConfig
+{
+    /** Filesystem path of the Unix-domain listening socket. */
+    std::string socketPath;
+    /** Worker threads executing admitted requests. */
+    unsigned workers = 4;
+    AdmissionConfig admission;
+    /** Accepted-connection bound; excess accepts are closed at once. */
+    size_t maxConnections = 256;
+    /** Per-send budget before a stuck client is disconnected. */
+    int sendTimeoutMillis = 5000;
+};
+
+/** Latency + traffic counters (admission stats live on the queue). */
+struct ServerStats
+{
+    uint64_t accepted = 0;
+    uint64_t disconnected = 0;
+    uint64_t frames = 0;    ///< well-formed request frames
+    uint64_t badFrames = 0; ///< Error-answered frames + corrupt streams
+    /** Request latency (admission + execution), microseconds. */
+    Histogram latencyMicros;
+};
+
+/** The daemon core (see file comment). */
+class Server
+{
+  public:
+    Server(MatchService *service, ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket and start the I/O and worker threads.
+     * @return false with @p error set on bind/listen failure.
+     */
+    bool start(std::string *error);
+
+    /** Stop threads, close every connection, sweep their streams. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    ServerStats stats() const;
+
+    const AdmissionQueue &admission() const { return queue_; }
+
+    /** Rows for the in-protocol Stats reply (serve.* keys). */
+    StatsReply statsReply() const;
+
+  private:
+    struct Conn;
+    struct Work;
+
+    void ioLoop();
+    void workerLoop();
+
+    void acceptOne();
+    /** Drain readable bytes; parse and dispatch complete frames. */
+    void readConn(const std::shared_ptr<Conn> &conn);
+    void dispatchFrame(const std::shared_ptr<Conn> &conn, Frame frame);
+    /** Move backlog work into the admission queue (FIFO, one at a time). */
+    void pumpConn(const std::shared_ptr<Conn> &conn);
+    void execute(const std::shared_ptr<Work> &work);
+    void closeConn(const std::shared_ptr<Conn> &conn);
+
+    bool sendAll(const std::shared_ptr<Conn> &conn,
+                 std::span<const uint8_t> bytes);
+    void sendSimple(const std::shared_ptr<Conn> &conn, MsgType type,
+                    uint64_t request_id);
+    void sendError(const std::shared_ptr<Conn> &conn, uint64_t request_id,
+                   ErrorCode code, const std::string &message);
+    void sendReports(const std::shared_ptr<Conn> &conn,
+                     uint64_t request_id,
+                     std::span<const ReportGroup> groups);
+    void sendStats(const std::shared_ptr<Conn> &conn, uint64_t request_id);
+
+    MatchService *service_;
+    ServerConfig config_;
+    AdmissionQueue queue_;
+
+    std::atomic<bool> running_{false};
+    int listen_fd_ = -1;
+    int wake_fds_[2] = {-1, -1}; ///< self-pipe: stop() wakes poll()
+
+    std::thread io_thread_;
+    std::vector<std::thread> workers_;
+
+    /** I/O-thread-owned; workers reach conns via shared_ptr in Work. */
+    std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+    uint64_t next_conn_id_ = 1;
+
+    mutable std::mutex stats_mutex_;
+    ServerStats stats_;
+};
+
+} // namespace serve
+} // namespace sparseap
+
+#endif // SPARSEAP_SERVE_SERVER_H

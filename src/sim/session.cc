@@ -295,6 +295,7 @@ EngineSession::Snapshot
 EngineSession::suspend() const
 {
     static telemetry::Counter suspends("session.suspends");
+    static telemetry::Counter snapshot_bytes("session.snapshot_bytes");
     suspends.add(1);
 
     Snapshot snap;
@@ -318,6 +319,7 @@ EngineSession::suspend() const
     case Phase::Dfa:
         break; // dfaState is the whole execution state
     }
+    snapshot_bytes.add(snap.byteSize());
     return snap;
 }
 

@@ -199,6 +199,20 @@ class EngineSession
         /** Auto handover nominated determinization for next stream? */
         bool pendingDfaNomination = false;
         SessionStats stats;
+
+        /**
+         * Bytes this snapshot occupies while parked: the fixed record
+         * plus the heap behind the sparse lists and the dense live set.
+         * The match service charges exactly this against its resident
+         * budget (also counted as session.snapshot_bytes on suspend).
+         */
+        uint64_t byteSize() const
+        {
+            return sizeof(*this) +
+                   (sparse.dynamic.capacity() +
+                    sparse.permanent.capacity() + dense.capacity()) *
+                       sizeof(GlobalStateId);
+        }
     };
 
     /** Capture the live state between feeds (counts session.suspends). */

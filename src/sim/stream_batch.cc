@@ -97,7 +97,17 @@ StreamBatchRunner::runLane(
     std::vector<std::span<const uint8_t>> round_chunks;
     std::vector<size_t> round_members;
 
+    // Empty streams are finished before the first rotation (guard for
+    // the degenerate all-empty batch: the loop below must not spin on
+    // a round that consumes nothing). Their result slots still come
+    // from a restarted session, so stats are zeroed, not stale.
     size_t live = m;
+    for (size_t k = 0; k < m; ++k) {
+        if (inputs[streams[k]].empty()) {
+            cursor[k] = 1; // sentinel: counted done
+            --live;
+        }
+    }
     while (live > 0) {
         if (fused) {
             // Collect this rotation's quantum for every unfinished
@@ -135,16 +145,6 @@ StreamBatchRunner::runLane(
                 cursor[k] += take;
                 if (cursor[k] >= in.size())
                     --live;
-            }
-        }
-        // Zero-length inputs never enter the loops above: mark them
-        // finished on the first pass.
-        if (live > 0) {
-            for (size_t k = 0; k < m; ++k) {
-                if (cursor[k] == 0 && inputs[streams[k]].empty()) {
-                    cursor[k] = 1; // sentinel: counted done
-                    --live;
-                }
             }
         }
     }

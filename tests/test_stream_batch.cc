@@ -237,5 +237,37 @@ TEST(StreamBatch, DegenerateShapes)
     EXPECT_EQ(got_mixed[2].stats.cycles, mixed[2].size());
 }
 
+/** Regression: a batch where EVERY stream is empty must terminate and
+ *  still produce one result slot per stream with zeroed stats — in
+ *  every mode (including the fused DFA path) and at any lane count. */
+TEST(StreamBatch, AllEmptyBatchYieldsZeroedSlots)
+{
+    Workload w = generateWorkload("Bro217", 7, 5);
+    FlatAutomaton fa(w.app);
+    ASSERT_NE(fa.ensureHotDfa(), nullptr);
+
+    const std::vector<std::vector<uint8_t>> empties(5);
+    for (EngineMode mode :
+         {EngineMode::Sparse, EngineMode::Dense, EngineMode::Dfa,
+          EngineMode::Auto}) {
+        SessionConfig config;
+        config.mode = mode;
+        StreamBatchRunner runner(fa, config);
+        for (unsigned jobs : {1u, 3u, 8u}) {
+            SCOPED_TRACE(std::string(engineModeName(mode)) + " jobs " +
+                         std::to_string(jobs));
+            const auto got = runner.run(asSpans(empties), jobs);
+            ASSERT_EQ(got.size(), empties.size());
+            for (const StreamResult &r : got) {
+                EXPECT_TRUE(r.reports.empty());
+                EXPECT_EQ(r.stats.cycles, 0u);
+                EXPECT_EQ(r.stats.chunks, 0u);
+                EXPECT_EQ(r.stats.skippedSymbols, 0u);
+                EXPECT_FALSE(r.stats.handedOver);
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace sparseap

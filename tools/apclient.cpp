@@ -1,0 +1,374 @@
+/**
+ * @file
+ * apclient: CLI for the apserved daemon.
+ *
+ *   apclient --socket PATH ping
+ *   apclient --socket PATH stats
+ *   apclient --socket PATH match TENANT FILE
+ *   apclient --socket PATH stream TENANT FILE [--chunk N]
+ *   apclient --socket PATH bench --apps A[,B...] [--streams N]
+ *            [--chunk N] [--passes N]
+ *
+ * `match` runs one whole-input match; `stream` opens a stream, feeds
+ * FILE ('-' = stdin) chunk by chunk and closes — both print the report
+ * count and the order-canonicalized digest, so their output can be
+ * diffed against a local Engine::run of the same bytes. `bench` drives
+ * N concurrent streams (round-robin across the named tenants, each on
+ * its own connection) through the daemon feeding each tenant's
+ * synthesized workload input, and prints one JSON line with aggregate
+ * MB/s, request-latency percentiles, and overload/retry counts — the
+ * CI serve-smoke job asserts on those fields.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sparseap.h"
+#include "serve/client.h"
+#include "store/format.h"
+
+using namespace sparseap;
+using serve::ServeClient;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: apclient --socket PATH <command>\n"
+        "  ping\n"
+        "  stats\n"
+        "  match TENANT FILE\n"
+        "  stream TENANT FILE [--chunk N]\n"
+        "  bench --apps A[,B...] [--streams N] [--chunk N] [--passes N]\n");
+    return 2;
+}
+
+std::vector<uint8_t>
+readInput(const std::string &path)
+{
+    if (path == "-") {
+        return std::vector<uint8_t>(
+            std::istreambuf_iterator<char>(std::cin),
+            std::istreambuf_iterator<char>());
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+/** Order-canonicalized digest (matches the serve tests' gate). */
+uint64_t
+sortedDigest(ReportList reports)
+{
+    std::sort(reports.begin(), reports.end());
+    store::DigestBuilder d;
+    for (const Report &r : reports) {
+        d.add(r.position);
+        d.add(r.state);
+    }
+    return d.digest();
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        const size_t end = comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+int
+cmdPing(ServeClient &client)
+{
+    const auto r = client.ping();
+    std::printf("%s\n",
+                r.status == ServeClient::Status::Ok ? "pong" : "FAIL");
+    return r.status == ServeClient::Status::Ok ? 0 : 1;
+}
+
+int
+cmdStats(ServeClient &client)
+{
+    serve::StatsReply reply;
+    const auto r = client.stats(&reply);
+    if (r.status != ServeClient::Status::Ok) {
+        std::fprintf(stderr, "stats failed\n");
+        return 1;
+    }
+    for (const auto &[key, value] : reply.counters)
+        std::printf("%-28s %llu\n", key.c_str(),
+                    static_cast<unsigned long long>(value));
+    return 0;
+}
+
+int
+cmdMatch(ServeClient &client, const std::string &tenant,
+         const std::string &file)
+{
+    const std::vector<uint8_t> input = readInput(file);
+    serve::ReportGroup group;
+    const auto r = client.match(tenant, input, &group);
+    if (r.status != ServeClient::Status::Ok) {
+        std::fprintf(stderr, "match failed: %s\n",
+                     r.error.message.c_str());
+        return 1;
+    }
+    std::printf("bytes=%zu reports=%zu digest=%016llx\n", input.size(),
+                group.reports.size(),
+                static_cast<unsigned long long>(
+                    sortedDigest(group.reports)));
+    return 0;
+}
+
+int
+cmdStream(ServeClient &client, const std::string &tenant,
+          const std::string &file, size_t chunk)
+{
+    const std::vector<uint8_t> input = readInput(file);
+    if (client.open(tenant, 1).status != ServeClient::Status::Ok) {
+        std::fprintf(stderr, "open failed\n");
+        return 1;
+    }
+    ReportList all;
+    for (size_t off = 0; off < input.size(); off += chunk) {
+        const size_t n = std::min(chunk, input.size() - off);
+        serve::ReportGroup group;
+        const auto r = client.feed(
+            tenant, 1, {input.data() + off, n}, &group);
+        if (r.status != ServeClient::Status::Ok) {
+            std::fprintf(stderr, "feed failed at offset %zu\n", off);
+            return 1;
+        }
+        all.insert(all.end(), group.reports.begin(),
+                   group.reports.end());
+    }
+    serve::ReportGroup tail;
+    if (client.closeStream(tenant, 1, &tail).status !=
+        ServeClient::Status::Ok) {
+        std::fprintf(stderr, "close failed\n");
+        return 1;
+    }
+    all.insert(all.end(), tail.reports.begin(), tail.reports.end());
+    std::printf("bytes=%zu reports=%zu digest=%016llx\n", input.size(),
+                all.size(),
+                static_cast<unsigned long long>(sortedDigest(all)));
+    return 0;
+}
+
+struct BenchTotals
+{
+    std::mutex mu;
+    Histogram latency; ///< per-feed round trip, microseconds
+    uint64_t bytes = 0;
+    uint64_t feeds = 0;
+    uint64_t overload = 0;
+    uint64_t retry = 0;
+    uint64_t errors = 0;
+};
+
+/** One bench stream: own connection, open → chunked feeds → close. */
+void
+benchStream(const std::string &socket_path, const std::string &tenant,
+            uint64_t stream_id, const std::vector<uint8_t> &input,
+            size_t chunk, unsigned passes, BenchTotals *totals)
+{
+    ServeClient client;
+    std::string error;
+    Histogram latency;
+    uint64_t bytes = 0, feeds = 0, overload = 0, retry = 0, errors = 0;
+    if (!client.connect(socket_path, &error)) {
+        std::lock_guard<std::mutex> lock(totals->mu);
+        ++totals->errors;
+        return;
+    }
+    // The open is admitted like any request and can be shed under
+    // pressure: retry it with the same bounded backoff as feeds.
+    bool opened = false;
+    for (int attempt = 0; attempt < 1000 && !opened; ++attempt) {
+        const auto r = client.open(tenant, stream_id);
+        if (r.status == ServeClient::Status::Ok)
+            opened = true;
+        else if (r.status == ServeClient::Status::Overload)
+            ++overload;
+        else if (r.status == ServeClient::Status::Retry)
+            ++retry;
+        else
+            break;
+        if (!opened)
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    if (!opened) {
+        std::lock_guard<std::mutex> lock(totals->mu);
+        totals->overload += overload;
+        totals->retry += retry;
+        ++totals->errors;
+        return;
+    }
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        for (size_t off = 0; off < input.size(); off += chunk) {
+            const size_t n = std::min(chunk, input.size() - off);
+            // Overload/Retry are expected under pressure: count and
+            // resend the same chunk (bounded, so a saturated server
+            // cannot hang the bench).
+            for (int attempt = 0; attempt < 1000; ++attempt) {
+                serve::ReportGroup group;
+                const auto t0 = std::chrono::steady_clock::now();
+                const auto r = client.feed(
+                    tenant, stream_id, {input.data() + off, n}, &group);
+                const auto t1 = std::chrono::steady_clock::now();
+                if (r.status == ServeClient::Status::Ok) {
+                    latency.add(static_cast<uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(t1 - t0)
+                            .count()));
+                    bytes += n;
+                    ++feeds;
+                    break;
+                }
+                if (r.status == ServeClient::Status::Overload)
+                    ++overload;
+                else if (r.status == ServeClient::Status::Retry)
+                    ++retry;
+                else {
+                    ++errors;
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            }
+        }
+    }
+    client.closeStream(tenant, stream_id, nullptr);
+    std::lock_guard<std::mutex> lock(totals->mu);
+    totals->latency.merge(latency);
+    totals->bytes += bytes;
+    totals->feeds += feeds;
+    totals->overload += overload;
+    totals->retry += retry;
+    totals->errors += errors;
+}
+
+int
+cmdBench(const std::string &socket_path, const std::string &apps_arg,
+         size_t streams, size_t chunk, unsigned passes)
+{
+    const std::vector<std::string> apps = splitList(apps_arg);
+    if (apps.empty())
+        return usage();
+
+    // Tenant inputs: the same synthesized workload bytes the daemon's
+    // apps were generated from (seed/scale from the environment).
+    ExperimentRunner runner;
+    std::vector<const std::vector<uint8_t> *> inputs;
+    inputs.reserve(apps.size());
+    for (const std::string &abbr : apps)
+        inputs.push_back(&runner.load(abbr).input);
+
+    BenchTotals totals;
+    std::vector<std::thread> threads;
+    threads.reserve(streams);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < streams; ++i) {
+        const size_t a = i % apps.size();
+        threads.emplace_back(benchStream, socket_path, apps[a],
+                             static_cast<uint64_t>(i + 1),
+                             std::cref(*inputs[a]), chunk, passes,
+                             &totals);
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::lock_guard<std::mutex> lock(totals.mu);
+    std::printf(
+        "{\"streams\":%zu,\"tenants\":%zu,\"chunk\":%zu,"
+        "\"feeds\":%llu,\"bytes\":%llu,\"mb_per_s\":%.2f,"
+        "\"p50_us\":%.0f,\"p95_us\":%.0f,\"p99_us\":%.0f,"
+        "\"overload\":%llu,\"retry\":%llu,\"errors\":%llu}\n",
+        streams, apps.size(), chunk,
+        static_cast<unsigned long long>(totals.feeds),
+        static_cast<unsigned long long>(totals.bytes),
+        totals.bytes / wall / 1e6, totals.latency.p50(),
+        totals.latency.p95(), totals.latency.p99(),
+        static_cast<unsigned long long>(totals.overload),
+        static_cast<unsigned long long>(totals.retry),
+        static_cast<unsigned long long>(totals.errors));
+    return totals.errors == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::vector<std::string> args;
+    size_t chunk = 65536;
+    size_t streams = 4;
+    unsigned passes = 1;
+    std::string apps_arg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value)
+            socket_path = argv[++i];
+        else if (arg == "--chunk" && has_value)
+            chunk = std::stoul(argv[++i]);
+        else if (arg == "--streams" && has_value)
+            streams = std::stoul(argv[++i]);
+        else if (arg == "--passes" && has_value)
+            passes = static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--apps" && has_value)
+            apps_arg = argv[++i];
+        else
+            args.push_back(arg);
+    }
+    if (socket_path.empty() || args.empty())
+        return usage();
+    const std::string &cmd = args[0];
+
+    if (cmd == "bench")
+        return cmdBench(socket_path, apps_arg, streams, chunk, passes);
+
+    ServeClient client;
+    std::string error;
+    if (!client.connect(socket_path, &error)) {
+        std::fprintf(stderr, "apclient: %s\n", error.c_str());
+        return 1;
+    }
+    if (cmd == "ping")
+        return cmdPing(client);
+    if (cmd == "stats")
+        return cmdStats(client);
+    if (cmd == "match" && args.size() == 3)
+        return cmdMatch(client, args[1], args[2]);
+    if (cmd == "stream" && args.size() == 3)
+        return cmdStream(client, args[1], args[2], chunk);
+    return usage();
+}

@@ -7,7 +7,8 @@
  *                             the given apps (default: all 26) under the
  *                             standard configuration (1%% / 0.1%%
  *                             profiling at the 24K half-core)
- *   apstore ls                list cached objects
+ *   apstore ls [--json]       list cached objects (--json: one JSON
+ *                             object per line, machine-readable)
  *   apstore inspect <obj>     dump one blob's header and section table
  *                             (<obj> is a path or a 16-hex digest)
  *   apstore verify            re-validate every object's checksums
@@ -48,8 +49,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: apstore <build [abbr...] | ls | inspect <obj> | verify | "
-        "gc [--all] | stats>\n"
+        "usage: apstore <build [abbr...] | ls [--json] | inspect <obj> | "
+        "verify | gc [--all] | stats>\n"
         "       (cache directory: SPARSEAP_CACHE_DIR)\n");
     return 2;
 }
@@ -89,10 +90,34 @@ cmdBuild(const std::vector<std::string> &args)
     return 0;
 }
 
+/** JSON string escaping for paths (quotes, backslashes, control bytes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
 int
-cmdLs()
+cmdLs(bool json)
 {
     const ArtifactCache &cache = cacheOrDie();
+    // --json emits one object per line (JSON Lines), so daemon startup
+    // scripts and tests can enumerate loadable applications without
+    // scraping the aligned human table.
     Table table({"Kind", "Digest", "Sections", "Bytes", "Path"});
     size_t count = 0;
     for (const std::string &path : cache.listObjects()) {
@@ -100,18 +125,34 @@ cmdLs()
         std::shared_ptr<const BlobView> blob =
             BlobView::open(path, &error);
         if (!blob) {
-            table.addRow({"INVALID", "-", "-", "-", path});
+            if (json)
+                std::printf("{\"kind\":\"INVALID\",\"path\":\"%s\"}\n",
+                            jsonEscape(path).c_str());
+            else
+                table.addRow({"INVALID", "-", "-", "-", path});
             ++count;
             continue;
         }
-        table.addRow({artifactKindName(blob->kind()),
-                      store::digestHex(blob->digest()),
-                      std::to_string(blob->sections().size()),
-                      std::to_string(blob->fileSize()), path});
+        if (json) {
+            std::printf("{\"kind\":\"%s\",\"digest\":\"%s\","
+                        "\"sections\":%zu,\"bytes\":%zu,"
+                        "\"path\":\"%s\"}\n",
+                        artifactKindName(blob->kind()),
+                        store::digestHex(blob->digest()).c_str(),
+                        blob->sections().size(), blob->fileSize(),
+                        jsonEscape(path).c_str());
+        } else {
+            table.addRow({artifactKindName(blob->kind()),
+                          store::digestHex(blob->digest()),
+                          std::to_string(blob->sections().size()),
+                          std::to_string(blob->fileSize()), path});
+        }
         ++count;
     }
-    table.print(std::cout);
-    std::printf("%zu object(s) in %s\n", count, cache.dir().c_str());
+    if (!json) {
+        table.print(std::cout);
+        std::printf("%zu object(s) in %s\n", count, cache.dir().c_str());
+    }
     return 0;
 }
 
@@ -398,7 +439,7 @@ main(int argc, char **argv)
     if (cmd == "build")
         return cmdBuild(args);
     if (cmd == "ls")
-        return cmdLs();
+        return cmdLs(!args.empty() && args[0] == "--json");
     if (cmd == "inspect")
         return args.size() == 1 ? cmdInspect(args[0]) : usage();
     if (cmd == "verify")
