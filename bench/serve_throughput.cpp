@@ -6,16 +6,18 @@
  * automata, measured at B ∈ {1, 8, 32} concurrent client streams.
  *
  * The server runs in-process on a temp socket; every stream is its own
- * connection (matching real clients) feeding 16 KiB chunks. Each row
- * reports aggregate MB/s and the client-observed per-feed latency
- * percentiles, so the serving overhead over the raw engine (compare
- * bench/multi_stream) is a number, not a guess.
+ * connection (matching real clients) feeding 16 KiB chunks. Each
+ * configuration runs twice — serving-plane observability off and on
+ * (rolling-window sampler, per-tenant attribution, request tracing;
+ * docs/OBSERVABILITY.md) — so the cost of the always-on telemetry is a
+ * printed column pair, not a guess. Latency percentiles come from the
+ * observability-on run, the shape operators actually deploy.
  *
- * Correctness gate: per stream, the sorted digest of every report the
- * socket returned (feeds + close) must equal the digest of a local
- * whole-input Engine::run over the same bytes — the daemon is a
- * transport, never an approximation — and main() exits nonzero on any
- * mismatch or any shed at this (unsaturated) load.
+ * Correctness gate: per stream and per run, the sorted digest of every
+ * report the socket returned (feeds + close) must equal the digest of
+ * a local whole-input Engine::run over the same bytes — the daemon is
+ * a transport, never an approximation — and main() exits nonzero on
+ * any mismatch or any shed at this (unsaturated) load.
  */
 
 #include <algorithm>
@@ -99,6 +101,67 @@ runStream(const std::string &socket_path, const std::string &tenant,
     out->ok = true;
 }
 
+struct RunResult
+{
+    double mbps = 0.0;
+    Histogram latency;
+    bool match = false;
+};
+
+/** One full server lifecycle at @p b streams, obs on or off. */
+RunResult
+runOnce(const std::shared_ptr<FlatAutomaton> &fa,
+        const std::string &label, const std::string &socket_path,
+        const std::vector<std::vector<uint8_t>> &inputs,
+        const std::vector<uint64_t> &want, size_t b, bool obs)
+{
+    serve::MatchServiceConfig mcfg;
+    mcfg.tenantMetrics = obs;
+    serve::MatchService service(mcfg);
+    service.addTenant(label, fa);
+    serve::ServerConfig scfg;
+    scfg.socketPath = socket_path;
+    scfg.workers = 4;
+    scfg.observability.enabled = obs;
+    // Sample fast enough that the observer thread actually runs inside
+    // the measurement window — the cost being measured includes it.
+    scfg.observability.samplePeriodMillis = 200;
+    serve::Server server(&service, scfg);
+    std::string error;
+    if (!server.start(&error))
+        fatal("server start: ", error);
+
+    std::vector<StreamOutcome> outcomes(b);
+    std::vector<std::thread> threads;
+    threads.reserve(b);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < b; ++i)
+        threads.emplace_back(runStream, socket_path, label,
+                             static_cast<uint64_t>(i + 1),
+                             std::cref(inputs[i]), &outcomes[i]);
+    for (std::thread &t : threads)
+        t.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    const auto adm = server.admission().stats();
+    server.stop();
+
+    RunResult result;
+    uint64_t bytes = 0;
+    result.match = adm.shed == 0;
+    for (size_t i = 0; i < b; ++i) {
+        result.latency.merge(outcomes[i].latency);
+        bytes += inputs[i].size();
+        if (!outcomes[i].ok || outcomes[i].digest != want[i])
+            result.match = false;
+    }
+    result.mbps = bytes / wall / 1e6;
+    return result;
+}
+
 } // namespace
 
 int
@@ -106,8 +169,8 @@ main()
 {
     printSection("Serving-path throughput (socket end to end)");
     static ExperimentRunner runner;
-    Table table({"App", "Streams", "KiB/stream", "MB/s", "p50 us",
-                 "p95 us", "p99 us", "Match"});
+    Table table({"App", "Streams", "KiB/stream", "MB/s off", "MB/s on",
+                 "Obs %", "p50 us", "p95 us", "p99 us", "Match"});
 
     const std::string socket_path =
         "/tmp/sparseap-serve-bench." + std::to_string(::getpid()) +
@@ -137,51 +200,24 @@ main()
         }
 
         for (size_t b : kStreamCounts) {
-            serve::MatchService service;
-            service.addTenant(label, fa);
-            serve::ServerConfig scfg;
-            scfg.socketPath = socket_path;
-            scfg.workers = 4;
-            serve::Server server(&service, scfg);
-            std::string error;
-            if (!server.start(&error))
-                fatal("server start: ", error);
-
-            std::vector<StreamOutcome> outcomes(b);
-            std::vector<std::thread> threads;
-            threads.reserve(b);
-            const auto t0 = std::chrono::steady_clock::now();
-            for (size_t i = 0; i < b; ++i)
-                threads.emplace_back(runStream, socket_path, label,
-                                     static_cast<uint64_t>(i + 1),
-                                     std::cref(inputs[i]),
-                                     &outcomes[i]);
-            for (std::thread &t : threads)
-                t.join();
-            const double wall = std::chrono::duration<double>(
-                                    std::chrono::steady_clock::now() -
-                                    t0)
-                                    .count();
-
-            const auto adm = server.admission().stats();
-            server.stop();
-
-            Histogram latency;
-            uint64_t bytes = 0;
-            bool match = adm.shed == 0;
-            for (size_t i = 0; i < b; ++i) {
-                latency.merge(outcomes[i].latency);
-                bytes += inputs[i].size();
-                if (!outcomes[i].ok || outcomes[i].digest != want[i])
-                    match = false;
-            }
+            const RunResult off = runOnce(fa, label, socket_path,
+                                          inputs, want, b, false);
+            const RunResult on = runOnce(fa, label, socket_path,
+                                         inputs, want, b, true);
+            const bool match = off.match && on.match;
             all_ok = all_ok && match;
+            const double obs_pct =
+                off.mbps > 0.0
+                    ? 100.0 * (off.mbps - on.mbps) / off.mbps
+                    : 0.0;
             table.addRow({label, std::to_string(b),
                           std::to_string(inputs[0].size() / 1024),
-                          Table::fmt(bytes / wall / 1e6, 1),
-                          Table::fmt(latency.p50(), 0),
-                          Table::fmt(latency.p95(), 0),
-                          Table::fmt(latency.p99(), 0),
+                          Table::fmt(off.mbps, 1),
+                          Table::fmt(on.mbps, 1),
+                          Table::fmt(obs_pct, 1),
+                          Table::fmt(on.latency.p50(), 0),
+                          Table::fmt(on.latency.p95(), 0),
+                          Table::fmt(on.latency.p99(), 0),
                           match ? "ok" : "MISMATCH"});
         }
     }

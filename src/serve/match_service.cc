@@ -1,10 +1,14 @@
 #include "serve/match_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/logging.h"
 #include "sim/stream_batch.h"
+#include "telemetry/labels.h"
 #include "telemetry/metrics.h"
+#include "telemetry/request_trace.h"
 
 namespace sparseap {
 namespace serve {
@@ -66,6 +70,132 @@ parkedBytesGauge()
     static telemetry::Gauge g("serve.parked_bytes");
     return g;
 }
+
+// Per-tenant attribution families (bounded cardinality; leaked
+// singletons so series survive service teardown like registry cells).
+telemetry::LabeledCounter &
+feedsByTenant()
+{
+    static auto &c = *new telemetry::LabeledCounter("serve.feeds");
+    return c;
+}
+
+telemetry::LabeledCounter &
+fedBytesByTenant()
+{
+    static auto &c = *new telemetry::LabeledCounter("serve.fed_bytes");
+    return c;
+}
+
+telemetry::LabeledCounter &
+dfaCyclesByTenant()
+{
+    static auto &c = *new telemetry::LabeledCounter("serve.dfa_cycles");
+    return c;
+}
+
+telemetry::LabeledCounter &
+denseCyclesByTenant()
+{
+    static auto &c =
+        *new telemetry::LabeledCounter("serve.dense_cycles");
+    return c;
+}
+
+telemetry::LabeledCounter &
+sparseCyclesByTenant()
+{
+    static auto &c =
+        *new telemetry::LabeledCounter("serve.sparse_cycles");
+    return c;
+}
+
+telemetry::LabeledCounter &
+skipSymbolsByTenant()
+{
+    static auto &c =
+        *new telemetry::LabeledCounter("serve.skip_symbols");
+    return c;
+}
+
+telemetry::LabeledCounter &
+skipJumpsByTenant()
+{
+    static auto &c = *new telemetry::LabeledCounter("serve.skip_jumps");
+    return c;
+}
+
+telemetry::LabeledGauge &
+parkedBytesByTenant()
+{
+    static auto &g =
+        *new telemetry::LabeledGauge("serve.parked_bytes");
+    return g;
+}
+
+/** One feed call's per-tenant attribution, folded once at checkin
+ *  (never per symbol — see the kernel instrumentation rules). */
+struct TenantFold
+{
+    uint64_t feeds = 0;
+    uint64_t bytes = 0;
+    uint64_t dfaCycles = 0;
+    uint64_t denseCycles = 0;
+    uint64_t sparseCycles = 0;
+    uint64_t skipSymbols = 0;
+    uint64_t skipJumps = 0;
+
+    /** Attribute one session's stats delta. The whole delta lands on
+     *  the phase the session ended the feed in — a feed spanning a
+     *  hot-set handover splits at feed, not cycle, granularity. */
+    void
+    addDelta(const SessionStats &before, const SessionStats &after,
+             const EngineSession &session)
+    {
+        const uint64_t cycles = after.cycles - before.cycles;
+        if (session.dfaPhase())
+            dfaCycles += cycles;
+        else if (session.resolvedMode() == EngineMode::Dense)
+            denseCycles += cycles;
+        else
+            sparseCycles += cycles;
+        skipSymbols += after.skippedSymbols - before.skippedSymbols;
+        skipJumps += after.skipJumps - before.skipJumps;
+    }
+
+    /** Like addDelta for a from-scratch run (one-shot batch lanes),
+     *  classified by the stats flags instead of a live session. */
+    void
+    addRun(const SessionStats &run)
+    {
+        if (run.usedDfa)
+            dfaCycles += run.cycles;
+        else if (run.usedDenseCore)
+            denseCycles += run.cycles;
+        else
+            sparseCycles += run.cycles;
+        skipSymbols += run.skippedSymbols;
+        skipJumps += run.skipJumps;
+    }
+
+    void
+    publish(const std::string &tenant) const
+    {
+        feedsByTenant().add(tenant, feeds);
+        if (bytes)
+            fedBytesByTenant().add(tenant, bytes);
+        if (dfaCycles)
+            dfaCyclesByTenant().add(tenant, dfaCycles);
+        if (denseCycles)
+            denseCyclesByTenant().add(tenant, denseCycles);
+        if (sparseCycles)
+            sparseCyclesByTenant().add(tenant, sparseCycles);
+        if (skipSymbols)
+            skipSymbolsByTenant().add(tenant, skipSymbols);
+        if (skipJumps)
+            skipJumpsByTenant().add(tenant, skipJumps);
+    }
+};
 
 } // namespace
 
@@ -196,8 +326,15 @@ void
 MatchService::publishGaugesLocked()
 {
     size_t open = 0;
-    for (const auto &[name, t] : tenants_)
+    for (const auto &[name, t] : tenants_) {
         open += t->streams.size();
+        if (config_.tenantMetrics) {
+            uint64_t parked = 0;
+            for (const auto &[id, s] : t->streams)
+                parked += s->snapshotBytes;
+            parkedBytesByTenant().set(name, parked);
+        }
+    }
     activeStreamsGauge().set(static_cast<int64_t>(open));
     residentGauge().set(static_cast<int64_t>(resident_count_));
     parkedGauge().set(
@@ -348,6 +485,7 @@ MatchService::feed(const std::string &tenant_name, uint64_t stream_id,
     std::shared_ptr<Stream> stream;
     Tenant *t = nullptr;
     {
+        telemetry::RequestSpanScope checkout_span("service.checkout");
         std::unique_lock<std::mutex> lock(mutex_);
         t = findTenant(tenant_name);
         if (t == nullptr)
@@ -366,10 +504,26 @@ MatchService::feed(const std::string &tenant_name, uint64_t stream_id,
         }
     }
 
-    stream->session->feed(chunk);
+    if (config_.debugFeedDelayMicros != 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(config_.debugFeedDelayMicros));
+
+    const SessionStats before = stream->session->stats();
+    {
+        telemetry::RequestSpanScope feed_span("session.feed");
+        stream->session->feed(chunk);
+    }
     out->streamId = stream_id;
     out->streamOffset = stream->session->offset();
     out->reports = stream->session->takeReports();
+    if (config_.tenantMetrics) {
+        TenantFold fold;
+        fold.feeds = 1;
+        fold.bytes = chunk.size();
+        fold.addDelta(before, stream->session->stats(),
+                      *stream->session);
+        fold.publish(tenant_name);
+    }
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -453,9 +607,21 @@ MatchService::feedMany(const std::string &tenant_name,
         }
     }
 
+    if (config_.debugFeedDelayMicros != 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(config_.debugFeedDelayMicros));
+
+    std::vector<SessionStats> before;
+    if (config_.tenantMetrics) {
+        before.reserve(entries.size());
+        for (const std::shared_ptr<Stream> &s : streams)
+            before.push_back(s->session->stats());
+    }
+
     // Partition into the fused DFA cohort and individual feeds. The
     // cohort shares one interleaved table walk (EngineSession::
     // feedFused); everyone else advances through the ordinary path.
+    telemetry::RequestSpanScope feed_span("service.feed_many");
     std::vector<EngineSession *> fused_sessions;
     std::vector<std::span<const uint8_t>> fused_chunks;
     std::vector<size_t> fused_slots;
@@ -489,6 +655,16 @@ MatchService::feedMany(const std::string &tenant_name,
         g.streamOffset = streams[i]->session->offset();
         g.reports = streams[i]->session->takeReports();
         bytes += entries[i].chunk.size();
+    }
+
+    if (config_.tenantMetrics) {
+        TenantFold fold;
+        fold.feeds = entries.size();
+        fold.bytes = bytes;
+        for (size_t i = 0; i < entries.size(); ++i)
+            fold.addDelta(before[i], streams[i]->session->stats(),
+                          *streams[i]->session);
+        fold.publish(tenant_name);
     }
 
     {
@@ -556,10 +732,21 @@ MatchService::matchOneShot(const std::string &tenant_name,
     }
 
     session->restart();
-    session->feed(input);
+    {
+        telemetry::RequestSpanScope feed_span("session.match");
+        session->feed(input);
+    }
     out->streamId = 0;
     out->streamOffset = session->offset();
     out->reports = session->takeReports();
+    if (config_.tenantMetrics) {
+        TenantFold fold;
+        fold.feeds = 1;
+        fold.bytes = input.size();
+        // restart() zeroed the stats, so the run *is* the delta.
+        fold.addDelta(SessionStats{}, session->stats(), *session);
+        fold.publish(tenant_name);
+    }
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -589,16 +776,27 @@ MatchService::matchBatch(const std::string &tenant_name,
     }
 
     StreamBatchRunner runner(*fa, config);
-    std::vector<StreamResult> results = runner.run(inputs);
+    std::vector<StreamResult> results;
+    {
+        telemetry::RequestSpanScope batch_span("session.match_batch");
+        results = runner.run(inputs);
+    }
 
     out->clear();
     out->resize(results.size());
     uint64_t bytes = 0;
+    TenantFold fold;
     for (size_t i = 0; i < results.size(); ++i) {
         (*out)[i].streamId = i;
         (*out)[i].streamOffset = results[i].stats.cycles;
         (*out)[i].reports = std::move(results[i].reports);
         bytes += inputs[i].size();
+        fold.addRun(results[i].stats);
+    }
+    if (config_.tenantMetrics) {
+        fold.feeds = results.size();
+        fold.bytes = bytes;
+        fold.publish(tenant_name);
     }
 
     {

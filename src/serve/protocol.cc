@@ -380,6 +380,14 @@ encodeStatsReply(WireWriter *w, const StatsReply &s)
         w->str(key);
         w->u64(value);
     }
+    for (size_t h = 0; h < kStatsHorizons; ++h)
+        w->u64(s.windowSpanMicros[h]);
+    w->u32(static_cast<uint32_t>(s.windows.size()));
+    for (const StatsWindowRow &row : s.windows) {
+        w->str(row.name);
+        for (size_t h = 0; h < kStatsHorizons; ++h)
+            w->u64(row.milli[h]);
+    }
 }
 
 bool
@@ -396,6 +404,29 @@ decodeStatsReply(WireReader *r, StatsReply *out)
         if (!r->ok())
             return false;
         out->counters.emplace_back(std::move(key), value);
+    }
+    out->windows.clear();
+    for (size_t h = 0; h < kStatsHorizons; ++h)
+        out->windowSpanMicros[h] = 0;
+    // Pre-window encoders stop here; that is still a complete reply.
+    if (r->remaining() == 0)
+        return r->done();
+    for (size_t h = 0; h < kStatsHorizons; ++h)
+        out->windowSpanMicros[h] = r->u64();
+    const uint32_t rows = r->u32();
+    // Each row is at least a 2-byte string header + 3 u64 values.
+    if (!r->ok() || rows > kMaxStatsWindowRows ||
+        static_cast<uint64_t>(rows) * 26 > r->remaining())
+        return false;
+    out->windows.reserve(rows);
+    for (uint32_t i = 0; i < rows; ++i) {
+        StatsWindowRow row;
+        row.name = r->str();
+        for (size_t h = 0; h < kStatsHorizons; ++h)
+            row.milli[h] = r->u64();
+        if (!r->ok())
+            return false;
+        out->windows.push_back(std::move(row));
     }
     return r->done();
 }

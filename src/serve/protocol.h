@@ -239,10 +239,35 @@ struct ErrorReply
     std::string message;
 };
 
-/** StatsReply payload: flat counter map. */
+/** Rolling-window horizons reported by StatsReply (10s / 1m / 5m). */
+constexpr size_t kStatsHorizons = 3;
+
+/** Decoder guard: windowed rows per StatsReply. */
+constexpr uint32_t kMaxStatsWindowRows = 4096;
+
+/**
+ * One windowed row of a StatsReply. Values are fixed-point (x1000),
+ * one per horizon: per-second rates for counter rows (`serve.feeds`
+ * => milli-feeds/s) and plain milli-units for derived rows
+ * (`serve.request_p99_us` => milli-microseconds).
+ */
+struct StatsWindowRow
+{
+    std::string name;
+    uint64_t milli[kStatsHorizons] = {0, 0, 0};
+};
+
+/**
+ * StatsReply payload: flat counter map, then (optionally — old
+ * encoders stop after the counters and decoders accept that) the
+ * rolling-window section: per-horizon covered spans in micros (0 =
+ * horizon has no data yet) and the windowed rows.
+ */
 struct StatsReply
 {
     std::vector<std::pair<std::string, uint64_t>> counters;
+    uint64_t windowSpanMicros[kStatsHorizons] = {0, 0, 0};
+    std::vector<StatsWindowRow> windows;
 };
 
 void encodeStreamRequest(WireWriter *w, const StreamRequest &r);

@@ -10,21 +10,27 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cmath>
+
 #include "common/logging.h"
+#include "telemetry/event_log.h"
+#include "telemetry/exposition.h"
+#include "telemetry/labels.h"
 #include "telemetry/metrics.h"
+#include "telemetry/request_trace.h"
+#include "telemetry/trace.h"
 
 namespace sparseap {
 namespace serve {
 
 namespace {
 
+/** The trace timebase (telemetry::nowMicros), so request spans, log
+ *  lines and latency math all share one clock. */
 uint64_t
 nowMicros()
 {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+    return telemetry::nowMicros();
 }
 
 telemetry::HistogramMetric &
@@ -32,6 +38,52 @@ latencyMetric()
 {
     static telemetry::HistogramMetric h("serve.request_micros");
     return h;
+}
+
+// Per-tenant series on the serve.* family (bounded cardinality; see
+// telemetry/labels.h). Leaked function-local singletons, same idiom as
+// the registry cells they intern.
+telemetry::LabeledCounter &
+requestsByTenant()
+{
+    static auto &c = *new telemetry::LabeledCounter("serve.requests");
+    return c;
+}
+
+telemetry::LabeledCounter &
+shedsByTenant()
+{
+    static auto &c = *new telemetry::LabeledCounter("serve.sheds");
+    return c;
+}
+
+telemetry::LabeledHistogram &
+requestMicrosByTenant()
+{
+    static auto &h =
+        *new telemetry::LabeledHistogram("serve.request_micros");
+    return h;
+}
+
+telemetry::Counter &
+watchdogTicks()
+{
+    static telemetry::Counter c("serve.watchdog.ticks");
+    return c;
+}
+
+telemetry::Gauge &
+watchdogStuckWorkers()
+{
+    static telemetry::Gauge g("serve.watchdog.stuck_workers");
+    return g;
+}
+
+telemetry::Counter &
+watchdogQueueStalls()
+{
+    static telemetry::Counter c("serve.watchdog.queue_stalls");
+    return c;
 }
 
 bool
@@ -101,6 +153,7 @@ struct Server::Work
     Frame frame;
     std::string tenant;
     uint64_t startMicros = 0; ///< frame receipt (latency origin)
+    uint64_t serial = 0;      ///< server-side request id (tracing/logs)
 };
 
 Server::Server(MatchService *service, ServerConfig config)
@@ -157,11 +210,25 @@ Server::start(std::string *error)
     running_.store(true);
     io_thread_ = std::thread([this] { ioLoop(); });
     const unsigned n = config_.workers == 0 ? 1 : config_.workers;
+    worker_count_ = n;
+    worker_busy_since_.reset(new std::atomic<uint64_t>[n]);
+    for (unsigned i = 0; i < n; ++i)
+        worker_busy_since_[i].store(0, std::memory_order_relaxed);
+    worker_stuck_.assign(n, false);
+    queue_stalled_ = false;
     workers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
+    if (config_.observability.enabled &&
+        config_.observability.samplePeriodMillis > 0) {
+        observer_stop_ = false;
+        observer_ = std::thread([this] { observerLoop(); });
+    }
     inform("apserved listening on ", config_.socketPath, " (", n,
            " workers)");
+    telemetry::LogEvent(telemetry::LogLevel::Info, "serve.start")
+        .str("socket", config_.socketPath)
+        .num("workers", n);
     return true;
 }
 
@@ -173,6 +240,13 @@ Server::stop()
             io_thread_.join();
         return;
     }
+    {
+        std::lock_guard<std::mutex> lock(observer_mutex_);
+        observer_stop_ = true;
+    }
+    observer_cv_.notify_all();
+    if (observer_.joinable())
+        observer_.join();
     // Wake the poll loop; it drains, sweeps every connection's streams,
     // and exits. Then release the workers.
     const uint8_t one = 1;
@@ -183,6 +257,8 @@ Server::stop()
     for (std::thread &w : workers_)
         w.join();
     workers_.clear();
+    telemetry::LogEvent(telemetry::LogLevel::Info, "serve.stop")
+        .str("socket", config_.socketPath);
 
     if (listen_fd_ >= 0) {
         ::close(listen_fd_);
@@ -216,7 +292,11 @@ Server::ioLoop()
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
-            warn("poll: ", std::strerror(errno));
+            // Error level: falls back to the human log when no
+            // structured sink is configured, so this is never silent.
+            telemetry::LogEvent(telemetry::LogLevel::Error,
+                                "serve.poll_error")
+                .str("error", std::strerror(errno));
             break;
         }
         if (fds[0].revents != 0) {
@@ -263,6 +343,9 @@ Server::acceptOne()
         auto conn = std::make_shared<Conn>();
         conn->fd = fd;
         conn->id = next_conn_id_++;
+        telemetry::LogEvent(telemetry::LogLevel::Debug,
+                            "serve.conn_open")
+            .num("conn", conn->id);
         conns_.emplace(fd, std::move(conn));
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.accepted;
@@ -294,7 +377,11 @@ Server::readConn(const std::shared_ptr<Conn> &conn)
             break;
         if (st == FrameReader::Status::Corrupt) {
             // The byte stream is unrecoverable; drop the client.
-            debugLog("conn ", conn->id, " corrupt: ", error);
+            // Info level: hostile clients are routine, not incidents.
+            telemetry::LogEvent(telemetry::LogLevel::Info,
+                                "serve.conn_corrupt")
+                .num("conn", conn->id)
+                .str("error", error);
             {
                 std::lock_guard<std::mutex> lock(stats_mutex_);
                 ++stats_.badFrames;
@@ -381,14 +468,28 @@ Server::pumpConn(const std::shared_ptr<Conn> &conn)
         work->conn = conn;
         work->tenant = peekTenant(frame.payload);
         work->startMicros = nowMicros();
+        work->serial =
+            next_request_serial_.fetch_add(1, std::memory_order_relaxed) +
+            1;
         const uint64_t request_id = frame.requestId;
         work->frame = std::move(frame);
+
+        const bool obs = config_.observability.enabled;
+        if (obs && !work->tenant.empty())
+            requestsByTenant().add(work->tenant, 1);
 
         const AdmitResult admit =
             queue_.tryEnqueue(work->tenant, work);
         if (admit == AdmitResult::Admitted)
             return; // the executing worker un-sets inflight + re-pumps
 
+        if (obs && !work->tenant.empty())
+            shedsByTenant().add(work->tenant, 1);
+        telemetry::LogEvent(telemetry::LogLevel::Debug, "serve.reject")
+            .num("request_id", work->serial)
+            .str("tenant", work->tenant)
+            .str("kind", admit == AdmitResult::TenantBusy ? "retry"
+                                                          : "overload");
         {
             std::lock_guard<std::mutex> lock(conn->mu);
             conn->inflight = false;
@@ -402,13 +503,23 @@ Server::pumpConn(const std::shared_ptr<Conn> &conn)
 }
 
 void
-Server::workerLoop()
+Server::workerLoop(size_t worker_index)
 {
+    const bool obs = config_.observability.enabled;
     AdmissionQueue::Item item;
     std::vector<AdmissionQueue::Item> shed;
     while (queue_.pop(&item, &shed)) {
+        const uint64_t pop_us = nowMicros();
+        last_pop_micros_.store(pop_us, std::memory_order_relaxed);
         for (AdmissionQueue::Item &s : shed) {
             auto work = std::static_pointer_cast<Work>(s.work);
+            if (obs && !work->tenant.empty())
+                shedsByTenant().add(work->tenant, 1);
+            telemetry::LogEvent(telemetry::LogLevel::Debug,
+                                "serve.shed")
+                .num("request_id", work->serial)
+                .str("tenant", work->tenant)
+                .num("waited_us", pop_us - work->startMicros);
             {
                 std::lock_guard<std::mutex> lock(work->conn->mu);
                 work->conn->inflight = false;
@@ -418,7 +529,11 @@ Server::workerLoop()
             pumpConn(work->conn);
         }
         shed.clear();
+        worker_busy_since_[worker_index].store(
+            pop_us == 0 ? 1 : pop_us, std::memory_order_relaxed);
         execute(std::static_pointer_cast<Work>(item.work));
+        worker_busy_since_[worker_index].store(
+            0, std::memory_order_relaxed);
     }
     // Closed: answer whatever was shed during the drain.
     for (AdmissionQueue::Item &s : shed) {
@@ -429,6 +544,44 @@ Server::workerLoop()
 
 void
 Server::execute(const std::shared_ptr<Work> &work)
+{
+    const std::shared_ptr<Conn> &conn = work->conn;
+    uint64_t micros;
+    if (config_.observability.enabled) {
+        const uint64_t pop_us = nowMicros();
+        telemetry::RequestTrace trace(
+            work->serial, work->tenant,
+            msgTypeName(work->frame.type));
+        trace.addSpan("serve.admission", work->startMicros,
+                      pop_us - work->startMicros);
+        {
+            telemetry::RequestSpanScope scope("serve.execute");
+            executeRequest(work);
+        }
+        queue_.finish(work->tenant);
+        micros = trace.finish(work->startMicros,
+                              config_.observability.slowRequestMicros);
+        if (!work->tenant.empty())
+            requestMicrosByTenant().add(work->tenant, micros);
+    } else {
+        executeRequest(work);
+        queue_.finish(work->tenant);
+        micros = nowMicros() - work->startMicros;
+    }
+    latencyMetric().add(micros);
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.latencyMicros.add(micros);
+    }
+    {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->inflight = false;
+    }
+    pumpConn(conn);
+}
+
+void
+Server::executeRequest(const std::shared_ptr<Work> &work)
 {
     const std::shared_ptr<Conn> &conn = work->conn;
     const Frame &frame = work->frame;
@@ -510,19 +663,6 @@ Server::execute(const std::shared_ptr<Work> &work)
                   std::string("undecodable ") +
                       msgTypeName(frame.type) + " payload");
     }
-
-    queue_.finish(work->tenant);
-    const uint64_t micros = nowMicros() - work->startMicros;
-    latencyMetric().add(micros);
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.latencyMicros.add(micros);
-    }
-    {
-        std::lock_guard<std::mutex> lock(conn->mu);
-        conn->inflight = false;
-    }
-    pumpConn(conn);
 }
 
 void
@@ -541,6 +681,8 @@ Server::closeConn(const std::shared_ptr<Conn> &conn)
     // destroyed at checkin (MatchService doom semantics), so the
     // session table converges to empty even on mid-feed disconnect.
     service_->releaseOwner(conn->id);
+    telemetry::LogEvent(telemetry::LogLevel::Debug, "serve.conn_close")
+        .num("conn", conn->id);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.disconnected;
 }
@@ -714,7 +856,163 @@ Server::statsReply() const
             "serve.latency_p99_us",
             static_cast<uint64_t>(stats_.latencyMicros.p99()));
     }
+    if (!config_.observability.enabled)
+        return reply;
+
+    // Per-tenant totals: every labeled serve.* series in the registry,
+    // plus the watchdog family and the slow-capture count.
+    const telemetry::Snapshot snap = telemetry::snapshot();
+    for (const auto &[name, value] : snap.counters) {
+        const bool labeled =
+            telemetry::splitLabeledName(name, nullptr, nullptr);
+        if ((labeled && name.rfind("serve.", 0) == 0) ||
+            name.rfind("serve.watchdog.", 0) == 0)
+            reply.counters.emplace_back(name, value);
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        const bool labeled =
+            telemetry::splitLabeledName(name, nullptr, nullptr);
+        if ((labeled && name.rfind("serve.", 0) == 0) ||
+            name.rfind("serve.watchdog.", 0) == 0)
+            reply.counters.emplace_back(
+                name, value < 0 ? 0 : static_cast<uint64_t>(value));
+    }
+    reply.counters.emplace_back(
+        "serve.slow_captured",
+        telemetry::SlowRequestRing::instance().totalCaptured());
+
+    // Rolling windows: per-second milli-rates for every serve.* counter
+    // (labeled series included — aptop's per-tenant columns), plus
+    // windowed latency percentiles derived from the histogram deltas.
+    const telemetry::WindowView views[kStatsHorizons] = {
+        windows_.over(telemetry::kWindow10s),
+        windows_.over(telemetry::kWindow1m),
+        windows_.over(telemetry::kWindow5m)};
+    for (size_t h = 0; h < kStatsHorizons; ++h)
+        reply.windowSpanMicros[h] = views[h].spanMicros;
+    const telemetry::WindowView *named = nullptr;
+    for (const telemetry::WindowView &v : views) {
+        if (v.valid()) {
+            named = &v;
+            break;
+        }
+    }
+    if (named == nullptr)
+        return reply;
+    for (const auto &[name, value] : named->delta.counters) {
+        if (name.rfind("serve.", 0) != 0)
+            continue;
+        StatsWindowRow row;
+        row.name = name;
+        bool any = false;
+        for (size_t h = 0; h < kStatsHorizons; ++h) {
+            row.milli[h] = static_cast<uint64_t>(
+                std::llround(views[h].rate(name) * 1000.0));
+            any = any || row.milli[h] != 0;
+        }
+        if (any && reply.windows.size() < kMaxStatsWindowRows)
+            reply.windows.push_back(std::move(row));
+    }
+    static constexpr struct
+    {
+        const char *name;
+        double q;
+    } kWindowQuantiles[] = {{"serve.request_p50_us", 0.50},
+                            {"serve.request_p95_us", 0.95},
+                            {"serve.request_p99_us", 0.99}};
+    for (const auto &wq : kWindowQuantiles) {
+        StatsWindowRow row;
+        row.name = wq.name;
+        bool any = false;
+        for (size_t h = 0; h < kStatsHorizons; ++h) {
+            row.milli[h] = static_cast<uint64_t>(std::llround(
+                views[h].histQuantile("serve.request_micros", wq.q) *
+                1000.0));
+            any = any || row.milli[h] != 0;
+        }
+        if (any && reply.windows.size() < kMaxStatsWindowRows)
+            reply.windows.push_back(std::move(row));
+    }
     return reply;
+}
+
+void
+Server::sampleNow()
+{
+    const uint64_t now = nowMicros();
+    windows_.push(now, telemetry::snapshot());
+    watchdogTick(now);
+    if (!config_.observability.metricsPath.empty()) {
+        if (!telemetry::writePrometheusFile(
+                config_.observability.metricsPath,
+                telemetry::snapshot()))
+            telemetry::LogEvent(telemetry::LogLevel::Warn,
+                                "serve.metrics_file_error")
+                .str("path", config_.observability.metricsPath);
+    }
+}
+
+void
+Server::observerLoop()
+{
+    std::unique_lock<std::mutex> lock(observer_mutex_);
+    const auto period = std::chrono::milliseconds(
+        config_.observability.samplePeriodMillis);
+    while (!observer_stop_) {
+        observer_cv_.wait_for(lock, period,
+                              [this] { return observer_stop_; });
+        if (observer_stop_)
+            break;
+        lock.unlock();
+        sampleNow();
+        lock.lock();
+    }
+}
+
+void
+Server::watchdogTick(uint64_t now_us)
+{
+    watchdogTicks().add(1);
+
+    // A worker pinned on one request for stuckMicros is stuck: gauge
+    // the current count, log each worker once per stuck episode.
+    const uint64_t limit = config_.observability.stuckMicros;
+    size_t stuck = 0;
+    for (size_t i = 0; i < worker_count_; ++i) {
+        const uint64_t busy =
+            worker_busy_since_[i].load(std::memory_order_relaxed);
+        const bool is_stuck =
+            busy != 0 && now_us > busy && now_us - busy >= limit;
+        if (is_stuck) {
+            ++stuck;
+            if (!worker_stuck_[i])
+                telemetry::LogEvent(telemetry::LogLevel::Warn,
+                                    "serve.watchdog.stuck_worker")
+                    .num("worker", i)
+                    .num("busy_us", now_us - busy);
+        }
+        worker_stuck_[i] = is_stuck;
+    }
+    watchdogStuckWorkers().set(static_cast<int64_t>(stuck));
+
+    // A non-empty admission queue with no pop for stuckMicros means
+    // the worker pool has stopped draining: count stalled ticks, log
+    // the transition.
+    const uint64_t last_pop =
+        last_pop_micros_.load(std::memory_order_relaxed);
+    const size_t depth = queue_.depth();
+    const bool stalled = depth > 0 && last_pop != 0 &&
+                         now_us > last_pop &&
+                         now_us - last_pop >= limit;
+    if (stalled) {
+        watchdogQueueStalls().add(1);
+        if (!queue_stalled_)
+            telemetry::LogEvent(telemetry::LogLevel::Warn,
+                                "serve.watchdog.queue_stall")
+                .num("depth", depth)
+                .num("since_pop_us", now_us - last_pop);
+    }
+    queue_stalled_ = stalled;
 }
 
 } // namespace serve

@@ -35,6 +35,7 @@
 #define SPARSEAP_SERVE_SERVER_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -48,9 +49,29 @@
 #include "serve/admission.h"
 #include "serve/match_service.h"
 #include "serve/protocol.h"
+#include "telemetry/window.h"
 
 namespace sparseap {
 namespace serve {
+
+/** Serving-plane observability knobs (see docs/OBSERVABILITY.md). */
+struct ObservabilityConfig
+{
+    /** Master switch: request tracing, per-tenant labels, rolling
+     *  windows, watchdog. Off = the pre-observability hot path. */
+    bool enabled = true;
+    /** Observer thread sample period (windows + watchdog + metrics
+     *  file). 0 disables the observer thread. */
+    uint64_t samplePeriodMillis = 1000;
+    /** Requests at or above this latency are captured into the
+     *  SlowRequestRing and logged. 0 disables slow capture. */
+    uint64_t slowRequestMicros = 250000;
+    /** Watchdog: a worker busy on one request this long is stuck; a
+     *  non-empty queue unpopped this long is stalled. */
+    uint64_t stuckMicros = 10ull * 1000 * 1000;
+    /** Prometheus text exposition rewritten every sample ("" = off). */
+    std::string metricsPath;
+};
 
 struct ServerConfig
 {
@@ -63,6 +84,7 @@ struct ServerConfig
     size_t maxConnections = 256;
     /** Per-send budget before a stuck client is disconnected. */
     int sendTimeoutMillis = 5000;
+    ObservabilityConfig observability;
 };
 
 /** Latency + traffic counters (admission stats live on the queue). */
@@ -101,15 +123,23 @@ class Server
 
     const AdmissionQueue &admission() const { return queue_; }
 
-    /** Rows for the in-protocol Stats reply (serve.* keys). */
+    /** Rows for the in-protocol Stats reply (serve.* keys), plus —
+     *  with observability on — windowed rows and per-tenant series. */
     StatsReply statsReply() const;
+
+    /** Take one observer sample now (window push + watchdog tick +
+     *  metrics-file rewrite). The observer thread calls this every
+     *  period; tests call it to advance windows deterministically. */
+    void sampleNow();
 
   private:
     struct Conn;
     struct Work;
 
     void ioLoop();
-    void workerLoop();
+    void workerLoop(size_t worker_index);
+    void observerLoop();
+    void watchdogTick(uint64_t now_us);
 
     void acceptOne();
     /** Drain readable bytes; parse and dispatch complete frames. */
@@ -118,6 +148,8 @@ class Server
     /** Move backlog work into the admission queue (FIFO, one at a time). */
     void pumpConn(const std::shared_ptr<Conn> &conn);
     void execute(const std::shared_ptr<Work> &work);
+    /** The decode + dispatch + respond body (called by execute()). */
+    void executeRequest(const std::shared_ptr<Work> &work);
     void closeConn(const std::shared_ptr<Conn> &conn);
 
     bool sendAll(const std::shared_ptr<Conn> &conn,
@@ -148,6 +180,28 @@ class Server
 
     mutable std::mutex stats_mutex_;
     ServerStats stats_;
+
+    // --- observability (all inert when !config_.observability.enabled)
+
+    /** Server-side request serial, minted at admission. */
+    std::atomic<uint64_t> next_request_serial_{0};
+
+    telemetry::WindowRing windows_;
+
+    std::thread observer_;
+    std::mutex observer_mutex_;
+    std::condition_variable observer_cv_;
+    bool observer_stop_ = false;
+
+    /** Per-worker busy-since timestamp (0 = idle); watchdog input. */
+    std::unique_ptr<std::atomic<uint64_t>[]> worker_busy_since_;
+    size_t worker_count_ = 0;
+    /** Timestamp of the last successful queue pop (stall detection). */
+    std::atomic<uint64_t> last_pop_micros_{0};
+
+    /** Observer-thread-private edge detection state. */
+    std::vector<bool> worker_stuck_;
+    bool queue_stalled_ = false;
 };
 
 } // namespace serve

@@ -1,0 +1,223 @@
+#include "telemetry/event_log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+#include "telemetry/trace.h"
+
+namespace sparseap {
+namespace telemetry {
+
+namespace {
+
+/** Level value meaning "no sink configured". */
+constexpr int kNoSink = 4;
+
+struct Sink
+{
+    std::mutex mutex;
+    std::ofstream file; ///< open iff !toStderr
+    bool toStderr = false;
+
+    void
+    write(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (toStderr) {
+            std::fputs(line.c_str(), stderr);
+            std::fputc('\n', stderr);
+        } else if (file) {
+            file << line << '\n';
+            file.flush();
+        }
+    }
+};
+
+std::atomic<int> g_min_level{kNoSink};
+std::mutex g_sink_mutex;
+std::shared_ptr<Sink> g_sink; // NOLINT: guarded above
+
+std::shared_ptr<Sink>
+currentSink()
+{
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    return g_sink;
+}
+
+void
+initFromEnvironment()
+{
+    const char *path = std::getenv("SPARSEAP_LOG");
+    if (!path || !*path)
+        return;
+    LogLevel level = LogLevel::Info;
+    if (const char *lv = std::getenv("SPARSEAP_LOG_LEVEL")) {
+        if (*lv && !parseLogLevel(lv, &level))
+            warn("SPARSEAP_LOG_LEVEL: unknown level '", lv,
+                 "', using info");
+    }
+    initEventLog(path, level);
+}
+
+std::once_flag g_env_once;
+
+void
+ensureEnvInit()
+{
+    std::call_once(g_env_once, initFromEnvironment);
+}
+
+void
+appendJsonString(std::string *out, std::string_view v)
+{
+    *out += '"';
+    for (char c : v) {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            *out += '\\';
+            *out += c;
+        } else if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            *out += buf;
+        } else {
+            *out += c;
+        }
+    }
+    *out += '"';
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug:
+        return "debug";
+    case LogLevel::Info:
+        return "info";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Error:
+        return "error";
+    }
+    return "?";
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel *out)
+{
+    if (name == "debug")
+        *out = LogLevel::Debug;
+    else if (name == "info")
+        *out = LogLevel::Info;
+    else if (name == "warn")
+        *out = LogLevel::Warn;
+    else if (name == "error")
+        *out = LogLevel::Error;
+    else
+        return false;
+    return true;
+}
+
+void
+initEventLog(const std::string &path, LogLevel level)
+{
+    auto sink = std::make_shared<Sink>();
+    if (path == "-" || path == "stderr") {
+        sink->toStderr = true;
+    } else {
+        sink->file.open(path, std::ios::app);
+        if (!sink->file) {
+            warn("SPARSEAP_LOG: cannot open '", path, "' for append");
+            return;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(g_sink_mutex);
+        g_sink = std::move(sink);
+    }
+    g_min_level.store(static_cast<int>(level),
+                      std::memory_order_release);
+}
+
+void
+closeEventLog()
+{
+    g_min_level.store(kNoSink, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    g_sink = nullptr;
+}
+
+bool
+eventLogEnabled(LogLevel level)
+{
+    ensureEnvInit();
+    const int min = g_min_level.load(std::memory_order_acquire);
+    if (min == kNoSink) {
+        // No sink: warn/error still reach the human log (see dtor).
+        return level >= LogLevel::Warn;
+    }
+    return static_cast<int>(level) >= min;
+}
+
+LogEvent::LogEvent(LogLevel level, const char *event) : level_(level)
+{
+    if (!eventLogEnabled(level))
+        return;
+    live_ = true;
+    line_ = "{\"ts_us\":";
+    line_ += std::to_string(nowMicros());
+    line_ += ",\"level\":\"";
+    line_ += logLevelName(level);
+    line_ += "\",\"event\":";
+    appendJsonString(&line_, event);
+}
+
+LogEvent &
+LogEvent::str(const char *key, std::string_view value)
+{
+    if (!live_)
+        return *this;
+    line_ += ",\"";
+    line_ += key;
+    line_ += "\":";
+    appendJsonString(&line_, value);
+    return *this;
+}
+
+LogEvent &
+LogEvent::num(const char *key, uint64_t value)
+{
+    if (!live_)
+        return *this;
+    line_ += ",\"";
+    line_ += key;
+    line_ += "\":";
+    line_ += std::to_string(value);
+    return *this;
+}
+
+LogEvent::~LogEvent()
+{
+    if (!live_)
+        return;
+    line_ += '}';
+    if (auto sink = currentSink()) {
+        sink->write(line_);
+        return;
+    }
+    // Sink-less fallback: keep serve-path incidents visible on stderr.
+    if (level_ >= LogLevel::Warn)
+        warn(line_);
+}
+
+} // namespace telemetry
+} // namespace sparseap

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Leveled, structured JSON event log for the serving path.
+ *
+ * Where the human log (`common/logging.h` warn()/inform()) prints prose
+ * for an operator's terminal, the event log appends one machine-
+ * parseable JSON object per line for log pipelines:
+ *
+ *   {"ts_us":12345,"level":"warn","event":"serve.conn_corrupt",
+ *    "conn":7,"reason":"oversized frame"}
+ *
+ * `ts_us` is telemetry::nowMicros() (monotonic since process start,
+ * the trace timebase, so log lines and trace spans correlate).
+ *
+ * Enable with SPARSEAP_LOG=<file|-|stderr> and filter with
+ * SPARSEAP_LOG_LEVEL=debug|info|warn|error (default info), or
+ * programmatically via initEventLog()/closeEventLog() (tests, tools).
+ * Disabled, an event costs one relaxed atomic load. When no sink is
+ * configured, warn/error events still fall back to the human log so
+ * serve-path incidents are never silent.
+ *
+ * Usage (the builder emits on destruction):
+ *
+ *   LogEvent(LogLevel::Warn, "serve.request.slow")
+ *       .num("request_id", id).str("tenant", tenant);
+ *
+ * See docs/OBSERVABILITY.md §Event log; tested by
+ * tests/test_observability.cc; schema-checked by tools/check_log.py.
+ */
+
+#ifndef SPARSEAP_TELEMETRY_EVENT_LOG_H
+#define SPARSEAP_TELEMETRY_EVENT_LOG_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sparseap {
+namespace telemetry {
+
+enum class LogLevel : uint8_t { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/** "debug" / "info" / "warn" / "error". */
+const char *logLevelName(LogLevel level);
+
+/** Parse a level name; @return false (and leave @p out) on garbage. */
+bool parseLogLevel(const std::string &name, LogLevel *out);
+
+/**
+ * Open @p path ("-"/"stderr" => stderr; otherwise append to the file)
+ * as the event sink at @p level. Replaces any active sink, including
+ * the SPARSEAP_LOG-driven one.
+ */
+void initEventLog(const std::string &path, LogLevel level);
+
+/** Flush and drop the sink (tests); events fall back to warn() again. */
+void closeEventLog();
+
+/** @return true when an event at @p level would be written. */
+bool eventLogEnabled(LogLevel level);
+
+/** One structured event; renders and appends on destruction. */
+class LogEvent
+{
+  public:
+    LogEvent(LogLevel level, const char *event);
+    ~LogEvent();
+
+    LogEvent(const LogEvent &) = delete;
+    LogEvent &operator=(const LogEvent &) = delete;
+
+    LogEvent &str(const char *key, std::string_view value);
+    LogEvent &num(const char *key, uint64_t value);
+
+  private:
+    bool live_ = false; ///< level passed the sink filter at construction
+    LogLevel level_;
+    std::string line_; ///< rendered JSON members so far
+};
+
+} // namespace telemetry
+} // namespace sparseap
+
+#endif // SPARSEAP_TELEMETRY_EVENT_LOG_H

@@ -1,0 +1,163 @@
+#include "telemetry/exposition.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "telemetry/labels.h"
+
+namespace sparseap {
+namespace telemetry {
+
+namespace {
+
+std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Counters grouped by base name: unlabeled values and their labeled
+ *  series print under one TYPE header. */
+struct CounterGroup
+{
+    bool hasPlain = false;
+    uint64_t plain = 0;
+    std::vector<std::pair<std::string, uint64_t>> labeled;
+};
+
+} // namespace
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "sparseap_";
+    out.reserve(out.size() + name.size());
+    for (char c : name) {
+        const auto u = static_cast<unsigned char>(c);
+        out += std::isalnum(u) ? c : '_';
+    }
+    return out;
+}
+
+void
+writePrometheus(std::ostream &os, const Snapshot &s)
+{
+    std::map<std::string, CounterGroup> groups;
+    for (const auto &[name, value] : s.counters) {
+        std::string base, label;
+        if (splitLabeledName(name, &base, &label)) {
+            groups[base].labeled.emplace_back(label, value);
+        } else {
+            groups[name].hasPlain = true;
+            groups[name].plain = value;
+        }
+    }
+
+    for (const auto &[base, g] : groups) {
+        const std::string pname = prometheusName(base);
+        os << "# TYPE " << pname << " counter\n";
+        if (g.hasPlain)
+            os << pname << " " << g.plain << "\n";
+        for (const auto &[label, value] : g.labeled) {
+            os << pname << "{" << kLabelKey << "=\""
+               << escapeLabelValue(label) << "\"} " << value << "\n";
+        }
+    }
+
+    // Gauges and histogram summaries group the same way: one TYPE
+    // header per base name, labeled series re-emitted with a proper
+    // label set instead of mangled braces.
+    std::map<std::string, std::vector<std::pair<std::string, int64_t>>>
+        gaugeGroups;
+    for (const auto &[name, value] : s.gauges) {
+        std::string base, label;
+        if (splitLabeledName(name, &base, &label))
+            gaugeGroups[base].emplace_back(label, value);
+        else
+            gaugeGroups[name].emplace_back(std::string(), value);
+    }
+    for (const auto &[base, rows] : gaugeGroups) {
+        const std::string pname = prometheusName(base);
+        os << "# TYPE " << pname << " gauge\n";
+        for (const auto &[label, value] : rows) {
+            os << pname;
+            if (!label.empty()) {
+                os << "{" << kLabelKey << "=\""
+                   << escapeLabelValue(label) << "\"}";
+            }
+            os << " " << value << "\n";
+        }
+    }
+
+    std::map<std::string,
+             std::vector<std::pair<std::string, const Snapshot::Hist *>>>
+        histGroups;
+    for (const auto &[name, h] : s.histograms) {
+        std::string base, label;
+        if (splitLabeledName(name, &base, &label))
+            histGroups[base].emplace_back(label, &h);
+        else
+            histGroups[name].emplace_back(std::string(), &h);
+    }
+    for (const auto &[base, rows] : histGroups) {
+        const std::string pname = prometheusName(base);
+        os << "# TYPE " << pname << " summary\n";
+        constexpr std::pair<const char *, double> kQuantiles[] = {
+            {"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+        for (const auto &[label, h] : rows) {
+            const std::string tenantLabel =
+                label.empty() ? std::string()
+                              : std::string(kLabelKey) + "=\"" +
+                                    escapeLabelValue(label) + "\"";
+            for (const auto &[qs, q] : kQuantiles) {
+                os << pname << "{";
+                if (!tenantLabel.empty())
+                    os << tenantLabel << ",";
+                os << "quantile=\"" << qs << "\"} " << h->quantile(q)
+                   << "\n";
+            }
+            const std::string suffix =
+                tenantLabel.empty() ? std::string()
+                                    : "{" + tenantLabel + "}";
+            os << pname << "_sum" << suffix << " " << h->sum << "\n"
+               << pname << "_count" << suffix << " " << h->count
+               << "\n";
+        }
+    }
+}
+
+bool
+writePrometheusFile(const std::string &path, const Snapshot &s)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        writePrometheus(out, s);
+        out.flush();
+        if (!out)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+} // namespace telemetry
+} // namespace sparseap

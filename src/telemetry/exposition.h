@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Prometheus-style text exposition of a telemetry Snapshot.
+ *
+ * Metric names are mangled to the exposition charset: every character
+ * outside [a-zA-Z0-9_] becomes '_' and the whole name is prefixed
+ * "sparseap_" (so `serve.fed_bytes` => `sparseap_serve_fed_bytes`).
+ * Labeled series produced by telemetry/labels.h (`base{tenant=X}`)
+ * are re-emitted with a proper label set: `sparseap_base{tenant="X"}`.
+ * Histograms come out as summaries: {quantile="0.5|0.95|0.99"} sample
+ * lines plus _sum and _count.
+ *
+ * writePrometheusFile() renders atomically (temp + rename), which is
+ * what `apserved --metrics-file` republishes every sample period — a
+ * scraper (or `cat`) never sees a torn file.
+ *
+ * See docs/OBSERVABILITY.md §Exposition; tested by
+ * tests/test_observability.cc.
+ */
+
+#ifndef SPARSEAP_TELEMETRY_EXPOSITION_H
+#define SPARSEAP_TELEMETRY_EXPOSITION_H
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace sparseap {
+namespace telemetry {
+
+/** `sparseap_` + @p name with non-[a-zA-Z0-9_] mangled to '_'
+ *  (label suffixes, if any, must be stripped by the caller). */
+std::string prometheusName(const std::string &name);
+
+/** Render @p s in Prometheus text exposition format. */
+void writePrometheus(std::ostream &os, const Snapshot &s);
+
+/** Atomically (temp + rename) write the exposition of @p s to
+ *  @p path. @return false on any I/O failure. */
+bool writePrometheusFile(const std::string &path, const Snapshot &s);
+
+} // namespace telemetry
+} // namespace sparseap
+
+#endif // SPARSEAP_TELEMETRY_EXPOSITION_H

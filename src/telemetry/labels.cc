@@ -1,0 +1,41 @@
+#include "telemetry/labels.h"
+
+namespace sparseap {
+namespace telemetry {
+
+std::string
+labeledName(const std::string &base, const std::string &label)
+{
+    std::string out;
+    out.reserve(base.size() + label.size() + 10);
+    out += base;
+    out += '{';
+    out += kLabelKey;
+    out += '=';
+    out += label;
+    out += '}';
+    return out;
+}
+
+bool
+splitLabeledName(const std::string &name, std::string *base,
+                 std::string *label)
+{
+    const size_t open = name.find('{');
+    if (open == std::string::npos || name.back() != '}')
+        return false;
+    const std::string key = std::string(kLabelKey) + "=";
+    const size_t key_at = open + 1;
+    if (name.compare(key_at, key.size(), key) != 0)
+        return false;
+    if (base)
+        *base = name.substr(0, open);
+    if (label) {
+        const size_t value_at = key_at + key.size();
+        *label = name.substr(value_at, name.size() - 1 - value_at);
+    }
+    return true;
+}
+
+} // namespace telemetry
+} // namespace sparseap

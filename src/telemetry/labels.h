@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Bounded-cardinality labeled metric families.
+ *
+ * The registry interns one permanent cell block per metric name, so an
+ * unbounded label set (e.g. one counter per tenant, fed by whatever
+ * names clients send) would grow the registry — and every snapshot —
+ * forever. A LabeledCounter/LabeledHistogram family fixes that with a
+ * hard cap on distinct label series: the first `maxSeries` distinct
+ * labels each get their own series named `base{tenant=label}`, every
+ * label beyond the cap folds into the shared `base{tenant=other}`
+ * bucket (and bumps `telemetry.label_overflow`). Within the cap a
+ * last-use clock is kept so exports can rank series by recency, but a
+ * series is never un-interned — the cap is what bounds the registry,
+ * the recency order is for display.
+ *
+ * Series names round-trip: splitSeries("serve.feeds{tenant=EM}")
+ * yields ("serve.feeds", "EM"), which is how the STATS exporter and
+ * aptop recover the per-tenant table from a flat snapshot.
+ *
+ * See docs/OBSERVABILITY.md §Per-tenant labels; tested by
+ * tests/test_observability.cc.
+ */
+
+#ifndef SPARSEAP_TELEMETRY_LABELS_H
+#define SPARSEAP_TELEMETRY_LABELS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace sparseap {
+namespace telemetry {
+
+/** The label key used by every family (one axis is plenty here). */
+constexpr const char *kLabelKey = "tenant";
+
+/** Fallback label for series beyond a family's cap. */
+constexpr const char *kOtherLabel = "other";
+
+/** @return `base{tenant=label}`. */
+std::string labeledName(const std::string &base,
+                        const std::string &label);
+
+/**
+ * Parse `base{tenant=label}`; @return false for unlabeled names.
+ * @p base / @p label may be null when only the test matters.
+ */
+bool splitLabeledName(const std::string &name, std::string *base,
+                      std::string *label);
+
+/**
+ * One family of per-label series over metric handle type @p M
+ * (Counter or HistogramMetric — anything with add(uint64_t)).
+ */
+template <typename M> class LabeledFamily
+{
+  public:
+    static constexpr size_t kDefaultMaxSeries = 64;
+
+    explicit LabeledFamily(std::string base,
+                           size_t maxSeries = kDefaultMaxSeries)
+        : base_(std::move(base)), cap_(maxSeries == 0 ? 1 : maxSeries),
+          other_(labeledName(base_, kOtherLabel).c_str())
+    {
+    }
+
+    LabeledFamily(const LabeledFamily &) = delete;
+    LabeledFamily &operator=(const LabeledFamily &) = delete;
+
+    /** Record @p v against @p label (or the `other` bucket past cap). */
+    void
+    add(const std::string &label, uint64_t v)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = series_.find(label);
+        if (it == series_.end()) {
+            if (series_.size() >= cap_ || label == kOtherLabel) {
+                overflowCounter().add(1);
+                other_.add(v);
+                return;
+            }
+            it = series_
+                     .emplace(label,
+                              Series{std::make_unique<M>(
+                                         labeledName(base_, label)
+                                             .c_str()),
+                                     0})
+                     .first;
+        }
+        it->second.lastUse = ++use_clock_;
+        it->second.metric->add(v);
+    }
+
+    /** Distinct labels holding their own series (≤ cap). */
+    size_t
+    seriesCount() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return series_.size();
+    }
+
+    /** Labels ordered most-recently-used first. */
+    std::vector<std::string>
+    labelsByRecency() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<std::pair<uint64_t, std::string>> order;
+        order.reserve(series_.size());
+        for (const auto &[label, s] : series_)
+            order.emplace_back(s.lastUse, label);
+        std::sort(order.begin(), order.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first > b.first;
+                  });
+        std::vector<std::string> out;
+        out.reserve(order.size());
+        for (auto &[use, label] : order)
+            out.push_back(std::move(label));
+        return out;
+    }
+
+    const std::string &base() const { return base_; }
+
+  private:
+    struct Series
+    {
+        std::unique_ptr<M> metric;
+        uint64_t lastUse = 0;
+    };
+
+    static Counter &
+    overflowCounter()
+    {
+        static Counter c("telemetry.label_overflow");
+        return c;
+    }
+
+    const std::string base_;
+    const size_t cap_;
+    M other_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Series> series_;
+    uint64_t use_clock_ = 0;
+};
+
+using LabeledCounter = LabeledFamily<Counter>;
+using LabeledHistogram = LabeledFamily<HistogramMetric>;
+
+/**
+ * Per-label Gauge family (set semantics). Same cap/overflow policy as
+ * LabeledFamily; labels beyond the cap last-write the shared
+ * `base{tenant=other}` series, which is honest enough for a level
+ * metric nobody should be over-cap on anyway.
+ */
+class LabeledGauge
+{
+  public:
+    explicit LabeledGauge(std::string base,
+                          size_t maxSeries =
+                              LabeledCounter::kDefaultMaxSeries)
+        : base_(std::move(base)), cap_(maxSeries == 0 ? 1 : maxSeries),
+          other_(labeledName(base_, kOtherLabel).c_str())
+    {
+    }
+
+    LabeledGauge(const LabeledGauge &) = delete;
+    LabeledGauge &operator=(const LabeledGauge &) = delete;
+
+    /** Set @p label's level to @p v (the `other` series past cap). */
+    void
+    set(const std::string &label, uint64_t v)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = series_.find(label);
+        if (it == series_.end()) {
+            if (series_.size() >= cap_ || label == kOtherLabel) {
+                other_.set(static_cast<int64_t>(v));
+                return;
+            }
+            it = series_
+                     .emplace(label, std::make_unique<Gauge>(
+                                         labeledName(base_, label)
+                                             .c_str()))
+                     .first;
+        }
+        it->second->set(static_cast<int64_t>(v));
+    }
+
+    size_t
+    seriesCount() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return series_.size();
+    }
+
+    const std::string &base() const { return base_; }
+
+  private:
+    const std::string base_;
+    const size_t cap_;
+    Gauge other_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> series_;
+};
+
+} // namespace telemetry
+} // namespace sparseap
+
+#endif // SPARSEAP_TELEMETRY_LABELS_H

@@ -163,6 +163,16 @@ nowMicros()
             .count());
 }
 
+void
+traceEmitComplete(const char *name, uint64_t ts_us, uint64_t dur_us,
+                  std::string args)
+{
+    if (!traceEnabled())
+        return;
+    if (auto s = currentSession())
+        s->append({name, ts_us, dur_us, threadTid(), std::move(args)});
+}
+
 TraceSession::TraceSession(std::string path)
 {
     beginSession(std::move(path));

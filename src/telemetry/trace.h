@@ -138,6 +138,16 @@ class ScopedPhase
 /** Monotonic microseconds since process start (trace timebase). */
 uint64_t nowMicros();
 
+/**
+ * Append one pre-timed complete event to the active trace session
+ * (no-op without one). For span sources that buffer their own timings
+ * — request-scoped traces replay their span tree through this at
+ * request end. @p args: pre-rendered JSON members ("\"k\":v,...") or
+ * empty; timestamps on the nowMicros() timebase.
+ */
+void traceEmitComplete(const char *name, uint64_t ts_us,
+                       uint64_t dur_us, std::string args);
+
 #define SPARSEAP_TELEMETRY_CAT2(a, b) a##b
 #define SPARSEAP_TELEMETRY_CAT(a, b) SPARSEAP_TELEMETRY_CAT2(a, b)
 

@@ -1,0 +1,137 @@
+#include "telemetry/window.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sparseap {
+namespace telemetry {
+
+namespace {
+
+/** after - before per metric, clamped at 0 (never wraps). */
+Snapshot
+clampedDelta(const Snapshot &before, const Snapshot &after)
+{
+    Snapshot d;
+    for (const auto &[name, value] : after.counters) {
+        auto it = before.counters.find(name);
+        const uint64_t prev =
+            it != before.counters.end() ? it->second : 0;
+        d.counters[name] = value >= prev ? value - prev : 0;
+    }
+    d.gauges = after.gauges; // levels, not rates
+    for (const auto &[name, hist] : after.histograms) {
+        Snapshot::Hist dh = hist;
+        auto it = before.histograms.find(name);
+        if (it != before.histograms.end()) {
+            const Snapshot::Hist &prev = it->second;
+            dh.count = dh.count >= prev.count ? dh.count - prev.count : 0;
+            dh.sum = dh.sum >= prev.sum ? dh.sum - prev.sum : 0;
+            for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+                dh.buckets[b] = dh.buckets[b] >= prev.buckets[b]
+                                    ? dh.buckets[b] - prev.buckets[b]
+                                    : 0;
+            }
+        }
+        d.histograms[name] = dh;
+    }
+    return d;
+}
+
+} // namespace
+
+double
+WindowView::rate(const std::string &name) const
+{
+    if (!valid())
+        return 0.0;
+    auto it = delta.counters.find(name);
+    if (it == delta.counters.end())
+        return 0.0;
+    return static_cast<double>(it->second) /
+           (static_cast<double>(spanMicros) / 1e6);
+}
+
+double
+WindowView::histQuantile(const std::string &name, double q) const
+{
+    auto it = delta.histograms.find(name);
+    if (it == delta.histograms.end())
+        return 0.0;
+    return it->second.quantile(q);
+}
+
+WindowRing::WindowRing(size_t capacity)
+{
+    SPARSEAP_ASSERT(capacity >= 2,
+                    "WindowRing needs >= 2 samples, got ", capacity);
+    ring_.resize(capacity);
+}
+
+void
+WindowRing::push(uint64_t ts_us, Snapshot snap)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_[head_] = {ts_us, std::move(snap)};
+    head_ = (head_ + 1) % ring_.size();
+    count_ = std::min(count_ + 1, ring_.size());
+}
+
+WindowView
+WindowRing::over(uint64_t horizonMicros) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    WindowView view;
+    if (count_ < 2)
+        return view;
+    // Newest is the slot just written; walk back to the oldest sample
+    // still inside the horizon (ring order == push order).
+    const size_t newest = (head_ + ring_.size() - 1) % ring_.size();
+    const Sample &last = ring_[newest];
+    const uint64_t floor_ts =
+        last.ts_us >= horizonMicros ? last.ts_us - horizonMicros : 0;
+    size_t oldest = newest;
+    for (size_t i = 1; i < count_; ++i) {
+        const size_t slot = (newest + ring_.size() - i) % ring_.size();
+        if (ring_[slot].ts_us < floor_ts)
+            break;
+        oldest = slot;
+    }
+    if (oldest == newest)
+        return view; // only the newest sample is inside the horizon
+    const Sample &first = ring_[oldest];
+    if (last.ts_us <= first.ts_us)
+        return view; // zero span: rates undefined
+    view.spanMicros = last.ts_us - first.ts_us;
+    view.delta = clampedDelta(first.snap, last.snap);
+    return view;
+}
+
+size_t
+WindowRing::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+uint64_t
+WindowRing::newestMicros() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0)
+        return 0;
+    return ring_[(head_ + ring_.size() - 1) % ring_.size()].ts_us;
+}
+
+void
+WindowRing::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    head_ = 0;
+    count_ = 0;
+}
+
+} // namespace telemetry
+} // namespace sparseap

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Rolling-window layer over the metrics registry: a bounded ring of
+ * timestamped Snapshots and the delta/rate math to answer "what is the
+ * process doing *now*" instead of "what has it done since boot".
+ *
+ * A sampler (the serving daemon's observer thread, or anything else
+ * with a clock) pushes a full telemetry::snapshot() into a WindowRing
+ * once per period. A WindowView over a horizon (last 10s / 1m / 5m) is
+ * the counter delta between the newest sample and the oldest retained
+ * sample inside the horizon, plus the wall-clock span those two samples
+ * actually cover — rates are delta/span, windowed histogram percentiles
+ * come from the bucket deltas via the shared log-bucket quantile math.
+ *
+ * The ring is bounded (kDefaultCapacity samples ≈ 5m + slack at a 1 s
+ * period), so a 30-day daemon holds a few hundred snapshots, never an
+ * unbounded history. Counter resets (which cannot happen with the
+ * monotonic registry, but can with hand-built snapshots) clamp to 0
+ * instead of wrapping — a window rate is never a huge bogus number.
+ *
+ * See docs/OBSERVABILITY.md §Rolling windows; tested by
+ * tests/test_window.cc.
+ */
+
+#ifndef SPARSEAP_TELEMETRY_WINDOW_H
+#define SPARSEAP_TELEMETRY_WINDOW_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace sparseap {
+namespace telemetry {
+
+/** The dashboard horizons, microseconds. */
+constexpr uint64_t kWindow10s = 10ull * 1000 * 1000;
+constexpr uint64_t kWindow1m = 60ull * 1000 * 1000;
+constexpr uint64_t kWindow5m = 300ull * 1000 * 1000;
+
+/** One horizon's delta view (valid() == false with < 2 samples). */
+struct WindowView
+{
+    /** Wall clock actually covered (oldest→newest sample), ≤ horizon. */
+    uint64_t spanMicros = 0;
+    /** Counter + histogram deltas over the span (gauges: latest). */
+    Snapshot delta;
+
+    bool valid() const { return spanMicros > 0; }
+
+    /** @p name's per-second rate over the span (0 when absent). */
+    double rate(const std::string &name) const;
+
+    /** Windowed quantile of histogram @p name (0 when absent/empty). */
+    double histQuantile(const std::string &name, double q) const;
+};
+
+/** Bounded ring of timestamped snapshots (see file comment). */
+class WindowRing
+{
+  public:
+    /** ≈ 5 minutes of 1 s samples plus slack. */
+    static constexpr size_t kDefaultCapacity = 310;
+
+    explicit WindowRing(size_t capacity = kDefaultCapacity);
+
+    /** Append a sample; @p ts_us must be monotonically non-decreasing
+     *  (same timebase as the views asked for later). */
+    void push(uint64_t ts_us, Snapshot snap);
+
+    /**
+     * Delta view over the last @p horizonMicros, anchored at the newest
+     * sample: newest minus the oldest retained sample within the
+     * horizon. With fewer than two samples the view is invalid.
+     */
+    WindowView over(uint64_t horizonMicros) const;
+
+    /** Samples currently retained. */
+    size_t size() const;
+
+    /** Timestamp of the newest sample (0 when empty). */
+    uint64_t newestMicros() const;
+
+    void clear();
+
+  private:
+    struct Sample
+    {
+        uint64_t ts_us = 0;
+        Snapshot snap;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<Sample> ring_; ///< capacity-bounded, oldest overwritten
+    size_t head_ = 0;          ///< next write slot
+    size_t count_ = 0;
+};
+
+} // namespace telemetry
+} // namespace sparseap
+
+#endif // SPARSEAP_TELEMETRY_WINDOW_H

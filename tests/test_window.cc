@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Rolling-window math: Histogram quantile edge cases (empty, single
+ * bucket, saturated top bucket, merged disjoint shards) and WindowRing
+ * delta/rate semantics (horizon anchoring, ring wraparound, counter
+ * reset clamping, windowed histogram quantiles).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/stats.h"
+#include "telemetry/window.h"
+
+using namespace sparseap;
+using telemetry::Snapshot;
+using telemetry::WindowRing;
+using telemetry::WindowView;
+
+namespace {
+
+Snapshot
+counterSnap(const char *name, uint64_t value)
+{
+    Snapshot s;
+    s.counters[name] = value;
+    return s;
+}
+
+constexpr uint64_t kSecond = 1000 * 1000;
+
+} // namespace
+
+// ------------------------------------------------- histogram quantiles --
+
+TEST(HistogramQuantile, EmptyHistogramIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+
+    const std::array<uint64_t, Histogram::kBuckets> empty{};
+    EXPECT_DOUBLE_EQ(
+        Histogram::quantileFromBuckets({empty.data(), empty.size()},
+                                       0.99),
+        0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketStaysInsideBucketRange)
+{
+    // Every sample is 5 => bucket [4, 7]; any quantile must be
+    // estimated inside that bucket, never outside it.
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.add(5);
+    const size_t b = Histogram::bucketOf(5);
+    for (double q : {0.0, 0.01, 0.5, 0.95, 1.0}) {
+        const double est = h.quantile(q);
+        EXPECT_GE(est, static_cast<double>(Histogram::bucketLow(b)))
+            << "q=" << q;
+        EXPECT_LE(est, static_cast<double>(Histogram::bucketHigh(b)))
+            << "q=" << q;
+    }
+}
+
+TEST(HistogramQuantile, SaturatedTopBucket)
+{
+    // All samples at the top of the uint64 range land in the last
+    // bucket; quantiles must stay inside it and remain finite.
+    Histogram h;
+    const uint64_t top = std::numeric_limits<uint64_t>::max();
+    for (int i = 0; i < 10; ++i)
+        h.add(top);
+    const size_t b = Histogram::bucketOf(top);
+    EXPECT_EQ(b, Histogram::kBuckets - 1);
+    const double p99 = h.quantile(0.99);
+    EXPECT_GE(p99, static_cast<double>(Histogram::bucketLow(b)));
+    EXPECT_LE(p99, static_cast<double>(top));
+}
+
+TEST(HistogramQuantile, MergeOfDisjointShards)
+{
+    // Two shards with disjoint value ranges: the merge must place low
+    // quantiles in the low shard's bucket and high quantiles in the
+    // high shard's bucket, with counts and sums adding exactly.
+    Histogram low, high;
+    for (int i = 0; i < 100; ++i)
+        low.add(2); // bucket [2, 3]
+    for (int i = 0; i < 100; ++i)
+        high.add(1024); // bucket [1024, 2047]
+
+    low.merge(high);
+    EXPECT_EQ(low.count(), 200u);
+    EXPECT_EQ(low.sum(), 100u * 2 + 100u * 1024);
+    EXPECT_EQ(low.min(), 2u);
+    EXPECT_EQ(low.max(), 1024u);
+
+    const double p25 = low.quantile(0.25);
+    EXPECT_GE(p25, 2.0);
+    EXPECT_LE(p25, 3.0);
+    const double p75 = low.quantile(0.75);
+    EXPECT_GE(p75, 1024.0);
+    EXPECT_LE(p75, 2047.0);
+}
+
+// ------------------------------------------------------- window ring --
+
+TEST(WindowRing, InvalidWithFewerThanTwoSamples)
+{
+    WindowRing ring(8);
+    EXPECT_FALSE(ring.over(telemetry::kWindow10s).valid());
+
+    ring.push(kSecond, counterSnap("x", 10));
+    const WindowView view = ring.over(telemetry::kWindow10s);
+    EXPECT_FALSE(view.valid());
+    EXPECT_DOUBLE_EQ(view.rate("x"), 0.0);
+}
+
+TEST(WindowRing, RateIsDeltaOverCoveredSpan)
+{
+    WindowRing ring(8);
+    ring.push(0, counterSnap("x", 100));
+    ring.push(10 * kSecond, counterSnap("x", 200));
+
+    const WindowView view = ring.over(telemetry::kWindow10s);
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.spanMicros, 10 * kSecond);
+    EXPECT_DOUBLE_EQ(view.rate("x"), 10.0); // 100 over 10 s
+    EXPECT_DOUBLE_EQ(view.rate("absent"), 0.0);
+}
+
+TEST(WindowRing, HorizonAnchorsAtNewestSample)
+{
+    // Samples at 0/4/8/12 s; a 10 s horizon from the newest (12 s)
+    // floors at 2 s, so the oldest retained sample is the one at 4 s:
+    // span 8 s, delta = v(12s) - v(4s).
+    WindowRing ring(8);
+    ring.push(0, counterSnap("x", 0));
+    ring.push(4 * kSecond, counterSnap("x", 40));
+    ring.push(8 * kSecond, counterSnap("x", 80));
+    ring.push(12 * kSecond, counterSnap("x", 120));
+
+    const WindowView view = ring.over(telemetry::kWindow10s);
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.spanMicros, 8 * kSecond);
+    EXPECT_EQ(view.delta.counters.at("x"), 80u);
+    EXPECT_DOUBLE_EQ(view.rate("x"), 10.0);
+
+    // A wider horizon reaches all the way back to t = 0.
+    const WindowView wide = ring.over(telemetry::kWindow1m);
+    ASSERT_TRUE(wide.valid());
+    EXPECT_EQ(wide.spanMicros, 12 * kSecond);
+    EXPECT_EQ(wide.delta.counters.at("x"), 120u);
+}
+
+TEST(WindowRing, WraparoundDropsOldestSamples)
+{
+    // Capacity 4, six pushes: only the last four samples survive, so
+    // even an unbounded horizon can only span them.
+    WindowRing ring(4);
+    for (uint64_t i = 1; i <= 6; ++i)
+        ring.push(i * kSecond, counterSnap("x", i * 10));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.newestMicros(), 6 * kSecond);
+
+    const WindowView view = ring.over(telemetry::kWindow5m);
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.spanMicros, 3 * kSecond); // 3 s .. 6 s retained
+    EXPECT_EQ(view.delta.counters.at("x"), 30u);
+    EXPECT_DOUBLE_EQ(view.rate("x"), 10.0);
+}
+
+TEST(WindowRing, CounterResetClampsToZeroInsteadOfWrapping)
+{
+    WindowRing ring(4);
+    ring.push(0, counterSnap("x", 100));
+    ring.push(10 * kSecond, counterSnap("x", 40)); // went down
+
+    const WindowView view = ring.over(telemetry::kWindow10s);
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.delta.counters.at("x"), 0u);
+    EXPECT_DOUBLE_EQ(view.rate("x"), 0.0); // never a wrapped uint64
+}
+
+TEST(WindowRing, ZeroSpanDuplicateTimestampIsInvalid)
+{
+    WindowRing ring(4);
+    ring.push(kSecond, counterSnap("x", 10));
+    ring.push(kSecond, counterSnap("x", 20));
+    EXPECT_FALSE(ring.over(telemetry::kWindow10s).valid());
+}
+
+TEST(WindowRing, WindowedHistogramQuantileUsesBucketDeltas)
+{
+    // Before: 100 samples of 4. After: those plus 100 samples of 1024.
+    // The windowed quantile sees only the *delta* (the 1024 batch).
+    Snapshot before;
+    {
+        Snapshot::Hist h;
+        h.count = 100;
+        h.sum = 400;
+        h.buckets[Histogram::bucketOf(4)] = 100;
+        before.histograms["lat"] = h;
+    }
+    Snapshot after = before;
+    {
+        Snapshot::Hist &h = after.histograms["lat"];
+        h.count += 100;
+        h.sum += 100 * 1024;
+        h.buckets[Histogram::bucketOf(1024)] += 100;
+    }
+
+    WindowRing ring(4);
+    ring.push(0, before);
+    ring.push(10 * kSecond, after);
+    const WindowView view = ring.over(telemetry::kWindow10s);
+    ASSERT_TRUE(view.valid());
+    const double p50 = view.histQuantile("lat", 0.5);
+    EXPECT_GE(p50, 1024.0);
+    EXPECT_LE(p50, 2047.0);
+    EXPECT_DOUBLE_EQ(view.histQuantile("absent", 0.5), 0.0);
+}
+
+TEST(WindowRing, ClearForgetsHistory)
+{
+    WindowRing ring(4);
+    ring.push(0, counterSnap("x", 1));
+    ring.push(kSecond, counterSnap("x", 2));
+    ASSERT_TRUE(ring.over(telemetry::kWindow10s).valid());
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.newestMicros(), 0u);
+    EXPECT_FALSE(ring.over(telemetry::kWindow10s).valid());
+}

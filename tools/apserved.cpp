@@ -9,13 +9,22 @@
  *
  *   apserved --socket /tmp/ap.sock --apps Bro217,Brill \
  *            [--workers N] [--resident N] [--queue N] [--tenant-cap N] \
- *            [--deadline-ms N] [--max-conns N]
+ *            [--deadline-ms N] [--max-conns N] \
+ *            [--metrics-file PATH] [--sample-ms N] [--slow-us N] \
+ *            [--log PATH[:LEVEL]] [--no-obs]
  *
  * Engine knobs come from the usual environment (SPARSEAP_ENGINE,
  * SPARSEAP_SEED, SPARSEAP_SCALE, ...); the flags above size the serving
  * layer: --resident caps live engine sessions (rest are parked
  * snapshots), --queue/--tenant-cap/--deadline-ms configure admission
  * control (see docs/SERVING.md §Overload).
+ *
+ * Observability (docs/OBSERVABILITY.md): --metrics-file republishes a
+ * Prometheus text exposition every sample period, --slow-us sets the
+ * slow-request capture threshold, --log opens the structured JSON
+ * event log (equivalent to SPARSEAP_LOG/SPARSEAP_LOG_LEVEL), and
+ * --no-obs turns the whole serving-plane observability layer off.
+ * `aptop --socket ...` is the live dashboard over the STATS reply.
  */
 
 #include <atomic>
@@ -29,6 +38,7 @@
 
 #include "core/sparseap.h"
 #include "serve/server.h"
+#include "telemetry/event_log.h"
 
 using namespace sparseap;
 
@@ -53,7 +63,15 @@ usage()
         "  --queue N        admission queue depth (default 256)\n"
         "  --tenant-cap N   per-tenant in-flight cap (default 64)\n"
         "  --deadline-ms N  queue-wait deadline, 0 = none (default 0)\n"
-        "  --max-conns N    connection cap (default 256)\n");
+        "  --max-conns N    connection cap (default 256)\n"
+        "  --metrics-file P rewrite Prometheus exposition at P every "
+        "sample\n"
+        "  --sample-ms N    observer sample period (default 1000)\n"
+        "  --slow-us N      slow-request capture threshold "
+        "(default 250000)\n"
+        "  --log P[:LEVEL]  JSON event log to P (-"
+        " = stderr; level debug|info|warn|error)\n"
+        "  --no-obs         disable serving-plane observability\n");
     return 2;
 }
 
@@ -81,6 +99,7 @@ main(int argc, char **argv)
 {
     std::string socket_path;
     std::string apps_arg;
+    std::string log_arg;
     serve::ServerConfig scfg;
     serve::MatchServiceConfig mcfg;
 
@@ -106,12 +125,33 @@ main(int argc, char **argv)
             scfg.admission.deadlineMicros = std::stoul(value()) * 1000;
         else if (arg == "--max-conns" && has_value)
             scfg.maxConnections = std::stoul(value());
+        else if (arg == "--metrics-file" && has_value)
+            scfg.observability.metricsPath = value();
+        else if (arg == "--sample-ms" && has_value)
+            scfg.observability.samplePeriodMillis = std::stoul(value());
+        else if (arg == "--slow-us" && has_value)
+            scfg.observability.slowRequestMicros = std::stoul(value());
+        else if (arg == "--log" && has_value)
+            log_arg = value();
+        else if (arg == "--no-obs")
+            scfg.observability.enabled = false;
         else
             return usage();
     }
     if (socket_path.empty() || apps_arg.empty())
         return usage();
     scfg.socketPath = socket_path;
+    mcfg.tenantMetrics = scfg.observability.enabled;
+
+    if (!log_arg.empty()) {
+        std::string path = log_arg;
+        telemetry::LogLevel level = telemetry::LogLevel::Info;
+        const size_t colon = log_arg.rfind(':');
+        if (colon != std::string::npos &&
+            telemetry::parseLogLevel(log_arg.substr(colon + 1), &level))
+            path = log_arg.substr(0, colon);
+        telemetry::initEventLog(path, level);
+    }
 
     // The runner owns the LoadedApps (and through them the automata);
     // it must outlive the service and the server, so the tenants' fa

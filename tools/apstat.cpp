@@ -11,11 +11,11 @@
  *                                 only the ones tagged <app>) as the
  *                                 shared ASCII snapshot tables
  *   apstat diff <before> <after> [app]
- *                                 print after - before of the summed
- *                                 records of each file (counters and
- *                                 histograms subtract; gauges show the
- *                                 later level) — e.g. two runs of one
- *                                 bench before and after a change
+ *                                 print signed after - before of the
+ *                                 summed records of each file (gauges
+ *                                 show the later level); series that
+ *                                 went *down* are flagged as likely
+ *                                 regressions / non-comparable runs
  *   apstat sum <file> [app]       print the sum of every matching record
  *                                 (one cumulative view of a whole sweep)
  *
@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -124,10 +125,65 @@ cmdDiff(const std::string &before_path, const std::string &after_path,
 {
     const Snapshot before = sumRecords(readFile(before_path, app));
     const Snapshot after = sumRecords(readFile(after_path, app));
-    // deltaTo subtracts with unsigned wraparound; counters that went
-    // *down* between runs come out as huge values, which is exactly the
-    // signal a before/after comparison wants to make impossible to miss.
-    telemetry::printSnapshot(std::cout, before.deltaTo(after));
+
+    // Signed per-counter deltas over the union of names. A counter
+    // that went *down* between runs usually means the runs are not
+    // comparable (different app set, fewer iterations, a crashed
+    // sweep) — flag it instead of printing a wrapped uint64.
+    std::set<std::string> names;
+    for (const auto &[name, v] : before.counters)
+        names.insert(name);
+    for (const auto &[name, v] : after.counters)
+        names.insert(name);
+    size_t regressions = 0;
+    std::cout << "counters (after - before)\n";
+    for (const std::string &name : names) {
+        const auto bit = before.counters.find(name);
+        const auto ait = after.counters.find(name);
+        const uint64_t b = bit == before.counters.end() ? 0 : bit->second;
+        const uint64_t a = ait == after.counters.end() ? 0 : ait->second;
+        if (a == b)
+            continue;
+        const bool down = a < b;
+        const uint64_t mag = down ? b - a : a - b;
+        std::cout << "  " << name << " " << (down ? "-" : "+") << mag;
+        if (down) {
+            std::cout << "  << counter went down; likely regression "
+                         "or non-comparable runs";
+            ++regressions;
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << "gauges (later level)\n";
+    for (const auto &[name, v] : after.gauges)
+        std::cout << "  " << name << " " << v << "\n";
+
+    std::cout << "histograms (after - before)\n";
+    for (const auto &[name, ah] : after.histograms) {
+        const auto bit = before.histograms.find(name);
+        const uint64_t bcount =
+            bit == before.histograms.end() ? 0 : bit->second.count;
+        const uint64_t bsum =
+            bit == before.histograms.end() ? 0 : bit->second.sum;
+        const bool down = ah.count < bcount;
+        std::cout << "  " << name << " count "
+                  << (down ? "-" : "+")
+                  << (down ? bcount - ah.count : ah.count - bcount)
+                  << " sum "
+                  << (ah.sum < bsum ? "-" : "+")
+                  << (ah.sum < bsum ? bsum - ah.sum : ah.sum - bsum);
+        if (down) {
+            std::cout << "  << count went down; likely regression "
+                         "or non-comparable runs";
+            ++regressions;
+        }
+        std::cout << "\n";
+    }
+
+    if (regressions != 0)
+        std::cout << regressions
+                  << " series went down between runs (see << flags)\n";
     return 0;
 }
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a SPARSEAP_LOG structured event-log file (JSON Lines).
+
+Each line must be one JSON object with the schema
+(docs/OBSERVABILITY.md §Event log):
+  - "ts_us": non-negative int (telemetry::nowMicros timebase);
+  - "level": one of debug|info|warn|error;
+  - "event": non-empty dotted string (e.g. "serve.request.slow");
+  - any further members are string or integer payload fields.
+
+Checks (exit 0 = valid, 1 = invalid):
+  - every non-empty line parses and matches the schema;
+  - ts_us is monotonically non-decreasing across lines;
+  - optionally (--require EVENT, repeatable) an event with that name
+    appears; with --require-field EVENT:FIELD the named event must also
+    carry the named field.
+
+Usage: check_log.py LOG.jsonl [--require serve.request.slow
+                               --require-field serve.request.slow:request_id]
+"""
+
+import argparse
+import json
+import sys
+
+LEVELS = {"debug", "info", "warn", "error"}
+
+
+def fail(msg):
+    print(f"check_log: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", help="SPARSEAP_LOG JSON-Lines file")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="EVENT",
+                        help="event name that must appear (repeatable)")
+    parser.add_argument("--require-field", action="append", default=[],
+                        metavar="EVENT:FIELD",
+                        help="event that must appear carrying FIELD")
+    args = parser.parse_args()
+
+    try:
+        with open(args.log, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        return fail(f"{args.log}: {e}")
+
+    events = {}  # name -> set of fields seen
+    count = 0
+    last_ts = -1
+    for i, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(f"line {i}: not JSON: {e}")
+        if not isinstance(obj, dict):
+            return fail(f"line {i}: not an object")
+        ts = obj.get("ts_us")
+        if not isinstance(ts, int) or ts < 0:
+            return fail(f"line {i}: missing non-negative int ts_us")
+        if ts < last_ts:
+            return fail(f"line {i}: ts_us {ts} goes backwards "
+                        f"(prev {last_ts})")
+        last_ts = ts
+        if obj.get("level") not in LEVELS:
+            return fail(f"line {i}: level {obj.get('level')!r} not in "
+                        f"{sorted(LEVELS)}")
+        event = obj.get("event")
+        if not isinstance(event, str) or not event:
+            return fail(f"line {i}: missing event name")
+        for key, value in obj.items():
+            if key in ("ts_us", "level", "event"):
+                continue
+            if not isinstance(value, (str, int)):
+                return fail(f"line {i} ({event}): field {key!r} is "
+                            f"{type(value).__name__}, expected str/int")
+        events.setdefault(event, set()).update(obj.keys())
+        count += 1
+
+    if count == 0:
+        return fail("no events")
+
+    missing = [n for n in args.require if n not in events]
+    if missing:
+        return fail(f"required events absent: {', '.join(missing)}; "
+                    f"present: {', '.join(sorted(events))}")
+    for spec in args.require_field:
+        event, _, field = spec.partition(":")
+        if not field:
+            return fail(f"--require-field {spec!r}: expected EVENT:FIELD")
+        if event not in events:
+            return fail(f"required event absent: {event}")
+        if field not in events[event]:
+            return fail(f"event {event} never carried field {field!r}; "
+                        f"saw: {', '.join(sorted(events[event]))}")
+
+    print(f"check_log: OK: {count} events, {len(events)} event names")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,21 @@ Checks (exit 0 = valid, 1 = invalid):
   - within each tid, begin timestamps are monotonically non-decreasing
     (the writer sorts on flush; a violation means interleaved sessions
     or a clock bug);
+  - request-scoped spans nest: every span carrying a numeric
+    args.req lies inside [ts, ts+dur] of its request's `serve.request`
+    root span (same tid);
   - optionally (--require NAME, repeatable), a span with that name is
     present somewhere in the trace.
 
-Usage: check_trace.py TRACE.json [--require flatten --require hot_run ...]
+With --slow-dump the input is instead a slow-request capture dump (the
+JSON object SlowRequestRing::writeJson emits, record "slow_requests"):
+every captured request must have a request_id, a latency, and a span
+tree whose spans[0] is the depth-0 `serve.request` root containing all
+children.
+
+Usage:
+  check_trace.py TRACE.json [--require flatten --require hot_run ...]
+  check_trace.py --slow-dump SLOW.json [--require serve.request ...]
 """
 
 import argparse
@@ -24,6 +35,45 @@ def fail(msg):
     return 1
 
 
+def check_slow_dump(doc, require):
+    if doc.get("record") != "slow_requests":
+        return fail("slow dump: record != 'slow_requests'")
+    reqs = doc.get("requests")
+    if not isinstance(reqs, list):
+        return fail("slow dump: missing requests list")
+    if not reqs:
+        return fail("slow dump: no captured requests")
+    names = set()
+    for i, req in enumerate(reqs):
+        where = f"request {i}"
+        for key in ("request_id", "latency_us"):
+            if not isinstance(req.get(key), int):
+                return fail(f"{where}: missing numeric {key}")
+        spans = req.get("spans")
+        if not isinstance(spans, list) or not spans:
+            return fail(f"{where}: missing span tree")
+        root = spans[0]
+        if root.get("name") != "serve.request" or root.get("depth") != 0:
+            return fail(f"{where}: spans[0] must be the depth-0 "
+                        "serve.request root")
+        r0, r1 = root["t0_us"], root["t0_us"] + root["dur_us"]
+        for j, sp in enumerate(spans):
+            for key in ("t0_us", "dur_us", "depth"):
+                if not isinstance(sp.get(key), int):
+                    return fail(f"{where} span {j}: missing {key}")
+            if sp["t0_us"] < r0 or sp["t0_us"] + sp["dur_us"] > r1:
+                return fail(f"{where} span {j} ({sp.get('name')}): "
+                            "outside the serve.request root")
+            names.add(sp.get("name"))
+    missing = [n for n in require if n not in names]
+    if missing:
+        return fail(f"required spans absent: {', '.join(missing)}; "
+                    f"present: {', '.join(sorted(map(str, names)))}")
+    print(f"check_trace: OK: {len(reqs)} slow requests, "
+          f"{len(names)} span names")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="trace file written by SPARSEAP_TRACE")
@@ -34,6 +84,11 @@ def main():
         metavar="NAME",
         help="span name that must appear in the trace (repeatable)",
     )
+    parser.add_argument(
+        "--slow-dump",
+        action="store_true",
+        help="input is a SlowRequestRing JSON dump, not a Chrome trace",
+    )
     args = parser.parse_args()
 
     try:
@@ -41,6 +96,9 @@ def main():
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         return fail(f"{args.trace}: {e}")
+
+    if args.slow_dump:
+        return check_slow_dump(doc, args.require)
 
     events = doc.get("traceEvents")
     if not isinstance(events, list):
@@ -50,6 +108,8 @@ def main():
 
     names = set()
     last_ts = {}  # tid -> last begin timestamp
+    roots = {}  # (tid, req) -> (ts, ts+dur) of serve.request
+    request_spans = []  # (index, ev) carrying args.req
     for i, ev in enumerate(events):
         where = f"event {i}"
         if not isinstance(ev, dict):
@@ -72,13 +132,33 @@ def main():
         last_ts[tid] = ev["ts"]
         names.add(name)
 
+        req = ev.get("args", {}).get("req")
+        if isinstance(req, int):
+            if name == "serve.request":
+                roots[(tid, req)] = (ev["ts"], ev["ts"] + ev["dur"])
+            else:
+                request_spans.append((i, ev))
+
+    # Nesting sanity: request-tagged child spans lie inside their
+    # request's root span on the same thread.
+    for i, ev in request_spans:
+        key = (ev["tid"], ev["args"]["req"])
+        if key not in roots:
+            return fail(f"event {i} ({ev['name']}): args.req "
+                        f"{key[1]} has no serve.request root on its tid")
+        r0, r1 = roots[key]
+        if ev["ts"] < r0 or ev["ts"] + ev["dur"] > r1:
+            return fail(f"event {i} ({ev['name']}): outside its "
+                        f"serve.request root [{r0}, {r1}]")
+
     missing = [n for n in args.require if n not in names]
     if missing:
         return fail(f"required spans absent: {', '.join(missing)}; "
                     f"present: {', '.join(sorted(names))}")
 
     print(f"check_trace: OK: {len(events)} events, "
-          f"{len(names)} span names, {len(last_ts)} threads")
+          f"{len(names)} span names, {len(last_ts)} threads, "
+          f"{len(roots)} request roots")
     return 0
 
 
